@@ -1,0 +1,63 @@
+"""Ablation 6 — yield: stuck-at cell faults.
+
+The paper motivates partitioning partly with yield ("memory cells may
+get stuck in the ON or OFF state"). This ablation sweeps the stuck-cell
+probability and compares the monolithic and partitioned solvers —
+smaller arrays confine each fault's blast radius to one block.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import paper_scale
+from repro.amc.config import HardwareConfig
+from repro.analysis.reporting import format_table
+from repro.core.blockamc import BlockAMCSolver
+from repro.core.original import OriginalAMCSolver
+from repro.crossbar.array import ProgrammingConfig
+from repro.devices.faults import StuckFaultModel
+from repro.workloads.matrices import random_vector, wishart_matrix
+
+
+def _fault_table():
+    n = 64 if paper_scale() else 24
+    trials = 10 if paper_scale() else 4
+    rows = []
+    for p_fault in (0.0, 1e-4, 1e-3, 5e-3):
+        config = HardwareConfig(
+            programming=ProgrammingConfig(
+                faults=StuckFaultModel(
+                    p_stuck_on=p_fault / 2.0 if p_fault else 0.0,
+                    p_stuck_off=p_fault / 2.0 if p_fault else 0.0,
+                )
+            )
+        )
+        errors_orig, errors_block = [], []
+        for trial in range(trials):
+            matrix = wishart_matrix(n, rng=100 + trial)
+            b = random_vector(n, rng=200 + trial)
+            errors_orig.append(
+                OriginalAMCSolver(config).solve(matrix, b, rng=trial).relative_error
+            )
+            errors_block.append(
+                BlockAMCSolver(config).solve(matrix, b, rng=trial).relative_error
+            )
+        rows.append(
+            [p_fault, float(np.median(errors_orig)), float(np.median(errors_block))]
+        )
+    return format_table(
+        ["stuck-cell probability", "original (median)", "BlockAMC (median)"],
+        rows,
+        title=f"Ablation — stuck-at faults, {n}x{n} Wishart",
+    )
+
+
+def test_ablation_faults(report, benchmark):
+    report("ablation_faults", _fault_table())
+
+    config = HardwareConfig(
+        programming=ProgrammingConfig(faults=StuckFaultModel(p_stuck_off=1e-3))
+    )
+    matrix = wishart_matrix(24, rng=0)
+    b = random_vector(24, rng=1)
+    solver = BlockAMCSolver(config)
+    benchmark(lambda: solver.solve(matrix, b, rng=2))

@@ -1,0 +1,62 @@
+"""Ablation 4 — op-amp open-loop gain and offset sweep.
+
+Explains the ideal-mapping accuracy trend (Fig. 6c): with exact
+conductances, the residual error comes from the analog periphery —
+finite open-loop gain and input offsets, both scaled by the array's
+conductance loading. This ablation separates the two contributions.
+"""
+
+import math
+
+import numpy as np
+
+from benchmarks.conftest import paper_scale
+from repro.amc.config import HardwareConfig, OpAmpConfig
+from repro.analysis.reporting import format_table
+from repro.core.blockamc import BlockAMCSolver
+from repro.core.original import OriginalAMCSolver
+from repro.workloads.matrices import random_vector, wishart_matrix
+
+
+def _gain_table():
+    n = 128 if paper_scale() else 32
+    trials = 6 if paper_scale() else 3
+    rows = []
+    cases = [
+        ("gain=1e3, no offset", 1e3, 0.0),
+        ("gain=1e4, no offset", 1e4, 0.0),
+        ("gain=1e5, no offset", 1e5, 0.0),
+        ("ideal gain, offset 0.25mV", math.inf, 0.25e-3),
+        ("gain=1e4, offset 0.25mV", 1e4, 0.25e-3),
+        ("gain=1e4, offset 1mV", 1e4, 1e-3),
+    ]
+    for label, gain, offset in cases:
+        errors_orig, errors_block = [], []
+        for trial in range(trials):
+            matrix = wishart_matrix(n, rng=100 + trial)
+            b = random_vector(n, rng=200 + trial)
+            config = HardwareConfig(
+                opamp=OpAmpConfig(open_loop_gain=gain, input_offset_sigma_v=offset)
+            )
+            errors_orig.append(
+                OriginalAMCSolver(config).solve(matrix, b, rng=trial).relative_error
+            )
+            errors_block.append(
+                BlockAMCSolver(config).solve(matrix, b, rng=trial).relative_error
+            )
+        rows.append([label, float(np.mean(errors_orig)), float(np.mean(errors_block))])
+    return format_table(
+        ["op-amp model", "original error", "BlockAMC error"],
+        rows,
+        title=f"Ablation — periphery non-idealities, {n}x{n} Wishart, ideal mapping",
+    )
+
+
+def test_ablation_gain(report, benchmark):
+    report("ablation_gain", _gain_table())
+
+    matrix = wishart_matrix(32, rng=0)
+    b = random_vector(32, rng=1)
+    config = HardwareConfig(opamp=OpAmpConfig(open_loop_gain=1e4))
+    solver = OriginalAMCSolver(config)
+    benchmark(lambda: solver.solve(matrix, b, rng=2))

@@ -1,0 +1,63 @@
+"""Ablation 2 — parasitic model fidelity vs runtime.
+
+DESIGN.md substitutes HSPICE with two interconnect models: an exact
+sparse ladder solve and a first-order perturbation expansion. This
+ablation quantifies the trade: model agreement (residual relative to
+the full wire-induced perturbation) and wall-clock per extraction.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import paper_scale
+from repro.analysis.reporting import format_table
+from repro.crossbar.parasitics import (
+    exact_effective_matrix,
+    first_order_effective_matrix,
+)
+
+G0 = 100e-6
+R_WIRE = 1.0
+
+
+def _fidelity_table():
+    sizes = (16, 32, 64, 128) if paper_scale() else (8, 16, 32)
+    rows = []
+    for n in sizes:
+        rng = np.random.default_rng(n)
+        g = rng.uniform(0.0, G0, size=(n, n))
+
+        t0 = time.perf_counter()
+        exact = exact_effective_matrix(g, R_WIRE)
+        t_exact = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        fast = first_order_effective_matrix(g, R_WIRE)
+        t_fast = time.perf_counter() - t0
+
+        perturbation = float(np.linalg.norm(exact - g))
+        residual = float(np.linalg.norm(fast - exact))
+        rows.append(
+            [
+                n,
+                perturbation / float(np.linalg.norm(g)),
+                residual / perturbation,
+                t_exact * 1e3,
+                t_fast * 1e3,
+                t_exact / max(t_fast, 1e-9),
+            ]
+        )
+    return format_table(
+        ["size", "wire effect (rel)", "model residual", "exact ms", "fast ms", "speedup"],
+        rows,
+        title=f"Ablation — parasitic model fidelity, r = {R_WIRE} ohm/segment",
+    )
+
+
+def test_ablation_parasitics(report, benchmark):
+    report("ablation_parasitics", _fidelity_table())
+
+    rng = np.random.default_rng(0)
+    g = rng.uniform(0.0, G0, size=(32, 32))
+    benchmark(lambda: first_order_effective_matrix(g, R_WIRE))

@@ -1,0 +1,62 @@
+"""Ablation 3 — converter resolution vs two-stage accuracy.
+
+The two-stage solver round-trips every inter-macro intermediate through
+ADC -> memory -> DAC (Fig. 5), so its accuracy depends on converter
+resolution in a way the fully-analog one-stage macro does not. This
+ablation sweeps DAC/ADC bits for both solvers.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import paper_scale
+from repro.amc.config import ConverterConfig, HardwareConfig
+from repro.analysis.reporting import format_table
+from repro.core.blockamc import BlockAMCSolver
+from repro.core.multistage import MultiStageSolver
+from repro.workloads.matrices import random_vector, wishart_matrix
+
+
+def _quantization_table():
+    n = 64 if paper_scale() else 16
+    trials = 8 if paper_scale() else 4
+    rows = []
+    for bits in (4, 6, 8, 10, 12, None):
+        errors_one, errors_two = [], []
+        for trial in range(trials):
+            matrix = wishart_matrix(n, rng=100 + trial)
+            b = random_vector(n, rng=200 + trial)
+            config = HardwareConfig.paper_variation().with_(
+                converters=ConverterConfig(dac_bits=bits, adc_bits=bits)
+            )
+            errors_one.append(
+                BlockAMCSolver(config).solve(matrix, b, rng=trial).relative_error
+            )
+            errors_two.append(
+                MultiStageSolver(config, stages=2)
+                .solve(matrix, b, rng=trial)
+                .relative_error
+            )
+        rows.append(
+            [
+                "ideal" if bits is None else bits,
+                float(np.mean(errors_one)),
+                float(np.mean(errors_two)),
+            ]
+        )
+    return format_table(
+        ["bits", "1-stage error", "2-stage error"],
+        rows,
+        title=f"Ablation — converter resolution, {n}x{n} Wishart, sigma = 5%",
+    )
+
+
+def test_ablation_quantization(report, benchmark):
+    report("ablation_quantization", _quantization_table())
+
+    matrix = wishart_matrix(16, rng=0)
+    b = random_vector(16, rng=1)
+    config = HardwareConfig.paper_variation().with_(
+        converters=ConverterConfig(dac_bits=8, adc_bits=8)
+    )
+    solver = MultiStageSolver(config, stages=2)
+    benchmark(lambda: solver.solve(matrix, b, rng=2))

@@ -1,0 +1,49 @@
+"""Ablation 1 — where to split the matrix.
+
+The paper notes "the size of A1 can be arbitrarily selected, only
+requiring that it is square". This ablation sweeps the split point of a
+fixed system under 5% variation and reports accuracy and the shared
+op-amp column size (max block dimension — the hardware cost driver).
+The half split minimizes the op-amp count; accuracy is fairly flat.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import paper_scale
+from repro.amc.config import HardwareConfig
+from repro.analysis.reporting import format_table
+from repro.core.blockamc import BlockAMCSolver
+from repro.core.partition import PartitionSpec
+from repro.workloads.matrices import random_vector, wishart_matrix
+
+
+def _split_table():
+    n = 128 if paper_scale() else 32
+    trials = 8 if paper_scale() else 4
+    splits = sorted({max(1, n // 8), n // 4, n // 2, 3 * n // 4, n - max(1, n // 8)})
+    rows = []
+    for split in splits:
+        errors = []
+        for trial in range(trials):
+            matrix = wishart_matrix(n, rng=100 + trial)
+            b = random_vector(n, rng=200 + trial)
+            solver = BlockAMCSolver(
+                HardwareConfig.paper_variation(), PartitionSpec(split)
+            )
+            errors.append(solver.solve(matrix, b, rng=trial).relative_error)
+        opa_count = max(split, n - split)
+        rows.append([split, float(np.mean(errors)), float(np.std(errors)), opa_count])
+    return format_table(
+        ["split k", "mean error", "std", "shared OPA count"],
+        rows,
+        title=f"Ablation — split point sweep, {n}x{n} Wishart, sigma = 5%",
+    )
+
+
+def test_ablation_split(report, benchmark):
+    report("ablation_split", _split_table())
+
+    matrix = wishart_matrix(32, rng=0)
+    b = random_vector(32, rng=1)
+    solver = BlockAMCSolver(HardwareConfig.paper_variation(), PartitionSpec(8))
+    benchmark(lambda: solver.solve(matrix, b, rng=2))

@@ -1,0 +1,97 @@
+"""Device-technology study — why the paper picks analog RRAM.
+
+Sec. II of the paper surveys RRAM / PCM / MRAM / FTJ / FeFET and argues
+for analog RRAM. This bench makes the argument quantitative: the same
+BlockAMC solve on each device family's preset (level count + window),
+plus the PCM-specific conductance drift over time.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import paper_scale
+from repro.amc.config import HardwareConfig
+from repro.amc.ops import AMCOperations
+from repro.analysis.reporting import format_table
+from repro.core.blockamc import BlockAMCSolver
+from repro.crossbar.array import CrossbarArray, ProgrammingConfig
+from repro.crossbar.mapping import normalize_matrix
+from repro.devices.presets import DEVICE_PRESETS, DriftModel
+from repro.workloads.matrices import random_vector, wishart_matrix
+
+
+def _family_table():
+    n = 64 if paper_scale() else 16
+    trials = 8 if paper_scale() else 4
+    rows = []
+    for family, preset in DEVICE_PRESETS.items():
+        spec = preset()
+        config = HardwareConfig(
+            programming=ProgrammingConfig(device=spec, quantize=spec.levels is not None)
+        )
+        errors = []
+        for trial in range(trials):
+            matrix = wishart_matrix(n, rng=100 + trial)
+            b = random_vector(n, rng=200 + trial)
+            errors.append(
+                BlockAMCSolver(config).solve(matrix, b, rng=trial).relative_error
+            )
+        rows.append(
+            [
+                family,
+                "analog" if spec.levels is None else spec.levels,
+                f"{spec.dynamic_range:.0f}",
+                float(np.median(errors)),
+            ]
+        )
+    return format_table(
+        ["family", "levels", "dyn. range", "median error"],
+        rows,
+        title=f"Device families on the same {n}x{n} BlockAMC solve (quantization only)",
+    )
+
+
+def _drift_table():
+    n = 16
+    matrix, _ = normalize_matrix(wishart_matrix(n, rng=0))
+    fresh = CrossbarArray.program(matrix, rng=1, pre_normalized=True)
+    ops = AMCOperations(HardwareConfig.ideal())
+    v = random_vector(n, rng=2) * 0.2
+    exact = -np.linalg.solve(matrix, v)
+    model = DriftModel.pcm_typical()
+
+    rows = []
+    for elapsed, label in [
+        (1.0, "1 s (verify)"),
+        (60.0, "1 minute"),
+        (3600.0, "1 hour"),
+        (86400.0, "1 day"),
+        (604800.0, "1 week"),
+    ]:
+        aged = CrossbarArray(
+            model.apply(fresh.g_pos, elapsed),
+            model.apply(fresh.g_neg, elapsed),
+            g_unit=fresh.g_unit,
+            target=fresh.target,
+        )
+        out = ops.inv(aged, v).output
+        error = float(np.sum(np.abs(out - exact)) / np.sum(np.abs(exact)))
+        rows.append([label, (elapsed / model.t0) ** (-model.nu), error])
+    return format_table(
+        ["age", "conductance factor", "INV relative error"],
+        rows,
+        title="PCM drift (nu = 0.05): a matrix programmed once decays",
+    )
+
+
+def test_device_families(report, benchmark):
+    report("device_families", _family_table())
+    report("device_drift", _drift_table())
+
+    matrix = wishart_matrix(16, rng=3)
+    b = random_vector(16, rng=4)
+    spec = DEVICE_PRESETS["rram-64"]()
+    config = HardwareConfig(
+        programming=ProgrammingConfig(device=spec, quantize=True)
+    )
+    solver = BlockAMCSolver(config)
+    benchmark(lambda: solver.solve(matrix, b, rng=5))

@@ -1,0 +1,58 @@
+"""Energy per solve — dynamic extension of the paper's Fig. 10(b).
+
+Fig. 10(b) compares static power. This bench combines the settling-time
+models with the calibrated component powers into energy *per solved
+system*, where the macro's shorter converter vectors and the two-stage
+solver's extra conversions both become visible.
+"""
+
+from benchmarks.conftest import paper_scale
+from repro.amc.config import HardwareConfig
+from repro.analysis.energymodel import solve_energy
+from repro.analysis.reporting import format_table
+from repro.core.blockamc import BlockAMCSolver
+from repro.core.multistage import MultiStageSolver
+from repro.core.original import OriginalAMCSolver
+from repro.workloads.matrices import random_vector, wishart_matrix
+
+
+def _energy_table():
+    n = 256 if paper_scale() else 32
+    matrix = wishart_matrix(n, rng=0)
+    b = random_vector(n, rng=1)
+    config = HardwareConfig.paper_ideal_mapping()
+
+    solvers = {
+        "original-amc": OriginalAMCSolver(config),
+        "blockamc-1stage": BlockAMCSolver(config),
+        "blockamc-2stage": MultiStageSolver(config, stages=2),
+    }
+    rows = []
+    for name, solver in solvers.items():
+        result = solver.solve(matrix, b, rng=2)
+        energy = solve_energy(result)
+        rows.append(
+            [
+                name,
+                result.analog_time_s * 1e6,
+                energy.opa * 1e9,
+                energy.rram * 1e9,
+                (energy.dac + energy.adc) * 1e9,
+                energy.total * 1e9,
+            ]
+        )
+    return format_table(
+        ["solver", "analog us", "OPA nJ", "RRAM nJ", "converters nJ", "total nJ"],
+        rows,
+        title=f"Energy per solve, {n}x{n} Wishart (extension of Fig. 10b)",
+    )
+
+
+def test_energy(report, benchmark):
+    report("energy", _energy_table())
+
+    matrix = wishart_matrix(32, rng=3)
+    b = random_vector(32, rng=4)
+    solver = BlockAMCSolver(HardwareConfig.paper_ideal_mapping())
+    result = solver.solve(matrix, b, rng=5)
+    benchmark(lambda: solve_energy(result))

@@ -1,0 +1,104 @@
+"""Fig. 10 — area and power breakdown of the three solvers at n = 512.
+
+Regenerates both bar charts: the per-component (OPA/DAC/ADC/RRAM) area
+and power of the original AMC, one-stage, and two-stage BlockAMC
+solvers, plus the headline savings (48.83% area / 40% power for the
+one-stage solver; 12.3% / 37.4% for the two-stage).
+"""
+
+from benchmarks.conftest import paper_scale
+from repro.analysis.costmodel import (
+    ARCHITECTURES,
+    savings_vs_original,
+    solver_cost_breakdown,
+)
+from repro.analysis.reporting import format_table
+
+#: Published totals at n = 512 (area mm^2; savings fractions).
+PAPER_AREAS = {"original": 0.01577, "blockamc-1stage": 0.00807, "blockamc-2stage": 0.01383}
+PAPER_SAVINGS = {
+    "blockamc-1stage": {"area": 0.4883, "power": 0.40},
+    "blockamc-2stage": {"area": 0.123, "power": 0.374},
+}
+
+SIZE = 512  # Fig. 10 is defined at 512 regardless of quick mode.
+
+
+def _area_table():
+    rows = []
+    for arch in ARCHITECTURES:
+        b = solver_cost_breakdown(arch, SIZE)
+        rows.append(
+            [
+                arch,
+                b.area_by_component["OPA"],
+                b.area_by_component["DAC"],
+                b.area_by_component["ADC"],
+                b.area_by_component["RRAM"],
+                b.total_area_mm2,
+                PAPER_AREAS[arch],
+            ]
+        )
+    return format_table(
+        ["solver", "OPA", "DAC", "ADC", "RRAM", "total mm^2", "paper mm^2"],
+        rows,
+        title=f"Fig. 10(a) — area breakdown, n = {SIZE}",
+    )
+
+
+def _power_table():
+    rows = []
+    for arch in ARCHITECTURES:
+        b = solver_cost_breakdown(arch, SIZE)
+        rows.append(
+            [
+                arch,
+                b.power_by_component["OPA"] * 1e3,
+                b.power_by_component["DAC"] * 1e3,
+                b.power_by_component["ADC"] * 1e3,
+                b.power_by_component["RRAM"] * 1e3,
+                b.total_power_w * 1e3,
+            ]
+        )
+    return format_table(
+        ["solver", "OPA mW", "DAC mW", "ADC mW", "RRAM mW", "total mW"],
+        rows,
+        title=f"Fig. 10(b) — power breakdown, n = {SIZE}",
+    )
+
+
+def _savings_table():
+    savings = savings_vs_original(SIZE)
+    rows = []
+    for arch, values in savings.items():
+        rows.append(
+            [
+                arch,
+                values["area"],
+                PAPER_SAVINGS[arch]["area"],
+                values["power"],
+                PAPER_SAVINGS[arch]["power"],
+            ]
+        )
+    return format_table(
+        ["solver", "area saved", "paper", "power saved", "paper"],
+        rows,
+        title="Fig. 10 — savings vs original AMC",
+    )
+
+
+def test_fig10_costs(report, benchmark):
+    report("fig10_area", _area_table())
+    report("fig10_power", _power_table())
+    report("fig10_savings", _savings_table())
+
+    sizes = (64, 128, 256, 512, 1024) if paper_scale() else (64, 512)
+
+    def sweep():
+        return [
+            solver_cost_breakdown(arch, n).total_area_mm2
+            for arch in ARCHITECTURES
+            for n in sizes
+        ]
+
+    benchmark(sweep)

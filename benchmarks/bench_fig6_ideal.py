@@ -1,0 +1,95 @@
+"""Fig. 6 — ideal mapping: per-step scatter and error vs matrix size.
+
+Regenerates:
+
+- Fig. 6(a): per-step numerical vs BlockAMC outputs (reported as the
+  worst per-step deviation and correlation);
+- Fig. 6(b): final solution comparison for numerical / original AMC /
+  BlockAMC on one Wishart system;
+- Fig. 6(c): relative error vs size for both solvers under ideal
+  conductance mapping (finite-gain, offset-limited periphery).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import bench_sizes, bench_trials
+from repro.amc.config import HardwareConfig
+from repro.analysis.accuracy import accuracy_sweep, run_trials
+from repro.analysis.reporting import format_table
+from repro.core.blockamc import BlockAMCSolver
+from repro.core.original import OriginalAMCSolver
+from repro.workloads.matrices import random_vector, wishart_matrix
+
+#: Paper values read off Fig. 6(c) (original AMC / BlockAMC) for context.
+PAPER_FIG6C = {
+    8: (0.02, 0.01),
+    512: (0.25, 0.13),
+}
+
+
+def _scatter_table():
+    n = 64
+    matrix = wishart_matrix(n, rng=0)
+    b = random_vector(n, rng=1)
+    config = HardwareConfig.paper_ideal_mapping()
+    block = BlockAMCSolver(config).solve(matrix, b, rng=2)
+    original = OriginalAMCSolver(config).solve(matrix, b, rng=2)
+
+    rows = []
+    refs = block.metadata["reference_steps"]
+    outs = block.metadata["step_outputs"]
+    for step in sorted(refs):
+        ref = refs[step]
+        actual = next(v for k, v in outs.items() if k.startswith(step))
+        corr = float(np.corrcoef(ref, actual)[0, 1])
+        rows.append([step, float(np.max(np.abs(actual - ref))), corr])
+    rows.append(["final:blockamc", float(np.max(np.abs(block.x - block.reference))), 1.0])
+    rows.append(
+        ["final:original", float(np.max(np.abs(original.x - original.reference))), 1.0]
+    )
+    return format_table(
+        ["step", "max |actual - numerical| (V)", "correlation"],
+        rows,
+        title=f"Fig. 6(a/b) — per-step scatter summary, {n}x{n} Wishart, ideal mapping",
+    )
+
+
+def _sweep_table():
+    records = run_trials(
+        {
+            "original-amc": lambda: OriginalAMCSolver(HardwareConfig.paper_ideal_mapping()),
+            "blockamc-1stage": lambda: BlockAMCSolver(HardwareConfig.paper_ideal_mapping()),
+        },
+        lambda n, rng: wishart_matrix(n, rng),
+        bench_sizes(),
+        bench_trials(),
+        seed=60,
+    )
+    table = accuracy_sweep(records)
+    rows = [
+        [
+            size,
+            table["original-amc"][size][0],
+            table["blockamc-1stage"][size][0],
+            table["original-amc"][size][0] / max(table["blockamc-1stage"][size][0], 1e-12),
+        ]
+        for size in bench_sizes()
+    ]
+    return format_table(
+        ["size", "original AMC", "BlockAMC", "orig/block"],
+        rows,
+        title=(
+            "Fig. 6(c) — relative error vs Wishart size, ideal mapping "
+            f"(paper@512: orig~{PAPER_FIG6C[512][0]}, block~{PAPER_FIG6C[512][1]})"
+        ),
+    )
+
+
+def test_fig6_scatter_and_sweep(report, benchmark):
+    report("fig6_scatter", _scatter_table())
+    report("fig6_sweep", _sweep_table())
+
+    matrix = wishart_matrix(32, rng=3)
+    b = random_vector(32, rng=4)
+    prepared = BlockAMCSolver(HardwareConfig.paper_ideal_mapping()).prepare(matrix, rng=5)
+    benchmark(lambda: prepared.solve(b, rng=6))

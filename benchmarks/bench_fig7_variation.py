@@ -1,0 +1,77 @@
+"""Fig. 7 — accuracy under 5% programming variation.
+
+Regenerates the error-vs-size curves of Fig. 7(a) (Wishart) and
+Fig. 7(b) (Toeplitz) for the original AMC solver and one-stage
+BlockAMC, 40 Monte-Carlo trials per size at paper scale.
+"""
+
+from benchmarks.conftest import bench_sizes, bench_trials
+from repro.amc.config import HardwareConfig
+from repro.analysis.accuracy import accuracy_quantiles, accuracy_sweep, run_trials
+from repro.analysis.reporting import format_table
+from repro.core.blockamc import BlockAMCSolver
+from repro.core.original import OriginalAMCSolver
+from repro.workloads.matrices import random_vector, toeplitz_matrix, wishart_matrix
+
+#: Paper values read off Fig. 7 at the extremes (original AMC, BlockAMC).
+PAPER_FIG7 = {
+    "wishart": {8: (0.05, 0.04), 512: (0.35, 0.30)},
+    "toeplitz": {8: (0.10, 0.08), 512: (0.80, 0.45)},
+}
+
+
+def _sweep(family, matrix_factory):
+    records = run_trials(
+        {
+            "original-amc": lambda: OriginalAMCSolver(HardwareConfig.paper_variation()),
+            "blockamc-1stage": lambda: BlockAMCSolver(HardwareConfig.paper_variation()),
+        },
+        matrix_factory,
+        bench_sizes(),
+        bench_trials(),
+        seed=70,
+    )
+    table = accuracy_sweep(records)
+    medians = accuracy_quantiles(records, (0.5,))
+    rows = []
+    for size in bench_sizes():
+        orig_mean, orig_std = table["original-amc"][size]
+        block_mean, block_std = table["blockamc-1stage"][size]
+        rows.append(
+            [
+                size,
+                orig_mean,
+                medians["original-amc"][size][0],
+                orig_std,
+                block_mean,
+                medians["blockamc-1stage"][size][0],
+                block_std,
+            ]
+        )
+    anchors = PAPER_FIG7[family]
+    return format_table(
+        ["size", "orig mean", "orig med", "orig std", "block mean", "block med", "block std"],
+        rows,
+        title=(
+            f"Fig. 7 — {family}, sigma = 5%, {bench_trials()} trials/size "
+            f"(paper anchors: 8 -> {anchors[8]}, 512 -> {anchors[512]})"
+        ),
+    )
+
+
+def test_fig7a_wishart(report, benchmark):
+    report("fig7a_wishart", _sweep("wishart", lambda n, rng: wishart_matrix(n, rng)))
+
+    matrix = wishart_matrix(32, rng=0)
+    b = random_vector(32, rng=1)
+    solver = BlockAMCSolver(HardwareConfig.paper_variation())
+    benchmark(lambda: solver.solve(matrix, b, rng=2))
+
+
+def test_fig7b_toeplitz(report, benchmark):
+    report("fig7b_toeplitz", _sweep("toeplitz", lambda n, rng: toeplitz_matrix(n, rng)))
+
+    matrix = toeplitz_matrix(32, rng=3)
+    b = random_vector(32, rng=4)
+    solver = OriginalAMCSolver(HardwareConfig.paper_variation())
+    benchmark(lambda: solver.solve(matrix, b, rng=5))

@@ -1,0 +1,86 @@
+"""Fig. 8 — the two-stage BlockAMC solver.
+
+Regenerates:
+
+- Fig. 8(a-c): per-block INV scatter summaries for the second-stage
+  solves of ``A1`` and ``A4s`` plus the final solution comparison, on
+  one Wishart system partitioned twice;
+- Fig. 8(d): relative error vs size, original AMC vs two-stage BlockAMC
+  under 5% variation.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import bench_sizes, bench_trials, paper_scale
+from repro.amc.config import HardwareConfig
+from repro.analysis.accuracy import accuracy_sweep, run_trials
+from repro.analysis.reporting import format_table
+from repro.core.multistage import MultiStageSolver
+from repro.core.original import OriginalAMCSolver
+from repro.workloads.matrices import random_vector, wishart_matrix
+
+
+def _detail_table():
+    # Paper: 256x256 partitioned twice into 16 arrays of 64x64; the quick
+    # run uses 32 -> 16 arrays of 8x8.
+    n = 256 if paper_scale() else 32
+    matrix = wishart_matrix(n, rng=0)
+    b = random_vector(n, rng=1)
+    config = HardwareConfig.paper_variation()
+    two = MultiStageSolver(config, stages=2).solve(matrix, b, rng=2)
+    orig = OriginalAMCSolver(config).solve(matrix, b, rng=2)
+
+    inv_ops = [op for op in two.operations if op.kind == "inv"]
+    rows = []
+    for op in inv_ops[:6]:
+        err = float(np.max(np.abs(op.error_vector)))
+        rows.append([op.label, op.rows, err])
+    rows.append(["final:two-stage", n, two.relative_error])
+    rows.append(["final:original", n, orig.relative_error])
+    return format_table(
+        ["operation", "size", "error"],
+        rows,
+        title=(
+            f"Fig. 8(a-c) — two-stage detail, {n}x{n} Wishart "
+            f"({two.metadata['array_count']} block arrays, "
+            f"{two.metadata['macro_count']} macros)"
+        ),
+    )
+
+
+def _sweep_table():
+    sizes = [s for s in bench_sizes() if s >= 8]
+    records = run_trials(
+        {
+            "original-amc": lambda: OriginalAMCSolver(HardwareConfig.paper_variation()),
+            "blockamc-2stage": lambda: MultiStageSolver(
+                HardwareConfig.paper_variation(), stages=2
+            ),
+        },
+        lambda n, rng: wishart_matrix(n, rng),
+        sizes,
+        bench_trials(),
+        seed=80,
+    )
+    table = accuracy_sweep(records)
+    rows = [
+        [size, table["original-amc"][size][0], table["blockamc-2stage"][size][0]]
+        for size in sizes
+    ]
+    return format_table(
+        ["size", "original AMC", "two-stage BlockAMC"],
+        rows,
+        title="Fig. 8(d) — relative error vs Wishart size, sigma = 5%",
+    )
+
+
+def test_fig8_twostage(report, benchmark):
+    report("fig8_detail", _detail_table())
+    report("fig8_sweep", _sweep_table())
+
+    matrix = wishart_matrix(32, rng=3)
+    b = random_vector(32, rng=4)
+    prepared = MultiStageSolver(HardwareConfig.paper_variation(), stages=2).prepare(
+        matrix, rng=5
+    )
+    benchmark(lambda: prepared.solve(b, rng=6))

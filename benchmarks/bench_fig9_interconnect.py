@@ -1,0 +1,62 @@
+"""Fig. 9 — accuracy with device variation AND interconnect resistance.
+
+Regenerates the error-vs-size curves of Fig. 9(a) (Wishart) and
+Fig. 9(b) (Toeplitz) with 1 ohm/segment wire resistance on top of the
+5% variation, for original AMC, one-stage, and two-stage BlockAMC.
+The paper's headline: BlockAMC reduces the relative error by up to ~10
+percentage points, and the two-stage solver extends the improvement.
+"""
+
+from benchmarks.conftest import bench_sizes, bench_trials
+from repro.amc.config import HardwareConfig
+from repro.analysis.accuracy import accuracy_quantiles, run_trials
+from repro.analysis.reporting import format_table
+from repro.core.blockamc import BlockAMCSolver
+from repro.core.multistage import MultiStageSolver
+from repro.core.original import OriginalAMCSolver
+from repro.workloads.matrices import random_vector, toeplitz_matrix, wishart_matrix
+
+
+def _sweep(family, matrix_factory):
+    config = HardwareConfig.paper_interconnect
+    records = run_trials(
+        {
+            "original-amc": lambda: OriginalAMCSolver(config()),
+            "blockamc-1stage": lambda: BlockAMCSolver(config()),
+            "blockamc-2stage": lambda: MultiStageSolver(config(), stages=2),
+        },
+        matrix_factory,
+        bench_sizes(),
+        bench_trials(),
+        seed=90,
+    )
+    table = accuracy_quantiles(records, (0.5,))
+    rows = []
+    for size in bench_sizes():
+        orig = table["original-amc"][size][0]
+        one = table["blockamc-1stage"][size][0]
+        two = table["blockamc-2stage"][size][0]
+        rows.append([size, orig, one, two, orig - one])
+    return format_table(
+        ["size", "original (med)", "1-stage (med)", "2-stage (med)", "orig - 1stage"],
+        rows,
+        title=f"Fig. 9 — {family}, sigma = 5% + 1 ohm/segment wires",
+    )
+
+
+def test_fig9a_wishart(report, benchmark):
+    report("fig9a_wishart", _sweep("wishart", lambda n, rng: wishart_matrix(n, rng)))
+
+    matrix = wishart_matrix(32, rng=0)
+    b = random_vector(32, rng=1)
+    solver = BlockAMCSolver(HardwareConfig.paper_interconnect())
+    benchmark(lambda: solver.solve(matrix, b, rng=2))
+
+
+def test_fig9b_toeplitz(report, benchmark):
+    report("fig9b_toeplitz", _sweep("toeplitz", lambda n, rng: toeplitz_matrix(n, rng)))
+
+    matrix = toeplitz_matrix(32, rng=3)
+    b = random_vector(32, rng=4)
+    solver = OriginalAMCSolver(HardwareConfig.paper_interconnect())
+    benchmark(lambda: solver.solve(matrix, b, rng=5))

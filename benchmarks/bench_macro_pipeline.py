@@ -1,0 +1,69 @@
+"""Macro throughput — the S&H double-buffering pipelining claim.
+
+The paper: "The use of two S&H modules renders the pipelining of the
+algorithm, thus improving the throughput of the system." This bench
+runs the dataflow simulation for a batch of solves with and without
+pipelining, using settling times from the dynamics model.
+"""
+
+from benchmarks.conftest import paper_scale
+from repro.amc.config import HardwareConfig
+from repro.amc.scheduler import simulate_schedule
+from repro.analysis.reporting import format_table
+from repro.core.blockamc import BlockAMCSolver
+from repro.workloads.matrices import random_vector, wishart_matrix
+
+#: Conversion and S&H timing assumptions (8-bit SAR-class converters).
+T_DAC = 50e-9
+T_ADC = 100e-9
+T_SNH = 5e-9
+
+
+def _op_times(n):
+    matrix = wishart_matrix(n, rng=0)
+    b = random_vector(n, rng=1)
+    result = BlockAMCSolver(HardwareConfig.paper_ideal_mapping()).solve(matrix, b, rng=2)
+    return [op.settling_time_s for op in result.operations]
+
+
+def _pipeline_table():
+    n = 256 if paper_scale() else 32
+    op_times = _op_times(n)
+    batch = 32
+    rows = []
+    for pipelined in (False, True):
+        sim = simulate_schedule(
+            op_times,
+            t_dac=T_DAC,
+            t_adc=T_ADC,
+            t_snh=T_SNH,
+            n_problems=batch,
+            pipelined=pipelined,
+        )
+        rows.append(
+            [
+                "pipelined" if pipelined else "serial",
+                sim.latency_first * 1e6,
+                sim.makespan * 1e6,
+                sim.throughput / 1e6,
+            ]
+        )
+    serial_tp = rows[0][3]
+    piped_tp = rows[1][3]
+    rows.append(["speedup", "-", "-", piped_tp / serial_tp])
+    return format_table(
+        ["schedule", "latency (us)", "makespan (us)", "throughput (Msolve/s)"],
+        rows,
+        title=f"Macro pipelining, {n}x{n} system, batch of {batch} solves",
+    )
+
+
+def test_macro_pipeline(report, benchmark):
+    report("macro_pipeline", _pipeline_table())
+
+    op_times = _op_times(32)
+    benchmark(
+        lambda: simulate_schedule(
+            op_times, t_dac=T_DAC, t_adc=T_ADC, t_snh=T_SNH, n_problems=64
+        )
+    )

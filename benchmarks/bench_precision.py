@@ -1,0 +1,73 @@
+"""Precision-extension study — compensated slicing (extension).
+
+Quantifies how many read-verified residual slices it takes to turn 5%
+analog arrays into a high-precision matrix multiplier, and how deep the
+analog-dominant refinement loop can then drive the solution residual.
+Extends the paper toward the scientific-computing deployments its
+introduction motivates (cf. its ref. [15]).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import paper_scale
+from repro.amc.config import ConverterConfig, HardwareConfig, OpAmpConfig
+from repro.analysis.reporting import format_table
+from repro.core.precision import CompensatedMVM, compensated_refinement
+from repro.workloads.matrices import random_vector, wishart_matrix
+
+
+def _config():
+    """5% variation, chopper-stabilized amps, precision converters."""
+    return HardwareConfig.paper_variation().with_(
+        opamp=OpAmpConfig(input_offset_sigma_v=0.0),
+        converters=ConverterConfig(dac_bits=16, adc_bits=16),
+    )
+
+
+def _slicing_table():
+    n = 64 if paper_scale() else 16
+    matrix = wishart_matrix(n, rng=0)
+    b = random_vector(n, rng=1)
+    x = np.linalg.solve(matrix, b)
+    config = _config()
+
+    rows = []
+    for slices in (1, 2, 3, 4):
+        mvm = CompensatedMVM(matrix, config, rng=2, slices=slices)
+        product, _ = mvm.apply(x, rng=3)
+        mvm_error = float(
+            np.linalg.norm(product - matrix @ x) / np.linalg.norm(matrix @ x)
+        )
+        refined = compensated_refinement(
+            matrix, b, config, rng=4, slices=slices, tol=1e-12, max_iterations=30
+        )
+        rows.append(
+            [
+                slices,
+                mvm.residual_norm,
+                mvm_error,
+                refined.refinement.final_residual,
+                refined.refinement.iterations,
+            ]
+        )
+    return format_table(
+        ["slices", "matrix residual", "MVM rel error", "refined residual", "iters"],
+        rows,
+        title=(
+            f"Compensated slicing, {n}x{n} Wishart, 5% variation, "
+            "chopped amps, 16-bit converters"
+        ),
+    )
+
+
+def test_precision(report, benchmark):
+    report("precision_slicing", _slicing_table())
+
+    matrix = wishart_matrix(16, rng=5)
+    b = random_vector(16, rng=6)
+    config = _config()
+    benchmark(
+        lambda: compensated_refinement(
+            matrix, b, config, rng=7, slices=2, tol=1e-4, max_iterations=20
+        )
+    )

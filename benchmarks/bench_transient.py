@@ -1,0 +1,58 @@
+"""Transient study — the O(1) computing-time claim.
+
+The paper (Sec. I): "the time complexity of in-memory AMC can be
+optimized to approach O(1)". This bench simulates the INV circuit's
+actual settling trajectory across matrix sizes and shows the settling
+time is governed by conditioning and the op-amp GBWP, not by size —
+unlike the O(n^3) digital direct solve it replaces.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import paper_scale
+from repro.analysis.reporting import format_table
+from repro.circuits.transient import simulate_inv_transient
+from repro.crossbar.array import CrossbarArray
+from repro.crossbar.mapping import normalize_matrix
+from repro.workloads.matrices import random_vector, wishart_matrix
+
+
+def _settling_table():
+    sizes = (8, 16, 32, 64, 128) if paper_scale() else (4, 8, 16, 32)
+    rows = []
+    for n in sizes:
+        matrix, _ = normalize_matrix(wishart_matrix(n, rng=0, aspect=8.0))
+        array = CrossbarArray.program(matrix, rng=1, pre_normalized=True)
+        v = random_vector(n, rng=2) * 0.2
+
+        result = simulate_inv_transient(array, v, gbwp_hz=100e6, epsilon=1e-3)
+
+        t0 = time.perf_counter()
+        np.linalg.solve(matrix, v)
+        t_digital = time.perf_counter() - t0
+
+        rows.append(
+            [
+                n,
+                result.settling_time_s * 1e9,
+                result.slowest_pole_hz / 1e6,
+                result.stable,
+                t_digital * 1e6,
+            ]
+        )
+    return format_table(
+        ["size", "analog settling (ns)", "slowest pole (MHz)", "stable", "digital LU (us)"],
+        rows,
+        title="INV circuit settling vs size (the O(1) claim), GBWP = 100 MHz",
+    )
+
+
+def test_transient_settling(report, benchmark):
+    report("transient_settling", _settling_table())
+
+    matrix, _ = normalize_matrix(wishart_matrix(16, rng=3))
+    array = CrossbarArray.program(matrix, rng=4, pre_normalized=True)
+    v = random_vector(16, rng=5) * 0.2
+    benchmark(lambda: simulate_inv_transient(array, v))

@@ -1,0 +1,50 @@
+"""Shared benchmark plumbing.
+
+Every ``bench_*.py`` module regenerates one table/figure of the paper at
+a CI-friendly scale and prints it in the paper's row/series shape. Set
+``REPRO_PAPER_SCALE=1`` to sweep the paper's full sizes (8..512) and 40
+trials per point — slower, but the curves then cover the published range.
+
+Tables are printed to stdout (run with ``-s`` to see them live) and also
+written to ``benchmarks/results/<name>.txt`` so a ``--benchmark-only``
+run leaves artifacts behind.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def paper_scale() -> bool:
+    """True when the full paper-size sweep was requested."""
+    return os.environ.get("REPRO_PAPER_SCALE", "0") not in ("", "0", "false")
+
+
+def bench_sizes() -> tuple[int, ...]:
+    """Matrix sizes for accuracy sweeps."""
+    if paper_scale():
+        return (8, 16, 32, 64, 128, 256, 512)
+    return (8, 16, 32)
+
+
+def bench_trials() -> int:
+    """Monte-Carlo trials per size."""
+    return 40 if paper_scale() else 3
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Print a table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _report(name: str, text: str) -> None:
+        print()
+        print(text)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _report

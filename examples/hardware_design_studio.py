@@ -1,0 +1,92 @@
+"""Hardware design studio: bandwidth, dynamics, and precision knobs.
+
+A tour of the circuit-level tooling beyond the paper's DC accuracy
+study: the INV circuit's frequency response and compute bandwidth, its
+settling trajectory, and the compensated-slicing technique that buys
+back precision from 5% devices.
+
+Run:  python examples/hardware_design_studio.py
+"""
+
+import numpy as np
+
+from repro import CrossbarArray, HardwareConfig, format_table, random_vector, wishart_matrix
+from repro.amc.config import ConverterConfig, OpAmpConfig
+from repro.circuits import (
+    amc_frequency_response,
+    minus_3db_frequency,
+    simulate_inv_transient,
+)
+from repro.core.precision import CompensatedMVM
+from repro.crossbar.mapping import normalize_matrix
+
+
+def main():
+    n = 8
+    matrix_raw = wishart_matrix(n, rng=0)
+    matrix, _ = normalize_matrix(matrix_raw)
+    array = CrossbarArray.program(matrix, rng=1, pre_normalized=True)
+    v = random_vector(n, rng=2) * 0.3
+
+    # ------------------------------------------------------------------
+    # Frequency domain: how fast can this solver circuit compute?
+    # ------------------------------------------------------------------
+    freqs = np.logspace(4, 9, 100)
+    rows = []
+    for gbwp in (10e6, 100e6, 1e9):
+        response = amc_frequency_response(
+            array, v, freqs, topology="inv", a0=1e4, gbwp_hz=gbwp
+        )
+        f3db = minus_3db_frequency(
+            response["freqs_hz"], response["magnitude"], response["dc"]
+        )
+        transient = simulate_inv_transient(array, v, open_loop_gain=1e4, gbwp_hz=gbwp)
+        rows.append(
+            [
+                gbwp / 1e6,
+                f3db / 1e6,
+                transient.slowest_pole_hz / 1e6,
+                transient.settling_time_s * 1e9,
+            ]
+        )
+    print(
+        format_table(
+            ["GBWP (MHz)", "-3dB BW (MHz)", "slowest pole (MHz)", "settling (ns)"],
+            rows,
+            title=f"INV circuit compute bandwidth, {n}x{n} Wishart",
+        )
+    )
+    print(
+        "\nThe AC sweep and the transient simulation agree on the circuit's "
+        "dominant pole — two independent views of the paper's settling model.\n"
+    )
+
+    # ------------------------------------------------------------------
+    # Precision: compensated slicing of a 5% array
+    # ------------------------------------------------------------------
+    config = HardwareConfig.paper_variation().with_(
+        opamp=OpAmpConfig(input_offset_sigma_v=0.0),
+        converters=ConverterConfig(dac_bits=16, adc_bits=16),
+    )
+    x = np.linalg.solve(matrix_raw, random_vector(n, rng=3))
+    rows = []
+    for slices in (1, 2, 3):
+        mvm = CompensatedMVM(matrix_raw, config, rng=4, slices=slices)
+        product, _ = mvm.apply(x, rng=5)
+        error = float(np.linalg.norm(product - matrix_raw @ x) / np.linalg.norm(matrix_raw @ x))
+        rows.append([slices, mvm.residual_norm, error])
+    print(
+        format_table(
+            ["slices", "matrix residual", "MVM relative error"],
+            rows,
+            title="Compensated slicing: precision vs array count (5% devices)",
+        )
+    )
+    print(
+        "\nEach extra array stores the read-verified residual of the ones "
+        "before it, cutting the effective matrix error geometrically."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Massive-MIMO zero-forcing precoding on BlockAMC.
+
+The paper's introduction motivates AMC with data-intensive workloads;
+the authors' companion work (ref. [9]) applies AMC to massive-MIMO
+precoding. Zero-forcing precoding solves ``(H H^H) u = s`` per symbol —
+a complex Hermitian positive-definite system, which maps onto real AMC
+hardware through the standard real embedding (doubling the size, which
+is exactly where BlockAMC's partitioning pays off).
+
+Run:  python examples/mimo_precoding.py
+"""
+
+import numpy as np
+
+from repro import BlockAMCSolver, HardwareConfig, format_table
+from repro.utils.linalg import embed_complex_system, extract_complex_solution
+
+
+def main():
+    rng = np.random.default_rng(0)
+    n_users = 16
+    n_antennas = 64
+
+    # Rayleigh channel: users x antennas.
+    h = (
+        rng.normal(size=(n_users, n_antennas))
+        + 1j * rng.normal(size=(n_users, n_antennas))
+    ) / np.sqrt(2.0)
+    gram = h @ h.conj().T  # users x users, Hermitian positive definite
+
+    # QPSK symbols for the users.
+    symbols = (rng.choice([-1.0, 1.0], n_users) + 1j * rng.choice([-1.0, 1.0], n_users)) / np.sqrt(2)
+
+    # Zero-forcing: solve (H H^H) u = s, then precode x = H^H u.
+    embedded, stacked = embed_complex_system(gram, symbols)
+    print(
+        f"Channel: {n_users} users x {n_antennas} antennas -> real system "
+        f"of size {embedded.shape[0]} (complex {n_users} doubled by embedding)\n"
+    )
+
+    rows = []
+    for label, config in [
+        ("ideal", HardwareConfig.ideal()),
+        ("5% variation", HardwareConfig.paper_variation()),
+        ("variation + wires", HardwareConfig.paper_interconnect()),
+    ]:
+        result = BlockAMCSolver(config).solve(embedded, stacked, rng=1)
+        u = extract_complex_solution(result.x)
+        x_precoded = h.conj().T @ u
+        received = h @ x_precoded
+        evm = float(np.linalg.norm(received - symbols) / np.linalg.norm(symbols))
+        rows.append([label, result.relative_error, evm])
+
+    print(
+        format_table(
+            ["hardware", "solver rel error", "received EVM"],
+            rows,
+            title="Zero-forcing precoding via BlockAMC",
+        )
+    )
+    print(
+        "\nEVM (error vector magnitude) is what the link actually sees; a "
+        "few percent is well inside QPSK decision margins, matching the "
+        "paper's argument that AMC precision suffices as a fast seed."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""Non-ideality analysis: what actually limits AMC accuracy?
+
+Walks the full device/circuit non-ideality stack the library models —
+programming variation, stuck cells, finite conductance levels, wire
+resistance, op-amp gain and offset — one at a time, on the same system,
+so their individual contributions are visible. This is the engineering
+view behind the paper's Figs. 6/7/9.
+
+Run:  python examples/nonideality_analysis.py
+"""
+
+import math
+
+from repro import (
+    BlockAMCSolver,
+    ConverterConfig,
+    GaussianVariation,
+    HardwareConfig,
+    OpAmpConfig,
+    ParasiticConfig,
+    ProgrammingConfig,
+    StuckFaultModel,
+    format_table,
+    random_vector,
+    wishart_matrix,
+)
+from repro.devices import DeviceSpec, RelativeGaussianVariation
+
+
+def main():
+    n = 32
+    matrix = wishart_matrix(n, rng=0)
+    b = random_vector(n, rng=1)
+
+    perfect_opamp = OpAmpConfig(open_loop_gain=math.inf, input_offset_sigma_v=0.0)
+    cases = {
+        "everything ideal": HardwareConfig.ideal(),
+        "8-bit converters only": HardwareConfig.ideal().with_(
+            converters=ConverterConfig(dac_bits=8, adc_bits=8)
+        ),
+        "finite gain 80 dB only": HardwareConfig.ideal().with_(
+            opamp=OpAmpConfig(open_loop_gain=1e4, input_offset_sigma_v=0.0)
+        ),
+        "0.25 mV offsets only": HardwareConfig.ideal().with_(
+            opamp=OpAmpConfig(open_loop_gain=math.inf, input_offset_sigma_v=0.25e-3)
+        ),
+        "5% variation only": HardwareConfig.ideal().with_(
+            opamp=perfect_opamp,
+            programming=ProgrammingConfig(variation=RelativeGaussianVariation(0.05)),
+        ),
+        "0.1% stuck cells only": HardwareConfig.ideal().with_(
+            opamp=perfect_opamp,
+            programming=ProgrammingConfig(
+                faults=StuckFaultModel(p_stuck_on=0.0005, p_stuck_off=0.0005)
+            ),
+        ),
+        "64 conductance levels only": HardwareConfig.ideal().with_(
+            opamp=perfect_opamp,
+            programming=ProgrammingConfig(
+                device=DeviceSpec.finite_window(levels=64), quantize=True
+            ),
+        ),
+        "1 ohm wires only": HardwareConfig.ideal().with_(
+            opamp=perfect_opamp,
+            parasitics=ParasiticConfig(r_wire=1.0, fidelity="first_order"),
+        ),
+        "paper stack (Fig. 9)": HardwareConfig.paper_interconnect(),
+    }
+
+    rows = []
+    for label, config in cases.items():
+        result = BlockAMCSolver(config).solve(matrix, b, rng=2)
+        rows.append([label, result.relative_error, result.saturated])
+    print(
+        format_table(
+            ["non-ideality", "relative error", "saturated"],
+            rows,
+            title=f"BlockAMC error budget, {n}x{n} Wishart",
+        )
+    )
+
+    # A second view: the absolute-sigma variation model the paper's text
+    # literally describes, for comparison (see DESIGN.md).
+    literal = HardwareConfig.ideal().with_(
+        opamp=perfect_opamp,
+        programming=ProgrammingConfig(variation=GaussianVariation(0.05 * 100e-6)),
+    )
+    result = BlockAMCSolver(literal).solve(matrix, b, rng=3)
+    print(
+        "\nliteral 'sigma = 0.05*G0' (absolute) variation model: "
+        f"relative error = {result.relative_error:.3f} "
+        "(cf. DESIGN.md on why the relative reading is used)"
+    )
+
+
+if __name__ == "__main__":
+    main()

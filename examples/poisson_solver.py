@@ -1,0 +1,77 @@
+"""Scientific computing on BlockAMC: a Poisson boundary-value problem.
+
+The paper opens with scientific computing as the motivating workload.
+This example discretizes -u'' = f (and a small 2-D Poisson problem)
+with finite differences — systems whose conditioning grows as O(n^2) —
+and solves them three ways: digitally, directly on BlockAMC, and with
+BlockAMC inside flexible GMRES (the preconditioner deployment).
+
+Run:  python examples/poisson_solver.py
+"""
+
+import numpy as np
+
+from repro import BlockAMCSolver, HardwareConfig, format_table
+from repro.core.digital import conjugate_gradient
+from repro.core.preconditioned import amc_preconditioner, fgmres
+from repro.workloads.pde import poisson_1d, poisson_2d, poisson_rhs_1d
+
+
+def main():
+    # ------------------------------------------------------------------
+    # 1-D Poisson: tridiagonal Toeplitz, condition ~ (n/pi)^2
+    # ------------------------------------------------------------------
+    n = 48
+    matrix = poisson_1d(n)
+    b = poisson_rhs_1d(n, "point")
+    exact = np.linalg.solve(matrix, b)
+    print(
+        f"1-D Poisson, n = {n}, condition number "
+        f"{np.linalg.cond(matrix):.0f}\n"
+    )
+
+    rows = []
+    for label, config in [
+        ("ideal hardware", HardwareConfig.ideal()),
+        ("5% variation", HardwareConfig.paper_variation()),
+    ]:
+        result = BlockAMCSolver(config).solve(matrix, b, rng=0)
+        rows.append([label, result.relative_error])
+    print(format_table(["hardware", "direct BlockAMC error"], rows))
+
+    # The direct analog solve of an ill-conditioned PDE system is rough;
+    # the preconditioner deployment recovers digital accuracy.
+    prepared = BlockAMCSolver(HardwareConfig.paper_variation()).prepare(matrix, rng=1)
+    flexible = fgmres(matrix, b, amc_preconditioner(prepared, rng=2), tol=1e-10)
+    cg = conjugate_gradient(matrix, b, tol=1e-10)
+    print(
+        f"\nFGMRES with analog preconditioner: {flexible.iterations} iterations "
+        f"(plain CG: {cg.iterations}) to residual {flexible.final_residual:.1e}"
+    )
+    print(
+        f"final error vs exact: "
+        f"{np.linalg.norm(flexible.x - exact) / np.linalg.norm(exact):.2e}\n"
+    )
+
+    # ------------------------------------------------------------------
+    # 2-D Poisson: the 5-point stencil, mostly-zero matrix (OFF cells)
+    # ------------------------------------------------------------------
+    grid = 7
+    matrix2 = poisson_2d(grid)
+    rng = np.random.default_rng(3)
+    b2 = rng.normal(size=grid * grid)
+    result = BlockAMCSolver(HardwareConfig.paper_variation()).solve(matrix2, b2, rng=4)
+    density = float(np.mean(matrix2 != 0.0))
+    print(
+        f"2-D Poisson on a {grid}x{grid} grid ({grid*grid}x{grid*grid} system, "
+        f"{density:.0%} non-zeros -> the rest are OFF cells):"
+    )
+    print(f"  direct BlockAMC relative error: {result.relative_error:.3f}")
+    print(
+        "  (sparsity costs nothing on a crossbar — zero entries are simply "
+        "unprogrammed cells)"
+    )
+
+
+if __name__ == "__main__":
+    main()

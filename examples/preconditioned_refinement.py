@@ -1,0 +1,64 @@
+"""AMC as a seed / preconditioner for digital iterative solvers.
+
+The paper (Sec. IV): "AMC is hard to achieve high precision, rather it
+is positioned to provide a seed solution (or equivalently as a
+preconditioner) for digital computers, to speed up the convergence of
+iterative algorithms." This example quantifies both deployment modes:
+
+1. warm-starting conjugate gradients with the analog solution;
+2. analog-inner iterative refinement down to 1e-10.
+
+Run:  python examples/preconditioned_refinement.py
+"""
+
+import numpy as np
+
+from repro import BlockAMCSolver, HardwareConfig, format_table, random_vector, wishart_matrix
+from repro.core.digital import conjugate_gradient, gmres
+from repro.core.refinement import iterative_refinement
+
+
+def main():
+    n = 128
+    matrix = wishart_matrix(n, rng=0, aspect=8.0)
+    b = random_vector(n, rng=1)
+
+    prepared = BlockAMCSolver(HardwareConfig.paper_variation()).prepare(matrix, rng=2)
+    seed = prepared.solve(b, rng=3)
+    print(
+        f"{n}x{n} Wishart system; analog seed relative error = "
+        f"{seed.relative_error:.3f} "
+        f"(analog compute time {seed.analog_time_s*1e6:.2f} us)\n"
+    )
+
+    rows = []
+    for name, method in [("CG", conjugate_gradient), ("GMRES", gmres)]:
+        cold = method(matrix, b, tol=1e-10)
+        warm = method(matrix, b, x0=seed.x, tol=1e-10)
+        rows.append([name, cold.iterations, warm.iterations,
+                     1.0 - warm.iterations / cold.iterations])
+    print(
+        format_table(
+            ["method", "cold iters", "AMC-seeded iters", "saved"],
+            rows,
+            title="Warm-starting digital Krylov methods with the analog seed",
+        )
+    )
+
+    stream = np.random.default_rng(4)
+    refined = iterative_refinement(
+        lambda r: prepared.solve(r, rng=stream).x, matrix, b, tol=1e-10
+    )
+    print(
+        f"\nAnalog-inner iterative refinement: {refined.iterations} iterations "
+        f"to residual {refined.final_residual:.1e} "
+        f"(contraction {refined.contraction_rate:.2f}/iter)."
+    )
+    print(
+        "Each refinement iteration costs one O(n^2) digital residual plus "
+        "one constant-time analog solve — vs O(n^3) for a direct solve."
+    )
+
+
+if __name__ == "__main__":
+    main()

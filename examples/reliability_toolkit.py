@@ -1,0 +1,101 @@
+"""Reliability toolkit: feasibility, faults, remapping, calibration.
+
+Deployment-side extensions around the paper's core algorithm: check a
+workload *before* committing hardware, survive stuck cells by remapping,
+and null op-amp offsets with auto-zero calibration.
+
+Run:  python examples/reliability_toolkit.py
+"""
+
+import math
+
+import numpy as np
+
+from repro import CrossbarArray, HardwareConfig, format_table, random_vector
+from repro.amc.calibration import CalibratedOperations
+from repro.amc.config import OpAmpConfig
+from repro.amc.ops import AMCOperations
+from repro.core.feasibility import assess_feasibility
+from repro.crossbar.mapping import normalize_matrix
+from repro.crossbar.remapping import (
+    fault_aware_permutation,
+    fault_overlap,
+)
+from repro.workloads.matrices import diagonally_dominant_matrix, wishart_matrix
+from repro.workloads.pde import poisson_1d
+
+
+def main():
+    # ------------------------------------------------------------------
+    # 1. Feasibility: which of these workloads belongs on AMC?
+    # ------------------------------------------------------------------
+    candidates = {
+        "Wishart 64 (SPD, benign)": wishart_matrix(64, rng=0),
+        "Poisson-1D 64 (cond ~1700)": poisson_1d(64),
+        "negated system (unstable)": -wishart_matrix(16, rng=1),
+    }
+    rows = []
+    for label, matrix in candidates.items():
+        report = assess_feasibility(matrix)
+        rows.append(
+            [
+                label,
+                "OK" if report.feasible else "BLOCKED",
+                report.stability_margin,
+                report.predicted_error if report.predicted_error is not None else float("nan"),
+                report.recommended_stages,
+            ]
+        )
+    print(
+        format_table(
+            ["workload", "verdict", "stability", "predicted err", "stages"],
+            rows,
+            title="Pre-flight feasibility (repro.core.feasibility)",
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # 2. Fault-aware remapping: live with stuck cells
+    # ------------------------------------------------------------------
+    rng = np.random.default_rng(2)
+    matrix, _ = normalize_matrix(diagonally_dominant_matrix(24, rng))
+    mask = np.zeros((24, 24), dtype=bool)
+    mask[np.arange(0, 24, 4), np.arange(0, 24, 4)] = True  # diagonal faults
+    before = fault_overlap(matrix, mask)
+    row_perm, col_perm = fault_aware_permutation(matrix, mask)
+    after = fault_overlap(matrix[row_perm][:, col_perm], mask)
+    print(
+        f"\nFault-aware remapping: |entry| mass on {int(mask.sum())} stuck cells "
+        f"reduced {before:.3f} -> {after:.3f} "
+        f"({1.0 - after / before:.0%} less exposure)\n"
+    )
+
+    # ------------------------------------------------------------------
+    # 3. Auto-zero calibration: null the op-amp offsets
+    # ------------------------------------------------------------------
+    array = CrossbarArray.program(matrix, rng=3, pre_normalized=True)
+    config = HardwareConfig(
+        opamp=OpAmpConfig(open_loop_gain=math.inf, input_offset_sigma_v=2e-3)
+    )
+    ops = AMCOperations(config)
+    calibrated = CalibratedOperations(ops)
+    v = random_vector(24, rng=4) * 0.2
+    raw = ops.inv(array, v, rng=5)
+    cal = calibrated.inv(array, v, rng=5)
+    raw_err = float(np.max(np.abs(raw.error_vector)))
+    cal_err = float(np.max(np.abs(cal.output - cal.ideal_output)))
+    print(
+        format_table(
+            ["mode", "max INV error (V)"],
+            [["raw (2 mV offsets)", raw_err], ["auto-zero calibrated", cal_err]],
+            title="Offset calibration (repro.amc.calibration)",
+        )
+    )
+    print(
+        "\nThe zero-input response captures the entire systematic offset "
+        "error of the linear circuit; one measurement per array removes it."
+    )
+
+
+if __name__ == "__main__":
+    main()

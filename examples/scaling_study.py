@@ -1,0 +1,50 @@
+"""Scaling study: reproduce the shape of Figs. 6(c), 7, and 8(d).
+
+Sweeps matrix size for both workload families and all three solvers
+(original AMC, one-stage and two-stage BlockAMC) under the paper's
+variation model, and prints the error-vs-size series each figure plots.
+
+Run:  python examples/scaling_study.py [--paper-scale]
+"""
+
+import sys
+
+from repro import HardwareConfig, format_table, toeplitz_matrix, wishart_matrix
+from repro.analysis.accuracy import accuracy_sweep, run_trials
+from repro.core.blockamc import BlockAMCSolver
+from repro.core.multistage import MultiStageSolver
+from repro.core.original import OriginalAMCSolver
+
+
+def main(paper_scale: bool = False):
+    sizes = (8, 16, 32, 64, 128, 256, 512) if paper_scale else (8, 16, 32)
+    trials = 40 if paper_scale else 3
+
+    factories = {
+        "original": lambda: OriginalAMCSolver(HardwareConfig.paper_variation()),
+        "1-stage": lambda: BlockAMCSolver(HardwareConfig.paper_variation()),
+        "2-stage": lambda: MultiStageSolver(HardwareConfig.paper_variation(), stages=2),
+    }
+
+    for family, factory in [
+        ("Wishart (Figs. 7a, 8d)", lambda n, rng: wishart_matrix(n, rng)),
+        ("Toeplitz (Fig. 7b)", lambda n, rng: toeplitz_matrix(n, rng)),
+    ]:
+        records = run_trials(factories, factory, sizes, trials, seed=0)
+        table = accuracy_sweep(records)
+        rows = [
+            [size] + [table[name][size][0] for name in factories]
+            for size in sizes
+        ]
+        print(
+            format_table(
+                ["size"] + list(factories),
+                rows,
+                title=f"{family} — mean relative error, sigma = 5%, {trials} trials",
+            )
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main(paper_scale="--paper-scale" in sys.argv)

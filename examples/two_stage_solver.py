@@ -1,0 +1,65 @@
+"""Two-stage BlockAMC: solving a system none of the arrays could hold.
+
+Reproduces the paper's Fig. 5/8 scenario: the matrix is partitioned
+twice so each RRAM array holds only a quarter-size block (a 256x256
+paper system becomes 16 arrays of 64x64). Intermediates between the
+four one-stage macros round-trip through ADC -> memory -> DAC.
+
+Run:  python examples/two_stage_solver.py
+"""
+
+from repro import HardwareConfig, MultiStageSolver, format_table, random_vector, wishart_matrix
+from repro.core.original import OriginalAMCSolver
+
+
+def main():
+    n = 64
+    matrix = wishart_matrix(n, rng=0)
+    b = random_vector(n, rng=1)
+    config = HardwareConfig.paper_variation()
+
+    print(f"System: {n}x{n} Wishart, 5% programming variation\n")
+
+    rows = []
+    results = {}
+    for stages in (1, 2, 3):
+        solver = MultiStageSolver(config, stages=stages)
+        result = solver.solve(matrix, b, rng=2)
+        results[stages] = result
+        md = result.metadata
+        largest_array = max(op.rows for op in result.operations)
+        rows.append(
+            [
+                solver.name,
+                md["array_count"],
+                largest_array,
+                md["macro_count"],
+                md["adc_conversions"],
+                result.relative_error,
+            ]
+        )
+    original = OriginalAMCSolver(config).solve(matrix, b, rng=2)
+    rows.append(["original-amc", 1, n, 0, 1, original.relative_error])
+
+    print(
+        format_table(
+            ["solver", "arrays", "largest array", "macros", "ADC conversions", "rel error"],
+            rows,
+            title="Partition depth vs hardware inventory and accuracy",
+        )
+    )
+
+    two = results[2]
+    print(
+        f"\nTwo-stage solve used {len(two.operations)} analog operations "
+        f"({two.operation_counts}) totalling {two.analog_time_s*1e6:.2f} us of settling."
+    )
+    print(
+        "Note how deeper partitioning keeps every array at a "
+        "manufacturable size while accuracy stays comparable — the "
+        "scalability argument of the paper's Sec. III-C."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Kept alongside pyproject.toml so editable installs work in offline
+environments whose pip cannot build PEP 660 wheels (no `wheel` package).
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,106 @@
+"""BlockAMC: scalable in-memory analog matrix computing for linear systems.
+
+A full-system reproduction of *BlockAMC: Scalable In-Memory Analog Matrix
+Computing for Solving Linear Systems* (Pan, Zuo, Luo, Sun, Huang —
+DATE 2024). The package provides:
+
+- the one-stage and multi-stage BlockAMC solvers and the monolithic
+  original-AMC baseline (:mod:`repro.core`);
+- the complete simulated substrate: RRAM devices (:mod:`repro.devices`),
+  crossbar arrays with interconnect parasitics (:mod:`repro.crossbar`),
+  an MNA circuit simulator standing in for HSPICE
+  (:mod:`repro.circuits`), and the analog macro with its mixed-signal
+  periphery (:mod:`repro.amc`);
+- workload generators and analysis utilities regenerating every figure
+  of the paper's evaluation (:mod:`repro.workloads`,
+  :mod:`repro.analysis`).
+
+Quickstart::
+
+    import numpy as np
+    from repro import BlockAMCSolver, HardwareConfig, wishart_matrix
+
+    matrix = wishart_matrix(64, rng=0)
+    b = np.random.default_rng(1).uniform(-1, 1, 64)
+    result = BlockAMCSolver(HardwareConfig.paper_variation()).solve(matrix, b, rng=2)
+    print(result.relative_error)
+"""
+
+from repro.amc import (
+    ADC,
+    AMCOperations,
+    BlockAMCMacro,
+    ConverterConfig,
+    DAC,
+    HardwareConfig,
+    MacroArrays,
+    OpAmpConfig,
+    OpResult,
+    SampleHold,
+    SampleHoldConfig,
+)
+from repro.analysis import (
+    ComponentCosts,
+    accuracy_sweep,
+    format_table,
+    paper_relative_error,
+    run_trials,
+    solver_cost_breakdown,
+)
+from repro.core import (
+    BlockAMCSolver,
+    DigitalDirectSolver,
+    MultiStageSolver,
+    OriginalAMCSolver,
+    PartitionSpec,
+    SolveResult,
+    iterative_refinement,
+)
+from repro.crossbar import CrossbarArray, ParasiticConfig, ProgrammingConfig
+from repro.devices import DeviceSpec, GaussianVariation, StuckFaultModel
+from repro.workloads import (
+    PAPER_SIZES,
+    random_vector,
+    toeplitz_matrix,
+    wishart_matrix,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ADC",
+    "AMCOperations",
+    "BlockAMCMacro",
+    "BlockAMCSolver",
+    "ComponentCosts",
+    "ConverterConfig",
+    "CrossbarArray",
+    "DAC",
+    "DeviceSpec",
+    "DigitalDirectSolver",
+    "GaussianVariation",
+    "HardwareConfig",
+    "MacroArrays",
+    "MultiStageSolver",
+    "OpAmpConfig",
+    "OpResult",
+    "OriginalAMCSolver",
+    "PAPER_SIZES",
+    "ParasiticConfig",
+    "PartitionSpec",
+    "ProgrammingConfig",
+    "SampleHold",
+    "SampleHoldConfig",
+    "SolveResult",
+    "StuckFaultModel",
+    "accuracy_sweep",
+    "format_table",
+    "iterative_refinement",
+    "paper_relative_error",
+    "random_vector",
+    "run_trials",
+    "solver_cost_breakdown",
+    "toeplitz_matrix",
+    "wishart_matrix",
+    "__version__",
+]

@@ -1,0 +1,37 @@
+"""Analog matrix computing primitives.
+
+Builds the paper's two AMC primitives — one-step MVM and one-step INV —
+on top of the crossbar and circuit substrates, together with the mixed-
+signal periphery (DAC, ADC, sample-and-hold) and the reconfigurable
+BlockAMC macro (shared op-amps, transmission-gate phases, pipelining).
+"""
+
+from repro.amc.calibration import CalibratedOperations
+from repro.amc.config import (
+    ConverterConfig,
+    HardwareConfig,
+    OpAmpConfig,
+    SampleHoldConfig,
+)
+from repro.amc.interfaces import ADC, DAC, SampleHold
+from repro.amc.macro import BlockAMCMacro, MacroArrays
+from repro.amc.ops import AMCOperations, OpResult
+from repro.amc.scheduler import ClockController, PhaseSchedule, simulate_schedule
+
+__all__ = [
+    "ADC",
+    "AMCOperations",
+    "BlockAMCMacro",
+    "CalibratedOperations",
+    "ClockController",
+    "ConverterConfig",
+    "DAC",
+    "HardwareConfig",
+    "MacroArrays",
+    "OpAmpConfig",
+    "OpResult",
+    "PhaseSchedule",
+    "SampleHold",
+    "SampleHoldConfig",
+    "simulate_schedule",
+]

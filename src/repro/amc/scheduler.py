@@ -1,0 +1,216 @@
+"""Clock controller and pipelining model of the BlockAMC macro.
+
+The macro (paper Fig. 4) runs the five-step algorithm as five clock
+phases, each closing one set of transmission gates to connect the shared
+op-amp column to one of the four arrays in either MVM or INV topology:
+
+    S0: INV  A1      S1: MVM  A3      S2: INV  A4s
+    S3: MVM  A2      S4: INV  A1
+
+:class:`ClockController` produces the gate control words per phase (the
+paper's Fig. 4b, modelled at the functional level). :func:`simulate_schedule`
+is a small discrete-event simulation of the dataflow across three
+resources — the shared op-amp bank, the DAC, and the ADC — that
+quantifies the throughput gain of the double-buffered S&H pipelining the
+paper highlights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ScheduleError
+
+#: Canonical phase program of the one-stage BlockAMC macro.
+PHASE_PROGRAM: tuple[tuple[str, str, str], ...] = (
+    ("S0", "inv", "A1"),
+    ("S1", "mvm", "A3"),
+    ("S2", "inv", "A4s"),
+    ("S3", "mvm", "A2"),
+    ("S4", "inv", "A1"),
+)
+
+#: Arrays a macro hosts, in gate-bus order.
+MACRO_ARRAYS = ("A1", "A2", "A3", "A4s")
+
+
+@dataclass(frozen=True)
+class PhaseSchedule:
+    """One phase of the macro program."""
+
+    name: str
+    kind: str  # "mvm" | "inv"
+    array: str
+
+    def __post_init__(self):
+        if self.kind not in ("mvm", "inv"):
+            raise ScheduleError(f"phase kind must be 'mvm' or 'inv', got {self.kind!r}")
+        if self.array not in MACRO_ARRAYS:
+            raise ScheduleError(f"unknown array {self.array!r}; expected one of {MACRO_ARRAYS}")
+
+
+def default_program() -> tuple[PhaseSchedule, ...]:
+    """The paper's five-phase program as :class:`PhaseSchedule` objects."""
+    return tuple(PhaseSchedule(*entry) for entry in PHASE_PROGRAM)
+
+
+class ClockController:
+    """Functional model of the macro's transmission-gate controller.
+
+    Each (array, mode) pair owns one gate group; in every phase exactly
+    one group is on. :meth:`gate_word` returns the boolean control word
+    for a phase, ordered as ``[(array, mode) for array in MACRO_ARRAYS
+    for mode in ("mvm", "inv")]``.
+    """
+
+    def __init__(self, program: tuple[PhaseSchedule, ...] | None = None):
+        self.program = default_program() if program is None else tuple(program)
+        self._groups = [(array, mode) for array in MACRO_ARRAYS for mode in ("mvm", "inv")]
+
+    @property
+    def gate_groups(self) -> list[tuple[str, str]]:
+        """All (array, mode) gate groups of the macro."""
+        return list(self._groups)
+
+    def phase(self, index: int) -> PhaseSchedule:
+        """The phase executed at clock cycle ``index`` (modulo the program)."""
+        if not self.program:
+            raise ScheduleError("controller has an empty program")
+        return self.program[index % len(self.program)]
+
+    def gate_word(self, index: int) -> tuple[bool, ...]:
+        """Boolean control word for clock cycle ``index``.
+
+        Exactly one entry is True (one gate group conducts per cycle) —
+        the invariant the hardware controller of Fig. 4(b) guarantees.
+        """
+        active = self.phase(index)
+        return tuple(
+            (array == active.array and mode == active.kind) for array, mode in self._groups
+        )
+
+
+@dataclass(frozen=True)
+class ScheduleEvent:
+    """One resource occupation interval in the dataflow simulation."""
+
+    problem: int
+    stage: str
+    resource: str  # "dac" | "opa" | "adc"
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        """Event length in seconds."""
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """Outcome of :func:`simulate_schedule`."""
+
+    events: tuple[ScheduleEvent, ...]
+    makespan: float
+    latency_first: float
+    pipelined: bool
+
+    @property
+    def throughput(self) -> float:
+        """Solved problems per second at the simulated batch size."""
+        problems = len({e.problem for e in self.events})
+        if self.makespan == 0.0:
+            return float("inf")
+        return problems / self.makespan
+
+
+def simulate_schedule(
+    op_times: list[float],
+    *,
+    t_dac: float,
+    t_adc: float,
+    t_snh: float,
+    n_problems: int = 1,
+    pipelined: bool = True,
+) -> ScheduleResult:
+    """Simulate the macro dataflow for a batch of independent problems.
+
+    Every problem runs the op sequence ``op_times`` (five entries for the
+    standard program) on the shared op-amp bank, with an S&H transfer
+    between consecutive ops, a DAC conversion before its first op, and an
+    ADC conversion after its last op.
+
+    With ``pipelined=True`` the DAC and ADC are independent resources, so
+    problem ``p+1``'s input conversion and problem ``p``'s output
+    conversion overlap analog computation — the benefit of the two S&H
+    banks. With ``pipelined=False`` every step serializes onto a single
+    timeline (single-buffered system).
+
+    Parameters
+    ----------
+    op_times:
+        Settling time of each analog op (seconds).
+    t_dac, t_adc:
+        Conversion time of a full vector (seconds).
+    t_snh:
+        Sample-and-hold transfer time between cascaded ops.
+    n_problems:
+        Batch size.
+    pipelined:
+        Enable double-buffered S&H pipelining.
+    """
+    if not op_times:
+        raise ScheduleError("op_times must not be empty")
+    if any(t < 0 for t in op_times) or min(t_dac, t_adc, t_snh) < 0:
+        raise ScheduleError("times must be non-negative")
+    if n_problems < 1:
+        raise ScheduleError(f"n_problems must be >= 1, got {n_problems}")
+
+    events: list[ScheduleEvent] = []
+    free = {"dac": 0.0, "opa": 0.0, "adc": 0.0}
+    latency_first = 0.0
+
+    serial_cursor = 0.0
+    for problem in range(n_problems):
+        if pipelined:
+            dac_start = free["dac"]
+            dac_end = dac_start + t_dac
+            free["dac"] = dac_end
+            events.append(ScheduleEvent(problem, "dac", "dac", dac_start, dac_end))
+
+            ready = dac_end
+            for index, duration in enumerate(op_times):
+                start = max(ready, free["opa"])
+                end = start + duration
+                free["opa"] = end
+                events.append(ScheduleEvent(problem, f"op{index}", "opa", start, end))
+                ready = end + t_snh
+
+            adc_start = max(ready - t_snh, free["adc"])
+            adc_end = adc_start + t_adc
+            free["adc"] = adc_end
+            events.append(ScheduleEvent(problem, "adc", "adc", adc_start, adc_end))
+            finish = adc_end
+        else:
+            start = serial_cursor
+            events.append(ScheduleEvent(problem, "dac", "dac", start, start + t_dac))
+            cursor = start + t_dac
+            for index, duration in enumerate(op_times):
+                events.append(ScheduleEvent(problem, f"op{index}", "opa", cursor, cursor + duration))
+                cursor += duration + t_snh
+            cursor -= t_snh
+            events.append(ScheduleEvent(problem, "adc", "adc", cursor, cursor + t_adc))
+            cursor += t_adc
+            serial_cursor = cursor
+            finish = cursor
+
+        if problem == 0:
+            latency_first = finish
+
+    makespan = max(e.end for e in events)
+    return ScheduleResult(
+        events=tuple(events),
+        makespan=makespan,
+        latency_first=latency_first,
+        pipelined=pipelined,
+    )

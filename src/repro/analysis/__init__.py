@@ -1,0 +1,53 @@
+"""Analysis layer: metrics, sweeps, cost/energy models, reporting, export."""
+
+from repro.analysis.accuracy import (
+    AccuracyRecord,
+    accuracy_quantiles,
+    accuracy_sweep,
+    run_trials,
+)
+from repro.analysis.costmodel import (
+    ComponentCosts,
+    CostBreakdown,
+    SolverCosts,
+    savings_vs_original,
+    solver_cost_breakdown,
+)
+from repro.analysis.energymodel import EnergyBreakdown, solve_energy
+from repro.analysis.export import records_to_csv, sweep_to_csv
+from repro.analysis.metrics import (
+    max_abs_error,
+    paper_relative_error,
+    scatter_points,
+)
+from repro.analysis.reporting import format_table
+from repro.analysis.sensitivity import (
+    SensitivityMap,
+    inv_sensitivity,
+    mvm_sensitivity,
+    predicted_variation_error,
+)
+
+__all__ = [
+    "AccuracyRecord",
+    "ComponentCosts",
+    "CostBreakdown",
+    "EnergyBreakdown",
+    "SensitivityMap",
+    "SolverCosts",
+    "accuracy_quantiles",
+    "accuracy_sweep",
+    "format_table",
+    "inv_sensitivity",
+    "max_abs_error",
+    "mvm_sensitivity",
+    "paper_relative_error",
+    "predicted_variation_error",
+    "records_to_csv",
+    "run_trials",
+    "savings_vs_original",
+    "scatter_points",
+    "solve_energy",
+    "solver_cost_breakdown",
+    "sweep_to_csv",
+]

@@ -1,0 +1,95 @@
+"""Per-solve energy accounting.
+
+Combines the operation telemetry (settling times from the dynamics
+models) with the calibrated component powers of the Fig. 10 cost model
+to estimate the energy of one solve:
+
+    E = sum_ops [ (P_opa * N_opa + P_rram_active) * t_settle ]
+        + E_dac * dac_conversions * channels
+        + E_adc * adc_conversions * channels
+
+Static OPA power follows the paper's Eq. 7; the RRAM term charges the
+array's dissipation only while its operation settles. Conversion
+energies derive from the converter powers at a nominal conversion rate.
+
+This goes beyond the paper's static power comparison (Fig. 10b): it
+lets benches report energy *per solved system*, where the pipelined
+macro's shorter busy time shows up directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.costmodel import ComponentCosts
+from repro.core.solution import SolveResult
+from repro.errors import CostModelError
+from repro.utils.validation import check_positive
+
+#: Nominal conversion time used to turn converter power into energy.
+DEFAULT_CONVERSION_TIME_S = 100e-9
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy of one solve, split by component class (joules)."""
+
+    opa: float
+    rram: float
+    dac: float
+    adc: float
+
+    @property
+    def total(self) -> float:
+        """Total energy in joules."""
+        return self.opa + self.rram + self.dac + self.adc
+
+    def as_dict(self) -> dict[str, float]:
+        """Component map, matching the cost model's component names."""
+        return {"OPA": self.opa, "RRAM": self.rram, "DAC": self.dac, "ADC": self.adc}
+
+
+def solve_energy(
+    result: SolveResult,
+    costs: ComponentCosts | None = None,
+    *,
+    conversion_time_s: float = DEFAULT_CONVERSION_TIME_S,
+) -> EnergyBreakdown:
+    """Estimate the energy of one completed solve from its telemetry.
+
+    Parameters
+    ----------
+    result:
+        A :class:`~repro.core.solution.SolveResult` with operation
+        telemetry (analog solvers only).
+    costs:
+        Component unit powers; defaults to the Fig. 10 calibration.
+    conversion_time_s:
+        Time per DAC/ADC conversion (energy = power * time).
+
+    Raises
+    ------
+    CostModelError
+        For digital results with no analog operations.
+    """
+    costs = costs or ComponentCosts.paper_calibrated()
+    check_positive(conversion_time_s, "conversion_time_s")
+    if not result.operations:
+        raise CostModelError("result carries no analog operations to account for")
+
+    opa_energy = 0.0
+    rram_energy = 0.0
+    for op in result.operations:
+        t = op.settling_time_s
+        opa_energy += costs.power_opa * op.opa_count * t
+        rram_energy += costs.power_cell * op.device_count * t
+
+    channels = max(op.rows for op in result.operations)
+    dac_count = int(result.metadata.get("dac_conversions", 0))
+    adc_count = int(result.metadata.get("adc_conversions", 0))
+    dac_energy = costs.power_dac * conversion_time_s * dac_count * channels
+    adc_energy = costs.power_adc * conversion_time_s * adc_count * channels
+
+    return EnergyBreakdown(
+        opa=opa_energy, rram=rram_energy, dac=dac_energy, adc=adc_energy
+    )

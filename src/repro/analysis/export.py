@@ -1,0 +1,58 @@
+"""CSV export of sweep results.
+
+The repository has no plotting dependency; benches print ASCII tables
+and this module writes the same series as CSV so any external tool can
+regenerate the paper's figures graphically.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.analysis.accuracy import AccuracyRecord
+from repro.errors import ValidationError
+
+
+def records_to_csv(records: list[AccuracyRecord], path) -> Path:
+    """Write raw Monte-Carlo records (one row per trial) to ``path``."""
+    if not records:
+        raise ValidationError("no records to export")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["solver", "size", "trial", "relative_error", "saturated", "analog_time_s"]
+        )
+        for record in records:
+            writer.writerow(
+                [
+                    record.solver,
+                    record.size,
+                    record.trial,
+                    f"{record.relative_error:.9g}",
+                    int(record.saturated),
+                    f"{record.analog_time_s:.9g}",
+                ]
+            )
+    return path
+
+
+def sweep_to_csv(table: dict[str, dict[int, tuple[float, float]]], path) -> Path:
+    """Write an aggregated sweep (``accuracy_sweep`` output) to ``path``.
+
+    One row per (solver, size) with mean and std — the series a figure
+    plots directly.
+    """
+    if not table:
+        raise ValidationError("no sweep data to export")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["solver", "size", "mean_relative_error", "std_relative_error"])
+        for solver, by_size in sorted(table.items()):
+            for size, (mean, std) in sorted(by_size.items()):
+                writer.writerow([solver, size, f"{mean:.9g}", f"{std:.9g}"])
+    return path

@@ -1,0 +1,52 @@
+"""Accuracy metrics.
+
+The paper's relative error (Eq. 6) is
+
+    eps_r = | sum_i sqrt((x_i - xhat_i)^2) / sum_i sqrt(x_i^2) |
+
+i.e. the L1 norm of the element-wise error over the L1 norm of the ideal
+solution (each square root collapses to an absolute value). We implement
+it verbatim as :func:`paper_relative_error`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.utils.validation import check_vector
+
+
+def paper_relative_error(ideal: np.ndarray, actual: np.ndarray) -> float:
+    """Relative error of Eq. 6: ``sum|x - xhat| / sum|x|``.
+
+    Parameters
+    ----------
+    ideal:
+        The exact ("numerical") solution ``x``.
+    actual:
+        The solver output ``xhat``.
+    """
+    ideal = check_vector(ideal, "ideal")
+    actual = check_vector(actual, "actual", size=ideal.size)
+    denom = float(np.sum(np.abs(ideal)))
+    if denom == 0.0:
+        raise ValidationError("ideal solution must be non-zero")
+    return float(np.sum(np.abs(actual - ideal)) / denom)
+
+
+def max_abs_error(ideal: np.ndarray, actual: np.ndarray) -> float:
+    """Worst-case element-wise deviation."""
+    ideal = check_vector(ideal, "ideal")
+    actual = check_vector(actual, "actual", size=ideal.size)
+    return float(np.max(np.abs(actual - ideal)))
+
+
+def scatter_points(ideal: np.ndarray, actual: np.ndarray) -> np.ndarray:
+    """Column-stacked (ideal, actual) pairs for scatter plots (Figs. 6/8).
+
+    Returns an ``(n, 2)`` array whose rows are ``(ideal_i, actual_i)``.
+    """
+    ideal = check_vector(ideal, "ideal")
+    actual = check_vector(actual, "actual", size=ideal.size)
+    return np.column_stack([ideal, actual])

@@ -1,0 +1,54 @@
+"""ASCII table formatting for benches and examples.
+
+Keeps benchmark output in the same row/series shape as the paper's tables
+and figure legends without pulling in plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ValidationError
+
+
+def _render_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1e4 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: list[str], rows: list[list], title: str | None = None) -> str:
+    """Render a fixed-width ASCII table.
+
+    Parameters
+    ----------
+    headers:
+        Column titles.
+    rows:
+        Row value lists; floats are formatted compactly.
+    title:
+        Optional title line above the table.
+    """
+    if not headers:
+        raise ValidationError("headers must not be empty")
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValidationError(
+                f"row length {len(row)} does not match header count {len(headers)}"
+            )
+    rendered = [[_render_cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered)) if rendered else len(headers[i])
+        for i in range(len(headers))
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in rendered:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,127 @@
+"""First-order error sensitivity of AMC solutions to cell conductances.
+
+Perturbation theory for the two primitives. For the INV circuit solving
+``A x = b``, perturbing one normalized cell ``A_ij -> A_ij + d`` moves
+the solution by
+
+    dx = -A^-1 e_i x_j d        (first order)
+
+so the sensitivity of the solution norm to cell (i, j) is
+
+    S_ij = ||A^-1 e_i|| * |x_j|
+
+— the product of how strongly row ``i`` couples into the solution and
+how big the solution component that cell multiplies is. For MVM the
+corresponding map is simply ``S_ij = |x_j|`` per output row.
+
+These maps explain *which* cells dominate the variation-induced error
+(Figs. 7-9) and provide the optional weighting for fault-aware
+remapping: parking faults on low-sensitivity cells is strictly better
+than minimizing raw |entry| mass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.utils.validation import check_square_matrix, check_vector
+
+
+@dataclass(frozen=True)
+class SensitivityMap:
+    """Per-cell first-order sensitivities for one system.
+
+    ``map[i, j]`` approximates ``||dx|| / d`` for a perturbation ``d``
+    of normalized cell ``(i, j)``.
+    """
+
+    values: np.ndarray
+    kind: str  # "inv" | "mvm"
+
+    @property
+    def total(self) -> float:
+        """Aggregate sensitivity (Frobenius mass of the map)."""
+        return float(np.linalg.norm(self.values))
+
+    def top_cells(self, count: int = 10) -> list[tuple[int, int, float]]:
+        """The ``count`` most sensitive cells as ``(row, col, value)``."""
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        flat = np.argsort(self.values, axis=None)[::-1][:count]
+        rows, cols = np.unravel_index(flat, self.values.shape)
+        return [
+            (int(r), int(c), float(self.values[r, c]))
+            for r, c in zip(rows, cols)
+        ]
+
+    def normalized(self) -> np.ndarray:
+        """Map scaled to a unit maximum (for display / weighting)."""
+        peak = float(np.max(self.values))
+        if peak == 0.0:
+            return self.values.copy()
+        return self.values / peak
+
+
+def inv_sensitivity(matrix: np.ndarray, b: np.ndarray) -> SensitivityMap:
+    """Sensitivity of the INV solution to each cell of ``matrix``.
+
+    Parameters
+    ----------
+    matrix:
+        The (normalized) system matrix.
+    b:
+        Right-hand side defining the operating point ``x = A^-1 b``.
+    """
+    matrix = check_square_matrix(matrix)
+    b = check_vector(b, "b", size=matrix.shape[0])
+    try:
+        inverse = np.linalg.inv(matrix)
+        x = inverse @ b
+    except np.linalg.LinAlgError as exc:
+        raise SolverError(f"matrix is singular: {exc}") from exc
+    # ||A^-1 e_i|| is the norm of column i of A^-1.
+    row_coupling = np.linalg.norm(inverse, axis=0)
+    values = np.outer(row_coupling, np.abs(x))
+    return SensitivityMap(values=values, kind="inv")
+
+
+def mvm_sensitivity(matrix: np.ndarray, x: np.ndarray) -> SensitivityMap:
+    """Sensitivity of the MVM output to each cell of ``matrix``.
+
+    The output row ``i`` moves by exactly ``x_j d`` when cell (i, j)
+    shifts by ``d``; the map is constant across rows.
+    """
+    matrix = check_square_matrix(matrix) if matrix.shape[0] == matrix.shape[1] else np.asarray(matrix, dtype=float)
+    x = check_vector(x, "x", size=matrix.shape[1])
+    values = np.tile(np.abs(x)[None, :], (matrix.shape[0], 1))
+    return SensitivityMap(values=values, kind="mvm")
+
+
+def predicted_variation_error(
+    matrix: np.ndarray,
+    b: np.ndarray,
+    sigma_rel: float,
+) -> float:
+    """Predicted relative solution error under relative Gaussian variation.
+
+    First-order propagation: each cell perturbs independently with
+    standard deviation ``sigma_rel * |A_ij|``, so
+
+        E[||dx||^2] = sigma^2 * sum_ij (A_ij * ||A^-1 e_i|| * x_j)^2
+
+    and the prediction is the square root over ``||x||``. Validated in
+    tests against the Monte-Carlo measurement — this closes the loop
+    between the statistical experiments and the analytic model.
+    """
+    matrix = check_square_matrix(matrix)
+    b = check_vector(b, "b", size=matrix.shape[0])
+    if sigma_rel <= 0.0:
+        raise SolverError(f"sigma_rel must be > 0, got {sigma_rel}")
+    inverse = np.linalg.inv(matrix)
+    x = inverse @ b
+    row_coupling = np.linalg.norm(inverse, axis=0)
+    contributions = (np.abs(matrix) * np.outer(row_coupling, np.abs(x))) ** 2
+    return float(sigma_rel * np.sqrt(np.sum(contributions)) / np.linalg.norm(x))

@@ -1,0 +1,67 @@
+"""Linear analog circuit simulator (DC modified nodal analysis).
+
+This package is the repo's substitute for the paper's HSPICE runs. All the
+paper's accuracy results are DC equilibrium points of linear resistive
+networks with (finite-gain) op-amps, which modified nodal analysis solves
+exactly:
+
+- :mod:`repro.circuits.elements` — resistors, sources, VCVS, op-amps;
+- :mod:`repro.circuits.netlist` — the :class:`Circuit` container;
+- :mod:`repro.circuits.mna` — assembly and the dense/sparse DC solver;
+- :mod:`repro.circuits.generators` — netlist builders for the paper's MVM
+  and INV crossbar topologies (Fig. 1), including wire resistance;
+- :mod:`repro.circuits.dynamics` — first-order settling-time models from
+  the papers the authors cite ([22], [23]).
+"""
+
+from repro.circuits.ac import (
+    ACSolution,
+    amc_frequency_response,
+    minus_3db_frequency,
+    single_pole_gain,
+    solve_ac,
+)
+from repro.circuits.dynamics import (
+    inv_settling_time,
+    is_inv_stable,
+    mvm_settling_time,
+)
+from repro.circuits.elements import (
+    CurrentSource,
+    IdealOpAmp,
+    Resistor,
+    VCVS,
+    VoltageSource,
+)
+from repro.circuits.generators import build_inv_circuit, build_mvm_circuit
+from repro.circuits.mna import DCSolution, solve_dc
+from repro.circuits.netlist import Circuit
+from repro.circuits.transient import (
+    TransientResult,
+    simulate_inv_transient,
+    simulate_mvm_transient,
+)
+
+__all__ = [
+    "ACSolution",
+    "Circuit",
+    "CurrentSource",
+    "DCSolution",
+    "IdealOpAmp",
+    "Resistor",
+    "TransientResult",
+    "VCVS",
+    "VoltageSource",
+    "amc_frequency_response",
+    "build_inv_circuit",
+    "build_mvm_circuit",
+    "inv_settling_time",
+    "is_inv_stable",
+    "minus_3db_frequency",
+    "mvm_settling_time",
+    "simulate_inv_transient",
+    "simulate_mvm_transient",
+    "single_pole_gain",
+    "solve_ac",
+    "solve_dc",
+]

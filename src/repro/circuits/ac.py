@@ -1,0 +1,251 @@
+"""AC (frequency-domain) analysis.
+
+Small-signal phasor analysis of the same netlists the DC solver takes,
+extended with capacitors, inductors, and frequency-dependent op-amp
+gains. This is the tool that turns the paper's settling-time citations
+([22], [23]) into actual Bode curves: the closed-loop bandwidth of the
+MVM/INV circuits read off the -3 dB point matches the pole the
+transient model predicts (cross-validated in tests).
+
+Independent sources are interpreted as phasor amplitudes at the
+analysis frequency (zero-phase); superposition gives any other input
+spectrum.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuits.elements import (
+    Capacitor,
+    CurrentSource,
+    IdealOpAmp,
+    Inductor,
+    Resistor,
+    VCVS,
+    VoltageSource,
+)
+from repro.circuits.generators import build_inv_circuit, build_mvm_circuit
+from repro.circuits.netlist import Circuit
+from repro.errors import CircuitError, SingularCircuitError
+from repro.utils.validation import check_positive
+
+
+def single_pole_gain(a0: float, gbwp_hz: float, freq_hz: float) -> complex:
+    """Complex open-loop gain of a single-pole op-amp at ``freq_hz``.
+
+    ``A(jf) = A0 / (1 + j f A0 / GBWP)`` — DC gain ``A0``, unity-gain
+    frequency ``GBWP``.
+    """
+    check_positive(a0, "a0")
+    check_positive(gbwp_hz, "gbwp_hz")
+    if freq_hz < 0.0:
+        raise CircuitError(f"freq_hz must be >= 0, got {freq_hz}")
+    return a0 / complex(1.0, freq_hz * a0 / gbwp_hz)
+
+
+@dataclass(frozen=True)
+class ACSolution:
+    """Phasor operating point at one frequency."""
+
+    circuit: Circuit
+    freq_hz: float
+    node_index: dict[str, int]
+    branch_index: dict[str, int]
+    values: np.ndarray  # complex
+
+    def voltage(self, node: str) -> complex:
+        """Complex node voltage (phasor) relative to ground."""
+        if node in ("0", "gnd", "GND"):
+            return 0.0 + 0.0j
+        try:
+            return complex(self.values[self.node_index[node]])
+        except KeyError:
+            raise CircuitError(f"unknown node {node!r}") from None
+
+    def magnitude(self, node: str) -> float:
+        """Voltage magnitude at ``node``."""
+        return abs(self.voltage(node))
+
+    def phase_deg(self, node: str) -> float:
+        """Voltage phase at ``node`` in degrees."""
+        return math.degrees(np.angle(self.voltage(node)))
+
+    def voltages(self, nodes) -> np.ndarray:
+        """Complex phasor vector for an iterable of node names."""
+        return np.array([self.voltage(node) for node in nodes])
+
+
+def solve_ac(circuit: Circuit, freq_hz: float) -> ACSolution:
+    """Solve the phasor operating point of ``circuit`` at one frequency.
+
+    Resistors stamp their conductance, capacitors ``j w C``, inductors a
+    branch with ``v = j w L i``, and VCVS gains may be complex (use
+    :func:`single_pole_gain` for op-amps). ``freq_hz = 0`` reduces to DC
+    with capacitors open and inductors short.
+    """
+    if len(circuit) == 0:
+        raise CircuitError("cannot solve an empty circuit")
+    if freq_hz < 0.0:
+        raise CircuitError(f"freq_hz must be >= 0, got {freq_hz}")
+    omega = 2.0 * math.pi * freq_hz
+
+    node_index = {node: k for k, node in enumerate(circuit.nodes())}
+    n_nodes = len(node_index)
+    branch_elements = [
+        e
+        for e in circuit.elements
+        if isinstance(e, (VoltageSource, VCVS, IdealOpAmp, Inductor))
+    ]
+    branch_index = {e.name: k for k, e in enumerate(branch_elements)}
+    size = n_nodes + len(branch_elements)
+
+    matrix = np.zeros((size, size), dtype=complex)
+    rhs = np.zeros(size, dtype=complex)
+
+    def node(n: str) -> int | None:
+        return None if n == "0" else node_index[n]
+
+    def stamp(r: int | None, c: int | None, value: complex) -> None:
+        if r is None or c is None:
+            return
+        matrix[r, c] += value
+
+    for element in circuit.elements:
+        if isinstance(element, Resistor):
+            y = element.conductance
+            a, b = node(element.a), node(element.b)
+            stamp(a, a, y)
+            stamp(b, b, y)
+            stamp(a, b, -y)
+            stamp(b, a, -y)
+        elif isinstance(element, Capacitor):
+            y = 1j * omega * element.capacitance
+            a, b = node(element.a), node(element.b)
+            stamp(a, a, y)
+            stamp(b, b, y)
+            stamp(a, b, -y)
+            stamp(b, a, -y)
+        elif isinstance(element, Inductor):
+            k = n_nodes + branch_index[element.name]
+            a, b = node(element.a), node(element.b)
+            stamp(a, k, 1.0)
+            stamp(b, k, -1.0)
+            stamp(k, a, 1.0)
+            stamp(k, b, -1.0)
+            stamp(k, k, -1j * omega * element.inductance)
+        elif isinstance(element, CurrentSource):
+            plus, minus = node(element.plus), node(element.minus)
+            if plus is not None:
+                rhs[plus] += element.value
+            if minus is not None:
+                rhs[minus] -= element.value
+        elif isinstance(element, VoltageSource):
+            k = n_nodes + branch_index[element.name]
+            plus, minus = node(element.plus), node(element.minus)
+            stamp(plus, k, 1.0)
+            stamp(minus, k, -1.0)
+            stamp(k, plus, 1.0)
+            stamp(k, minus, -1.0)
+            rhs[k] = element.value
+        elif isinstance(element, VCVS):
+            k = n_nodes + branch_index[element.name]
+            op, om = node(element.out_plus), node(element.out_minus)
+            cp, cn = node(element.ctrl_plus), node(element.ctrl_minus)
+            stamp(op, k, 1.0)
+            stamp(om, k, -1.0)
+            stamp(k, op, 1.0)
+            stamp(k, om, -1.0)
+            stamp(k, cp, -element.gain)
+            stamp(k, cn, element.gain)
+        elif isinstance(element, IdealOpAmp):
+            k = n_nodes + branch_index[element.name]
+            stamp(node(element.output), k, 1.0)
+            stamp(k, node(element.noninverting), 1.0)
+            stamp(k, node(element.inverting), -1.0)
+        else:  # pragma: no cover - union is closed
+            raise CircuitError(f"unknown element type {type(element).__name__}")
+
+    try:
+        values = np.linalg.solve(matrix, rhs)
+    except np.linalg.LinAlgError as exc:
+        raise SingularCircuitError(f"AC MNA system is singular: {exc}") from exc
+    if not np.all(np.isfinite(values)):
+        raise SingularCircuitError("AC solution contains non-finite values")
+
+    return ACSolution(
+        circuit=circuit,
+        freq_hz=freq_hz,
+        node_index=node_index,
+        branch_index=branch_index,
+        values=values,
+    )
+
+
+def amc_frequency_response(
+    array,
+    v_in: np.ndarray,
+    freqs_hz,
+    *,
+    topology: str = "inv",
+    a0: float = 1e4,
+    gbwp_hz: float = 100e6,
+) -> dict[str, np.ndarray]:
+    """Closed-loop frequency response of an AMC circuit.
+
+    Rebuilds the Fig. 1 netlist at each frequency with the single-pole
+    op-amp gain and records every output's magnitude. Returns
+    ``{"freqs_hz": ..., "magnitude": (n_freqs, n_out), "dc": ...}``.
+
+    The -3 dB frequency of the worst output is the circuit's compute
+    bandwidth — the quantity that makes the paper's O(1) settling claim
+    measurable in the frequency domain.
+    """
+    freqs = np.asarray(list(freqs_hz), dtype=float)
+    if freqs.size == 0 or np.any(freqs < 0.0):
+        raise CircuitError("freqs_hz must be non-empty and non-negative")
+
+    def build(gain: complex):
+        if topology == "inv":
+            return build_inv_circuit(
+                array.g_pos, array.g_neg, v_in, g_input=array.g_unit, opamp_gain=gain
+            )
+        if topology == "mvm":
+            return build_mvm_circuit(
+                array.g_pos, array.g_neg, v_in, g_feedback=array.g_unit, opamp_gain=gain
+            )
+        raise CircuitError(f"topology must be 'inv' or 'mvm', got {topology!r}")
+
+    magnitudes = []
+    for freq in freqs:
+        circuit, outputs = build(single_pole_gain(a0, gbwp_hz, float(freq)))
+        solution = solve_ac(circuit, float(freq))
+        magnitudes.append(np.abs(solution.voltages(outputs)))
+    magnitudes = np.asarray(magnitudes)
+
+    dc_circuit, outputs = build(complex(a0))
+    dc = np.abs(solve_ac(dc_circuit, 0.0).voltages(outputs))
+    return {"freqs_hz": freqs, "magnitude": magnitudes, "dc": dc}
+
+
+def minus_3db_frequency(freqs_hz: np.ndarray, magnitude: np.ndarray, dc: np.ndarray) -> float:
+    """Worst-output -3 dB frequency of a response sweep.
+
+    Returns ``inf`` when no output falls below ``dc / sqrt(2)`` within
+    the swept range.
+    """
+    freqs_hz = np.asarray(freqs_hz, dtype=float)
+    magnitude = np.asarray(magnitude, dtype=float)
+    dc = np.asarray(dc, dtype=float)
+    threshold = dc / math.sqrt(2.0)
+    worst = math.inf
+    for column in range(magnitude.shape[1]):
+        if dc[column] == 0.0:
+            continue
+        below = np.flatnonzero(magnitude[:, column] <= threshold[column])
+        if below.size:
+            worst = min(worst, float(freqs_hz[below[0]]))
+    return worst

@@ -1,0 +1,100 @@
+"""First-order settling-time models for the AMC circuits.
+
+The paper states (Sec. II) that the MVM circuit's computing time is
+"linearly dependent on the maximal sum of conductance along a row in the
+array, also controlled by the feedback conductance and gain-bandwidth
+product (GBWP) of TIAs" [22], and that the INV circuit's settling is
+"related to the minimal eigenvalue of an associated matrix and the GBWP of
+OPAs" [23]. We implement exactly those first-order models; they feed the
+latency/energy accounting of the macro model and the cost benches.
+
+Model sketch (single-pole op-amp with unity-gain bandwidth ``f_GBW``):
+
+- MVM row ``i`` behaves as a first-order system with closed-loop time
+  constant ``tau_i = (1 + (G0 + sum_j G_ij) / G0) / (2 pi f_GBW)``; the
+  computation settles within ``ln(1/eps)`` time constants.
+- INV settles with the slowest mode ``tau = (1 + 1/lambda_min) /
+  (2 pi f_GBW)`` where ``lambda_min`` is the smallest eigenvalue real part
+  of the normalized matrix; the circuit is stable only if every
+  eigenvalue has positive real part.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConvergenceError
+from repro.utils.validation import check_matrix, check_positive, check_square_matrix
+
+#: Default settling accuracy target (fraction of final value).
+DEFAULT_EPSILON = 1e-4
+
+
+def mvm_settling_time(
+    g: np.ndarray,
+    g_feedback: float,
+    gbwp_hz: float,
+    epsilon: float = DEFAULT_EPSILON,
+) -> float:
+    """Settling time (seconds) of the MVM circuit.
+
+    Parameters
+    ----------
+    g:
+        Total conductance array loading the TIAs (siemens) — for a dual
+        array pair pass ``g_pos + g_neg``.
+    g_feedback:
+        TIA feedback conductance (``G0``).
+    gbwp_hz:
+        Op-amp gain-bandwidth product in hertz.
+    epsilon:
+        Settling target: output within ``epsilon`` of its final value.
+    """
+    g = check_matrix(g, "g")
+    check_positive(g_feedback, "g_feedback")
+    check_positive(gbwp_hz, "gbwp_hz")
+    check_positive(epsilon, "epsilon")
+    max_row_sum = float(np.max(g.sum(axis=1)))
+    noise_gain = 1.0 + (g_feedback + max_row_sum) / g_feedback
+    tau = noise_gain / (2.0 * np.pi * gbwp_hz)
+    return float(np.log(1.0 / epsilon) * tau)
+
+
+def inv_eigenvalue_margin(matrix: np.ndarray) -> float:
+    """Smallest real part among the eigenvalues of the normalized matrix.
+
+    Positive margin means the INV feedback loop has a stable equilibrium
+    (all poles in the left half-plane for the single-pole op-amp model).
+    """
+    matrix = check_square_matrix(matrix)
+    eigenvalues = np.linalg.eigvals(matrix)
+    return float(np.min(eigenvalues.real))
+
+
+def is_inv_stable(matrix: np.ndarray, margin: float = 0.0) -> bool:
+    """True when the INV circuit converges for this normalized matrix."""
+    return inv_eigenvalue_margin(matrix) > margin
+
+
+def inv_settling_time(
+    matrix: np.ndarray,
+    gbwp_hz: float,
+    epsilon: float = DEFAULT_EPSILON,
+) -> float:
+    """Settling time (seconds) of the INV circuit for a normalized matrix.
+
+    Raises
+    ------
+    ConvergenceError
+        If the circuit is unstable (an eigenvalue with non-positive real
+        part), in which case the analog solver never settles.
+    """
+    check_positive(gbwp_hz, "gbwp_hz")
+    check_positive(epsilon, "epsilon")
+    margin = inv_eigenvalue_margin(matrix)
+    if margin <= 0.0:
+        raise ConvergenceError(
+            f"INV circuit unstable: smallest eigenvalue real part {margin:.3g} <= 0"
+        )
+    tau = (1.0 + 1.0 / margin) / (2.0 * np.pi * gbwp_hz)
+    return float(np.log(1.0 / epsilon) * tau)

@@ -1,0 +1,161 @@
+"""Circuit element definitions.
+
+Each element is an immutable record naming its terminals (string node
+names; ``"0"`` is ground) and its value. The MNA assembler in
+:mod:`repro.circuits.mna` knows how to stamp each element type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CircuitError
+
+
+def _check_node(node: str) -> str:
+    if not isinstance(node, str) or not node:
+        raise CircuitError(f"node names must be non-empty strings, got {node!r}")
+    return node
+
+
+@dataclass(frozen=True)
+class Resistor:
+    """Linear resistor between ``a`` and ``b``.
+
+    ``resistance`` must be > 0; model ideal opens by omitting the element
+    and shorts with a voltage source of 0 V.
+    """
+
+    name: str
+    a: str
+    b: str
+    resistance: float
+
+    def __post_init__(self):
+        _check_node(self.a)
+        _check_node(self.b)
+        if not self.resistance > 0.0:
+            raise CircuitError(f"resistor {self.name}: resistance must be > 0, got {self.resistance}")
+
+    @property
+    def conductance(self) -> float:
+        """1 / resistance, in siemens."""
+        return 1.0 / self.resistance
+
+
+@dataclass(frozen=True)
+class Capacitor:
+    """Linear capacitor between ``a`` and ``b``.
+
+    Open at DC (the DC solver ignores it); contributes admittance
+    ``j * 2 pi f * C`` in AC analysis.
+    """
+
+    name: str
+    a: str
+    b: str
+    capacitance: float
+
+    def __post_init__(self):
+        _check_node(self.a)
+        _check_node(self.b)
+        if not self.capacitance > 0.0:
+            raise CircuitError(
+                f"capacitor {self.name}: capacitance must be > 0, got {self.capacitance}"
+            )
+
+
+@dataclass(frozen=True)
+class Inductor:
+    """Linear inductor between ``a`` and ``b``.
+
+    A short at DC (stamped as a 0 V branch); impedance
+    ``j * 2 pi f * L`` in AC analysis.
+    """
+
+    name: str
+    a: str
+    b: str
+    inductance: float
+
+    def __post_init__(self):
+        _check_node(self.a)
+        _check_node(self.b)
+        if not self.inductance > 0.0:
+            raise CircuitError(
+                f"inductor {self.name}: inductance must be > 0, got {self.inductance}"
+            )
+
+
+@dataclass(frozen=True)
+class VoltageSource:
+    """Independent voltage source: ``v(plus) - v(minus) = value``."""
+
+    name: str
+    plus: str
+    minus: str
+    value: float
+
+    def __post_init__(self):
+        _check_node(self.plus)
+        _check_node(self.minus)
+
+
+@dataclass(frozen=True)
+class CurrentSource:
+    """Independent current source pushing ``value`` amps from minus to plus."""
+
+    name: str
+    plus: str
+    minus: str
+    value: float
+
+    def __post_init__(self):
+        _check_node(self.plus)
+        _check_node(self.minus)
+
+
+@dataclass(frozen=True)
+class VCVS:
+    """Voltage-controlled voltage source.
+
+    ``v(out_plus) - v(out_minus) = gain * (v(ctrl_plus) - v(ctrl_minus))``.
+    A finite-gain op-amp is a VCVS with gain ``-A0`` controlled by its
+    inverting input (non-inverting input grounded). Complex gains are
+    accepted for AC analysis (e.g. a single-pole op-amp model).
+    """
+
+    name: str
+    out_plus: str
+    out_minus: str
+    ctrl_plus: str
+    ctrl_minus: str
+    gain: complex
+
+    def __post_init__(self):
+        for node in (self.out_plus, self.out_minus, self.ctrl_plus, self.ctrl_minus):
+            _check_node(node)
+
+
+@dataclass(frozen=True)
+class IdealOpAmp:
+    """Ideal op-amp (nullor): enforces ``v(inv) = v(noninv)``.
+
+    The output sources whatever current satisfies the constraint. This is
+    the infinite-gain limit of the VCVS op-amp model; the two agree in the
+    limit, which tests verify.
+    """
+
+    name: str
+    inverting: str
+    noninverting: str
+    output: str
+
+    def __post_init__(self):
+        _check_node(self.inverting)
+        _check_node(self.noninverting)
+        _check_node(self.output)
+
+
+#: Union of all element types the MNA assembler accepts.
+Element = Resistor | Capacitor | Inductor | VoltageSource | CurrentSource | VCVS | IdealOpAmp

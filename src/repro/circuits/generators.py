@@ -1,0 +1,198 @@
+"""Netlist generators for the paper's AMC crossbar topologies (Fig. 1).
+
+These builders produce full transistor-free netlists of the MVM and INV
+circuits, including the dual positive/negative arrays, optional wire
+segment resistances, and either ideal or finite-gain op-amps. They are the
+ground truth the fast algebraic models in :mod:`repro.amc` are validated
+against (the same role HSPICE plays in the paper).
+
+Geometry convention matches :mod:`repro.crossbar.parasitics`: BL drivers
+sit at row 0 of each column, WL amplifiers at column 0 of each row.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.netlist import Circuit
+from repro.errors import CircuitError
+from repro.utils.validation import check_matrix, check_positive, check_vector
+
+
+def _add_array(
+    circuit: Circuit,
+    g: np.ndarray,
+    prefix: str,
+    bl_drive_nodes: list[str],
+    wl_collect_nodes: list[str],
+    r_wire: float,
+) -> None:
+    """Wire one conductance array between its BL drivers and WL collectors.
+
+    With ``r_wire == 0`` cells connect driver and collector nodes
+    directly; otherwise explicit ladder nodes are created per cell.
+    """
+    rows, cols = g.shape
+    if r_wire == 0.0:
+        for i in range(rows):
+            for j in range(cols):
+                if g[i, j] > 0.0:
+                    circuit.conductor(
+                        bl_drive_nodes[j], wl_collect_nodes[i], g[i, j], f"{prefix}_g_{i}_{j}"
+                    )
+        return
+
+    for j in range(cols):
+        previous = bl_drive_nodes[j]
+        for i in range(rows):
+            node = f"{prefix}_b_{i}_{j}"
+            circuit.resistor(previous, node, r_wire, f"{prefix}_rb_{i}_{j}")
+            previous = node
+    for i in range(rows):
+        previous = wl_collect_nodes[i]
+        for j in range(cols):
+            node = f"{prefix}_w_{i}_{j}"
+            circuit.resistor(previous, node, r_wire, f"{prefix}_rw_{i}_{j}")
+            previous = node
+    for i in range(rows):
+        for j in range(cols):
+            if g[i, j] > 0.0:
+                circuit.conductor(
+                    f"{prefix}_b_{i}_{j}", f"{prefix}_w_{i}_{j}", g[i, j], f"{prefix}_g_{i}_{j}"
+                )
+
+
+def _offset_nodes(circuit: Circuit, offsets: np.ndarray | None, rows: int) -> list[str]:
+    """Non-inverting input nodes: ground, or offset sources when given.
+
+    A real op-amp's input-referred offset is modelled exactly by a small
+    voltage source in series with the non-inverting input.
+    """
+    if offsets is None:
+        return ["0"] * rows
+    offsets = check_vector(offsets, "offsets", size=rows)
+    nodes = []
+    for i in range(rows):
+        node = f"vos_{i}"
+        circuit.vsource(node, "0", float(offsets[i]), f"Vos_{i}")
+        nodes.append(node)
+    return nodes
+
+
+def build_mvm_circuit(
+    g_pos: np.ndarray,
+    g_neg: np.ndarray,
+    v_in: np.ndarray,
+    g_feedback: float,
+    *,
+    r_wire: float = 0.0,
+    opamp_gain: float | None = None,
+    offsets: np.ndarray | None = None,
+) -> tuple[Circuit, list[str]]:
+    """Build the MVM circuit of Fig. 1(a) with a dual array pair.
+
+    The positive array's BLs are driven with ``v_in`` and the negative
+    array's with ``-v_in`` (ideal input inverters), both collecting into
+    the same per-row TIA whose feedback conductance is ``g_feedback``.
+    At the ideal operating point the outputs are
+    ``v_out = -(g_pos - g_neg) @ v_in / g_feedback``.
+
+    Parameters
+    ----------
+    g_pos, g_neg:
+        Non-negative conductance arrays (siemens), same shape.
+    v_in:
+        BL drive voltages, one per column.
+    g_feedback:
+        TIA feedback conductance (``G0``).
+    r_wire:
+        Wire segment resistance (ohm); 0 disables the ladder.
+    opamp_gain:
+        Finite open-loop gain; ``None`` for ideal op-amps.
+
+    Returns
+    -------
+    (circuit, output_nodes):
+        The netlist and the TIA output node names, one per row.
+    """
+    g_pos = check_matrix(g_pos, "g_pos")
+    g_neg = check_matrix(g_neg, "g_neg")
+    if g_pos.shape != g_neg.shape:
+        raise CircuitError(f"g_pos/g_neg shapes differ: {g_pos.shape} vs {g_neg.shape}")
+    rows, cols = g_pos.shape
+    v_in = check_vector(v_in, "v_in", size=cols)
+    check_positive(g_feedback, "g_feedback")
+
+    circuit = Circuit("mvm")
+    pos_drivers = []
+    neg_drivers = []
+    for j in range(cols):
+        node_p = f"drv_p_{j}"
+        node_n = f"drv_n_{j}"
+        circuit.vsource(node_p, "0", float(v_in[j]), f"Vp_{j}")
+        circuit.vsource(node_n, "0", float(-v_in[j]), f"Vn_{j}")
+        pos_drivers.append(node_p)
+        neg_drivers.append(node_n)
+
+    sum_nodes = [f"sum_{i}" for i in range(rows)]
+    out_nodes = [f"out_{i}" for i in range(rows)]
+    noninv = _offset_nodes(circuit, offsets, rows)
+    for i in range(rows):
+        circuit.opamp(sum_nodes[i], noninv[i], out_nodes[i], gain=opamp_gain, name=f"A_{i}")
+        circuit.conductor(out_nodes[i], sum_nodes[i], g_feedback, f"Rf_{i}")
+
+    _add_array(circuit, g_pos, "p", pos_drivers, sum_nodes, r_wire)
+    _add_array(circuit, g_neg, "n", neg_drivers, sum_nodes, r_wire)
+    return circuit, out_nodes
+
+
+def build_inv_circuit(
+    g_pos: np.ndarray,
+    g_neg: np.ndarray,
+    v_in: np.ndarray,
+    g_input: float,
+    *,
+    r_wire: float = 0.0,
+    opamp_gain: float | None = None,
+    offsets: np.ndarray | None = None,
+) -> tuple[Circuit, list[str]]:
+    """Build the INV circuit of Fig. 1(b) with a dual array pair.
+
+    Input voltages are conveyed through conductances ``g_input`` onto the
+    virtual-ground WLs; op-amp outputs feed back into the BLs (directly
+    for the positive array, through unity inverters for the negative
+    array). At the ideal operating point
+    ``v_out = -inv((g_pos - g_neg) / g_input) @ v_in``, i.e. the circuit
+    solves the linear system in one step.
+
+    Parameters and return mirror :func:`build_mvm_circuit`; arrays must be
+    square.
+    """
+    g_pos = check_matrix(g_pos, "g_pos")
+    g_neg = check_matrix(g_neg, "g_neg")
+    if g_pos.shape != g_neg.shape:
+        raise CircuitError(f"g_pos/g_neg shapes differ: {g_pos.shape} vs {g_neg.shape}")
+    rows, cols = g_pos.shape
+    if rows != cols:
+        raise CircuitError(f"INV requires a square array, got {g_pos.shape}")
+    v_in = check_vector(v_in, "v_in", size=rows)
+    check_positive(g_input, "g_input")
+
+    circuit = Circuit("inv")
+    sum_nodes = [f"sum_{i}" for i in range(rows)]
+    out_nodes = [f"out_{i}" for i in range(rows)]
+    noninv = _offset_nodes(circuit, offsets, rows)
+
+    for i in range(rows):
+        circuit.vsource(f"in_{i}", "0", float(v_in[i]), f"Vin_{i}")
+        circuit.conductor(f"in_{i}", sum_nodes[i], g_input, f"Rin_{i}")
+        circuit.opamp(sum_nodes[i], noninv[i], out_nodes[i], gain=opamp_gain, name=f"A_{i}")
+
+    # Negative array BLs are driven by inverted op-amp outputs.
+    ninv_nodes = [f"ninv_{j}" for j in range(cols)]
+    for j in range(cols):
+        circuit.vcvs(ninv_nodes[j], "0", "0", out_nodes[j], 1.0, f"Einv_{j}")
+
+    _add_array(circuit, g_pos, "p", out_nodes, sum_nodes, r_wire)
+    _add_array(circuit, g_neg, "n", ninv_nodes, sum_nodes, r_wire)
+    return circuit, out_nodes

@@ -1,0 +1,217 @@
+"""Modified nodal analysis (MNA) DC solver.
+
+Assembles the standard MNA system
+
+    [ G  B ] [ v ]   [ i_src ]
+    [ C  D ] [ i ] = [ e_src ]
+
+where ``v`` are node voltages and ``i`` the branch currents of voltage
+sources, VCVS, and ideal op-amps. Dense LU is used for small systems and
+SuperLU for large sparse ones. This is exactly the equation system a SPICE
+engine solves for the DC operating point of a linear circuit, which is all
+the paper's HSPICE experiments require.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.sparse import csc_matrix
+from scipy.sparse.linalg import splu
+
+from repro.circuits.elements import (
+    Capacitor,
+    CurrentSource,
+    IdealOpAmp,
+    Inductor,
+    Resistor,
+    VCVS,
+    VoltageSource,
+)
+from repro.circuits.netlist import Circuit
+from repro.errors import CircuitError, SingularCircuitError
+
+#: Systems at or below this many unknowns are solved densely.
+DENSE_THRESHOLD = 600
+
+
+@dataclass(frozen=True)
+class DCSolution:
+    """DC operating point of a circuit.
+
+    Query node voltages with :meth:`voltage` and branch currents of
+    named voltage-defined elements with :meth:`current`.
+    """
+
+    circuit: Circuit
+    node_index: dict[str, int]
+    branch_index: dict[str, int]
+    values: np.ndarray
+
+    def voltage(self, node: str) -> float:
+        """Voltage of ``node`` relative to ground."""
+        if node in ("0", "gnd", "GND"):
+            return 0.0
+        try:
+            return float(self.values[self.node_index[node]])
+        except KeyError:
+            raise CircuitError(f"unknown node {node!r}") from None
+
+    def voltages(self, nodes) -> np.ndarray:
+        """Vector of voltages for an iterable of node names."""
+        return np.array([self.voltage(node) for node in nodes])
+
+    def current(self, element_name: str) -> float:
+        """Branch current of a voltage source, VCVS, or ideal op-amp.
+
+        Sign convention: positive current flows from the element's positive
+        (or output) terminal through the element.
+        """
+        n_nodes = len(self.node_index)
+        try:
+            return float(self.values[n_nodes + self.branch_index[element_name]])
+        except KeyError:
+            raise CircuitError(
+                f"{element_name!r} is not a voltage-defined element of this circuit"
+            ) from None
+
+    def resistor_power(self) -> float:
+        """Total power dissipated in all resistors (watts)."""
+        total = 0.0
+        for element in self.circuit.elements:
+            if isinstance(element, Resistor):
+                dv = self.voltage(element.a) - self.voltage(element.b)
+                total += dv * dv * element.conductance
+        return total
+
+
+def _index_nodes(circuit: Circuit) -> dict[str, int]:
+    return {node: k for k, node in enumerate(circuit.nodes())}
+
+
+def solve_dc(circuit: Circuit) -> DCSolution:
+    """Solve the DC operating point of ``circuit``.
+
+    Raises
+    ------
+    SingularCircuitError
+        If the MNA matrix is singular (floating nodes, unconstrained
+        op-amp, loop of ideal sources, ...).
+    CircuitError
+        If the circuit is empty.
+    """
+    if len(circuit) == 0:
+        raise CircuitError("cannot solve an empty circuit")
+
+    node_index = _index_nodes(circuit)
+    n_nodes = len(node_index)
+
+    branch_elements = [
+        e
+        for e in circuit.elements
+        if isinstance(e, (VoltageSource, VCVS, IdealOpAmp, Inductor))
+    ]
+    branch_index = {e.name: k for k, e in enumerate(branch_elements)}
+    n_branches = len(branch_elements)
+    size = n_nodes + n_branches
+    if size == 0:
+        raise CircuitError("circuit has no unknowns (everything grounded?)")
+
+    rows: list[int] = []
+    cols: list[int] = []
+    data: list[float] = []
+    rhs = np.zeros(size)
+
+    def node(n: str) -> int | None:
+        return None if n == "0" else node_index[n]
+
+    def stamp(r: int | None, c: int | None, value: float) -> None:
+        if r is None or c is None:
+            return
+        rows.append(r)
+        cols.append(c)
+        data.append(value)
+
+    for element in circuit.elements:
+        if isinstance(element, Resistor):
+            g = element.conductance
+            a, b = node(element.a), node(element.b)
+            stamp(a, a, g)
+            stamp(b, b, g)
+            stamp(a, b, -g)
+            stamp(b, a, -g)
+        elif isinstance(element, Capacitor):
+            continue  # open circuit at DC
+        elif isinstance(element, Inductor):
+            # Short at DC: a 0 V branch carrying an unknown current.
+            k = n_nodes + branch_index[element.name]
+            a, b = node(element.a), node(element.b)
+            stamp(a, k, 1.0)
+            stamp(b, k, -1.0)
+            stamp(k, a, 1.0)
+            stamp(k, b, -1.0)
+        elif isinstance(element, CurrentSource):
+            plus, minus = node(element.plus), node(element.minus)
+            if plus is not None:
+                rhs[plus] += element.value
+            if minus is not None:
+                rhs[minus] -= element.value
+        elif isinstance(element, VoltageSource):
+            k = n_nodes + branch_index[element.name]
+            plus, minus = node(element.plus), node(element.minus)
+            stamp(plus, k, 1.0)
+            stamp(minus, k, -1.0)
+            stamp(k, plus, 1.0)
+            stamp(k, minus, -1.0)
+            rhs[k] = element.value
+        elif isinstance(element, VCVS):
+            if isinstance(element.gain, complex):
+                raise CircuitError(
+                    f"VCVS {element.name} has a complex gain; use solve_ac for AC analysis"
+                )
+            k = n_nodes + branch_index[element.name]
+            op, om = node(element.out_plus), node(element.out_minus)
+            cp, cn = node(element.ctrl_plus), node(element.ctrl_minus)
+            stamp(op, k, 1.0)
+            stamp(om, k, -1.0)
+            stamp(k, op, 1.0)
+            stamp(k, om, -1.0)
+            stamp(k, cp, -element.gain)
+            stamp(k, cn, element.gain)
+        elif isinstance(element, IdealOpAmp):
+            k = n_nodes + branch_index[element.name]
+            out = node(element.output)
+            inv, noninv = node(element.inverting), node(element.noninverting)
+            # Output current is an unknown injected at the output node; the
+            # constraint row enforces the virtual short.
+            stamp(out, k, 1.0)
+            stamp(k, noninv, 1.0)
+            stamp(k, inv, -1.0)
+        else:  # pragma: no cover - union is closed
+            raise CircuitError(f"unknown element type {type(element).__name__}")
+
+    if size <= DENSE_THRESHOLD:
+        matrix = np.zeros((size, size))
+        for r, c, v in zip(rows, cols, data):
+            matrix[r, c] += v
+        try:
+            values = np.linalg.solve(matrix, rhs)
+        except np.linalg.LinAlgError as exc:
+            raise SingularCircuitError(f"MNA system is singular: {exc}") from exc
+    else:
+        matrix = csc_matrix((data, (rows, cols)), shape=(size, size))
+        try:
+            values = splu(matrix).solve(rhs)
+        except RuntimeError as exc:
+            raise SingularCircuitError(f"MNA system is singular: {exc}") from exc
+
+    if not np.all(np.isfinite(values)):
+        raise SingularCircuitError("MNA solution contains non-finite values")
+
+    return DCSolution(
+        circuit=circuit,
+        node_index=node_index,
+        branch_index=branch_index,
+        values=values,
+    )

@@ -1,0 +1,179 @@
+"""Netlist container.
+
+:class:`Circuit` accumulates elements with unique names and exposes
+convenience builders (``resistor``, ``vsource``, ...). Node names are
+arbitrary strings; ``"0"`` (also accepted: ``"gnd"``) is ground.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.elements import (
+    Capacitor,
+    CurrentSource,
+    Element,
+    IdealOpAmp,
+    Inductor,
+    Resistor,
+    VCVS,
+    VoltageSource,
+)
+from repro.errors import CircuitError
+
+GROUND_NAMES = ("0", "gnd", "GND")
+
+
+def canonical_node(node: str) -> str:
+    """Map all accepted ground spellings to ``"0"``."""
+    return "0" if node in GROUND_NAMES else node
+
+
+class Circuit:
+    """A mutable collection of circuit elements with unique names."""
+
+    def __init__(self, title: str = ""):
+        self.title = title
+        self._elements: list[Element] = []
+        self._names: set[str] = set()
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    # element accessors
+    # ------------------------------------------------------------------
+    @property
+    def elements(self) -> tuple[Element, ...]:
+        """All elements added so far, in insertion order."""
+        return tuple(self._elements)
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def nodes(self) -> list[str]:
+        """Sorted list of all node names (excluding ground)."""
+        found: set[str] = set()
+        for element in self._elements:
+            if isinstance(element, (Resistor, Capacitor, Inductor)):
+                found.update((element.a, element.b))
+            elif isinstance(element, (VoltageSource, CurrentSource)):
+                found.update((element.plus, element.minus))
+            elif isinstance(element, VCVS):
+                found.update(
+                    (element.out_plus, element.out_minus, element.ctrl_plus, element.ctrl_minus)
+                )
+            elif isinstance(element, IdealOpAmp):
+                found.update((element.inverting, element.noninverting, element.output))
+        found.discard("0")
+        return sorted(found)
+
+    # ------------------------------------------------------------------
+    # element builders
+    # ------------------------------------------------------------------
+    def _register(self, name: str | None, prefix: str) -> str:
+        if name is None:
+            self._counter += 1
+            name = f"{prefix}{self._counter}"
+        if name in self._names:
+            raise CircuitError(f"duplicate element name {name!r}")
+        self._names.add(name)
+        return name
+
+    def add(self, element: Element) -> Element:
+        """Add a pre-built element (its name must be unique)."""
+        if element.name in self._names:
+            raise CircuitError(f"duplicate element name {element.name!r}")
+        self._names.add(element.name)
+        self._elements.append(element)
+        return element
+
+    def resistor(self, a: str, b: str, resistance: float, name: str | None = None) -> Resistor:
+        """Add a resistor between nodes ``a`` and ``b``."""
+        element = Resistor(
+            self._register(name, "R"), canonical_node(a), canonical_node(b), resistance
+        )
+        self._elements.append(element)
+        return element
+
+    def capacitor(self, a: str, b: str, capacitance: float, name: str | None = None) -> Capacitor:
+        """Add a capacitor between nodes ``a`` and ``b``."""
+        element = Capacitor(
+            self._register(name, "C"), canonical_node(a), canonical_node(b), capacitance
+        )
+        self._elements.append(element)
+        return element
+
+    def inductor(self, a: str, b: str, inductance: float, name: str | None = None) -> Inductor:
+        """Add an inductor between nodes ``a`` and ``b``."""
+        element = Inductor(
+            self._register(name, "L"), canonical_node(a), canonical_node(b), inductance
+        )
+        self._elements.append(element)
+        return element
+
+    def conductor(self, a: str, b: str, conductance: float, name: str | None = None) -> Resistor:
+        """Add a resistor specified by conductance (siemens)."""
+        if not conductance > 0.0:
+            raise CircuitError(f"conductance must be > 0, got {conductance}")
+        return self.resistor(a, b, 1.0 / conductance, name)
+
+    def vsource(self, plus: str, minus: str, value: float, name: str | None = None) -> VoltageSource:
+        """Add an independent voltage source."""
+        element = VoltageSource(
+            self._register(name, "V"), canonical_node(plus), canonical_node(minus), float(value)
+        )
+        self._elements.append(element)
+        return element
+
+    def isource(self, plus: str, minus: str, value: float, name: str | None = None) -> CurrentSource:
+        """Add an independent current source (pushes current minus -> plus externally)."""
+        element = CurrentSource(
+            self._register(name, "I"), canonical_node(plus), canonical_node(minus), float(value)
+        )
+        self._elements.append(element)
+        return element
+
+    def vcvs(
+        self,
+        out_plus: str,
+        out_minus: str,
+        ctrl_plus: str,
+        ctrl_minus: str,
+        gain: float,
+        name: str | None = None,
+    ) -> VCVS:
+        """Add a voltage-controlled voltage source."""
+        element = VCVS(
+            self._register(name, "E"),
+            canonical_node(out_plus),
+            canonical_node(out_minus),
+            canonical_node(ctrl_plus),
+            canonical_node(ctrl_minus),
+            gain if isinstance(gain, complex) else float(gain),
+        )
+        self._elements.append(element)
+        return element
+
+    def opamp(
+        self,
+        inverting: str,
+        noninverting: str,
+        output: str,
+        gain: float | None = None,
+        name: str | None = None,
+    ) -> Element:
+        """Add an op-amp.
+
+        ``gain=None`` adds an ideal (nullor) op-amp; a finite ``gain`` adds
+        the equivalent VCVS ``v(out) = gain * (v(noninv) - v(inv))``.
+        """
+        if gain is None:
+            element = IdealOpAmp(
+                self._register(name, "U"),
+                canonical_node(inverting),
+                canonical_node(noninverting),
+                canonical_node(output),
+            )
+            self._elements.append(element)
+            return element
+        return self.vcvs(output, "0", noninverting, inverting, gain, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Circuit({self.title!r}, {len(self._elements)} elements, {len(self.nodes())} nodes)"

@@ -1,0 +1,230 @@
+"""Time-domain (transient) simulation of the AMC circuits.
+
+The paper's speed argument rests on dynamics: the INV circuit converges
+to the solution in a time set by the op-amps' gain-bandwidth product and
+the matrix's smallest eigenvalue ([23]), nearly independent of size —
+the "O(1)" claim. This module simulates those dynamics explicitly.
+
+Model: each op-amp is a single-pole integrator with open-loop DC gain
+``A0`` and unity-gain (gain-bandwidth) frequency ``f_GBW``:
+
+    tau * dv_out/dt = -v_out - A0 * v_sum,    tau = A0 / (2 pi f_GBW)
+
+while the resistive network relates the summing-node voltages
+``v_sum`` *algebraically* to the outputs and inputs (KCL at each node,
+no capacitance on the summing nodes):
+
+    MVM:  v_sum_i = (sum_j G_ij v_in_j + G0 v_out_i) / (G0 + L_i)
+    INV:  v_sum_i = (G_in v_in_i + sum_j G_ij v_out_j) / (G_in + L_i)
+
+Substituting gives a linear constant-coefficient ODE
+``dv/dt = J v + c`` solved exactly by eigendecomposition, so
+trajectories are available at arbitrary time resolution without
+numerical integration error. Stability is the sign of the slowest
+eigenvalue's real part — for INV this reduces to the positivity of the
+(loaded) matrix spectrum, which is how the paper's stability criterion
+emerges.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.crossbar.array import CrossbarArray
+from repro.errors import CircuitError
+from repro.utils.validation import check_positive, check_vector
+
+#: Settling criterion: within this fraction of the final value.
+DEFAULT_SETTLE_EPSILON = 1e-3
+
+
+@dataclass(frozen=True)
+class TransientResult:
+    """Outcome of one transient simulation.
+
+    Attributes
+    ----------
+    times:
+        Sample instants (seconds).
+    outputs:
+        Output-voltage trajectories, shape ``(len(times), n)``.
+    final:
+        The DC equilibrium the trajectory approaches (exact, from the
+        algebraic solution — not the last sample).
+    settling_time_s:
+        First sampled instant after which every output stays within
+        ``epsilon * max(|final|)`` of its final value; ``inf`` when the
+        circuit is unstable.
+    stable:
+        True when all ODE eigenvalues have negative real part.
+    slowest_pole_hz:
+        Magnitude of the slowest stable pole (or the most unstable one),
+        in hertz — the bandwidth that sets the settling time.
+    """
+
+    times: np.ndarray
+    outputs: np.ndarray
+    final: np.ndarray
+    settling_time_s: float
+    stable: bool
+    slowest_pole_hz: float
+
+    def output_at(self, t: float) -> np.ndarray:
+        """Interpolated output vector at time ``t``."""
+        return np.array(
+            [np.interp(t, self.times, self.outputs[:, i]) for i in range(self.outputs.shape[1])]
+        )
+
+
+def _linear_transient(
+    jacobian: np.ndarray,
+    forcing: np.ndarray,
+    v0: np.ndarray,
+    t_end: float,
+    n_points: int,
+    epsilon: float,
+) -> TransientResult:
+    """Solve ``dv/dt = J v + c`` exactly via eigendecomposition."""
+    n = forcing.size
+    try:
+        eigenvalues, eigenvectors = np.linalg.eig(jacobian)
+        inv_vectors = np.linalg.inv(eigenvectors)
+    except np.linalg.LinAlgError as exc:
+        raise CircuitError(f"transient Jacobian is defective: {exc}") from exc
+
+    stable = bool(np.all(eigenvalues.real < 0.0))
+    if stable:
+        final = np.linalg.solve(jacobian, -forcing)
+        slowest = float(np.min(np.abs(eigenvalues.real)))
+    else:
+        # No finite equilibrium is reached; report the drift direction.
+        final = np.full(n, np.nan)
+        slowest = float(np.max(eigenvalues.real))
+
+    times = np.linspace(0.0, t_end, n_points)
+    # v(t) = final + V diag(exp(lam t)) V^-1 (v0 - final); for unstable
+    # systems integrate from the particular solution of the pseudoinverse.
+    anchor = final if stable else np.zeros(n)
+    offset0 = inv_vectors @ (v0 - anchor)
+    modes = np.exp(np.outer(times, eigenvalues)) * offset0[None, :]
+    trajectories = (modes @ eigenvectors.T).real + anchor[None, :]
+    if not stable:
+        # Add the forced ramp component for the unstable case (best
+        # effort; the trajectory is only used to show divergence).
+        trajectories = trajectories + times[:, None] * forcing[None, :]
+
+    if stable:
+        scale = float(np.max(np.abs(final)))
+        tolerance = epsilon * (scale if scale > 0.0 else 1.0)
+        deviation = np.max(np.abs(trajectories - final[None, :]), axis=1)
+        settled = deviation <= tolerance
+        # Find the first index after which the trajectory stays settled.
+        settling = math.inf
+        for idx in range(len(times)):
+            if settled[idx:].all():
+                settling = float(times[idx])
+                break
+    else:
+        settling = math.inf
+
+    return TransientResult(
+        times=times,
+        outputs=trajectories,
+        final=final,
+        settling_time_s=settling,
+        stable=stable,
+        slowest_pole_hz=slowest / (2.0 * math.pi),
+    )
+
+
+def _pole_time_constant(open_loop_gain: float, gbwp_hz: float) -> float:
+    check_positive(gbwp_hz, "gbwp_hz")
+    check_positive(open_loop_gain, "open_loop_gain", allow_inf=True)
+    if math.isinf(open_loop_gain):
+        raise CircuitError("transient simulation needs a finite open-loop gain")
+    return open_loop_gain / (2.0 * math.pi * gbwp_hz)
+
+
+def simulate_mvm_transient(
+    array: CrossbarArray,
+    v_in: np.ndarray,
+    *,
+    open_loop_gain: float = 1e4,
+    gbwp_hz: float = 100e6,
+    t_end: float | None = None,
+    n_points: int = 400,
+    epsilon: float = DEFAULT_SETTLE_EPSILON,
+    v0: np.ndarray | None = None,
+) -> TransientResult:
+    """Transient of the MVM circuit (Fig. 1a) after the input step.
+
+    The TIA rows are decoupled (each output feeds back only to its own
+    summing node), so the Jacobian is diagonal; settling is governed by
+    the per-row noise gain — the paper's [22] result.
+    """
+    rows, cols = array.shape
+    v_in = check_vector(v_in, "v_in", size=cols)
+    tau = _pole_time_constant(open_loop_gain, gbwp_hz)
+
+    effective = array.effective_matrix()
+    loading = array.load_row_sums()
+    # v_sum = (E v_in + v_out) / (1 + L)   (normalized by G0)
+    denom = 1.0 + loading
+    drive = (effective @ v_in) / denom
+    # tau dv/dt = -v - A0 * v_sum
+    jacobian = np.diag(-(1.0 + open_loop_gain / denom) / tau)
+    forcing = -open_loop_gain * drive / tau
+
+    if t_end is None:
+        slowest = float(np.min((1.0 + open_loop_gain / denom) / tau))
+        t_end = 12.0 / slowest
+    v0 = np.zeros(rows) if v0 is None else check_vector(v0, "v0", size=rows)
+    return _linear_transient(jacobian, forcing, v0, t_end, n_points, epsilon)
+
+
+def simulate_inv_transient(
+    array: CrossbarArray,
+    v_in: np.ndarray,
+    *,
+    open_loop_gain: float = 1e4,
+    gbwp_hz: float = 100e6,
+    input_scale: float = 1.0,
+    t_end: float | None = None,
+    n_points: int = 400,
+    epsilon: float = DEFAULT_SETTLE_EPSILON,
+    v0: np.ndarray | None = None,
+) -> TransientResult:
+    """Transient of the INV circuit (Fig. 1b) after the input step.
+
+    The outputs are coupled through the array (nested feedback loops),
+    so the Jacobian is dense; its spectrum maps one-to-one onto the
+    loaded matrix's spectrum, which is why the settling time tracks the
+    smallest eigenvalue — the paper's [23] result — and why a matrix
+    with a non-positive eigenvalue makes the circuit diverge.
+    """
+    rows, cols = array.shape
+    if rows != cols:
+        raise CircuitError(f"INV requires a square array, got {array.shape}")
+    v_in = check_vector(v_in, "v_in", size=rows)
+    check_positive(input_scale, "input_scale")
+    tau = _pole_time_constant(open_loop_gain, gbwp_hz)
+
+    effective = array.effective_matrix()
+    loading = input_scale + array.load_row_sums()
+    # v_sum = (s v_in + E v_out) / (s + L)   (normalized by G0)
+    denom = loading
+    # tau dv/dt = -v - A0 (s v_in + E v)/denom
+    jacobian = (-np.eye(rows) - open_loop_gain * effective / denom[:, None]) / tau
+    forcing = -open_loop_gain * (input_scale * v_in) / denom / tau
+
+    if t_end is None:
+        margins = np.linalg.eigvals(jacobian).real
+        if np.all(margins < 0.0):
+            t_end = 12.0 / float(np.min(np.abs(margins)))
+        else:
+            t_end = 50.0 * tau / open_loop_gain
+    v0 = np.zeros(rows) if v0 is None else check_vector(v0, "v0", size=rows)
+    return _linear_transient(jacobian, forcing, v0, t_end, n_points, epsilon)

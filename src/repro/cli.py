@@ -1,0 +1,224 @@
+"""Command-line interface.
+
+``python -m repro`` exposes the experiment suites so the paper's curves
+can be regenerated without writing code:
+
+    python -m repro list
+    python -m repro run fig7-wishart --quick --csv out.csv
+    python -m repro costs --size 512
+    python -m repro solve --size 64 --hardware variation
+
+Exit code is 0 on success; validation problems print to stderr and
+return 2 (argparse convention).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.amc.config import HardwareConfig
+from repro.analysis.accuracy import accuracy_sweep, run_trials
+from repro.analysis.costmodel import ARCHITECTURES, savings_vs_original, solver_cost_breakdown
+from repro.analysis.export import records_to_csv, sweep_to_csv
+from repro.analysis.reporting import format_table
+from repro.core.blockamc import BlockAMCSolver
+from repro.core.feasibility import assess_feasibility
+from repro.core.multistage import MultiStageSolver
+from repro.core.original import OriginalAMCSolver
+from repro.workloads.matrices import random_vector, toeplitz_matrix, wishart_matrix
+from repro.workloads.pde import poisson_1d
+from repro.workloads.suites import get_suite, list_suites
+
+MATRIX_FAMILIES = {
+    "wishart": lambda n, rng: wishart_matrix(n, rng),
+    "toeplitz": lambda n, rng: toeplitz_matrix(n, rng),
+    "poisson": lambda n, rng: poisson_1d(n),
+}
+
+HARDWARE_FACTORIES = {
+    "ideal": HardwareConfig.ideal,
+    "ideal-mapping": HardwareConfig.paper_ideal_mapping,
+    "variation": HardwareConfig.paper_variation,
+    "interconnect": HardwareConfig.paper_interconnect,
+}
+
+
+def _solver_factories(hardware_factory):
+    return {
+        "original-amc": lambda: OriginalAMCSolver(hardware_factory()),
+        "blockamc-1stage": lambda: BlockAMCSolver(hardware_factory()),
+        "blockamc-2stage": lambda: MultiStageSolver(hardware_factory(), stages=2),
+    }
+
+
+def _cmd_list(_args) -> int:
+    print("Available suites (paper figure experiments):")
+    for name in list_suites():
+        suite = get_suite(name)
+        print(f"  {name:20s} {suite.figure}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    suite = get_suite(args.suite, quick=args.quick)
+    factories = _solver_factories(suite.hardware_factory)
+    records = run_trials(
+        factories, suite.matrix_factory, suite.sizes, suite.trials, seed=args.seed
+    )
+    table = accuracy_sweep(records)
+    solvers = sorted(table)
+    rows = [
+        [size] + [table[name][size][0] for name in solvers] for size in suite.sizes
+    ]
+    print(
+        format_table(
+            ["size"] + solvers,
+            rows,
+            title=f"{suite.name} ({suite.figure}) — mean relative error, "
+            f"{suite.trials} trials/size",
+        )
+    )
+    if args.csv:
+        sweep_to_csv(table, args.csv)
+        records_to_csv(records, str(args.csv) + ".raw.csv")
+        print(f"\nwrote {args.csv} and {args.csv}.raw.csv")
+    return 0
+
+
+def _cmd_costs(args) -> int:
+    rows = []
+    for arch in ARCHITECTURES:
+        breakdown = solver_cost_breakdown(arch, args.size)
+        rows.append([arch, breakdown.total_area_mm2, breakdown.total_power_w * 1e3])
+    print(
+        format_table(
+            ["solver", "area mm^2", "power mW"],
+            rows,
+            title=f"Fig. 10 cost model at n = {args.size}",
+        )
+    )
+    savings = savings_vs_original(args.size)
+    for arch, values in savings.items():
+        print(
+            f"{arch}: saves {values['area']*100:.1f}% area, "
+            f"{values['power']*100:.1f}% power vs original AMC"
+        )
+    return 0
+
+
+def _cmd_solve(args) -> int:
+    hardware = HARDWARE_FACTORIES[args.hardware]
+    matrix = wishart_matrix(args.size, rng=args.seed)
+    b = random_vector(args.size, rng=args.seed + 1)
+    rng = np.random.default_rng(args.seed + 2)
+    solver = (
+        MultiStageSolver(hardware(), stages=args.stages)
+        if args.stages > 1
+        else BlockAMCSolver(hardware())
+    )
+    result = solver.solve(matrix, b, rng=rng)
+    print(f"solver:          {result.solver}")
+    print(f"size:            {result.size}")
+    print(f"relative error:  {result.relative_error:.3e}")
+    print(f"analog time:     {result.analog_time_s*1e6:.3f} us")
+    print(f"operations:      {result.operation_counts}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.analysis.report import write_report
+
+    path = write_report(
+        args.out, quick=args.quick, seed=args.seed, suites=args.suite
+    )
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_check(args) -> int:
+    hardware = HARDWARE_FACTORIES[args.hardware]()
+    matrix = MATRIX_FAMILIES[args.family](args.size, np.random.default_rng(args.seed))
+    report = assess_feasibility(
+        matrix, config=hardware, max_array_size=args.max_array
+    )
+    print(
+        f"feasibility: {'OK' if report.feasible else 'BLOCKED'} "
+        f"(worst severity: {report.worst_severity})"
+    )
+    print(f"stability margin:   {report.stability_margin:.4g}")
+    print(f"condition number:   {report.condition:.4g}")
+    if report.predicted_error is not None:
+        print(f"predicted error:    {report.predicted_error:.4g}")
+    print(f"recommended stages: {report.recommended_stages}")
+    print("\nfindings:")
+    for finding in report.findings:
+        print(f"  [{finding.severity:7s}] {finding.topic}: {finding.message}")
+    return 0 if report.feasible else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BlockAMC (DATE 2024) reproduction — experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiment suites").set_defaults(func=_cmd_list)
+
+    run = sub.add_parser("run", help="run one suite and print its figure's series")
+    run.add_argument("suite", choices=list_suites())
+    run.add_argument("--quick", action="store_true", help="CI-size sweep (default full)")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--csv", type=str, default=None, help="write series to CSV")
+    run.set_defaults(func=_cmd_run)
+
+    costs = sub.add_parser("costs", help="print the Fig. 10 cost model")
+    costs.add_argument("--size", type=int, default=512)
+    costs.set_defaults(func=_cmd_costs)
+
+    solve = sub.add_parser("solve", help="solve one random system and print telemetry")
+    solve.add_argument("--size", type=int, default=64)
+    solve.add_argument("--stages", type=int, default=1)
+    solve.add_argument("--seed", type=int, default=0)
+    solve.add_argument(
+        "--hardware", choices=sorted(HARDWARE_FACTORIES), default="variation"
+    )
+    solve.set_defaults(func=_cmd_solve)
+
+    check = sub.add_parser(
+        "check", help="assess AMC feasibility of a workload before solving"
+    )
+    check.add_argument("--size", type=int, default=64)
+    check.add_argument("--family", choices=sorted(MATRIX_FAMILIES), default="wishart")
+    check.add_argument("--seed", type=int, default=0)
+    check.add_argument("--max-array", type=int, default=256)
+    check.add_argument(
+        "--hardware", choices=sorted(HARDWARE_FACTORIES), default="variation"
+    )
+    check.set_defaults(func=_cmd_check)
+
+    report = sub.add_parser(
+        "report", help="run all suites and write a markdown report"
+    )
+    report.add_argument("--out", type=str, default="repro_report.md")
+    report.add_argument("--quick", action="store_true")
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument(
+        "--suite", action="append", default=None, help="restrict to named suite(s)"
+    )
+    report.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

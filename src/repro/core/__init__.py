@@ -1,0 +1,69 @@
+"""The paper's primary contribution: BlockAMC solvers and baselines.
+
+- :mod:`repro.core.partition` — block partitioning and Schur-complement
+  preprocessing (the digital setup phase of the algorithm);
+- :mod:`repro.core.blockamc` — the one-stage BlockAMC solver (Fig. 2-4);
+- :mod:`repro.core.multistage` — the two-stage (and deeper) solver
+  (Fig. 5), with digital glue between macros;
+- :mod:`repro.core.original` — the baseline: a single large INV circuit;
+- :mod:`repro.core.digital` — digital reference solvers (LU and classic
+  iterative methods, used for the preconditioning experiments);
+- :mod:`repro.core.refinement` — AMC-seeded iterative refinement, the
+  deployment mode the paper positions AMC for;
+- :mod:`repro.core.preconditioned` — flexible GMRES with a (noisy)
+  analog preconditioner;
+- :mod:`repro.core.precision` — compensated multi-array slicing for
+  precision extension;
+- :mod:`repro.core.feasibility` — the pre-flight advisor ("will this
+  system solve well on AMC?").
+"""
+
+from repro.core.blockamc import BatchResult, BlockAMCSolver
+from repro.core.digital import (
+    DigitalDirectSolver,
+    conjugate_gradient,
+    gauss_seidel,
+    gmres,
+    jacobi,
+    richardson,
+)
+from repro.core.feasibility import (
+    FeasibilityReport,
+    Finding,
+    assess_feasibility,
+    recommended_stage_count,
+)
+from repro.core.multistage import MultiStageSolver
+from repro.core.original import OriginalAMCSolver
+from repro.core.partition import PartitionSpec, build_macro_arrays, prepare_blocks
+from repro.core.precision import CompensatedMVM, compensated_refinement
+from repro.core.preconditioned import amc_preconditioner, fgmres
+from repro.core.refinement import RefinementResult, iterative_refinement
+from repro.core.solution import SolveResult
+
+__all__ = [
+    "BatchResult",
+    "BlockAMCSolver",
+    "CompensatedMVM",
+    "DigitalDirectSolver",
+    "FeasibilityReport",
+    "Finding",
+    "MultiStageSolver",
+    "OriginalAMCSolver",
+    "PartitionSpec",
+    "RefinementResult",
+    "SolveResult",
+    "amc_preconditioner",
+    "assess_feasibility",
+    "build_macro_arrays",
+    "compensated_refinement",
+    "conjugate_gradient",
+    "fgmres",
+    "gauss_seidel",
+    "gmres",
+    "iterative_refinement",
+    "jacobi",
+    "prepare_blocks",
+    "recommended_stage_count",
+    "richardson",
+]

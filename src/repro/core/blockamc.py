@@ -1,0 +1,207 @@
+"""One-stage BlockAMC solver (the paper's main design, Figs. 2-4).
+
+:class:`BlockAMCSolver` normalizes the matrix, runs the digital Schur
+preprocessing, programs the four arrays of a
+:class:`~repro.amc.macro.BlockAMCMacro`, executes the five-step analog
+schedule, and recovers the digital solution.
+
+Typical use::
+
+    solver = BlockAMCSolver(HardwareConfig.paper_variation())
+    result = solver.solve(matrix, b, rng=0)
+    print(result.relative_error)
+
+``prepare`` / ``PreparedBlockAMC.solve`` split programming from
+execution for workloads that solve many right-hand sides against one
+matrix (programming — and its variation draw — happens once).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.amc.config import HardwareConfig
+from repro.amc.macro import BlockAMCMacro
+from repro.amc.scheduler import ScheduleResult, simulate_schedule
+from repro.core.common import DEFAULT_INPUT_FRACTION, auto_range, input_voltage_scale
+from repro.core.partition import PartitionSpec, build_macro_arrays, prepare_blocks
+from repro.core.solution import SolveResult
+from repro.crossbar.mapping import normalize_matrix
+from repro.errors import ValidationError
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_square_matrix, check_vector
+
+
+@dataclass(frozen=True)
+class PreparedBlockAMC:
+    """A programmed one-stage solver bound to one matrix."""
+
+    matrix: np.ndarray
+    scale: float
+    macro: BlockAMCMacro
+    split: int
+    schur_scale: float
+    input_fraction: float
+
+    def solve(self, b: np.ndarray, rng=None) -> SolveResult:
+        """Solve ``A x = b`` for a new right-hand side on the programmed arrays.
+
+        Uses analog gain ranging: if any step's output approaches the
+        converter full scale, the input scale is reduced and the analog
+        pipeline rerun (see :func:`repro.core.common.auto_range`).
+        """
+        n = self.matrix.shape[0]
+        b = check_vector(b, "b", size=n)
+        rng = as_generator(rng)
+        v_fs = self.macro.config.converters.v_fs
+
+        def run(k):
+            v_b = k * b
+            result = self.macro.solve(v_b[: self.split], v_b[self.split :], rng)
+            peak = max(float(np.max(np.abs(step.output))) for step in result.steps)
+            return peak, result
+
+        k0 = input_voltage_scale(b, v_fs, self.input_fraction)
+        macro_result, k = auto_range(run, k0, v_fs)
+        x = macro_result.solution / (k * self.scale)
+
+        reference = np.linalg.solve(self.matrix, b)
+        return SolveResult(
+            x=x,
+            reference=reference,
+            solver="blockamc-1stage",
+            operations=macro_result.steps,
+            metadata={
+                "scale": self.scale,
+                "input_scale": k,
+                "split": self.split,
+                "schur_scale": self.schur_scale,
+                "opa_count": self.macro.opa_count,
+                "dac_count": self.macro.dac_count,
+                "adc_count": self.macro.adc_count,
+                "device_count": self.macro.device_count,
+                "dac_conversions": 2,
+                "adc_conversions": 2,
+                "reference_steps": macro_result.reference_steps,
+                "step_outputs": {
+                    step.label: step.output for step in macro_result.steps
+                },
+            },
+        )
+
+    def solve_batch(
+        self,
+        rhs_batch,
+        rng=None,
+        *,
+        pipelined: bool = True,
+        t_dac_s: float = 50e-9,
+        t_adc_s: float = 100e-9,
+        t_snh_s: float = 5e-9,
+    ) -> "BatchResult":
+        """Solve a batch of right-hand sides and model the macro timeline.
+
+        The paper's double-buffered S&H banks let consecutive problems
+        pipeline: while problem ``p`` converts its outputs, problem
+        ``p+1`` already occupies the analog arrays. This method solves
+        every system (exact results, fresh hardware noise per solve) and
+        runs the discrete-event schedule for the whole batch, so both
+        numerical quality and throughput come from one call.
+
+        Parameters
+        ----------
+        rhs_batch:
+            Iterable of right-hand-side vectors.
+        rng:
+            Seed or generator (shared stream across the batch).
+        pipelined:
+            Enable the double-buffered S&H overlap (False = single
+            buffered, every stage serializes).
+        t_dac_s, t_adc_s, t_snh_s:
+            Converter and sample-and-hold timing assumptions.
+        """
+        rhs_batch = list(rhs_batch)
+        if not rhs_batch:
+            raise ValidationError("rhs_batch must contain at least one vector")
+        rng = as_generator(rng)
+        results = tuple(self.solve(b, rng) for b in rhs_batch)
+        # All solves share the macro, so the op-time profile of the first
+        # result describes every pipeline slot.
+        op_times = [op.settling_time_s for op in results[0].operations]
+        schedule = simulate_schedule(
+            op_times,
+            t_dac=t_dac_s,
+            t_adc=t_adc_s,
+            t_snh=t_snh_s,
+            n_problems=len(rhs_batch),
+            pipelined=pipelined,
+        )
+        return BatchResult(results=results, schedule=schedule)
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Outcome of a pipelined batch solve.
+
+    ``results`` holds the per-system solutions; ``schedule`` the
+    discrete-event timeline of the macro (op-amp bank, DAC, ADC) for the
+    whole batch, from which latency and throughput derive.
+    """
+
+    results: tuple[SolveResult, ...]
+    schedule: ScheduleResult
+
+    @property
+    def throughput_solves_per_s(self) -> float:
+        """Steady-state solve rate over the batch."""
+        return self.schedule.throughput
+
+    @property
+    def worst_relative_error(self) -> float:
+        """Largest relative error across the batch."""
+        return max(result.relative_error for result in self.results)
+
+
+class BlockAMCSolver:
+    """Solve linear systems with a one-stage BlockAMC macro."""
+
+    name = "blockamc-1stage"
+
+    def __init__(
+        self,
+        config: HardwareConfig | None = None,
+        partition: PartitionSpec | None = None,
+        input_fraction: float = DEFAULT_INPUT_FRACTION,
+    ):
+        self.config = config or HardwareConfig.ideal()
+        self.partition = partition or PartitionSpec()
+        self.input_fraction = input_fraction
+
+    def prepare(self, matrix: np.ndarray, rng=None) -> PreparedBlockAMC:
+        """Normalize, preprocess, and program the macro for ``matrix``.
+
+        The variation draw (if any) happens here, once; call
+        :meth:`PreparedBlockAMC.solve` repeatedly for multiple ``b``.
+        """
+        matrix = check_square_matrix(matrix)
+        rng = as_generator(rng)
+        normalized, scale = normalize_matrix(matrix)
+        blocks = prepare_blocks(normalized, self.partition)
+        arrays = build_macro_arrays(blocks, self.config, rng)
+        macro = BlockAMCMacro(arrays, self.config)
+        return PreparedBlockAMC(
+            matrix=matrix,
+            scale=scale,
+            macro=macro,
+            split=blocks.split,
+            schur_scale=blocks.schur_scale,
+            input_fraction=self.input_fraction,
+        )
+
+    def solve(self, matrix: np.ndarray, b: np.ndarray, rng=None) -> SolveResult:
+        """Program the arrays and solve ``A x = b`` in one call."""
+        rng = as_generator(rng)
+        prepared = self.prepare(matrix, rng)
+        return prepared.solve(b, rng)

@@ -1,0 +1,79 @@
+"""Shared solver plumbing: voltage scaling of the known vector.
+
+AMC circuits work on voltages. Solvers scale the digital right-hand side
+``b`` so its largest element uses a configurable fraction of the DAC full
+scale (headroom for the INV outputs, which can exceed the inputs), and
+undo the scaling digitally on the way out:
+
+    A x = b,  A = s_g * A_n,  v_b = k * b
+    circuit solves A_n x_v = v_b  =>  x = x_v / (k * s_g)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.utils.validation import check_in_range, check_vector
+
+#: Fraction of DAC full scale the largest |b| element is mapped to.
+DEFAULT_INPUT_FRACTION = 0.5
+
+#: Auto-ranging keeps analog peaks below this fraction of full scale.
+RANGING_HEADROOM = 0.9
+
+#: Maximum auto-ranging attempts (the circuit is linear in the input
+#: scale, so the second attempt already lands on target; extra attempts
+#: only absorb quantization nonlinearity).
+MAX_RANGING_ATTEMPTS = 4
+
+
+def auto_range(run, k0: float, v_fs: float):
+    """Analog gain ranging: shrink the input scale until nothing clips.
+
+    INV outputs exceed their inputs by up to the (unknown) inverse's
+    norm, so a fixed input scale can push intermediate voltages beyond
+    converter full scale. Real mixed-signal systems solve this with gain
+    ranging — run, detect overrange, rescale, rerun — which is what this
+    helper implements. Because every voltage in the system is linear in
+    the input scale ``k``, one corrective rerun suffices.
+
+    Parameters
+    ----------
+    run:
+        ``run(k) -> (peak_voltage, payload)`` — executes the analog
+        pipeline at input scale ``k`` and reports the largest absolute
+        analog voltage it produced.
+    k0:
+        Initial scale (from :func:`input_voltage_scale`).
+    v_fs:
+        Converter full-scale voltage.
+
+    Returns
+    -------
+    (payload, k):
+        Payload of the accepted attempt and the scale that produced it.
+    """
+    k = k0
+    for attempt in range(MAX_RANGING_ATTEMPTS):
+        peak, payload = run(k)
+        if peak <= RANGING_HEADROOM * v_fs or attempt == MAX_RANGING_ATTEMPTS - 1:
+            return payload, k
+        # Linear rescale straight to the headroom target (5% margin for
+        # quantization effects).
+        k = k * (RANGING_HEADROOM * v_fs / peak) * 0.95
+    return payload, k  # pragma: no cover - loop always returns
+
+
+def input_voltage_scale(b: np.ndarray, v_fs: float, fraction: float = DEFAULT_INPUT_FRACTION) -> float:
+    """Scale factor ``k`` mapping ``b`` into the DAC range.
+
+    ``max |k * b| == fraction * v_fs``. Raises for an all-zero ``b`` (the
+    trivial system needs no solver and would break the scaling).
+    """
+    b = check_vector(b, "b")
+    check_in_range(fraction, 0.0, 1.0, "fraction", inclusive=False)
+    peak = float(np.max(np.abs(b)))
+    if peak == 0.0:
+        raise ValidationError("b must be non-zero (the all-zero system is trivial)")
+    return fraction * v_fs / peak

@@ -1,0 +1,312 @@
+"""AMC feasibility advisor.
+
+"Will this system solve well on analog hardware?" is the first question
+a BlockAMC user asks. This module answers it *before* any programming,
+combining the checks scattered through the stack:
+
+- **stability** — the INV feedback loop settles only if every
+  eigenvalue of the normalized matrix has positive real part (the
+  paper's [23] criterion);
+- **conditioning / predicted accuracy** — first-order propagation of
+  the configured variation through the inverse (``repro.analysis
+  .sensitivity``);
+- **dynamic range** — how much of the conductance window the mapped
+  entries actually use (entries far below ``g_min`` are lost);
+- **partitioning plan** — the stage count needed to fit a given maximum
+  array size, and whether every leading block along the recursion is
+  invertible.
+
+The result is an actionable report, not a boolean: each finding carries
+a severity and a suggestion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.amc.config import HardwareConfig
+from repro.analysis.sensitivity import predicted_variation_error
+from repro.circuits.dynamics import inv_eigenvalue_margin
+from repro.crossbar.mapping import normalize_matrix
+from repro.devices.variations import (
+    GaussianVariation,
+    LognormalVariation,
+    RelativeGaussianVariation,
+)
+from repro.errors import PartitionError
+from repro.utils.linalg import condition_number, schur_complement
+from repro.utils.validation import check_square_matrix, check_vector
+
+#: Severity levels, ordered.
+SEVERITIES = ("info", "warning", "blocker")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One feasibility observation."""
+
+    severity: str
+    topic: str
+    message: str
+
+    def __post_init__(self):
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"severity must be one of {SEVERITIES}, got {self.severity}")
+
+
+@dataclass(frozen=True)
+class FeasibilityReport:
+    """Outcome of :func:`assess_feasibility`."""
+
+    findings: tuple[Finding, ...]
+    stability_margin: float
+    condition: float
+    predicted_error: float | None
+    recommended_stages: int
+    metrics: dict = field(default_factory=dict)
+
+    @property
+    def feasible(self) -> bool:
+        """True when no blocker-level finding exists."""
+        return all(f.severity != "blocker" for f in self.findings)
+
+    @property
+    def worst_severity(self) -> str:
+        """Highest severity present."""
+        worst = "info"
+        for finding in self.findings:
+            if SEVERITIES.index(finding.severity) > SEVERITIES.index(worst):
+                worst = finding.severity
+        return worst
+
+    def by_topic(self, topic: str) -> list[Finding]:
+        """Findings about one topic."""
+        return [f for f in self.findings if f.topic == topic]
+
+
+def _variation_sigma(config: HardwareConfig) -> float | None:
+    """Relative variation magnitude of the configured model, if any."""
+    model = config.programming.variation
+    if isinstance(model, RelativeGaussianVariation):
+        return model.sigma_rel
+    if isinstance(model, LognormalVariation):
+        return model.sigma_rel
+    if isinstance(model, GaussianVariation):
+        return model.sigma / config.g_unit
+    return None
+
+
+def recommended_stage_count(n: int, max_array_size: int) -> int:
+    """Partition stages needed so every block fits ``max_array_size``.
+
+    Stage ``k`` produces blocks of roughly ``n / 2^k``; the paper's
+    manufacturability bound is ~256.
+    """
+    if max_array_size < 1:
+        raise PartitionError(f"max_array_size must be >= 1, got {max_array_size}")
+    stages = 0
+    block = n
+    while block > max_array_size and stages < 32:
+        block = (block + 1) // 2
+        stages += 1
+    return max(stages, 1)
+
+
+def assess_feasibility(
+    matrix: np.ndarray,
+    b: np.ndarray | None = None,
+    config: HardwareConfig | None = None,
+    *,
+    max_array_size: int = 256,
+    error_budget: float = 0.2,
+) -> FeasibilityReport:
+    """Assess whether ``A x = b`` is a good fit for (Block)AMC hardware.
+
+    Parameters
+    ----------
+    matrix:
+        The system matrix.
+    b:
+        Optional right-hand side (enables the operating-point-dependent
+        accuracy prediction; a random probe is used otherwise).
+    config:
+        Hardware assumptions (default: the paper's variation setup).
+    max_array_size:
+        Largest manufacturable array per side (paper: ~256).
+    error_budget:
+        Relative-error level above which accuracy findings escalate to
+        warnings.
+    """
+    matrix = check_square_matrix(matrix)
+    n = matrix.shape[0]
+    config = config or HardwareConfig.paper_variation()
+    if b is None:
+        rng = np.random.default_rng(0)
+        b = rng.uniform(-1.0, 1.0, n)
+    else:
+        b = check_vector(b, "b", size=n)
+
+    findings: list[Finding] = []
+    normalized, scale = normalize_matrix(matrix)
+
+    # ------------------------------------------------------------------
+    # stability of the INV feedback loop
+    # ------------------------------------------------------------------
+    margin = inv_eigenvalue_margin(normalized)
+    if margin <= 0.0:
+        findings.append(
+            Finding(
+                "blocker",
+                "stability",
+                f"smallest eigenvalue real part is {margin:.3g} <= 0: the INV "
+                "circuit will not settle. Precondition or re-order the system "
+                "(e.g. solve A^T A x = A^T b) before mapping.",
+            )
+        )
+    elif margin < 0.01:
+        findings.append(
+            Finding(
+                "warning",
+                "stability",
+                f"stability margin {margin:.3g} is thin; settling will be slow "
+                "and variation may destabilize some trials.",
+            )
+        )
+    else:
+        findings.append(
+            Finding("info", "stability", f"stability margin {margin:.3g} (healthy).")
+        )
+
+    # ------------------------------------------------------------------
+    # conditioning and predicted accuracy
+    # ------------------------------------------------------------------
+    cond = condition_number(normalized)
+    predicted = None
+    sigma = _variation_sigma(config)
+    if margin > 0.0 and sigma is not None:
+        predicted = predicted_variation_error(normalized, b / scale, sigma)
+        if predicted > 1.0:
+            findings.append(
+                Finding(
+                    "blocker",
+                    "accuracy",
+                    f"predicted relative error {predicted:.2f} >= 1 under the "
+                    f"configured {sigma:.0%} variation: the analog solution "
+                    "would carry no information. Use more slices "
+                    "(repro.core.precision) or a digital solver.",
+                )
+            )
+        elif predicted > error_budget:
+            findings.append(
+                Finding(
+                    "warning",
+                    "accuracy",
+                    f"predicted relative error {predicted:.2f} exceeds the "
+                    f"{error_budget:.0%} budget; plan on iterative refinement "
+                    "(repro.core.refinement) to recover precision.",
+                )
+            )
+        else:
+            findings.append(
+                Finding(
+                    "info",
+                    "accuracy",
+                    f"predicted relative error {predicted:.3f} within budget.",
+                )
+            )
+    if cond > 1e4:
+        findings.append(
+            Finding(
+                "warning",
+                "conditioning",
+                f"condition number {cond:.1e}; even digital solvers lose "
+                f"{np.log10(cond):.0f} digits here.",
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # conductance dynamic range utilization
+    # ------------------------------------------------------------------
+    device = config.programming.device
+    magnitudes = np.abs(normalized[normalized != 0.0])
+    if magnitudes.size:
+        lost = float(np.mean(magnitudes * config.g_unit < device.g_min))
+        if lost > 0.05:
+            findings.append(
+                Finding(
+                    "warning",
+                    "dynamic-range",
+                    f"{lost:.0%} of non-zero entries fall below the device's "
+                    "g_min and will be dropped to OFF; consider per-block "
+                    "scaling (deeper partitioning renormalizes blocks).",
+                )
+            )
+        else:
+            findings.append(
+                Finding(
+                    "info",
+                    "dynamic-range",
+                    f"{1.0 - lost:.0%} of non-zero entries representable.",
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # partitioning plan
+    # ------------------------------------------------------------------
+    stages = recommended_stage_count(n, max_array_size)
+    if n > max_array_size:
+        findings.append(
+            Finding(
+                "info",
+                "partitioning",
+                f"n = {n} exceeds the {max_array_size}-wide array limit: use "
+                f"MultiStageSolver(stages={stages}).",
+            )
+        )
+    # Leading-block invertibility along the default recursion.
+    block = normalized
+    for depth in range(stages):
+        k = (block.shape[0] + 1) // 2
+        if k == block.shape[0]:
+            break
+        a1 = block[:k, :k]
+        if abs(np.linalg.det(a1)) < 1e-300 or condition_number(a1) > 1e12:
+            findings.append(
+                Finding(
+                    "blocker",
+                    "partitioning",
+                    f"leading block at stage {depth + 1} is singular; pick an "
+                    "asymmetric split (PartitionSpec) or permute the system.",
+                )
+            )
+            break
+        try:
+            block = schur_complement(
+                a1, block[:k, k:], block[k:, :k], block[k:, k:]
+            )
+        except PartitionError:
+            findings.append(
+                Finding(
+                    "blocker",
+                    "partitioning",
+                    f"Schur complement at stage {depth + 1} failed; the "
+                    "default split chain is not usable for this matrix.",
+                )
+            )
+            break
+
+    return FeasibilityReport(
+        findings=tuple(findings),
+        stability_margin=margin,
+        condition=cond,
+        predicted_error=predicted,
+        recommended_stages=stages,
+        metrics={
+            "n": n,
+            "scale": scale,
+            "max_array_size": max_array_size,
+            "variation_sigma": sigma,
+        },
+    )

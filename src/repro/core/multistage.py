@@ -1,0 +1,355 @@
+"""Multi-stage BlockAMC solver (the paper's two-stage design, Fig. 5).
+
+For matrices whose half-size blocks still exceed the feasible array size,
+the partition is applied recursively. Following the paper's architecture:
+
+- every *first-stage* INV operation (on ``A1`` and ``A4s``) is executed
+  by its own one-stage BlockAMC macro (analog inside);
+- every *first-stage* MVM operation (on ``A2`` and ``A3``) is tiled over
+  terminal-size arrays, with partial products digitized and summed;
+- intermediates between macros round-trip through ADC -> main memory ->
+  DAC ("The output results in every one-stage BlockAMC macro are
+  converted and stored in the main memory", Sec. III-C), so each glue
+  level adds converter quantization — an effect the ablation benches
+  quantify.
+
+``stages=2`` reproduces the paper's two-stage solver (a 256x256 system
+becomes 16 arrays of 64x64); larger depths extend the same recursion, the
+paper's "partitioned stage by stage" scaling argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.amc.config import HardwareConfig
+from repro.amc.interfaces import ADC, DAC
+from repro.amc.macro import BlockAMCMacro
+from repro.amc.ops import AMCOperations, OpResult
+from repro.core.common import DEFAULT_INPUT_FRACTION, auto_range, input_voltage_scale
+from repro.core.partition import PartitionSpec, build_macro_arrays, prepare_blocks
+from repro.core.solution import SolveResult
+from repro.crossbar.array import CrossbarArray
+from repro.crossbar.mapping import normalize_matrix
+from repro.errors import SolverError
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_square_matrix, check_vector
+
+
+@dataclass
+class _Tally:
+    """Mutable accumulator of telemetry across the solver tree."""
+
+    operations: list[OpResult] = field(default_factory=list)
+    dac_conversions: int = 0
+    adc_conversions: int = 0
+    macro_count: int = 0
+    array_count: int = 0
+    device_count: int = 0
+
+
+class _TiledMVM:
+    """A (possibly rectangular) block tiled over terminal-size arrays.
+
+    ``apply`` computes ``block @ v`` by running one analog MVM per tile,
+    digitizing each partial product, and summing digitally.
+    """
+
+    def __init__(self, block: np.ndarray, tile: int, config: HardwareConfig, rng):
+        if tile < 1:
+            raise SolverError(f"tile size must be >= 1, got {tile}")
+        self.config = config
+        self.ops = AMCOperations(config)
+        self.rows, self.cols = block.shape
+        self.row_starts = list(range(0, self.rows, tile))
+        self.col_starts = list(range(0, self.cols, tile))
+        self.arrays: dict[tuple[int, int], CrossbarArray] = {}
+        self.skipped_tiles = 0
+        for ri, r0 in enumerate(self.row_starts):
+            for ci, c0 in enumerate(self.col_starts):
+                sub = block[r0 : r0 + tile, c0 : c0 + tile]
+                if not np.any(sub):
+                    # An all-zero tile needs no array at all (e.g. the
+                    # off-diagonal blocks of triangular or banded
+                    # systems) — the partial product is exactly zero.
+                    self.skipped_tiles += 1
+                    continue
+                self.arrays[(ri, ci)] = CrossbarArray.program(
+                    sub,
+                    config.programming,
+                    rng,
+                    g_unit=config.g_unit,
+                    pre_normalized=True,
+                )
+
+    @property
+    def array_count(self) -> int:
+        """Number of tile array pairs."""
+        return len(self.arrays)
+
+    @property
+    def device_count(self) -> int:
+        """Total RRAM cells across all tiles."""
+        return sum(a.device_count for a in self.arrays.values())
+
+    def apply(self, v: np.ndarray, fraction: float, tally: _Tally, rng) -> np.ndarray:
+        """Return ``block @ v`` (digital in, digital out), with gain ranging."""
+        v = check_vector(v, "v", size=self.cols)
+        dac = DAC(self.config.converters)
+        adc = ADC(self.config.converters)
+        v_fs = self.config.converters.v_fs
+
+        def run(k):
+            tile_cols = len(self.col_starts)
+            v_chunks = []
+            for ci in range(tile_cols):
+                c0 = self.col_starts[ci]
+                c1 = self.col_starts[ci + 1] if ci + 1 < tile_cols else self.cols
+                v_chunks.append(dac.convert(k * v[c0:c1]))
+
+            out = np.zeros(self.rows)
+            ops: list[OpResult] = []
+            peak = 0.0
+            for ri, r0 in enumerate(self.row_starts):
+                r1 = self.row_starts[ri + 1] if ri + 1 < len(self.row_starts) else self.rows
+                acc = np.zeros(r1 - r0)
+                for ci in range(tile_cols):
+                    if (ri, ci) not in self.arrays:
+                        continue  # all-zero tile: partial product is zero
+                    op = self.ops.mvm(
+                        self.arrays[(ri, ci)],
+                        v_chunks[ci],
+                        label=f"tile-mvm[{ri},{ci}]",
+                        rng=rng,
+                    )
+                    ops.append(op)
+                    peak = max(peak, float(np.max(np.abs(op.output))))
+                    # Each partial product is digitized before the digital
+                    # sum (circuit sign removed digitally).
+                    acc = acc - adc.convert(op.output)
+                out[r0:r1] = acc
+            return peak, (out, ops)
+
+        k0 = input_voltage_scale(v, v_fs, fraction)
+        (out, ops), k = auto_range(run, k0, v_fs)
+        tally.operations.extend(ops)
+        tally.dac_conversions += len(self.col_starts)
+        tally.adc_conversions += len(ops)
+        return out / k
+
+
+class _MacroNode:
+    """Terminal solver node: a one-stage BlockAMC macro for one block."""
+
+    def __init__(
+        self,
+        block: np.ndarray,
+        config: HardwareConfig,
+        partition: PartitionSpec,
+        fraction: float,
+        rng,
+    ):
+        self.config = config
+        self.fraction = fraction
+        normalized, self.scale = normalize_matrix(block)
+        blocks = prepare_blocks(normalized, partition)
+        self.split = blocks.split
+        arrays = build_macro_arrays(blocks, config, rng)
+        self.macro = BlockAMCMacro(arrays, config)
+
+    @property
+    def device_count(self) -> int:
+        return self.macro.device_count
+
+    def count_resources(self, tally: _Tally) -> None:
+        tally.macro_count += 1
+        tally.array_count += 4
+        tally.device_count += self.macro.device_count
+
+    def solve(self, rhs: np.ndarray, tally: _Tally, rng) -> np.ndarray:
+        """Solve ``block @ x = rhs`` (digital in, digital out), with ranging."""
+        v_fs = self.config.converters.v_fs
+
+        def run(k):
+            v_b = k * rhs
+            result = self.macro.solve(v_b[: self.split], v_b[self.split :], rng)
+            peak = max(float(np.max(np.abs(step.output))) for step in result.steps)
+            return peak, result
+
+        k0 = input_voltage_scale(rhs, v_fs, self.fraction)
+        result, k = auto_range(run, k0, v_fs)
+        tally.operations.extend(result.steps)
+        tally.dac_conversions += 2
+        tally.adc_conversions += 2
+        return result.solution / (k * self.scale)
+
+
+class _DirectInvNode:
+    """Fallback terminal node for blocks too small to partition (n < 2)."""
+
+    def __init__(self, block: np.ndarray, config: HardwareConfig, fraction: float, rng):
+        self.config = config
+        self.fraction = fraction
+        normalized, self.scale = normalize_matrix(block)
+        self.array = CrossbarArray.program(
+            normalized, config.programming, rng, g_unit=config.g_unit, pre_normalized=True
+        )
+        self.ops = AMCOperations(config)
+
+    def count_resources(self, tally: _Tally) -> None:
+        tally.array_count += 1
+        tally.device_count += self.array.device_count
+
+    def solve(self, rhs: np.ndarray, tally: _Tally, rng) -> np.ndarray:
+        dac = DAC(self.config.converters)
+        adc = ADC(self.config.converters)
+        v_fs = self.config.converters.v_fs
+
+        def run(k):
+            op = self.ops.inv(self.array, dac.convert(k * rhs), label="direct-inv", rng=rng)
+            return float(np.max(np.abs(op.output))), op
+
+        k0 = input_voltage_scale(rhs, v_fs, self.fraction)
+        op, k = auto_range(run, k0, v_fs)
+        tally.operations.append(op)
+        tally.dac_conversions += 1
+        tally.adc_conversions += 1
+        return -adc.convert(op.output) / (k * self.scale)
+
+
+class _DigitalGlueNode:
+    """Non-terminal node: the five-step algorithm with digital glue."""
+
+    def __init__(
+        self,
+        block: np.ndarray,
+        depth_remaining: int,
+        config: HardwareConfig,
+        partition: PartitionSpec,
+        fraction: float,
+        rng,
+    ):
+        self.config = config
+        self.fraction = fraction
+        normalized, self.scale = normalize_matrix(block)
+        blocks = prepare_blocks(normalized, partition)
+        self.split = blocks.split
+        self.blocks = blocks
+        n = normalized.shape[0]
+        # Terminal arrays are the size the deepest partition produces.
+        tile = max(1, (n + (1 << depth_remaining) - 1) >> depth_remaining)
+        self.upper = _build_node(
+            blocks.a1, depth_remaining - 1, config, partition, fraction, rng
+        )
+        self.lower = _build_node(
+            blocks.a4s, depth_remaining - 1, config, partition, fraction, rng
+        )
+        self.tiles_a2 = _TiledMVM(blocks.a2, tile, config, rng)
+        self.tiles_a3 = _TiledMVM(blocks.a3, tile, config, rng)
+
+    def count_resources(self, tally: _Tally) -> None:
+        self.upper.count_resources(tally)
+        self.lower.count_resources(tally)
+        tally.array_count += self.tiles_a2.array_count + self.tiles_a3.array_count
+        tally.device_count += self.tiles_a2.device_count + self.tiles_a3.device_count
+
+    def solve(self, rhs: np.ndarray, tally: _Tally, rng) -> np.ndarray:
+        """Solve ``block @ x = rhs`` (digital in, digital out)."""
+        rhs_n = np.asarray(rhs, dtype=float) / self.scale
+        f = rhs_n[: self.split]
+        g = rhs_n[self.split :]
+
+        y_t = self.upper.solve(f, tally, rng)
+        g_t = self.tiles_a3.apply(y_t, self.fraction, tally, rng)
+        z = self.lower.solve(g - g_t, tally, rng)
+        f_t = self.tiles_a2.apply(z, self.fraction, tally, rng)
+        y = self.upper.solve(f - f_t, tally, rng)
+        return np.concatenate([y, z])
+
+
+def _build_node(block, depth_remaining, config, partition, fraction, rng):
+    block = np.asarray(block, dtype=float)
+    if block.shape[0] < 2:
+        return _DirectInvNode(block, config, fraction, rng)
+    if depth_remaining <= 1:
+        return _MacroNode(block, config, partition, fraction, rng)
+    return _DigitalGlueNode(block, depth_remaining, config, partition, fraction, rng)
+
+
+@dataclass(frozen=True)
+class PreparedMultiStage:
+    """A programmed multi-stage solver bound to one matrix."""
+
+    matrix: np.ndarray
+    root: object
+    stages: int
+
+    def solve(self, b: np.ndarray, rng=None) -> SolveResult:
+        """Solve ``A x = b`` on the programmed solver tree."""
+        n = self.matrix.shape[0]
+        b = check_vector(b, "b", size=n)
+        rng = as_generator(rng)
+
+        tally = _Tally()
+        x = self.root.solve(b, tally, rng)
+        self.root.count_resources(tally)
+
+        reference = np.linalg.solve(self.matrix, b)
+        return SolveResult(
+            x=x,
+            reference=reference,
+            solver=f"blockamc-{self.stages}stage",
+            operations=tuple(tally.operations),
+            metadata={
+                "stages": self.stages,
+                "macro_count": tally.macro_count,
+                "array_count": tally.array_count,
+                "device_count": tally.device_count,
+                "dac_conversions": tally.dac_conversions,
+                "adc_conversions": tally.adc_conversions,
+            },
+        )
+
+
+class MultiStageSolver:
+    """Recursive BlockAMC: ``stages`` levels of divide-and-conquer.
+
+    ``stages=1`` is the one-stage solver (a single macro); ``stages=2``
+    reproduces the paper's two-stage architecture.
+    """
+
+    def __init__(
+        self,
+        config: HardwareConfig | None = None,
+        stages: int = 2,
+        partition: PartitionSpec | None = None,
+        input_fraction: float = DEFAULT_INPUT_FRACTION,
+    ):
+        if stages < 1:
+            raise SolverError(f"stages must be >= 1, got {stages}")
+        self.config = config or HardwareConfig.ideal()
+        self.stages = stages
+        self.partition = partition or PartitionSpec()
+        self.input_fraction = input_fraction
+
+    @property
+    def name(self) -> str:
+        """Solver identifier used in reports."""
+        return f"blockamc-{self.stages}stage"
+
+    def prepare(self, matrix: np.ndarray, rng=None) -> PreparedMultiStage:
+        """Preprocess and program the whole solver tree for ``matrix``."""
+        matrix = check_square_matrix(matrix)
+        rng = as_generator(rng)
+        root = _build_node(
+            matrix, self.stages, self.config, self.partition, self.input_fraction, rng
+        )
+        return PreparedMultiStage(matrix=matrix, root=root, stages=self.stages)
+
+    def solve(self, matrix: np.ndarray, b: np.ndarray, rng=None) -> SolveResult:
+        """Program the solver tree and solve ``A x = b`` in one call."""
+        rng = as_generator(rng)
+        prepared = self.prepare(matrix, rng)
+        return prepared.solve(b, rng)

@@ -1,0 +1,232 @@
+"""Multi-array precision extension (compensated slicing).
+
+A single analog array cannot beat its programming error: with 5%
+relative variation every MVM is ~5% accurate, which caps how fast
+AMC-seeded refinement converges. The classic fix (Feinberg et al., the
+paper's ref. [15]) is to spread the matrix across multiple arrays so
+errors cancel. We implement the *closed-loop* variant, which matches
+how labs actually program crossbars:
+
+1. program array 0 with the normalized matrix ``A``;
+2. **read back** the actually-programmed values ``M0`` (a read-verify
+   pass — cheap, and the write-verify controller does it anyway);
+3. compute the residual ``R1 = A - M0`` digitally, rescale it to full
+   range (scale ``s1 = max|R1|``), and program array 1 with ``R1/s1``;
+4. repeat for as many slices as wanted.
+
+An MVM then evaluates ``A v ~ M0 v + s1 M1 v + s2 M2 v + ...`` with one
+analog operation per slice, summed digitally. Each slice's *relative*
+error applies to an ``s_k``-times smaller residual, so the matrix error
+shrinks geometrically: measured on a 12x12 Wishart with 5% variation,
+the uncompensated residual norm drops 0.13 -> 0.010 -> 0.0004 over
+three slices (tests pin these ratios).
+
+:func:`compensated_refinement` plugs this high-precision MVM into the
+iterative-refinement loop as the residual evaluator (corrections still
+come from the plain INV array), giving an *analog-dominant* solver
+whose accuracy is converter-limited instead of variation-limited.
+
+Caveat: slicing compensates *programming* error only. Per-operation
+error sources — op-amp offsets (times noise gain) and output noise —
+hit every slice alike and set the real floor (~0.5% with the default
+0.25 mV offsets). Hardware nulls them with chopper stabilization /
+auto-zeroing, modelled here as ``input_offset_sigma_v = 0``; the tests
+and the precision bench show both regimes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.amc.config import HardwareConfig
+from repro.amc.interfaces import ADC, DAC
+from repro.amc.ops import AMCOperations, OpResult
+from repro.core.common import DEFAULT_INPUT_FRACTION, auto_range, input_voltage_scale
+from repro.core.refinement import RefinementResult
+from repro.crossbar.array import CrossbarArray
+from repro.crossbar.mapping import normalize_matrix
+from repro.errors import SolverError
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_square_matrix, check_vector
+
+
+class CompensatedMVM:
+    """A matrix spread over ``slices`` arrays with residual compensation.
+
+    Build once (programs and read-verifies all slices), then call
+    :meth:`apply` for high-precision digital-in/digital-out products.
+    """
+
+    def __init__(
+        self,
+        matrix: np.ndarray,
+        config: HardwareConfig | None = None,
+        rng=None,
+        *,
+        slices: int = 2,
+        input_fraction: float = DEFAULT_INPUT_FRACTION,
+    ):
+        if slices < 1:
+            raise SolverError(f"slices must be >= 1, got {slices}")
+        matrix = check_square_matrix(matrix)
+        self.config = config or HardwareConfig.ideal()
+        self.ops = AMCOperations(self.config)
+        self.input_fraction = input_fraction
+        rng = as_generator(rng)
+
+        normalized, self.scale = normalize_matrix(matrix)
+        self._normalized = normalized
+        self.slices: list[tuple[CrossbarArray, float]] = []
+        # Telescoping construction: each slice stores (and its scale
+        # undoes) the read-verified residual of everything before it, so
+        # sum_k s_k M_k == normalized - final_residual.
+        residual = normalized
+        for _ in range(slices):
+            peak = float(np.max(np.abs(residual)))
+            if peak == 0.0:
+                break  # programmed exactly; no further slices needed
+            array = CrossbarArray.program(
+                residual / peak,
+                self.config.programming,
+                rng,
+                g_unit=self.config.g_unit,
+                pre_normalized=True,
+            )
+            self.slices.append((array, peak))
+            # Read-verify: the measured conductances of this slice.
+            measured = array.effective_matrix(self.config.parasitics)
+            residual = residual - peak * measured
+        self._final_residual = residual
+
+    @property
+    def slice_count(self) -> int:
+        """Number of programmed slice arrays."""
+        return len(self.slices)
+
+    @property
+    def residual_norm(self) -> float:
+        """Frobenius norm of the uncompensated matrix error (normalized).
+
+        This is the precision floor of :meth:`apply` before converter
+        effects; it shrinks geometrically with each slice.
+        """
+        return float(np.linalg.norm(self._final_residual))
+
+    def apply(self, v: np.ndarray, rng=None) -> tuple[np.ndarray, list[OpResult]]:
+        """High-precision product ``matrix @ v`` (original units).
+
+        One analog MVM per slice; partials are digitized and summed with
+        their slice scales. Returns the product and per-op telemetry.
+        """
+        n = self.slices[0][0].shape[1]
+        v = check_vector(v, "v", size=n)
+        rng = as_generator(rng)
+        dac = DAC(self.config.converters)
+        adc = ADC(self.config.converters)
+        v_fs = self.config.converters.v_fs
+
+        def run(k):
+            v_in = dac.convert(k * v)
+            total = np.zeros(n)
+            ops: list[OpResult] = []
+            peak = 0.0
+            for array, scale in self.slices:
+                op = self.ops.mvm(array, v_in, label=f"slice-mvm(s={scale:.3g})", rng=rng)
+                ops.append(op)
+                peak = max(peak, float(np.max(np.abs(op.output))))
+                total = total - adc.convert(op.output) * scale
+            return peak, (total, ops)
+
+        k0 = input_voltage_scale(v, v_fs, self.input_fraction)
+        (total, ops), k = auto_range(run, k0, v_fs)
+        return total * self.scale / k, ops
+
+
+@dataclass(frozen=True)
+class CompensatedRefinementResult:
+    """Refinement outcome plus the analog telemetry it consumed."""
+
+    refinement: RefinementResult
+    mvm_operations: int
+    inv_operations: int
+
+    @property
+    def x(self) -> np.ndarray:
+        """The refined solution."""
+        return self.refinement.x
+
+    @property
+    def converged(self) -> bool:
+        """Whether the target residual was reached."""
+        return self.refinement.converged
+
+
+def compensated_refinement(
+    matrix: np.ndarray,
+    b: np.ndarray,
+    config: HardwareConfig | None = None,
+    rng=None,
+    *,
+    slices: int = 2,
+    tol: float = 1e-6,
+    max_iterations: int = 50,
+    input_fraction: float = DEFAULT_INPUT_FRACTION,
+) -> CompensatedRefinementResult:
+    """Analog-dominant iterative refinement with compensated residuals.
+
+    The INV array provides O(sigma)-accurate corrections; the
+    ``slices``-deep compensated MVM provides O(sigma^slices)-accurate
+    residuals, so the loop contracts to a much deeper floor than plain
+    analog refinement with digital residuals would suggest is analog-
+    feasible. The digital host only subtracts vectors and tracks norms.
+    """
+    matrix = check_square_matrix(matrix)
+    b = check_vector(b, "b", size=matrix.shape[0])
+    config = config or HardwareConfig.ideal()
+    rng = as_generator(rng)
+
+    # Corrections come from the plain one-stage INV (programming once).
+    from repro.core.blockamc import BlockAMCSolver
+
+    prepared = BlockAMCSolver(config, input_fraction=input_fraction).prepare(matrix, rng)
+    mvm = CompensatedMVM(
+        matrix, config, rng, slices=slices, input_fraction=input_fraction
+    )
+
+    b_norm = float(np.linalg.norm(b))
+    x = np.zeros_like(b)
+    residuals = [1.0]
+    mvm_ops = 0
+    inv_ops = 0
+    converged = False
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        if np.any(x):
+            ax, ops = mvm.apply(x, rng)
+            mvm_ops += len(ops)
+        else:
+            ax = np.zeros_like(b)  # first pass: residual is b itself
+        r = b - ax
+        res = float(np.linalg.norm(r)) / b_norm
+        if res <= tol:
+            converged = True
+            iterations -= 1
+            break
+        correction = prepared.solve(r, rng)
+        inv_ops += len(correction.operations)
+        x = x + correction.x
+        res_after = float(np.linalg.norm(b - matrix @ x)) / b_norm
+        residuals.append(res_after)
+        if not np.isfinite(res_after):
+            break
+    else:
+        converged = residuals[-1] <= tol
+
+    refinement = RefinementResult(
+        x=x, iterations=iterations, residuals=tuple(residuals), converged=converged
+    )
+    return CompensatedRefinementResult(
+        refinement=refinement, mvm_operations=mvm_ops, inv_operations=inv_ops
+    )

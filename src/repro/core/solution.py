@@ -1,0 +1,65 @@
+"""Solver result container shared by all solvers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.amc.ops import OpResult
+from repro.analysis.metrics import paper_relative_error
+
+
+@dataclass(frozen=True)
+class SolveResult:
+    """Outcome of solving ``A x = b`` with one of the solvers.
+
+    Attributes
+    ----------
+    x:
+        The solver's solution.
+    reference:
+        Exact digital solution ``numpy.linalg.solve(A, b)``.
+    solver:
+        Human-readable solver name.
+    operations:
+        Telemetry of every analog operation executed (empty for digital
+        solvers).
+    metadata:
+        Solver-specific extras (scales, per-step references, resource
+        counts, conversion counts, ...).
+    """
+
+    x: np.ndarray
+    reference: np.ndarray
+    solver: str
+    operations: tuple[OpResult, ...] = ()
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        """Dimension of the solved system."""
+        return self.x.size
+
+    @property
+    def relative_error(self) -> float:
+        """The paper's Eq. 6 relative error vs. the digital reference."""
+        return paper_relative_error(self.reference, self.x)
+
+    @property
+    def analog_time_s(self) -> float:
+        """Sum of analog settling times over all operations."""
+        return float(sum(op.settling_time_s for op in self.operations))
+
+    @property
+    def operation_counts(self) -> dict[str, int]:
+        """Number of analog ops by kind (``{"inv": ..., "mvm": ...}``)."""
+        counts: dict[str, int] = {}
+        for op in self.operations:
+            counts[op.kind] = counts.get(op.kind, 0) + 1
+        return counts
+
+    @property
+    def saturated(self) -> bool:
+        """True when any analog op clipped at the op-amp rails."""
+        return any(op.saturated for op in self.operations)

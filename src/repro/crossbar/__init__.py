@@ -1,0 +1,44 @@
+"""Crossbar array substrate.
+
+Turns real-valued matrices into pairs of non-negative conductance arrays
+(the positive/negative split the paper describes in Sec. II), pushes them
+through the device-level programming pipeline, and models the interconnect
+(wire) resistance of the array.
+"""
+
+from repro.crossbar.array import CrossbarArray, ProgrammingConfig
+from repro.crossbar.mapping import (
+    MappedConductances,
+    map_to_conductances,
+    normalize_matrix,
+    split_signed,
+)
+from repro.crossbar.remapping import (
+    fault_aware_permutation,
+    fault_overlap,
+    remap_system,
+    unpermute_solution,
+)
+from repro.crossbar.parasitics import (
+    ParasiticConfig,
+    effective_conductance_matrix,
+    exact_effective_matrix,
+    first_order_effective_matrix,
+)
+
+__all__ = [
+    "CrossbarArray",
+    "MappedConductances",
+    "ParasiticConfig",
+    "ProgrammingConfig",
+    "effective_conductance_matrix",
+    "exact_effective_matrix",
+    "fault_aware_permutation",
+    "fault_overlap",
+    "first_order_effective_matrix",
+    "map_to_conductances",
+    "normalize_matrix",
+    "remap_system",
+    "split_signed",
+    "unpermute_solution",
+]

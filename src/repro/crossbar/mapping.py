@@ -1,0 +1,146 @@
+"""Matrix-to-conductance mapping.
+
+The paper maps a matrix onto RRAM arrays in three steps (Sec. II and IV):
+
+1. **Normalization** — the matrix is scaled "to make the largest element
+   equal to 1" so the largest magnitude maps onto the unit conductance
+   ``G0 = 100 uS``.
+2. **Signed split** — conductances are non-negative, so ``A`` is split as
+   ``A = A+ - A-`` with both parts non-negative, each stored in its own
+   array and combined differentially by the periphery.
+3. **Scaling to siemens** — normalized magnitudes multiply ``G0``.
+
+:func:`map_to_conductances` performs all three and records the scale
+factor so solvers can undo the normalization digitally (or, for Schur
+complement arrays, in-analog via the INV input conductance, see
+``repro.core.partition``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.devices.models import PAPER_G0_SIEMENS
+from repro.errors import MappingError
+from repro.utils.validation import check_matrix, check_positive
+
+
+def normalize_matrix(matrix: np.ndarray) -> tuple[np.ndarray, float]:
+    """Scale ``matrix`` so its largest absolute element equals 1.
+
+    Returns
+    -------
+    (normalized, scale):
+        ``matrix == scale * normalized`` with ``max |normalized| == 1``.
+
+    Raises
+    ------
+    MappingError
+        If the matrix is all zeros (nothing to map).
+    """
+    matrix = check_matrix(matrix)
+    scale = float(np.max(np.abs(matrix)))
+    if scale == 0.0:
+        raise MappingError("cannot normalize an all-zero matrix")
+    return matrix / scale, scale
+
+
+def split_signed(matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Split ``matrix`` into non-negative positive and negative parts.
+
+    ``matrix == pos - neg`` with ``pos, neg >= 0`` element-wise and with
+    disjoint supports (each cell stores at most one of the two parts, as
+    in the hardware's column-wise split).
+    """
+    matrix = check_matrix(matrix)
+    pos = np.clip(matrix, 0.0, None)
+    neg = np.clip(-matrix, 0.0, None)
+    return pos, neg
+
+
+@dataclass(frozen=True)
+class MappedConductances:
+    """Target conductances for one signed matrix.
+
+    Attributes
+    ----------
+    g_pos, g_neg:
+        Non-negative target conductance arrays (siemens) for the positive
+        and negative part of the matrix.
+    g_unit:
+        The unit conductance ``G0`` such that
+        ``matrix_normalized = (g_pos - g_neg) / g_unit``.
+    scale:
+        Normalization factor: ``matrix = scale * matrix_normalized``.
+    """
+
+    g_pos: np.ndarray
+    g_neg: np.ndarray
+    g_unit: float
+    scale: float
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Shape of the mapped matrix."""
+        return self.g_pos.shape
+
+    def reconstruct_normalized(self) -> np.ndarray:
+        """Return the normalized matrix these targets encode."""
+        return (self.g_pos - self.g_neg) / self.g_unit
+
+    def reconstruct(self) -> np.ndarray:
+        """Return the original (unnormalized) matrix these targets encode."""
+        return self.scale * self.reconstruct_normalized()
+
+
+def map_to_conductances(
+    matrix: np.ndarray,
+    g_unit: float = PAPER_G0_SIEMENS,
+    *,
+    pre_normalized: bool = False,
+    scale: float = 1.0,
+) -> MappedConductances:
+    """Map a real matrix to target conductances of the dual-array scheme.
+
+    Parameters
+    ----------
+    matrix:
+        The matrix to map. Unless ``pre_normalized`` is set it is first
+        normalized so ``max |a_ij| = 1``.
+    g_unit:
+        Unit conductance ``G0`` (paper: 100 uS).
+    pre_normalized:
+        When True, ``matrix`` is taken as already normalized and ``scale``
+        supplies the normalization factor. BlockAMC uses this to map the
+        four blocks of a globally-normalized matrix without renormalizing
+        each block (which would change the algorithm's arithmetic).
+    scale:
+        Normalization factor accompanying a pre-normalized matrix.
+
+    Raises
+    ------
+    MappingError
+        If a pre-normalized matrix has entries exceeding 1 in magnitude
+        by more than a tiny tolerance (it would need conductance > G0).
+    """
+    check_positive(g_unit, "g_unit")
+    if pre_normalized:
+        normalized = check_matrix(matrix)
+        peak = float(np.max(np.abs(normalized)))
+        if peak > 1.0 + 1e-9:
+            raise MappingError(
+                f"pre-normalized matrix has peak magnitude {peak:.6g} > 1; "
+                "renormalize (e.g. give the Schur array its own scale)"
+            )
+        scale = check_positive(scale, "scale")
+    else:
+        normalized, scale = normalize_matrix(matrix)
+    pos, neg = split_signed(normalized)
+    return MappedConductances(
+        g_pos=pos * g_unit,
+        g_neg=neg * g_unit,
+        g_unit=g_unit,
+        scale=scale,
+    )

@@ -1,0 +1,141 @@
+"""Fault-aware matrix remapping.
+
+The paper motivates partitioning partly with yield: cells "may get
+stuck in the ON or OFF state". When a fault map is known (from a
+post-programming read-verify pass), the damage can be reduced *before*
+solving by permuting the matrix so that large-magnitude entries avoid
+faulty cells:
+
+    P A Q  mapped to the (faulty) array,
+    solve (P A Q) y = P b, recover x = Q y.
+
+Row/column permutations are free in the digital preprocessing step and
+do not change the solution — only which entry lands on which cell.
+:func:`fault_aware_permutation` runs a greedy assignment that minimizes
+the total |entry| * fault indicator, and :func:`remap_system` applies
+the permutations.
+
+This is an extension beyond the paper (its fault story stops at
+motivation). Caveats: minimizing the magnitude on faulty cells directly
+bounds the *forward* (MVM) error; for INV the sensitivity to a given
+cell also depends on the inverse's structure, so remapping helps on
+average but is not guaranteed per instance — the fault ablation bench
+reports both.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MappingError
+from repro.utils.validation import check_square_matrix, check_vector
+
+
+def _greedy_assignment(cost: np.ndarray) -> np.ndarray:
+    """Greedy row assignment minimizing total cost.
+
+    Picks the (row, slot) pair with the smallest cost first; O(n^2 log n)
+    and within a few percent of the Hungarian optimum for the sparse,
+    few-large-entries cost maps fault remapping produces.
+    """
+    n = cost.shape[0]
+    order = np.dstack(np.unravel_index(np.argsort(cost, axis=None), cost.shape))[0]
+    assignment = np.full(n, -1)
+    used_slots = np.zeros(n, dtype=bool)
+    assigned = 0
+    for row, slot in order:
+        if assignment[row] == -1 and not used_slots[slot]:
+            assignment[row] = slot
+            used_slots[slot] = True
+            assigned += 1
+            if assigned == n:
+                break
+    return assignment
+
+
+def fault_aware_permutation(
+    matrix: np.ndarray,
+    fault_mask: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Choose row/column permutations steering weight away from faults.
+
+    Parameters
+    ----------
+    matrix:
+        The (square) matrix to map.
+    fault_mask:
+        Boolean array, True where the physical cell is stuck. The mask
+        indexes *physical* positions; entry ``(i, j)`` of the permuted
+        matrix lands on physical cell ``(i, j)``.
+
+    Returns
+    -------
+    (row_perm, col_perm):
+        Index arrays such that ``matrix[row_perm][:, col_perm]`` places
+        small-magnitude entries on faulty cells. Two greedy passes: rows
+        are matched to physical rows minimizing |entry| mass on faulty
+        cells (with columns identity), then columns likewise.
+    """
+    matrix = check_square_matrix(matrix)
+    fault_mask = np.asarray(fault_mask, dtype=bool)
+    if fault_mask.shape != matrix.shape:
+        raise MappingError(
+            f"fault mask shape {fault_mask.shape} != matrix shape {matrix.shape}"
+        )
+    n = matrix.shape[0]
+    weight = np.abs(matrix)
+    fault = fault_mask.astype(float)
+
+    # Cost of placing logical row r on physical row i: overlap of the
+    # row's weight with row i's fault pattern.
+    row_cost = weight @ fault.T  # (logical r, physical i)
+    row_assignment = _greedy_assignment(row_cost.T).argsort()  # logical -> physical
+    # Build row_perm such that permuted[i] = matrix[row_perm[i]].
+    row_perm = np.empty(n, dtype=int)
+    for logical, physical in enumerate(row_assignment):
+        row_perm[physical] = logical
+
+    permuted_rows = weight[row_perm]
+    col_cost = permuted_rows.T @ fault  # (logical c, physical j)
+    col_assignment = _greedy_assignment(col_cost.T).argsort()
+    col_perm = np.empty(n, dtype=int)
+    for logical, physical in enumerate(col_assignment):
+        col_perm[physical] = logical
+
+    return row_perm, col_perm
+
+
+def remap_system(
+    matrix: np.ndarray,
+    b: np.ndarray,
+    row_perm: np.ndarray,
+    col_perm: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Apply the permutations: returns ``(P A Q, P b)``.
+
+    Solve the permuted system, then recover the original solution with
+    :func:`unpermute_solution`.
+    """
+    matrix = check_square_matrix(matrix)
+    b = check_vector(b, "b", size=matrix.shape[0])
+    return matrix[row_perm][:, col_perm], b[row_perm]
+
+
+def unpermute_solution(y: np.ndarray, col_perm: np.ndarray) -> np.ndarray:
+    """Undo the column permutation on the permuted system's solution.
+
+    If ``(P A Q) y = P b`` then ``x = Q y``, i.e. ``x[col_perm[k]] = y[k]``.
+    """
+    y = check_vector(y, "y")
+    col_perm = np.asarray(col_perm, dtype=int)
+    if col_perm.size != y.size:
+        raise MappingError(f"permutation length {col_perm.size} != solution {y.size}")
+    x = np.empty_like(y)
+    x[col_perm] = y
+    return x
+
+
+def fault_overlap(matrix: np.ndarray, fault_mask: np.ndarray) -> float:
+    """Total |entry| magnitude sitting on faulty cells (the remap target)."""
+    matrix = check_square_matrix(matrix)
+    return float(np.sum(np.abs(matrix)[np.asarray(fault_mask, dtype=bool)]))

@@ -1,0 +1,44 @@
+"""RRAM device substrate.
+
+Models the analog resistive memory cells the paper maps matrices onto:
+
+- :class:`~repro.devices.models.DeviceSpec` — conductance window, number of
+  programmable levels, leakage of the OFF state;
+- variation models (:mod:`repro.devices.variations`) — the paper assumes
+  Gaussian programming variation with sigma = 0.05 * G0 achieved through a
+  write-and-verify scheme;
+- :mod:`repro.devices.quantization` — finite conductance levels (e.g. the
+  64-level TiOx devices the paper cites);
+- :mod:`repro.devices.programming` — an explicit write-and-verify pulse
+  loop, used to justify the Gaussian residual-error model;
+- :mod:`repro.devices.faults` — stuck-at-ON / stuck-at-OFF cells.
+"""
+
+from repro.devices.faults import StuckFaultModel
+from repro.devices.models import DeviceSpec
+from repro.devices.presets import DEVICE_PRESETS, DriftModel, get_preset
+from repro.devices.programming import ProgrammingResult, write_verify
+from repro.devices.quantization import quantize_conductance
+from repro.devices.variations import (
+    GaussianVariation,
+    LognormalVariation,
+    NoVariation,
+    RelativeGaussianVariation,
+    VariationModel,
+)
+
+__all__ = [
+    "DEVICE_PRESETS",
+    "DeviceSpec",
+    "DriftModel",
+    "GaussianVariation",
+    "LognormalVariation",
+    "NoVariation",
+    "ProgrammingResult",
+    "RelativeGaussianVariation",
+    "StuckFaultModel",
+    "VariationModel",
+    "get_preset",
+    "quantize_conductance",
+    "write_verify",
+]

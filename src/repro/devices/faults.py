@@ -1,0 +1,76 @@
+"""Stuck-at fault injection.
+
+The paper motivates partitioning partly with yield: "memory cells may get
+stuck in the ON or OFF state, losing the tunability of conductance states".
+:class:`StuckFaultModel` injects such cells into a programmed conductance
+array so fault-tolerance experiments can quantify the effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.devices.models import DeviceSpec
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_probability
+
+
+@dataclass(frozen=True)
+class StuckFaultModel:
+    """Random stuck-at-ON / stuck-at-OFF cell faults.
+
+    Parameters
+    ----------
+    p_stuck_on:
+        Probability that a cell is stuck at ``g_max`` (always ON).
+    p_stuck_off:
+        Probability that a cell is stuck at ``g_off`` (always OFF).
+
+    The two fault classes are disjoint; their probabilities must sum to at
+    most 1.
+    """
+
+    p_stuck_on: float = 0.0
+    p_stuck_off: float = 0.0
+
+    def __post_init__(self):
+        check_probability(self.p_stuck_on, "p_stuck_on")
+        check_probability(self.p_stuck_off, "p_stuck_off")
+        if self.p_stuck_on + self.p_stuck_off > 1.0:
+            raise ValueError("p_stuck_on + p_stuck_off must be <= 1")
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when no faults would ever be injected."""
+        return self.p_stuck_on == 0.0 and self.p_stuck_off == 0.0
+
+    def apply(self, conductance: np.ndarray, spec: DeviceSpec, rng=None) -> np.ndarray:
+        """Overwrite randomly chosen cells with stuck values.
+
+        Parameters
+        ----------
+        conductance:
+            Programmed conductances (siemens).
+        spec:
+            Device envelope providing the stuck values (``g_max`` for ON,
+            ``g_off`` for OFF).
+        rng:
+            Seed or generator.
+
+        Returns
+        -------
+        numpy.ndarray
+            A new array with faults injected (input is not modified).
+        """
+        conductance = np.asarray(conductance, dtype=float)
+        if self.is_trivial:
+            return conductance.copy()
+        rng = as_generator(rng)
+        draw = rng.random(conductance.shape)
+        out = conductance.copy()
+        out[draw < self.p_stuck_on] = spec.g_max
+        off_band = (draw >= self.p_stuck_on) & (draw < self.p_stuck_on + self.p_stuck_off)
+        out[off_band] = spec.g_off
+        return out

@@ -1,0 +1,114 @@
+"""RRAM device specification.
+
+The paper treats each RRAM cell as "a resistor with a specific conductance
+given by matrix mapping" (Sec. IV). A :class:`DeviceSpec` captures the
+physical envelope that mapping must respect: the programmable conductance
+window ``[g_min, g_max]``, an optional number of discrete levels, and the
+residual OFF-state leakage ``g_off`` of cells meant to store exact zeros.
+
+The paper's reference configuration uses a unit conductance
+``G0 = 100 uS`` and normalizes matrices so the largest element maps to
+``G0``; :func:`DeviceSpec.paper_reference` reproduces that setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DeviceError
+from repro.utils.validation import check_positive
+
+#: Unit conductance used throughout the paper (100 microsiemens).
+PAPER_G0_SIEMENS = 100e-6
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Physical envelope of one analog RRAM cell.
+
+    Parameters
+    ----------
+    g_min:
+        Smallest programmable ON conductance, in siemens.
+    g_max:
+        Largest programmable conductance, in siemens.
+    g_off:
+        Leakage conductance of a cell left in the OFF state (stores "0").
+        Real HRS cells are never perfect opens; 0 models an ideal open.
+    levels:
+        Number of discrete programmable levels between ``g_min`` and
+        ``g_max`` (inclusive). ``None`` means continuously tunable analog
+        conductance, which is what the paper assumes.
+    """
+
+    g_min: float = 1e-6
+    g_max: float = PAPER_G0_SIEMENS
+    g_off: float = 0.0
+    levels: int | None = None
+
+    def __post_init__(self):
+        check_positive(self.g_max, "g_max")
+        check_positive(self.g_min, "g_min")
+        if self.g_min >= self.g_max:
+            raise DeviceError(f"g_min ({self.g_min}) must be < g_max ({self.g_max})")
+        if self.g_off < 0.0:
+            raise DeviceError(f"g_off must be >= 0, got {self.g_off}")
+        if self.g_off >= self.g_min:
+            raise DeviceError("g_off must be below g_min (OFF must be distinguishable)")
+        if self.levels is not None and self.levels < 2:
+            raise DeviceError(f"levels must be >= 2 or None, got {self.levels}")
+
+    @classmethod
+    def paper_reference(cls) -> "DeviceSpec":
+        """The device envelope used for the paper's simulations.
+
+        Continuous analog conductance up to ``G0 = 100 uS`` with an ideal
+        OFF state and an effectively unbounded lower level — the paper
+        treats each cell as "a resistor with a specific conductance given
+        by matrix mapping", so mapping itself is exact and non-ideality
+        enters only through the variation/parasitic models. Use
+        :meth:`finite_window` for realistic-window ablations.
+        """
+        return cls(g_min=PAPER_G0_SIEMENS * 1e-9, g_max=PAPER_G0_SIEMENS, g_off=0.0, levels=None)
+
+    @classmethod
+    def finite_window(cls, dynamic_range: float = 100.0, levels: int | None = None) -> "DeviceSpec":
+        """A realistic programmable window (ablation studies).
+
+        ``g_min = g_max / dynamic_range``; matrix entries smaller than
+        half the bottom level are dropped to OFF by the mapping, a real
+        RRAM limitation the paper's model ignores.
+        """
+        return cls(
+            g_min=PAPER_G0_SIEMENS / dynamic_range,
+            g_max=PAPER_G0_SIEMENS,
+            g_off=0.0,
+            levels=levels,
+        )
+
+    @property
+    def dynamic_range(self) -> float:
+        """Ratio ``g_max / g_min`` of the programmable window."""
+        return self.g_max / self.g_min
+
+    def contains(self, conductance: np.ndarray) -> np.ndarray:
+        """Element-wise mask: is each value programmable (or exactly OFF)?"""
+        g = np.asarray(conductance, dtype=float)
+        in_window = (g >= self.g_min) & (g <= self.g_max)
+        is_off = g == self.g_off
+        return in_window | is_off
+
+    def clip(self, conductance: np.ndarray) -> np.ndarray:
+        """Clip targets into the programmable window, keeping exact OFF cells.
+
+        Values below ``g_min / 2`` are treated as intentional zeros and
+        mapped to ``g_off``; everything else is clipped into
+        ``[g_min, g_max]``. This mirrors how a programming controller would
+        decide between "leave the cell OFF" and "program the smallest level".
+        """
+        g = np.asarray(conductance, dtype=float)
+        clipped = np.clip(g, self.g_min, self.g_max)
+        off_mask = g < (self.g_min / 2.0)
+        return np.where(off_mask, self.g_off, clipped)

@@ -1,0 +1,139 @@
+"""Device family presets and conductance drift.
+
+The paper's Sec. II surveys the resistive memory families usable for
+AMC — RRAM, PCM, MRAM, FTJ, FeFET — and picks analog RRAM. These
+presets parameterize the alternatives so the same experiments can be
+re-run against a different device technology, and add the conductance
+*drift* model that makes PCM the interesting counterpoint: programmed
+PCM conductance decays as a power law
+
+    g(t) = g0 * (t / t0) ** (-nu)
+
+(nu ~ 0.05 typically), so a matrix programmed once degrades over time —
+an effect absent from the paper but decisive for deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.devices.models import PAPER_G0_SIEMENS, DeviceSpec
+from repro.errors import DeviceError
+from repro.utils.validation import check_positive
+
+
+def rram_preset() -> DeviceSpec:
+    """Analog filamentary RRAM — the paper's choice (continuous levels)."""
+    return DeviceSpec.paper_reference()
+
+
+def rram_64_level_preset() -> DeviceSpec:
+    """TiOx RRAM with 64 programmable levels (the paper's ref. [21])."""
+    return DeviceSpec.finite_window(dynamic_range=100.0, levels=64)
+
+
+def pcm_preset() -> DeviceSpec:
+    """Phase-change memory: wide window, quasi-analog SET staircase.
+
+    PCM offers a larger dynamic range than filamentary RRAM but drifts
+    (see :class:`DriftModel`); ~16 reliably distinguishable levels.
+    """
+    return DeviceSpec(
+        g_min=PAPER_G0_SIEMENS / 300.0,
+        g_max=PAPER_G0_SIEMENS,
+        g_off=0.0,
+        levels=16,
+    )
+
+
+def mram_preset() -> DeviceSpec:
+    """Spin-transfer-torque MRAM: binary, high conductance, no drift.
+
+    Two levels only — usable for AMC solely through bit-sliced or
+    binary-matrix mappings; included to show why the paper dismisses it
+    for analog matrix storage.
+    """
+    return DeviceSpec(
+        g_min=PAPER_G0_SIEMENS / 3.0,
+        g_max=PAPER_G0_SIEMENS,
+        g_off=0.0,
+        levels=2,
+    )
+
+
+def fefet_preset() -> DeviceSpec:
+    """FeFET: moderate analog capability (~32 levels), good retention."""
+    return DeviceSpec(
+        g_min=PAPER_G0_SIEMENS / 100.0,
+        g_max=PAPER_G0_SIEMENS,
+        g_off=0.0,
+        levels=32,
+    )
+
+
+#: All presets by family name.
+DEVICE_PRESETS = {
+    "rram": rram_preset,
+    "rram-64": rram_64_level_preset,
+    "pcm": pcm_preset,
+    "mram": mram_preset,
+    "fefet": fefet_preset,
+}
+
+
+def get_preset(family: str) -> DeviceSpec:
+    """Look up a device family preset by name."""
+    try:
+        return DEVICE_PRESETS[family]()
+    except KeyError:
+        raise DeviceError(
+            f"unknown device family {family!r}; available: {sorted(DEVICE_PRESETS)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class DriftModel:
+    """Power-law conductance drift ``g(t) = g0 (t/t0)^-nu``.
+
+    Parameters
+    ----------
+    nu:
+        Drift exponent (PCM: ~0.03-0.1; RRAM: ~0; set 0 to disable).
+    t0:
+        Reference time at which the programmed value was verified
+        (seconds).
+    """
+
+    nu: float = 0.05
+    t0: float = 1.0
+
+    def __post_init__(self):
+        if self.nu < 0.0:
+            raise DeviceError(f"nu must be >= 0, got {self.nu}")
+        check_positive(self.t0, "t0")
+
+    @classmethod
+    def pcm_typical(cls) -> "DriftModel":
+        """Typical as-measured PCM drift (nu = 0.05, verified at 1 s)."""
+        return cls(nu=0.05, t0=1.0)
+
+    @classmethod
+    def none(cls) -> "DriftModel":
+        """No drift (ideal retention)."""
+        return cls(nu=0.0)
+
+    def apply(self, conductance: np.ndarray, elapsed_s: float) -> np.ndarray:
+        """Conductances after ``elapsed_s`` seconds since verification.
+
+        Times earlier than ``t0`` return the programmed values (drift is
+        referenced to the verify read).
+        """
+        if elapsed_s < 0.0:
+            raise DeviceError(f"elapsed_s must be >= 0, got {elapsed_s}")
+        conductance = np.asarray(conductance, dtype=float)
+        if self.nu == 0.0 or elapsed_s <= self.t0:
+            return conductance.copy()
+        factor = (elapsed_s / self.t0) ** (-self.nu)
+        return conductance * factor

@@ -1,0 +1,57 @@
+"""Conductance-level quantization.
+
+Analog RRAM cells offer a finite number of distinguishable conductance
+levels (the paper cites 64-level TiOx devices). When a
+:class:`~repro.devices.models.DeviceSpec` declares ``levels``, mapped
+conductances snap to the nearest level before variation is applied.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.devices.models import DeviceSpec
+
+
+def level_grid(spec: DeviceSpec) -> np.ndarray:
+    """Return the array of programmable conductance levels for ``spec``.
+
+    Levels are uniformly spaced in conductance between ``g_min`` and
+    ``g_max`` (linear spacing is what incremental-pulse programming with
+    verify produces). Raises ``ValueError`` for continuous devices.
+    """
+    if spec.levels is None:
+        raise ValueError("device is continuously tunable; no level grid exists")
+    return np.linspace(spec.g_min, spec.g_max, spec.levels)
+
+
+def quantize_conductance(target: np.ndarray, spec: DeviceSpec) -> np.ndarray:
+    """Snap target conductances to the nearest programmable level.
+
+    OFF cells (``target == spec.g_off``, typically 0) are preserved
+    exactly; everything else snaps to the closest entry of
+    :func:`level_grid`. For continuous devices the targets are returned
+    unchanged (after clipping into the window).
+
+    Parameters
+    ----------
+    target:
+        Target conductances in siemens (already inside the device window,
+        e.g. produced by ``DeviceSpec.clip``).
+    spec:
+        Device envelope.
+    """
+    target = np.asarray(target, dtype=float)
+    if spec.levels is None:
+        return spec.clip(target)
+    grid = level_grid(spec)
+    off_mask = target == spec.g_off
+    clipped = np.clip(target, spec.g_min, spec.g_max)
+    # For each element find the nearest grid point; grid is sorted so use
+    # searchsorted and compare the two neighbours.
+    idx = np.searchsorted(grid, clipped)
+    idx = np.clip(idx, 1, grid.size - 1)
+    left = grid[idx - 1]
+    right = grid[idx]
+    snapped = np.where(np.abs(clipped - left) <= np.abs(right - clipped), left, right)
+    return np.where(off_mask, spec.g_off, snapped)

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the BlockAMC reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+base class. Subclasses mark the subsystem that raised them; each carries a
+human-readable message describing which constraint was violated.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by this library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (bad shape, dtype, range, ...)."""
+
+
+class DeviceError(ReproError):
+    """A device model constraint was violated (conductance range, levels)."""
+
+
+class ProgrammingError(DeviceError):
+    """Write-and-verify programming could not reach the target conductance."""
+
+
+class MappingError(ReproError):
+    """A matrix could not be mapped onto a crossbar array."""
+
+
+class CircuitError(ReproError):
+    """The circuit netlist is malformed or cannot be solved."""
+
+
+class SingularCircuitError(CircuitError):
+    """The MNA system is singular (floating node, broken feedback, ...)."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative routine failed to converge within its iteration budget."""
+
+
+class PartitionError(ReproError):
+    """A block partition request is invalid for the given matrix."""
+
+
+class SolverError(ReproError):
+    """A solver could not produce a solution (singular block, saturation)."""
+
+
+class ScheduleError(ReproError):
+    """The macro scheduler was asked to do something the hardware cannot."""
+
+
+class CostModelError(ReproError):
+    """The area/power model received an unknown component or architecture."""

@@ -1,0 +1,37 @@
+"""Shared utilities: argument validation, linear-algebra helpers, RNG fan-out."""
+
+from repro.utils.linalg import (
+    block_join,
+    block_split,
+    condition_number,
+    is_square,
+    relative_l2_error,
+    schur_complement,
+)
+from repro.utils.rng import RngStream, as_generator, spawn_generators
+from repro.utils.validation import (
+    check_in_range,
+    check_matrix,
+    check_positive,
+    check_probability,
+    check_square_matrix,
+    check_vector,
+)
+
+__all__ = [
+    "RngStream",
+    "as_generator",
+    "block_join",
+    "block_split",
+    "check_in_range",
+    "check_matrix",
+    "check_positive",
+    "check_probability",
+    "check_square_matrix",
+    "check_vector",
+    "condition_number",
+    "is_square",
+    "relative_l2_error",
+    "schur_complement",
+    "spawn_generators",
+]

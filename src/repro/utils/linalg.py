@@ -1,0 +1,125 @@
+"""Small linear-algebra helpers used across the library.
+
+These wrap the handful of block-matrix identities the BlockAMC algorithm
+relies on (2x2 block split/join and the Schur complement), plus norms used
+by analysis code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PartitionError, ValidationError
+from repro.utils.validation import check_square_matrix, check_vector
+
+
+def is_square(matrix: np.ndarray) -> bool:
+    """Return True when ``matrix`` is 2-D with equal dimensions."""
+    matrix = np.asarray(matrix)
+    return matrix.ndim == 2 and matrix.shape[0] == matrix.shape[1]
+
+
+def block_split(matrix: np.ndarray, split: int) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Split a square matrix into the four blocks used by BlockAMC.
+
+    Parameters
+    ----------
+    matrix:
+        Square ``n x n`` matrix.
+    split:
+        Size ``k`` of the leading block ``A1`` (``0 < k < n``).
+
+    Returns
+    -------
+    tuple
+        ``(A1, A2, A3, A4)`` with shapes ``(k,k), (k,n-k), (n-k,k), (n-k,n-k)``.
+    """
+    matrix = check_square_matrix(matrix)
+    n = matrix.shape[0]
+    if not 0 < split < n:
+        raise PartitionError(f"split must satisfy 0 < split < {n}, got {split}")
+    a1 = matrix[:split, :split]
+    a2 = matrix[:split, split:]
+    a3 = matrix[split:, :split]
+    a4 = matrix[split:, split:]
+    return a1, a2, a3, a4
+
+
+def block_join(a1: np.ndarray, a2: np.ndarray, a3: np.ndarray, a4: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`block_split`: reassemble four blocks into one matrix."""
+    a1 = np.asarray(a1, dtype=float)
+    a2 = np.asarray(a2, dtype=float)
+    a3 = np.asarray(a3, dtype=float)
+    a4 = np.asarray(a4, dtype=float)
+    if a1.shape[0] != a2.shape[0] or a3.shape[0] != a4.shape[0]:
+        raise PartitionError("row counts of (A1,A2) and of (A3,A4) must match")
+    if a1.shape[1] != a3.shape[1] or a2.shape[1] != a4.shape[1]:
+        raise PartitionError("column counts of (A1,A3) and of (A2,A4) must match")
+    return np.block([[a1, a2], [a3, a4]])
+
+
+def schur_complement(a1: np.ndarray, a2: np.ndarray, a3: np.ndarray, a4: np.ndarray) -> np.ndarray:
+    """Schur complement ``A4s = A4 - A3 A1^-1 A2`` of the leading block.
+
+    Raises
+    ------
+    PartitionError
+        If ``A1`` is numerically singular (the BlockAMC partition requires
+        an invertible leading block).
+    """
+    a1 = check_square_matrix(a1, "A1")
+    try:
+        inv_a1_a2 = np.linalg.solve(a1, a2)
+    except np.linalg.LinAlgError as exc:
+        raise PartitionError("leading block A1 is singular; choose another split") from exc
+    return np.asarray(a4, dtype=float) - np.asarray(a3, dtype=float) @ inv_a1_a2
+
+
+def embed_complex_system(matrix: np.ndarray, rhs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Embed a complex linear system into an equivalent real one.
+
+    ``(R + jI)(x_r + j x_i) = b_r + j b_i`` becomes::
+
+        [ R  -I ] [ x_r ]   [ b_r ]
+        [ I   R ] [ x_i ] = [ b_i ]
+
+    which AMC hardware (real conductances) can solve directly — the
+    standard trick for complex workloads such as massive-MIMO precoding
+    (the application the authors' prior work [9] targets). Use
+    :func:`extract_complex_solution` to fold the solution back.
+    """
+    matrix = np.asarray(matrix, dtype=complex)
+    rhs = np.asarray(rhs, dtype=complex)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValidationError(f"matrix must be square, got shape {matrix.shape}")
+    if rhs.ndim != 1 or rhs.size != matrix.shape[0]:
+        raise ValidationError(f"rhs must have length {matrix.shape[0]}")
+    real, imag = matrix.real, matrix.imag
+    embedded = np.block([[real, -imag], [imag, real]])
+    stacked = np.concatenate([rhs.real, rhs.imag])
+    return embedded, stacked
+
+
+def extract_complex_solution(solution: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`embed_complex_system` on the solution vector."""
+    solution = check_vector(solution, "solution")
+    if solution.size % 2 != 0:
+        raise ValidationError("embedded solution must have even length")
+    half = solution.size // 2
+    return solution[:half] + 1j * solution[half:]
+
+
+def condition_number(matrix: np.ndarray) -> float:
+    """2-norm condition number, ``inf`` for singular matrices."""
+    matrix = check_square_matrix(matrix)
+    return float(np.linalg.cond(matrix, 2))
+
+
+def relative_l2_error(reference: np.ndarray, actual: np.ndarray) -> float:
+    """``||actual - reference||_2 / ||reference||_2`` with a zero-safe guard."""
+    reference = check_vector(reference, "reference")
+    actual = check_vector(actual, "actual", size=reference.size)
+    denom = float(np.linalg.norm(reference))
+    if denom == 0.0:
+        raise ValidationError("reference vector must be non-zero")
+    return float(np.linalg.norm(actual - reference) / denom)

@@ -1,0 +1,31 @@
+"""Benchmark workloads: the paper's matrix families and experiment suites."""
+
+from repro.workloads.matrices import (
+    diagonally_dominant_matrix,
+    random_invertible_matrix,
+    random_vector,
+    toeplitz_matrix,
+    wishart_matrix,
+)
+from repro.workloads.pde import poisson_1d, poisson_2d, poisson_rhs_1d
+from repro.workloads.suites import (
+    PAPER_SIZES,
+    ExperimentSuite,
+    get_suite,
+    list_suites,
+)
+
+__all__ = [
+    "ExperimentSuite",
+    "PAPER_SIZES",
+    "diagonally_dominant_matrix",
+    "get_suite",
+    "list_suites",
+    "poisson_1d",
+    "poisson_2d",
+    "poisson_rhs_1d",
+    "random_invertible_matrix",
+    "random_vector",
+    "toeplitz_matrix",
+    "wishart_matrix",
+]

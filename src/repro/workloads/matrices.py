@@ -1,0 +1,177 @@
+"""Matrix and vector generators for the paper's benchmarks.
+
+Two families drive the evaluation (Sec. IV):
+
+- **Wishart** matrices ``A = X^T X`` with Gaussian ``X`` (m x n) — random
+  symmetric positive definite systems from statistical physics and
+  engineering. The aspect ratio ``m / n`` controls conditioning (closer
+  to 1 is harder); the paper leaves it unspecified, we default to 2.
+- **Toeplitz** matrices — constant along diagonals, as in cyclic
+  convolution and discrete Fourier applications. We generate symmetric
+  Toeplitz systems with positive, polynomially decaying first-row
+  coefficients: the slowly decaying tail makes conditioning deteriorate
+  with size, reproducing the paper's observation that large Toeplitz
+  systems are much harder for a monolithic AMC solver.
+
+All generators take a seed/Generator and are deterministic given one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import toeplitz as _toeplitz
+
+from repro.errors import ValidationError
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive
+
+
+def _check_size(n: int) -> int:
+    if not isinstance(n, (int, np.integer)) or n < 1:
+        raise ValidationError(f"matrix size must be a positive integer, got {n}")
+    return int(n)
+
+
+def wishart_matrix(n: int, rng=None, aspect: float = 2.0) -> np.ndarray:
+    """Random Wishart matrix ``A = X^T X`` with ``X`` of shape ``(m, n)``.
+
+    Parameters
+    ----------
+    n:
+        Output matrix size.
+    rng:
+        Seed or generator.
+    aspect:
+        Row ratio ``m = ceil(aspect * n)``; must be >= 1 so the result is
+        almost surely positive definite.
+    """
+    n = _check_size(n)
+    check_positive(aspect, "aspect")
+    if aspect < 1.0:
+        raise ValidationError(f"aspect must be >= 1 for an invertible Wishart, got {aspect}")
+    rng = as_generator(rng)
+    m = int(np.ceil(aspect * n))
+    x = rng.normal(0.0, 1.0, size=(m, n))
+    return x.T @ x
+
+
+def toeplitz_matrix(
+    n: int,
+    rng=None,
+    *,
+    decay: float = 0.75,
+    dominance: float = 0.5,
+    symmetric: bool = True,
+    condition_cap: float | None = 300.0,
+) -> np.ndarray:
+    """Random symmetric (or general) Toeplitz matrix with decaying tail.
+
+    The first row is ``a_0 = 1`` and ``a_k = dominance * u_k /
+    (k + 1)^decay`` with ``u_k ~ U(0.5, 1.5)``. With the default
+    ``decay = 0.75`` the off-diagonal mass grows with size, so small
+    systems are comfortably diagonally dominant (condition ~5 at 8x8)
+    while large ones are not (condition ~100 at 512x512) — the
+    conditioning trend behind the paper's Fig. 7(b).
+
+    Parameters
+    ----------
+    n:
+        Matrix size.
+    rng:
+        Seed or generator.
+    decay:
+        Polynomial decay exponent of the diagonals (> 0).
+    dominance:
+        Magnitude of the first off-diagonal relative to the main one.
+    symmetric:
+        Use the same coefficients for rows and columns (default); when
+        False an independent first column is drawn.
+    condition_cap:
+        Redraw (up to 40 times) while the condition number exceeds this
+        cap, then return the best draw seen. The random coefficients
+        occasionally produce a symbol that nearly vanishes, yielding
+        conditions in the thousands; such draws make *every* solver
+        fail catastrophically and would bury the size trend under
+        outliers. ``None`` disables the cap.
+    """
+    n = _check_size(n)
+    check_positive(decay, "decay")
+    check_positive(dominance, "dominance")
+    if condition_cap is not None:
+        check_positive(condition_cap, "condition_cap")
+    rng = as_generator(rng)
+
+    def draw() -> np.ndarray:
+        k = np.arange(1, n, dtype=float)
+
+        def tail() -> np.ndarray:
+            u = rng.uniform(0.5, 1.5, size=n - 1)
+            return dominance * u / (k + 1.0) ** decay
+
+        first_row = np.concatenate([[1.0], tail()])
+        first_col = first_row if symmetric else np.concatenate([[1.0], tail()])
+        return _toeplitz(first_col, first_row)
+
+    if condition_cap is None:
+        return draw()
+
+    def cond_of(matrix: np.ndarray) -> float:
+        if symmetric:  # eigvalsh is much cheaper than an SVD at 512
+            eigenvalues = np.abs(np.linalg.eigvalsh(matrix))
+            lo = float(np.min(eigenvalues))
+            return float(np.max(eigenvalues)) / lo if lo > 0.0 else np.inf
+        return float(np.linalg.cond(matrix))
+
+    best = None
+    best_cond = np.inf
+    for _ in range(40):
+        candidate = draw()
+        cond = cond_of(candidate)
+        if cond <= condition_cap:
+            return candidate
+        if cond < best_cond:
+            best, best_cond = candidate, cond
+    return best
+
+
+def diagonally_dominant_matrix(n: int, rng=None, margin: float = 1.1) -> np.ndarray:
+    """Random strictly diagonally dominant matrix (always invertible).
+
+    Off-diagonals are uniform in ``[-1, 1]``; each diagonal entry is set
+    to ``margin`` times the absolute row sum. Used by property tests
+    needing arbitrary well-behaved systems.
+    """
+    n = _check_size(n)
+    if margin <= 1.0:
+        raise ValidationError(f"margin must be > 1 for strict dominance, got {margin}")
+    rng = as_generator(rng)
+    a = rng.uniform(-1.0, 1.0, size=(n, n))
+    np.fill_diagonal(a, 0.0)
+    row_sums = np.sum(np.abs(a), axis=1)
+    np.fill_diagonal(a, margin * np.maximum(row_sums, 1.0))
+    return a
+
+
+def random_invertible_matrix(n: int, rng=None, condition_cap: float = 1e6) -> np.ndarray:
+    """Random dense matrix, redrawn until its condition number is bounded."""
+    n = _check_size(n)
+    check_positive(condition_cap, "condition_cap")
+    rng = as_generator(rng)
+    for _ in range(100):
+        a = rng.normal(0.0, 1.0, size=(n, n))
+        if np.linalg.cond(a) <= condition_cap:
+            return a
+    raise ValidationError(f"could not draw a matrix with condition <= {condition_cap}")
+
+
+def random_vector(n: int, rng=None, low: float = -1.0, high: float = 1.0) -> np.ndarray:
+    """Random input vector, uniform in ``[low, high)``, never all-zero."""
+    n = _check_size(n)
+    if low >= high:
+        raise ValidationError(f"low ({low}) must be < high ({high})")
+    rng = as_generator(rng)
+    for _ in range(100):
+        v = rng.uniform(low, high, size=n)
+        if np.any(v != 0.0):
+            return v
+    raise ValidationError("could not draw a non-zero vector")  # pragma: no cover

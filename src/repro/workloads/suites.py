@@ -1,0 +1,138 @@
+"""Named experiment suites matching the paper's figures.
+
+Each suite bundles the workload (matrix family + sizes), the hardware
+configuration, and the trial count used by one figure, so benches and
+examples state *which* paper experiment they regenerate instead of
+repeating magic parameters. ``quick`` variants shrink sizes/trials to
+keep default benchmark runs fast; paper-scale runs pass ``quick=False``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.amc.config import HardwareConfig
+from repro.errors import ValidationError
+from repro.workloads.matrices import toeplitz_matrix, wishart_matrix
+
+#: Matrix sizes swept by the paper's accuracy figures (8x8 .. 512x512).
+PAPER_SIZES: tuple[int, ...] = (8, 16, 32, 64, 128, 256, 512)
+
+#: Sizes used by quick (CI-friendly) runs.
+QUICK_SIZES: tuple[int, ...] = (8, 16, 32, 64)
+
+#: Monte-Carlo trials per size in the paper.
+PAPER_TRIALS = 40
+
+#: Trials per size in quick runs.
+QUICK_TRIALS = 5
+
+
+@dataclass(frozen=True)
+class ExperimentSuite:
+    """One figure's workload and hardware configuration.
+
+    Attributes
+    ----------
+    name:
+        Suite identifier (e.g. ``"fig7-wishart"``).
+    figure:
+        The paper figure this suite regenerates.
+    matrix_factory:
+        ``matrix_factory(size, rng) -> ndarray``.
+    hardware_factory:
+        ``hardware_factory() -> HardwareConfig``.
+    sizes:
+        Matrix sizes to sweep.
+    trials:
+        Monte-Carlo trials per size.
+    """
+
+    name: str
+    figure: str
+    matrix_factory: Callable[[int, np.random.Generator], np.ndarray]
+    hardware_factory: Callable[[], HardwareConfig]
+    sizes: tuple[int, ...]
+    trials: int
+
+
+def _wishart(size, rng):
+    return wishart_matrix(size, rng)
+
+
+def _toeplitz(size, rng):
+    return toeplitz_matrix(size, rng)
+
+
+def _suites(quick: bool) -> dict[str, ExperimentSuite]:
+    sizes = QUICK_SIZES if quick else PAPER_SIZES
+    trials = QUICK_TRIALS if quick else PAPER_TRIALS
+    return {
+        suite.name: suite
+        for suite in (
+            ExperimentSuite(
+                name="fig6-ideal-mapping",
+                figure="Fig. 6(c)",
+                matrix_factory=_wishart,
+                hardware_factory=HardwareConfig.paper_ideal_mapping,
+                sizes=sizes,
+                trials=trials,
+            ),
+            ExperimentSuite(
+                name="fig7-wishart",
+                figure="Fig. 7(a)",
+                matrix_factory=_wishart,
+                hardware_factory=HardwareConfig.paper_variation,
+                sizes=sizes,
+                trials=trials,
+            ),
+            ExperimentSuite(
+                name="fig7-toeplitz",
+                figure="Fig. 7(b)",
+                matrix_factory=_toeplitz,
+                hardware_factory=HardwareConfig.paper_variation,
+                sizes=sizes,
+                trials=trials,
+            ),
+            ExperimentSuite(
+                name="fig8-twostage",
+                figure="Fig. 8(d)",
+                matrix_factory=_wishart,
+                hardware_factory=HardwareConfig.paper_variation,
+                sizes=sizes,
+                trials=trials,
+            ),
+            ExperimentSuite(
+                name="fig9-wishart",
+                figure="Fig. 9(a)",
+                matrix_factory=_wishart,
+                hardware_factory=HardwareConfig.paper_interconnect,
+                sizes=sizes,
+                trials=trials,
+            ),
+            ExperimentSuite(
+                name="fig9-toeplitz",
+                figure="Fig. 9(b)",
+                matrix_factory=_toeplitz,
+                hardware_factory=HardwareConfig.paper_interconnect,
+                sizes=sizes,
+                trials=trials,
+            ),
+        )
+    }
+
+
+def list_suites(quick: bool = True) -> list[str]:
+    """Names of all registered suites."""
+    return sorted(_suites(quick))
+
+
+def get_suite(name: str, quick: bool = True) -> ExperimentSuite:
+    """Look up a suite by name (``quick`` selects CI-size parameters)."""
+    suites = _suites(quick)
+    if name not in suites:
+        raise ValidationError(f"unknown suite {name!r}; available: {sorted(suites)}")
+    return suites[name]

@@ -1,0 +1,54 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.amc.config import HardwareConfig
+from repro.crossbar.array import CrossbarArray, ProgrammingConfig
+from repro.crossbar.mapping import normalize_matrix
+from repro.workloads.matrices import (
+    diagonally_dominant_matrix,
+    random_vector,
+    wishart_matrix,
+)
+
+
+@pytest.fixture
+def rng():
+    """Deterministic generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_wishart(rng):
+    """An 8x8 Wishart matrix (SPD, well conditioned)."""
+    return wishart_matrix(8, rng)
+
+
+@pytest.fixture
+def small_dominant(rng):
+    """A 6x6 strictly diagonally dominant matrix."""
+    return diagonally_dominant_matrix(6, rng)
+
+
+@pytest.fixture
+def small_b(rng):
+    """A random 8-element right-hand side."""
+    return random_vector(8, rng)
+
+
+@pytest.fixture
+def ideal_hardware():
+    """Mathematically perfect hardware configuration."""
+    return HardwareConfig.ideal()
+
+
+@pytest.fixture
+def ideal_array(small_wishart, rng):
+    """An ideally programmed crossbar pair for the normalized Wishart."""
+    normalized, _ = normalize_matrix(small_wishart)
+    return CrossbarArray.program(
+        normalized, ProgrammingConfig.ideal(), rng, pre_normalized=True
+    )

@@ -1,0 +1,174 @@
+"""Tests for the AC (frequency-domain) analysis."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits.ac import (
+    amc_frequency_response,
+    minus_3db_frequency,
+    single_pole_gain,
+    solve_ac,
+)
+from repro.circuits.mna import solve_dc
+from repro.circuits.netlist import Circuit
+from repro.crossbar.array import CrossbarArray
+from repro.crossbar.mapping import normalize_matrix
+from repro.errors import CircuitError
+from repro.workloads.matrices import random_vector, wishart_matrix
+
+
+class TestSinglePoleGain:
+    def test_dc_value(self):
+        assert single_pole_gain(1e4, 100e6, 0.0) == pytest.approx(1e4)
+
+    def test_unity_gain_frequency(self):
+        gain = single_pole_gain(1e5, 100e6, 100e6)
+        assert abs(gain) == pytest.approx(1.0, rel=0.01)
+
+    def test_pole_frequency_is_minus_3db(self):
+        a0, gbwp = 1e4, 100e6
+        pole = gbwp / a0
+        gain = single_pole_gain(a0, gbwp, pole)
+        assert abs(gain) == pytest.approx(a0 / math.sqrt(2.0), rel=1e-9)
+
+    def test_negative_frequency_rejected(self):
+        with pytest.raises(CircuitError):
+            single_pole_gain(1e4, 100e6, -1.0)
+
+
+class TestSolveAC:
+    def test_rc_lowpass(self):
+        """First-order RC: |H| = 1/sqrt(1 + (f/fc)^2)."""
+        r, c = 1e3, 1e-9
+        fc = 1.0 / (2.0 * math.pi * r * c)
+
+        def mag(freq):
+            circuit = Circuit()
+            circuit.vsource("in", "0", 1.0)
+            circuit.resistor("in", "out", r)
+            circuit.capacitor("out", "0", c)
+            return solve_ac(circuit, freq).magnitude("out")
+
+        assert mag(0.0) == pytest.approx(1.0)
+        assert mag(fc) == pytest.approx(1.0 / math.sqrt(2.0), rel=1e-9)
+        assert mag(10 * fc) == pytest.approx(1.0 / math.sqrt(101.0), rel=1e-9)
+
+    def test_rc_phase(self):
+        r, c = 1e3, 1e-9
+        fc = 1.0 / (2.0 * math.pi * r * c)
+        circuit = Circuit()
+        circuit.vsource("in", "0", 1.0)
+        circuit.resistor("in", "out", r)
+        circuit.capacitor("out", "0", c)
+        assert solve_ac(circuit, fc).phase_deg("out") == pytest.approx(-45.0, abs=1e-6)
+
+    def test_rl_highpass(self):
+        """Series L to ground after R: |v_L| rises with frequency."""
+        r, inductance = 1e3, 1e-3
+
+        def mag(freq):
+            circuit = Circuit()
+            circuit.vsource("in", "0", 1.0)
+            circuit.resistor("in", "out", r)
+            circuit.inductor("out", "0", inductance)
+            return solve_ac(circuit, freq).magnitude("out")
+
+        assert mag(0.0) == pytest.approx(0.0, abs=1e-12)
+        fc = r / (2.0 * math.pi * inductance)
+        assert mag(fc) == pytest.approx(1.0 / math.sqrt(2.0), rel=1e-9)
+
+    def test_zero_frequency_matches_dc_solver(self):
+        circuit = Circuit()
+        circuit.vsource("in", "0", 2.0)
+        circuit.resistor("in", "mid", 1e3)
+        circuit.resistor("mid", "0", 3e3)
+        ac = solve_ac(circuit, 0.0)
+        dc = solve_dc(circuit)
+        assert ac.voltage("mid").real == pytest.approx(dc.voltage("mid"))
+        assert ac.voltage("mid").imag == pytest.approx(0.0, abs=1e-15)
+
+    def test_complex_vcvs_gain(self):
+        circuit = Circuit()
+        circuit.vsource("in", "0", 1.0)
+        circuit.vcvs("out", "0", "in", "0", 1j * 2.0)
+        circuit.resistor("out", "0", 1e3)
+        solution = solve_ac(circuit, 1e3)
+        assert solution.voltage("out") == pytest.approx(2j)
+
+    def test_dc_solver_rejects_complex_gain(self):
+        circuit = Circuit()
+        circuit.vsource("in", "0", 1.0)
+        circuit.vcvs("out", "0", "in", "0", 1j * 2.0)
+        circuit.resistor("out", "0", 1e3)
+        with pytest.raises(CircuitError, match="complex gain"):
+            solve_dc(circuit)
+
+    def test_dc_solver_treats_capacitor_as_open(self):
+        circuit = Circuit()
+        circuit.vsource("in", "0", 1.0)
+        circuit.resistor("in", "out", 1e3)
+        circuit.capacitor("out", "0", 1e-9)
+        circuit.resistor("out", "0", 1e6)  # keep the node non-floating
+        assert solve_dc(circuit).voltage("out") == pytest.approx(1e6 / (1e6 + 1e3))
+
+    def test_dc_solver_treats_inductor_as_short(self):
+        circuit = Circuit()
+        circuit.vsource("in", "0", 1.0)
+        circuit.resistor("in", "out", 1e3)
+        circuit.inductor("out", "0", 1e-3)
+        assert solve_dc(circuit).voltage("out") == pytest.approx(0.0, abs=1e-12)
+
+    def test_empty_circuit_rejected(self):
+        with pytest.raises(CircuitError):
+            solve_ac(Circuit(), 1e3)
+
+
+class TestAMCFrequencyResponse:
+    @pytest.fixture
+    def array(self):
+        matrix, _ = normalize_matrix(wishart_matrix(4, rng=0))
+        return CrossbarArray.program(matrix, rng=1, pre_normalized=True)
+
+    def test_dc_magnitude_matches_dc_solve(self, array):
+        v = random_vector(4, rng=2) * 0.3
+        response = amc_frequency_response(array, v, [1.0], topology="inv")
+        # At 1 Hz (far below any pole) the magnitude equals the DC value.
+        np.testing.assert_allclose(response["magnitude"][0], response["dc"], rtol=1e-6)
+
+    def test_bandwidth_matches_transient_pole(self, array):
+        """The -3 dB frequency tracks the transient model's slowest pole."""
+        from repro.circuits.transient import simulate_inv_transient
+
+        v = random_vector(4, rng=3) * 0.3
+        transient = simulate_inv_transient(array, v, open_loop_gain=1e4, gbwp_hz=100e6)
+        freqs = np.logspace(4, 9, 120)
+        response = amc_frequency_response(
+            array, v, freqs, topology="inv", a0=1e4, gbwp_hz=100e6
+        )
+        f3db = minus_3db_frequency(
+            response["freqs_hz"], response["magnitude"], response["dc"]
+        )
+        assert math.isfinite(f3db)
+        assert transient.slowest_pole_hz / 5 < f3db < transient.slowest_pole_hz * 5
+
+    def test_mvm_topology(self, array):
+        v = random_vector(4, rng=4) * 0.3
+        response = amc_frequency_response(array, v, [1.0, 1e9], topology="mvm")
+        # Far above the op-amp bandwidth the outputs collapse.
+        assert np.all(response["magnitude"][1] < response["magnitude"][0])
+
+    def test_unknown_topology(self, array):
+        with pytest.raises(CircuitError):
+            amc_frequency_response(array, np.zeros(4), [1.0], topology="xor")
+
+    def test_empty_freqs_rejected(self, array):
+        with pytest.raises(CircuitError):
+            amc_frequency_response(array, np.zeros(4), [])
+
+    def test_minus_3db_inf_when_flat(self):
+        freqs = np.array([1.0, 10.0])
+        magnitude = np.ones((2, 3))
+        dc = np.ones(3)
+        assert minus_3db_frequency(freqs, magnitude, dc) == math.inf

@@ -1,0 +1,71 @@
+"""Tests for the Monte-Carlo accuracy sweep engine."""
+
+import numpy as np
+
+from repro.amc.config import HardwareConfig
+from repro.analysis.accuracy import accuracy_sweep, run_trials
+from repro.core.blockamc import BlockAMCSolver
+from repro.core.original import OriginalAMCSolver
+from repro.workloads.matrices import wishart_matrix
+
+
+FACTORIES = {
+    "original": lambda: OriginalAMCSolver(HardwareConfig.paper_variation()),
+    "blockamc": lambda: BlockAMCSolver(HardwareConfig.paper_variation()),
+}
+
+
+def _matrix(size, rng):
+    return wishart_matrix(size, rng)
+
+
+class TestRunTrials:
+    def test_record_count(self):
+        records = run_trials(FACTORIES, _matrix, sizes=[4, 8], trials=3, seed=0)
+        assert len(records) == 2 * 2 * 3  # solvers x sizes x trials
+
+    def test_record_fields(self):
+        records = run_trials(FACTORIES, _matrix, sizes=[4], trials=1, seed=1)
+        record = records[0]
+        assert record.solver in FACTORIES
+        assert record.size == 4
+        assert record.relative_error >= 0.0
+        assert record.analog_time_s > 0.0
+
+    def test_deterministic_given_seed(self):
+        a = run_trials(FACTORIES, _matrix, sizes=[4], trials=2, seed=7)
+        b = run_trials(FACTORIES, _matrix, sizes=[4], trials=2, seed=7)
+        assert [r.relative_error for r in a] == [r.relative_error for r in b]
+
+    def test_different_seeds_differ(self):
+        a = run_trials(FACTORIES, _matrix, sizes=[8], trials=2, seed=1)
+        b = run_trials(FACTORIES, _matrix, sizes=[8], trials=2, seed=2)
+        assert [r.relative_error for r in a] != [r.relative_error for r in b]
+
+    def test_paired_trials_share_workload(self):
+        """Both solvers see the same matrix/vector per trial: with ideal
+        hardware both errors are ~0 and equal in count."""
+        factories = {
+            "a": lambda: OriginalAMCSolver(HardwareConfig.ideal()),
+            "b": lambda: BlockAMCSolver(HardwareConfig.ideal()),
+        }
+        records = run_trials(factories, _matrix, sizes=[6], trials=2, seed=3)
+        assert all(r.relative_error < 1e-7 for r in records)
+
+
+class TestAggregation:
+    def test_sweep_structure(self):
+        records = run_trials(FACTORIES, _matrix, sizes=[4, 8], trials=3, seed=4)
+        table = accuracy_sweep(records)
+        assert set(table) == set(FACTORIES)
+        assert set(table["original"]) == {4, 8}
+        mean, std = table["original"][4]
+        assert mean >= 0.0 and std >= 0.0
+
+    def test_mean_consistent_with_records(self):
+        records = run_trials(FACTORIES, _matrix, sizes=[4], trials=5, seed=5)
+        table = accuracy_sweep(records)
+        manual = np.mean(
+            [r.relative_error for r in records if r.solver == "original" and r.size == 4]
+        )
+        assert table["original"][4][0] == float(manual)

@@ -1,0 +1,55 @@
+"""Tests for the pipelined batch-solve API."""
+
+import numpy as np
+import pytest
+
+from repro.amc.config import HardwareConfig
+from repro.core.blockamc import BlockAMCSolver
+from repro.errors import ValidationError
+from repro.workloads.matrices import random_vector, wishart_matrix
+
+
+@pytest.fixture
+def prepared():
+    matrix = wishart_matrix(8, rng=0)
+    return BlockAMCSolver(HardwareConfig.paper_ideal_mapping()).prepare(matrix, rng=1)
+
+
+class TestSolveBatch:
+    def test_all_systems_solved(self, prepared):
+        batch = [random_vector(8, rng=seed) for seed in range(2, 7)]
+        result = prepared.solve_batch(batch, rng=10)
+        assert len(result.results) == 5
+        assert result.worst_relative_error < 0.1
+
+    def test_solutions_match_individual_solves(self, prepared):
+        """Batch results equal sequential solves with the same stream."""
+        batch = [random_vector(8, rng=seed) for seed in (2, 3)]
+        rng_batch = np.random.default_rng(11)
+        rng_single = np.random.default_rng(11)
+        batched = prepared.solve_batch(batch, rng=rng_batch)
+        singles = [prepared.solve(b, rng=rng_single) for b in batch]
+        for got, expected in zip(batched.results, singles):
+            np.testing.assert_array_equal(got.x, expected.x)
+
+    def test_pipelined_throughput_beats_serial(self, prepared):
+        batch = [random_vector(8, rng=seed) for seed in range(2, 18)]
+        piped = prepared.solve_batch(batch, rng=12, pipelined=True)
+        serial = prepared.solve_batch(batch, rng=12, pipelined=False)
+        assert piped.throughput_solves_per_s > serial.throughput_solves_per_s
+
+    def test_schedule_covers_batch(self, prepared):
+        batch = [random_vector(8, rng=seed) for seed in (2, 3, 4)]
+        result = prepared.solve_batch(batch, rng=13)
+        problems = {event.problem for event in result.schedule.events}
+        assert problems == {0, 1, 2}
+
+    def test_empty_batch_rejected(self, prepared):
+        with pytest.raises(ValidationError):
+            prepared.solve_batch([])
+
+    def test_timing_knobs(self, prepared):
+        batch = [random_vector(8, rng=seed) for seed in (2, 3)]
+        slow = prepared.solve_batch(batch, rng=14, t_adc_s=1e-6)
+        fast = prepared.solve_batch(batch, rng=14, t_adc_s=1e-9)
+        assert fast.schedule.makespan < slow.schedule.makespan

@@ -1,0 +1,153 @@
+"""Tests for the one-stage BlockAMC solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.amc.config import HardwareConfig
+from repro.core.blockamc import BlockAMCSolver
+from repro.core.partition import PartitionSpec
+from repro.errors import ValidationError
+from repro.workloads.matrices import (
+    diagonally_dominant_matrix,
+    random_vector,
+    wishart_matrix,
+)
+
+
+class TestIdealExactness:
+    def test_matches_numpy_solve(self):
+        matrix = wishart_matrix(8, rng=0)
+        b = random_vector(8, rng=1)
+        result = BlockAMCSolver(HardwareConfig.ideal()).solve(matrix, b, rng=2)
+        np.testing.assert_allclose(result.x, result.reference, rtol=1e-8, atol=1e-10)
+        assert result.relative_error < 1e-8
+
+    @given(
+        n=st.integers(min_value=2, max_value=12),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_property_exact_for_any_dominant_system(self, n, seed):
+        rng = np.random.default_rng(seed)
+        matrix = diagonally_dominant_matrix(n, rng)
+        b = random_vector(n, rng)
+        result = BlockAMCSolver(HardwareConfig.ideal()).solve(matrix, b, rng=seed)
+        np.testing.assert_allclose(result.x, result.reference, rtol=1e-7, atol=1e-9)
+
+    @given(data=st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_property_every_split_works(self, data):
+        n = data.draw(st.integers(min_value=3, max_value=10))
+        split = data.draw(st.integers(min_value=1, max_value=n - 1))
+        seed = data.draw(st.integers(0, 2**31))
+        rng = np.random.default_rng(seed)
+        matrix = diagonally_dominant_matrix(n, rng)
+        b = random_vector(n, rng)
+        solver = BlockAMCSolver(HardwareConfig.ideal(), PartitionSpec(split))
+        result = solver.solve(matrix, b, rng=seed)
+        np.testing.assert_allclose(result.x, result.reference, rtol=1e-7, atol=1e-9)
+
+    def test_odd_size(self):
+        matrix = wishart_matrix(7, rng=3)
+        b = random_vector(7, rng=4)
+        result = BlockAMCSolver(HardwareConfig.ideal()).solve(matrix, b, rng=5)
+        np.testing.assert_allclose(result.x, result.reference, rtol=1e-8, atol=1e-10)
+
+    def test_unnormalized_matrix_and_large_b(self):
+        """Scaling of A and b is undone exactly."""
+        matrix = 1e3 * wishart_matrix(6, rng=6)
+        b = 1e4 * random_vector(6, rng=7)
+        result = BlockAMCSolver(HardwareConfig.ideal()).solve(matrix, b, rng=8)
+        np.testing.assert_allclose(result.x, result.reference, rtol=1e-8)
+
+
+class TestPreparedReuse:
+    def test_prepare_once_solve_many(self):
+        matrix = wishart_matrix(8, rng=9)
+        solver = BlockAMCSolver(HardwareConfig.paper_variation())
+        prepared = solver.prepare(matrix, rng=10)
+        r1 = prepared.solve(random_vector(8, rng=11), rng=12)
+        r2 = prepared.solve(random_vector(8, rng=13), rng=14)
+        assert r1.x.shape == r2.x.shape
+        # Same programmed arrays: errors correlated but inputs differ.
+        assert not np.allclose(r1.x, r2.x)
+
+    def test_same_seed_reproducible(self):
+        matrix = wishart_matrix(8, rng=15)
+        b = random_vector(8, rng=16)
+        solver = BlockAMCSolver(HardwareConfig.paper_variation())
+        a = solver.solve(matrix, b, rng=17)
+        c = solver.solve(matrix, b, rng=17)
+        np.testing.assert_array_equal(a.x, c.x)
+
+
+class TestMetadataAndTelemetry:
+    def test_five_operations(self):
+        matrix = wishart_matrix(8, rng=18)
+        result = BlockAMCSolver(HardwareConfig.ideal()).solve(
+            matrix, random_vector(8, rng=19), rng=20
+        )
+        assert result.operation_counts == {"inv": 3, "mvm": 2}
+
+    def test_metadata_fields(self):
+        matrix = wishart_matrix(8, rng=21)
+        result = BlockAMCSolver(HardwareConfig.ideal()).solve(
+            matrix, random_vector(8, rng=22), rng=23
+        )
+        md = result.metadata
+        assert md["split"] == 4
+        assert md["opa_count"] == 4
+        assert md["device_count"] == 128
+        assert "reference_steps" in md
+        assert set(md["step_outputs"]) == {
+            "step1:INV(A1)",
+            "step2:MVM(A3)",
+            "step3:INV(A4s)",
+            "step4:MVM(A2)",
+            "step5:INV(A1)",
+        }
+
+    def test_solver_name(self):
+        matrix = wishart_matrix(4, rng=24)
+        result = BlockAMCSolver(HardwareConfig.ideal()).solve(
+            matrix, random_vector(4, rng=25), rng=26
+        )
+        assert result.solver == "blockamc-1stage"
+
+
+class TestGainRanging:
+    def test_ill_conditioned_system_stays_in_range(self):
+        """Without ranging the INV outputs would clip at the converters."""
+        rng = np.random.default_rng(27)
+        # Small eigenvalue => solution much larger than the input.
+        matrix = wishart_matrix(8, rng, aspect=1.05)
+        b = random_vector(8, rng)
+        result = BlockAMCSolver(HardwareConfig.paper_ideal_mapping()).solve(
+            matrix, b, rng=28
+        )
+        assert result.relative_error < 0.2
+
+    def test_input_scale_recorded(self):
+        matrix = wishart_matrix(8, rng=29)
+        result = BlockAMCSolver(HardwareConfig.ideal()).solve(
+            matrix, random_vector(8, rng=30), rng=31
+        )
+        assert result.metadata["input_scale"] > 0.0
+
+
+class TestInputValidation:
+    def test_zero_b_rejected(self):
+        matrix = wishart_matrix(4, rng=32)
+        with pytest.raises(ValidationError):
+            BlockAMCSolver(HardwareConfig.ideal()).solve(matrix, np.zeros(4), rng=33)
+
+    def test_wrong_b_size_rejected(self):
+        matrix = wishart_matrix(4, rng=34)
+        with pytest.raises(ValidationError):
+            BlockAMCSolver(HardwareConfig.ideal()).solve(matrix, np.ones(5), rng=35)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValidationError):
+            BlockAMCSolver(HardwareConfig.ideal()).solve(np.ones((3, 4)), np.ones(3))

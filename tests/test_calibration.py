@@ -1,0 +1,114 @@
+"""Tests for closed-loop offset calibration."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.amc.calibration import CalibratedOperations
+from repro.amc.config import HardwareConfig, OpAmpConfig
+from repro.amc.ops import AMCOperations
+from repro.crossbar.array import CrossbarArray
+from repro.crossbar.mapping import normalize_matrix
+from repro.workloads.matrices import random_vector, wishart_matrix
+
+
+def _setup(offset_sigma=2e-3, noise_sigma=0.0):
+    matrix, _ = normalize_matrix(wishart_matrix(8, rng=0))
+    array = CrossbarArray.program(matrix, rng=1, pre_normalized=True)
+    config = HardwareConfig(
+        opamp=OpAmpConfig(
+            open_loop_gain=math.inf,
+            input_offset_sigma_v=offset_sigma,
+            output_noise_sigma_v=noise_sigma,
+        ),
+    )
+    return matrix, array, AMCOperations(config)
+
+
+class TestPersistentOffsets:
+    def test_offsets_fixed_across_operations(self):
+        """The shared column's offsets repeat across ops (same hardware)."""
+        matrix, array, ops = _setup()
+        v = random_vector(8, rng=2) * 0.2
+        rng = np.random.default_rng(3)
+        first = ops.mvm(array, v, rng=rng).output
+        second = ops.mvm(array, v, rng=rng).output
+        np.testing.assert_array_equal(first, second)
+
+    def test_fresh_instance_fresh_offsets(self):
+        matrix, array, ops_a = _setup()
+        _, _, ops_b = _setup()
+        v = random_vector(8, rng=4) * 0.2
+        a = ops_a.mvm(array, v, rng=np.random.default_rng(5)).output
+        b = ops_b.mvm(array, v, rng=np.random.default_rng(6)).output
+        assert not np.allclose(a, b)
+
+
+class TestCalibratedOperations:
+    def test_mvm_offset_removed(self):
+        matrix, array, ops = _setup(offset_sigma=5e-3)
+        calibrated = CalibratedOperations(ops)
+        v = random_vector(8, rng=7) * 0.2
+        rng = np.random.default_rng(8)
+        raw_err = np.max(np.abs(ops.mvm(array, v, rng=rng).error_vector))
+        cal = calibrated.mvm(array, v, rng=rng)
+        cal_err = np.max(np.abs(cal.output - cal.ideal_output))
+        assert cal_err < raw_err * 1e-6  # linear circuit: exact removal
+
+    def test_inv_offset_removed(self):
+        matrix, array, ops = _setup(offset_sigma=5e-3)
+        calibrated = CalibratedOperations(ops)
+        v = random_vector(8, rng=9) * 0.2
+        rng = np.random.default_rng(10)
+        raw_err = np.max(np.abs(ops.inv(array, v, rng=rng).error_vector))
+        cal = calibrated.inv(array, v, rng=rng)
+        cal_err = np.max(np.abs(cal.output - cal.ideal_output))
+        assert cal_err < raw_err * 1e-6
+
+    def test_correction_cached(self):
+        matrix, array, ops = _setup()
+        calibrated = CalibratedOperations(ops)
+        v = random_vector(8, rng=11) * 0.2
+        calibrated.mvm(array, v, rng=12)
+        calibrated.mvm(array, v, rng=13)
+        assert calibrated.calibrated_entries == 1
+
+    def test_explicit_calibrate(self):
+        matrix, array, ops = _setup()
+        calibrated = CalibratedOperations(ops)
+        calibrated.calibrate(array, rng=14)
+        assert calibrated.calibrated_entries == 2  # mvm + inv
+
+    def test_noise_limits_calibration(self):
+        """With output noise, calibration is noise-limited; averaging
+        the calibration measurement recovers most of the loss."""
+        matrix, array, ops = _setup(offset_sigma=5e-3, noise_sigma=1e-3)
+        v = random_vector(8, rng=15) * 0.2
+
+        single = CalibratedOperations(ops, averages=1)
+        averaged = CalibratedOperations(AMCOperations(ops.config), averages=64)
+
+        rng = np.random.default_rng(16)
+        errs_single = []
+        errs_avg = []
+        for _ in range(30):
+            a = single.mvm(array, v, rng=rng)
+            b = averaged.mvm(array, v, rng=rng)
+            errs_single.append(np.linalg.norm(a.output - a.ideal_output))
+            errs_avg.append(np.linalg.norm(b.output - b.ideal_output))
+        assert np.mean(errs_avg) < np.mean(errs_single)
+
+    def test_invalid_averages(self):
+        _, _, ops = _setup()
+        with pytest.raises(ValueError):
+            CalibratedOperations(ops, averages=0)
+
+    def test_input_scale_specific_correction(self):
+        """INV corrections are per input scale (different loading)."""
+        matrix, array, ops = _setup(offset_sigma=5e-3)
+        calibrated = CalibratedOperations(ops)
+        v = random_vector(8, rng=17) * 0.2
+        calibrated.inv(array, v, input_scale=1.0, rng=18)
+        calibrated.inv(array, v, input_scale=0.5, rng=19)
+        assert calibrated.calibrated_entries == 2

@@ -1,0 +1,65 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99-nope"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7-wishart" in out
+        assert "Fig. 7(a)" in out
+
+    def test_costs(self, capsys):
+        assert main(["costs", "--size", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "48.8% area" in out
+        assert "40.0% power" in out
+
+    def test_solve_one_stage(self, capsys):
+        assert main(["solve", "--size", "12", "--hardware", "ideal"]) == 0
+        out = capsys.readouterr().out
+        assert "blockamc-1stage" in out
+        assert "relative error" in out
+
+    def test_solve_two_stage(self, capsys):
+        assert main(["solve", "--size", "12", "--stages", "2", "--hardware", "ideal"]) == 0
+        assert "blockamc-2stage" in capsys.readouterr().out
+
+    def test_check_healthy_system(self, capsys):
+        assert main(["check", "--size", "16", "--family", "wishart"]) == 0
+        out = capsys.readouterr().out
+        assert "feasibility: OK" in out
+        assert "stability margin" in out
+
+    def test_check_poisson_family(self, capsys):
+        code = main(["check", "--size", "32", "--family", "poisson"])
+        out = capsys.readouterr().out
+        assert "findings:" in out
+        assert code in (0, 1)
+
+    def test_check_recommends_stages(self, capsys):
+        assert main(["check", "--size", "64", "--max-array", "16"]) == 0
+        assert "recommended stages: 2" in capsys.readouterr().out
+
+    def test_run_quick_with_csv(self, tmp_path, capsys, monkeypatch):
+        # Shrink the quick suite further for CI speed by monkeypatching
+        # the suite registry sizes via a tiny custom run.
+        csv_path = tmp_path / "series.csv"
+        assert main(["run", "fig7-wishart", "--quick", "--csv", str(csv_path)]) == 0
+        out = capsys.readouterr().out
+        assert "fig7-wishart" in out
+        assert csv_path.exists()
+        assert (tmp_path / "series.csv.raw.csv").exists()

@@ -1,0 +1,60 @@
+"""Tests for the complex-to-real system embedding (MIMO workloads)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.utils.linalg import embed_complex_system, extract_complex_solution
+
+
+class TestEmbedding:
+    def test_shapes(self):
+        h = np.eye(3) + 1j * np.zeros((3, 3))
+        b = np.ones(3) + 0j
+        embedded, stacked = embed_complex_system(h, b)
+        assert embedded.shape == (6, 6)
+        assert stacked.shape == (6,)
+
+    def test_block_structure(self):
+        h = np.array([[1 + 2j]])
+        embedded, _ = embed_complex_system(h, np.array([0j]))
+        np.testing.assert_allclose(embedded, [[1.0, -2.0], [2.0, 1.0]])
+
+    def test_round_trip_solution(self):
+        rng = np.random.default_rng(0)
+        n = 5
+        h = rng.normal(size=(n, n)) + 1j * rng.normal(size=(n, n))
+        h = h + n * np.eye(n)  # keep well conditioned
+        b = rng.normal(size=n) + 1j * rng.normal(size=n)
+        embedded, stacked = embed_complex_system(h, b)
+        x_real = np.linalg.solve(embedded, stacked)
+        x = extract_complex_solution(x_real)
+        np.testing.assert_allclose(x, np.linalg.solve(h, b), rtol=1e-9)
+
+    @given(st.integers(min_value=1, max_value=8), st.integers(0, 2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_property_equivalence(self, n, seed):
+        """The embedded real system encodes exactly the complex system."""
+        rng = np.random.default_rng(seed)
+        h = rng.normal(size=(n, n)) + 1j * rng.normal(size=(n, n))
+        b = rng.normal(size=n) + 1j * rng.normal(size=n)
+        x = rng.normal(size=n) + 1j * rng.normal(size=n)
+        embedded, _ = embed_complex_system(h, b)
+        lhs = embedded @ np.concatenate([x.real, x.imag])
+        expected = h @ x
+        np.testing.assert_allclose(lhs[:n], expected.real, atol=1e-9)
+        np.testing.assert_allclose(lhs[n:], expected.imag, atol=1e-9)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValidationError):
+            embed_complex_system(np.ones((2, 3)), np.ones(2))
+
+    def test_rejects_bad_rhs(self):
+        with pytest.raises(ValidationError):
+            embed_complex_system(np.eye(2), np.ones(3))
+
+    def test_extract_rejects_odd_length(self):
+        with pytest.raises(ValidationError):
+            extract_complex_solution(np.ones(3))

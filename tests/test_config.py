@@ -1,0 +1,99 @@
+"""Tests for the hardware configuration bundles."""
+
+import math
+
+import pytest
+
+from repro.amc.config import (
+    ConverterConfig,
+    HardwareConfig,
+    OpAmpConfig,
+    SampleHoldConfig,
+)
+from repro.crossbar.parasitics import ParasiticConfig
+from repro.devices.variations import NoVariation, RelativeGaussianVariation
+from repro.errors import ValidationError
+
+
+class TestOpAmpConfig:
+    def test_defaults_valid(self):
+        cfg = OpAmpConfig()
+        assert cfg.open_loop_gain > 0
+        assert not cfg.is_ideal
+
+    def test_infinite_gain_allowed(self):
+        cfg = OpAmpConfig(open_loop_gain=math.inf, input_offset_sigma_v=0.0)
+        assert cfg.is_ideal
+
+    def test_nonpositive_gain_rejected(self):
+        with pytest.raises(ValidationError):
+            OpAmpConfig(open_loop_gain=0.0)
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError):
+            OpAmpConfig(input_offset_sigma_v=-1e-3)
+
+    def test_static_power_eq7(self):
+        cfg = OpAmpConfig(supply_voltage=1.2, quiescent_current=11e-6)
+        assert cfg.static_power == pytest.approx(1.2 * 11e-6)
+
+
+class TestConverterConfig:
+    def test_ideal(self):
+        cfg = ConverterConfig.ideal()
+        assert cfg.dac_bits is None and cfg.adc_bits is None
+
+    def test_bad_bits(self):
+        with pytest.raises(ValueError):
+            ConverterConfig(dac_bits=0)
+
+    def test_bad_full_scale(self):
+        with pytest.raises(ValidationError):
+            ConverterConfig(v_fs=0.0)
+
+
+class TestHardwareFactories:
+    def test_ideal_is_ideal(self):
+        cfg = HardwareConfig.ideal()
+        assert cfg.opamp.is_ideal
+        assert isinstance(cfg.programming.variation, NoVariation)
+        assert cfg.parasitics.is_ideal
+
+    def test_paper_ideal_mapping_has_no_variation(self):
+        cfg = HardwareConfig.paper_ideal_mapping()
+        assert isinstance(cfg.programming.variation, NoVariation)
+        assert not cfg.opamp.is_ideal  # finite gain + offsets present
+
+    def test_paper_variation(self):
+        cfg = HardwareConfig.paper_variation()
+        assert isinstance(cfg.programming.variation, RelativeGaussianVariation)
+        assert cfg.programming.variation.sigma_rel == 0.05
+
+    def test_paper_interconnect(self):
+        cfg = HardwareConfig.paper_interconnect()
+        assert cfg.parasitics.r_wire == 1.0
+        assert not cfg.parasitics.is_ideal
+
+    def test_paper_interconnect_exact_fidelity(self):
+        cfg = HardwareConfig.paper_interconnect(fidelity="exact")
+        assert cfg.parasitics.fidelity == "exact"
+
+    def test_with_replaces_fields(self):
+        cfg = HardwareConfig.ideal().with_(use_mna=True)
+        assert cfg.use_mna
+        assert not HardwareConfig.ideal().use_mna
+
+    def test_with_parasitics(self):
+        cfg = HardwareConfig.ideal().with_(parasitics=ParasiticConfig(r_wire=2.0))
+        assert cfg.parasitics.r_wire == 2.0
+
+    def test_bad_g_unit(self):
+        with pytest.raises(ValidationError):
+            HardwareConfig(g_unit=-1.0)
+
+
+class TestSampleHoldConfig:
+    def test_defaults_transparent(self):
+        cfg = SampleHoldConfig()
+        assert cfg.gain_error == 0.0
+        assert cfg.noise_sigma_v == 0.0

@@ -1,0 +1,126 @@
+"""Tests for the area/power cost model — reproduces Fig. 10's numbers."""
+
+import pytest
+
+from repro.analysis.costmodel import (
+    ComponentCosts,
+    component_counts,
+    savings_vs_original,
+    solver_cost_breakdown,
+)
+from repro.errors import CostModelError
+
+
+class TestCounts:
+    def test_original(self):
+        counts = component_counts("original", 512)
+        assert counts.opa_count == 512
+        assert counts.dac_count == 512
+        assert counts.adc_count == 512
+        assert counts.cell_count == 2 * 512 * 512
+
+    def test_one_stage_halves_periphery(self):
+        counts = component_counts("blockamc-1stage", 512)
+        assert counts.opa_count == 256
+        assert counts.dac_count == 256
+        assert counts.adc_count == 256
+
+    def test_two_stage_opa_count_back_to_full(self):
+        """'OPAs are separately deployed for the first-stage INV and MVM,
+        resulting in the same count of OPAs' (Sec. IV-B)."""
+        counts = component_counts("blockamc-2stage", 512)
+        assert counts.opa_count == 512
+        assert counts.dac_count == 256
+
+    def test_same_cell_count_everywhere(self):
+        cells = {
+            component_counts(arch, 512).cell_count
+            for arch in ("original", "blockamc-1stage", "blockamc-2stage")
+        }
+        assert len(cells) == 1
+
+    def test_unknown_architecture(self):
+        with pytest.raises(CostModelError):
+            component_counts("systolic", 512)
+
+    def test_size_too_small(self):
+        with pytest.raises(CostModelError):
+            component_counts("original", 1)
+
+
+class TestPaperTotals:
+    """The headline numbers of Fig. 10 at n = 512."""
+
+    def test_total_areas(self):
+        areas = {
+            arch: solver_cost_breakdown(arch, 512).total_area_mm2
+            for arch in ("original", "blockamc-1stage", "blockamc-2stage")
+        }
+        assert areas["original"] == pytest.approx(0.01577, rel=0.02)
+        assert areas["blockamc-1stage"] == pytest.approx(0.00807, rel=0.02)
+        assert areas["blockamc-2stage"] == pytest.approx(0.01383, rel=0.02)
+
+    def test_area_savings(self):
+        savings = savings_vs_original(512)
+        assert savings["blockamc-1stage"]["area"] == pytest.approx(0.4883, abs=0.01)
+        assert savings["blockamc-2stage"]["area"] == pytest.approx(0.123, abs=0.01)
+
+    def test_power_savings(self):
+        savings = savings_vs_original(512)
+        assert savings["blockamc-1stage"]["power"] == pytest.approx(0.40, abs=0.01)
+        assert savings["blockamc-2stage"]["power"] == pytest.approx(0.374, abs=0.01)
+
+    def test_opa_power_is_eq7(self):
+        """Unit OPA power equals Vs * Iq of the default op-amp config."""
+        from repro.amc.config import OpAmpConfig
+
+        costs = ComponentCosts.paper_calibrated()
+        assert costs.power_opa == pytest.approx(OpAmpConfig().static_power, rel=1e-6)
+
+
+class TestBreakdownStructure:
+    def test_components_present(self):
+        breakdown = solver_cost_breakdown("original", 128)
+        assert set(breakdown.area_by_component) == {"OPA", "DAC", "ADC", "RRAM"}
+        assert set(breakdown.power_by_component) == {"OPA", "DAC", "ADC", "RRAM"}
+
+    def test_totals_are_sums(self):
+        breakdown = solver_cost_breakdown("blockamc-1stage", 128)
+        assert breakdown.total_area_mm2 == pytest.approx(
+            sum(breakdown.area_by_component.values())
+        )
+
+    def test_area_scales_with_size(self):
+        small = solver_cost_breakdown("original", 64).total_area_mm2
+        large = solver_cost_breakdown("original", 256).total_area_mm2
+        assert large > small
+
+    def test_custom_costs(self):
+        costs = ComponentCosts(
+            area_opa=1.0,
+            area_dac=1.0,
+            area_adc=1.0,
+            area_cell=1.0,
+            power_opa=1.0,
+            power_dac=1.0,
+            power_adc=1.0,
+            power_cell=1.0,
+        )
+        breakdown = solver_cost_breakdown("original", 4, costs)
+        assert breakdown.area_by_component["OPA"] == 4.0
+        assert breakdown.area_by_component["RRAM"] == 32.0
+
+    def test_invalid_unit_cost(self):
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            ComponentCosts(
+                area_opa=0.0,
+                area_dac=1.0,
+                area_adc=1.0,
+                area_cell=1.0,
+                power_opa=1.0,
+                power_dac=1.0,
+                power_adc=1.0,
+                power_cell=1.0,
+            )

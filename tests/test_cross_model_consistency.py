@@ -1,0 +1,155 @@
+"""Cross-model consistency: independent models must agree.
+
+The repository implements most physical effects twice (fast algebraic
+model + first-principles simulation). These tests pin the agreements
+that make the fast paths trustworthy:
+
+- transient equilibrium == DC operating point == algebraic op output;
+- AC response at ~0 Hz == DC solve;
+- analytic settling model brackets the simulated settling;
+- sensitivity prediction tracks solver Monte-Carlo;
+- scheduler latency == sum of its parts.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.amc.config import HardwareConfig, OpAmpConfig
+from repro.amc.ops import AMCOperations
+from repro.circuits.ac import single_pole_gain, solve_ac
+from repro.circuits.generators import build_inv_circuit
+from repro.circuits.mna import solve_dc
+from repro.circuits.transient import simulate_inv_transient, simulate_mvm_transient
+from repro.crossbar.array import CrossbarArray
+from repro.crossbar.mapping import normalize_matrix
+from repro.workloads.matrices import (
+    diagonally_dominant_matrix,
+    random_vector,
+    wishart_matrix,
+)
+
+
+def _array(n=5, seed=0):
+    matrix, _ = normalize_matrix(diagonally_dominant_matrix(n, np.random.default_rng(seed)))
+    return CrossbarArray.program(matrix, rng=seed, pre_normalized=True), matrix
+
+
+class TestTransientVsAlgebraic:
+    @given(seed=st.integers(0, 2**31), gain=st.sampled_from([1e3, 1e4, 1e5]))
+    @settings(max_examples=10, deadline=None)
+    def test_inv_equilibrium_matches_op_model(self, seed, gain):
+        array, _ = _array(seed=seed % 100)
+        v = random_vector(5, rng=seed) * 0.3
+        config = HardwareConfig(
+            opamp=OpAmpConfig(open_loop_gain=gain, input_offset_sigma_v=0.0)
+        )
+        algebraic = AMCOperations(config).inv(array, v).output
+        transient = simulate_inv_transient(array, v, open_loop_gain=gain)
+        assert transient.stable
+        np.testing.assert_allclose(transient.final, algebraic, rtol=1e-8, atol=1e-12)
+
+    @given(seed=st.integers(0, 2**31))
+    @settings(max_examples=10, deadline=None)
+    def test_mvm_equilibrium_matches_op_model(self, seed):
+        array, _ = _array(seed=seed % 100)
+        v = random_vector(5, rng=seed) * 0.3
+        config = HardwareConfig(
+            opamp=OpAmpConfig(open_loop_gain=1e4, input_offset_sigma_v=0.0)
+        )
+        algebraic = AMCOperations(config).mvm(array, v).output
+        transient = simulate_mvm_transient(array, v, open_loop_gain=1e4)
+        np.testing.assert_allclose(transient.final, algebraic, rtol=1e-9, atol=1e-12)
+
+
+class TestACVsDC:
+    def test_low_frequency_ac_matches_dc(self):
+        array, _ = _array(seed=3)
+        v = random_vector(5, rng=4) * 0.3
+        gain = 1e4
+        circuit, outputs = build_inv_circuit(
+            array.g_pos, array.g_neg, v, g_input=array.g_unit, opamp_gain=gain
+        )
+        dc = solve_dc(circuit).voltages(outputs)
+        ac_circuit, outputs = build_inv_circuit(
+            array.g_pos,
+            array.g_neg,
+            v,
+            g_input=array.g_unit,
+            opamp_gain=single_pole_gain(gain, 100e6, 1.0),
+        )
+        ac = solve_ac(ac_circuit, 1.0).voltages(outputs)
+        np.testing.assert_allclose(ac.real, dc, rtol=1e-4)
+        assert np.max(np.abs(ac.imag)) < 1e-3
+
+
+class TestSettlingModels:
+    def test_analytic_brackets_simulated(self):
+        """The first-order settling formula and the exact transient agree
+        within an order of magnitude across gains and sizes."""
+        from repro.circuits.dynamics import inv_settling_time
+
+        for n, seed in ((4, 0), (8, 1), (16, 2)):
+            matrix, _ = normalize_matrix(wishart_matrix(n, rng=seed))
+            array = CrossbarArray.program(matrix, rng=seed, pre_normalized=True)
+            v = random_vector(n, rng=seed) * 0.2
+            simulated = simulate_inv_transient(
+                array, v, open_loop_gain=1e4, gbwp_hz=100e6, epsilon=1e-4
+            )
+            analytic = inv_settling_time(matrix, 100e6, epsilon=1e-4)
+            assert analytic / 30 < simulated.settling_time_s < analytic * 30
+
+
+class TestSensitivityVsSolver:
+    def test_prediction_orders_workloads_correctly(self):
+        """A workload predicted to be twice as sensitive really does
+        produce larger solver errors."""
+        from repro.analysis.sensitivity import predicted_variation_error
+        from repro.core.original import OriginalAMCSolver
+
+        easy = wishart_matrix(12, rng=0, aspect=8.0)
+        hard = wishart_matrix(12, rng=0, aspect=1.3)
+        b = random_vector(12, rng=1)
+
+        def measure(matrix):
+            solver = OriginalAMCSolver(HardwareConfig.paper_variation())
+            errors = [solver.solve(matrix, b, rng=t).relative_error for t in range(10)]
+            return float(np.median(errors))
+
+        def predict(matrix):
+            normalized, scale = normalize_matrix(matrix)
+            return predicted_variation_error(normalized, b / scale, 0.05)
+
+        assert predict(hard) > predict(easy)
+        assert measure(hard) > measure(easy)
+
+
+class TestSchedulerArithmetic:
+    @given(
+        n_ops=st.integers(1, 6),
+        t_op=st.floats(min_value=1e-8, max_value=1e-5),
+        t_conv=st.floats(min_value=0.0, max_value=1e-6),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_single_problem_latency_is_sum_of_parts(self, n_ops, t_op, t_conv):
+        from repro.amc.scheduler import simulate_schedule
+
+        result = simulate_schedule(
+            [t_op] * n_ops, t_dac=t_conv, t_adc=t_conv, t_snh=0.0, n_problems=1
+        )
+        expected = 2 * t_conv + n_ops * t_op
+        assert result.latency_first == pytest.approx(expected, rel=1e-9)
+
+    @given(batch=st.integers(1, 12))
+    @settings(max_examples=15, deadline=None)
+    def test_makespan_monotone_in_batch(self, batch):
+        from repro.amc.scheduler import simulate_schedule
+
+        small = simulate_schedule(
+            [1e-6] * 5, t_dac=1e-7, t_adc=1e-7, t_snh=1e-8, n_problems=batch
+        )
+        large = simulate_schedule(
+            [1e-6] * 5, t_dac=1e-7, t_adc=1e-7, t_snh=1e-8, n_problems=batch + 1
+        )
+        assert large.makespan > small.makespan

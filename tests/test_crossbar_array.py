@@ -1,0 +1,126 @@
+"""Tests for the programmed crossbar array pair."""
+
+import numpy as np
+import pytest
+
+from repro.crossbar.array import CrossbarArray, ProgrammingConfig
+from repro.crossbar.parasitics import ParasiticConfig
+from repro.devices.faults import StuckFaultModel
+from repro.devices.models import DeviceSpec
+from repro.devices.variations import GaussianVariation, RelativeGaussianVariation
+
+
+MATRIX = np.array([[0.5, -0.25], [-0.1, 1.0]])
+
+
+class TestProgramIdeal:
+    def test_effective_matrix_matches_target(self):
+        arr = CrossbarArray.program(MATRIX, rng=0, pre_normalized=True)
+        np.testing.assert_allclose(arr.effective_matrix(), MATRIX, atol=1e-12)
+
+    def test_normalization_applied_by_default(self):
+        arr = CrossbarArray.program(4.0 * MATRIX, rng=0)
+        assert arr.scale == pytest.approx(4.0)
+        np.testing.assert_allclose(arr.effective_matrix(), MATRIX, atol=1e-12)
+
+    def test_device_count(self):
+        arr = CrossbarArray.program(MATRIX, rng=0, pre_normalized=True)
+        assert arr.device_count == 2 * MATRIX.size
+
+    def test_shape(self):
+        arr = CrossbarArray.program(np.ones((3, 5)) * 0.5, rng=0, pre_normalized=True)
+        assert arr.shape == (3, 5)
+
+    def test_programming_error_zero_for_ideal(self):
+        arr = CrossbarArray.program(MATRIX, rng=0, pre_normalized=True)
+        np.testing.assert_allclose(arr.programming_error(), 0.0, atol=1e-12)
+
+
+class TestProgramNonIdeal:
+    def test_variation_changes_effective_matrix(self):
+        config = ProgrammingConfig(variation=RelativeGaussianVariation(0.05))
+        arr = CrossbarArray.program(MATRIX, config, rng=0, pre_normalized=True)
+        error = arr.effective_matrix() - MATRIX
+        assert np.max(np.abs(error)) > 0.0
+
+    def test_variation_statistics(self):
+        rng = np.random.default_rng(0)
+        big = rng.uniform(0.2, 1.0, size=(60, 60))
+        config = ProgrammingConfig(variation=GaussianVariation(5e-6))
+        arr = CrossbarArray.program(big, config, rng=1, pre_normalized=True)
+        error = arr.programming_error()
+        # sigma in normalized units = 5e-6 / 100e-6 = 0.05
+        assert float(np.std(error)) == pytest.approx(0.05, rel=0.1)
+
+    def test_faults_injected(self):
+        config = ProgrammingConfig(faults=StuckFaultModel(p_stuck_off=0.5))
+        big = np.full((40, 40), 0.7)
+        arr = CrossbarArray.program(big, config, rng=2, pre_normalized=True)
+        assert np.mean(arr.g_pos == 0.0) > 0.2
+
+    def test_quantization(self):
+        config = ProgrammingConfig(
+            device=DeviceSpec.finite_window(levels=4), quantize=True
+        )
+        arr = CrossbarArray.program(MATRIX, config, rng=3, pre_normalized=True)
+        distinct = np.unique(np.concatenate([arr.g_pos.ravel(), arr.g_neg.ravel()]))
+        assert distinct.size <= 5  # 4 levels + OFF
+
+    def test_write_verify_path(self):
+        config = ProgrammingConfig(
+            device=DeviceSpec.finite_window(dynamic_range=100.0),
+            use_write_verify=True,
+        )
+        arr = CrossbarArray.program(MATRIX, config, rng=4, pre_normalized=True)
+        error = arr.effective_matrix() - MATRIX
+        assert 0.0 < np.max(np.abs(error)) < 0.2
+
+    def test_independent_rng_draws(self):
+        config = ProgrammingConfig(variation=RelativeGaussianVariation(0.05))
+        a = CrossbarArray.program(MATRIX, config, rng=5, pre_normalized=True)
+        b = CrossbarArray.program(MATRIX, config, rng=6, pre_normalized=True)
+        assert not np.allclose(a.effective_matrix(), b.effective_matrix())
+
+
+class TestLoads:
+    def test_row_sums(self):
+        arr = CrossbarArray.program(MATRIX, rng=0, pre_normalized=True)
+        expected = np.sum(np.abs(MATRIX), axis=1)
+        np.testing.assert_allclose(arr.load_row_sums(), expected, atol=1e-12)
+
+    def test_col_sums(self):
+        arr = CrossbarArray.program(MATRIX, rng=0, pre_normalized=True)
+        expected = np.sum(np.abs(MATRIX), axis=0)
+        np.testing.assert_allclose(arr.load_col_sums(), expected, atol=1e-12)
+
+
+class TestGuards:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shapes differ"):
+            CrossbarArray(np.zeros((2, 2)), np.zeros((3, 2)))
+
+    def test_negative_conductance_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            CrossbarArray(np.full((2, 2), -1e-6), np.zeros((2, 2)))
+
+    def test_views_read_only(self):
+        arr = CrossbarArray.program(MATRIX, rng=0, pre_normalized=True)
+        with pytest.raises(ValueError):
+            arr.g_pos[0, 0] = 1.0
+
+    def test_effective_matrix_cached_per_config(self):
+        arr = CrossbarArray.program(MATRIX, rng=0, pre_normalized=True)
+        cfg = ParasiticConfig(r_wire=1.0, fidelity="first_order")
+        first = arr.effective_matrix(cfg)
+        second = arr.effective_matrix(cfg)
+        np.testing.assert_array_equal(first, second)
+
+    def test_effective_matrix_returns_copy(self):
+        arr = CrossbarArray.program(MATRIX, rng=0, pre_normalized=True)
+        out = arr.effective_matrix()
+        out[0, 0] = 99.0
+        assert arr.effective_matrix()[0, 0] != 99.0
+
+    def test_programming_error_none_for_raw_arrays(self):
+        arr = CrossbarArray(np.zeros((2, 2)), np.zeros((2, 2)))
+        assert arr.programming_error() is None

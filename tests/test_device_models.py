@@ -1,0 +1,92 @@
+"""Unit tests for repro.devices.models."""
+
+import numpy as np
+import pytest
+
+from repro.devices.models import PAPER_G0_SIEMENS, DeviceSpec
+from repro.errors import DeviceError
+from repro.utils.validation import ValidationError
+
+
+class TestDeviceSpecValidation:
+    def test_default_is_valid(self):
+        spec = DeviceSpec()
+        assert spec.g_min < spec.g_max
+
+    def test_gmin_above_gmax_rejected(self):
+        with pytest.raises(DeviceError):
+            DeviceSpec(g_min=2e-4, g_max=1e-4)
+
+    def test_gmin_equal_gmax_rejected(self):
+        with pytest.raises(DeviceError):
+            DeviceSpec(g_min=1e-4, g_max=1e-4)
+
+    def test_negative_goff_rejected(self):
+        with pytest.raises(DeviceError):
+            DeviceSpec(g_off=-1e-9)
+
+    def test_goff_above_gmin_rejected(self):
+        with pytest.raises(DeviceError):
+            DeviceSpec(g_min=1e-6, g_max=1e-4, g_off=2e-6)
+
+    def test_single_level_rejected(self):
+        with pytest.raises(DeviceError):
+            DeviceSpec(levels=1)
+
+    def test_nonpositive_gmax_rejected(self):
+        with pytest.raises((DeviceError, ValidationError)):
+            DeviceSpec(g_max=0.0)
+
+
+class TestFactories:
+    def test_paper_reference_window(self):
+        spec = DeviceSpec.paper_reference()
+        assert spec.g_max == PAPER_G0_SIEMENS
+        assert spec.levels is None
+        assert spec.g_off == 0.0
+
+    def test_finite_window_dynamic_range(self):
+        spec = DeviceSpec.finite_window(dynamic_range=50.0)
+        assert spec.dynamic_range == pytest.approx(50.0)
+
+    def test_finite_window_levels(self):
+        spec = DeviceSpec.finite_window(levels=64)
+        assert spec.levels == 64
+
+
+class TestContains:
+    def test_in_window(self):
+        spec = DeviceSpec(g_min=1e-6, g_max=1e-4)
+        assert spec.contains(np.array([1e-6, 5e-5, 1e-4])).all()
+
+    def test_off_state_contained(self):
+        spec = DeviceSpec(g_min=1e-6, g_max=1e-4, g_off=0.0)
+        assert spec.contains(np.array([0.0])).all()
+
+    def test_outside_window(self):
+        spec = DeviceSpec(g_min=1e-6, g_max=1e-4)
+        result = spec.contains(np.array([1e-7, 2e-4]))
+        assert not result.any()
+
+
+class TestClip:
+    def test_clips_above_gmax(self):
+        spec = DeviceSpec(g_min=1e-6, g_max=1e-4)
+        np.testing.assert_allclose(spec.clip(np.array([5e-4])), [1e-4])
+
+    def test_small_targets_become_off(self):
+        spec = DeviceSpec(g_min=1e-6, g_max=1e-4, g_off=0.0)
+        np.testing.assert_allclose(spec.clip(np.array([1e-8])), [0.0])
+
+    def test_near_gmin_clips_up(self):
+        spec = DeviceSpec(g_min=1e-6, g_max=1e-4)
+        np.testing.assert_allclose(spec.clip(np.array([7e-7])), [1e-6])
+
+    def test_in_window_untouched(self):
+        spec = DeviceSpec(g_min=1e-6, g_max=1e-4)
+        np.testing.assert_allclose(spec.clip(np.array([3e-5])), [3e-5])
+
+    def test_preserves_shape(self):
+        spec = DeviceSpec()
+        out = spec.clip(np.zeros((3, 4)))
+        assert out.shape == (3, 4)

@@ -1,0 +1,156 @@
+"""Tests for the digital reference solvers."""
+
+import numpy as np
+import pytest
+
+from repro.core.digital import (
+    DigitalDirectSolver,
+    conjugate_gradient,
+    gauss_seidel,
+    gmres,
+    jacobi,
+    richardson,
+)
+from repro.errors import ConvergenceError, SolverError
+from repro.workloads.matrices import (
+    diagonally_dominant_matrix,
+    random_vector,
+    wishart_matrix,
+)
+
+
+@pytest.fixture
+def spd_system():
+    rng = np.random.default_rng(0)
+    a = wishart_matrix(12, rng)
+    b = random_vector(12, rng)
+    return a, b, np.linalg.solve(a, b)
+
+
+@pytest.fixture
+def dominant_system():
+    rng = np.random.default_rng(1)
+    a = diagonally_dominant_matrix(10, rng, margin=1.5)
+    b = random_vector(10, rng)
+    return a, b, np.linalg.solve(a, b)
+
+
+class TestDirect:
+    def test_exact(self, spd_system):
+        a, b, x = spd_system
+        result = DigitalDirectSolver().solve(a, b)
+        np.testing.assert_allclose(result.x, x)
+        assert result.relative_error == 0.0
+
+    def test_singular_raises(self):
+        with pytest.raises(SolverError):
+            DigitalDirectSolver().solve(np.ones((3, 3)), np.ones(3))
+
+
+class TestStationaryMethods:
+    def test_jacobi_converges_on_dominant(self, dominant_system):
+        a, b, x = dominant_system
+        result = jacobi(a, b, tol=1e-12)
+        assert result.converged
+        np.testing.assert_allclose(result.x, x, rtol=1e-8)
+
+    def test_gauss_seidel_converges_on_dominant(self, dominant_system):
+        a, b, x = dominant_system
+        result = gauss_seidel(a, b, tol=1e-12)
+        assert result.converged
+        np.testing.assert_allclose(result.x, x, rtol=1e-8)
+
+    def test_gauss_seidel_fewer_iterations_than_jacobi(self, dominant_system):
+        a, b, _ = dominant_system
+        assert gauss_seidel(a, b).iterations <= jacobi(a, b).iterations
+
+    def test_richardson_on_spd(self, spd_system):
+        a, b, x = spd_system
+        result = richardson(a, b, tol=1e-10, max_iter=100_000)
+        assert result.converged
+        np.testing.assert_allclose(result.x, x, rtol=1e-6)
+
+    def test_richardson_rejects_indefinite_auto_omega(self):
+        with pytest.raises(SolverError):
+            richardson(np.diag([1.0, -1.0]), np.ones(2))
+
+    def test_jacobi_zero_diagonal_rejected(self):
+        a = np.array([[0.0, 1.0], [1.0, 1.0]])
+        with pytest.raises(SolverError):
+            jacobi(a, np.ones(2))
+
+    @pytest.mark.filterwarnings("ignore:overflow")
+    def test_jacobi_divergence_reported(self):
+        # Strongly non-dominant: Jacobi blows up -> ConvergenceError on
+        # non-finite, or converged=False within budget. (The overflow on
+        # the way to inf is the expected mechanism, hence the filter.)
+        a = np.array([[1.0, 10.0], [10.0, 1.0]])
+        try:
+            result = jacobi(a, np.ones(2), max_iter=500)
+            assert not result.converged
+        except ConvergenceError:
+            pass
+
+    def test_residual_history_monotone_for_dominant_jacobi(self, dominant_system):
+        a, b, _ = dominant_system
+        result = jacobi(a, b, tol=1e-12)
+        residuals = np.asarray(result.residuals)
+        assert np.all(np.diff(residuals) <= 1e-12)
+
+
+class TestKrylov:
+    def test_cg_converges_fast_on_spd(self, spd_system):
+        a, b, x = spd_system
+        result = conjugate_gradient(a, b, tol=1e-12)
+        assert result.converged
+        assert result.iterations <= a.shape[0] + 2
+        np.testing.assert_allclose(result.x, x, rtol=1e-8)
+
+    def test_cg_rejects_indefinite(self):
+        a = np.diag([1.0, -1.0])
+        with pytest.raises(ConvergenceError):
+            conjugate_gradient(a, np.ones(2))
+
+    def test_gmres_on_nonsymmetric(self, dominant_system):
+        a, b, x = dominant_system
+        a = a.copy()
+        a[0, -1] += 0.5  # break symmetry
+        result = gmres(a, b, tol=1e-10)
+        assert result.converged
+        np.testing.assert_allclose(result.x, np.linalg.solve(a, b), rtol=1e-6)
+
+    def test_gmres_with_restart(self, dominant_system):
+        a, b, _ = dominant_system
+        result = gmres(a, b, tol=1e-10, restart=3)
+        assert result.converged
+
+    def test_warm_start_reduces_iterations(self):
+        """The paper's motivation: a good seed accelerates convergence.
+
+        Needs a system where CG converges before the exact-termination
+        bound of n iterations, i.e. large and well conditioned.
+        """
+        rng = np.random.default_rng(10)
+        a = wishart_matrix(64, rng, aspect=8.0)
+        b = random_vector(64, rng)
+        x = np.linalg.solve(a, b)
+        cold = conjugate_gradient(a, b, tol=1e-10)
+        warm = conjugate_gradient(a, b, x0=x * (1.0 + 1e-4), tol=1e-10)
+        assert warm.iterations < cold.iterations
+
+    def test_exact_seed_converges_immediately(self, spd_system):
+        a, b, x = spd_system
+        result = conjugate_gradient(a, b, x0=x, tol=1e-9)
+        assert result.iterations == 0
+
+
+class TestCommonGuards:
+    def test_zero_b_rejected(self):
+        with pytest.raises(SolverError):
+            conjugate_gradient(np.eye(2), np.zeros(2))
+
+    def test_final_residual_property(self, dominant_system):
+        a, b, _ = dominant_system
+        result = jacobi(a, b, tol=1e-10)
+        assert result.final_residual == result.residuals[-1]
+        assert result.final_residual <= 1e-10

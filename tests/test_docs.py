@@ -1,0 +1,70 @@
+"""Documentation integrity: the docs must not rot.
+
+Checks that every file the documentation points at exists and that the
+deliverable structure (README, DESIGN, EXPERIMENTS, examples, benches)
+is in place.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).parent.parent
+
+
+class TestDeliverablesPresent:
+    @pytest.mark.parametrize(
+        "name", ["README.md", "DESIGN.md", "EXPERIMENTS.md", "pyproject.toml"]
+    )
+    def test_top_level_file(self, name):
+        assert (ROOT / name).is_file(), f"{name} is a required deliverable"
+
+    def test_api_docs(self):
+        assert (ROOT / "docs" / "API.md").is_file()
+
+    def test_minimum_example_count(self):
+        assert len(list((ROOT / "examples").glob("*.py"))) >= 3
+
+    def test_quickstart_exists(self):
+        assert (ROOT / "examples" / "quickstart.py").is_file()
+
+    def test_bench_per_headline_figure(self):
+        benches = {p.name for p in (ROOT / "benchmarks").glob("bench_*.py")}
+        for figure in ("fig6", "fig7", "fig8", "fig9", "fig10"):
+            assert any(figure in b for b in benches), f"no bench for {figure}"
+
+
+class TestReferencesResolve:
+    def _referenced_paths(self, text):
+        # Backtick-quoted repo-relative paths like `benchmarks/bench_x.py`.
+        for match in re.finditer(r"`((?:src|tests|benchmarks|examples|docs)/[\w./-]+)`", text):
+            yield match.group(1)
+
+    @pytest.mark.parametrize("doc", ["README.md", "DESIGN.md", "EXPERIMENTS.md"])
+    def test_paths_mentioned_in_docs_exist(self, doc):
+        text = (ROOT / doc).read_text()
+        for path in self._referenced_paths(text):
+            assert (ROOT / path).exists(), f"{doc} references missing {path}"
+
+    def test_design_lists_every_src_package(self):
+        text = (ROOT / "DESIGN.md").read_text()
+        packages = [
+            p.name
+            for p in (ROOT / "src" / "repro").iterdir()
+            if p.is_dir() and (p / "__init__.py").exists()
+        ]
+        for package in packages:
+            assert f"repro.{package}" in text, (
+                f"DESIGN.md inventory is missing the repro.{package} package"
+            )
+
+    def test_experiments_covers_every_figure_bench(self):
+        text = (ROOT / "EXPERIMENTS.md").read_text()
+        for bench in (ROOT / "benchmarks").glob("bench_fig*.py"):
+            assert bench.name in text, f"EXPERIMENTS.md does not mention {bench.name}"
+
+    def test_readme_examples_exist(self):
+        text = (ROOT / "README.md").read_text()
+        for match in re.finditer(r"python (examples/[\w_]+\.py)", text):
+            assert (ROOT / match.group(1)).is_file(), f"README lists missing {match.group(1)}"

@@ -1,0 +1,77 @@
+"""Tests for the per-solve energy model."""
+
+import pytest
+
+from repro.amc.config import HardwareConfig
+from repro.analysis.costmodel import ComponentCosts
+from repro.analysis.energymodel import EnergyBreakdown, solve_energy
+from repro.core.blockamc import BlockAMCSolver
+from repro.core.digital import DigitalDirectSolver
+from repro.core.original import OriginalAMCSolver
+from repro.errors import CostModelError
+from repro.workloads.matrices import random_vector, wishart_matrix
+
+
+@pytest.fixture
+def block_result():
+    matrix = wishart_matrix(16, rng=0)
+    b = random_vector(16, rng=1)
+    return BlockAMCSolver(HardwareConfig.paper_ideal_mapping()).solve(matrix, b, rng=2)
+
+
+class TestSolveEnergy:
+    def test_positive_components(self, block_result):
+        energy = solve_energy(block_result)
+        assert energy.opa > 0.0
+        assert energy.rram > 0.0
+        assert energy.dac > 0.0
+        assert energy.adc > 0.0
+        assert energy.total == pytest.approx(
+            energy.opa + energy.rram + energy.dac + energy.adc
+        )
+
+    def test_as_dict_components(self, block_result):
+        energy = solve_energy(block_result)
+        assert set(energy.as_dict()) == {"OPA", "RRAM", "DAC", "ADC"}
+
+    def test_digital_result_rejected(self):
+        matrix = wishart_matrix(4, rng=3)
+        result = DigitalDirectSolver().solve(matrix, random_vector(4, rng=4))
+        with pytest.raises(CostModelError):
+            solve_energy(result)
+
+    def test_original_vs_block_converter_energy(self):
+        """The one-stage macro converts half-length vectors, so its
+        converter energy per solve is lower than the baseline's."""
+        matrix = wishart_matrix(16, rng=5)
+        b = random_vector(16, rng=6)
+        config = HardwareConfig.paper_ideal_mapping()
+        orig = solve_energy(OriginalAMCSolver(config).solve(matrix, b, rng=7))
+        block = solve_energy(BlockAMCSolver(config).solve(matrix, b, rng=7))
+        assert block.dac + block.adc < (orig.dac + orig.adc) * 2.1
+
+    def test_custom_costs_scale_linearly(self, block_result):
+        base = solve_energy(block_result)
+        costs = ComponentCosts.paper_calibrated()
+        doubled = ComponentCosts(
+            area_opa=costs.area_opa,
+            area_dac=costs.area_dac,
+            area_adc=costs.area_adc,
+            area_cell=costs.area_cell,
+            power_opa=2 * costs.power_opa,
+            power_dac=2 * costs.power_dac,
+            power_adc=2 * costs.power_adc,
+            power_cell=2 * costs.power_cell,
+        )
+        assert solve_energy(block_result, doubled).total == pytest.approx(2 * base.total)
+
+    def test_conversion_time_scales_converter_energy(self, block_result):
+        fast = solve_energy(block_result, conversion_time_s=10e-9)
+        slow = solve_energy(block_result, conversion_time_s=100e-9)
+        assert slow.adc == pytest.approx(10 * fast.adc)
+        assert slow.opa == pytest.approx(fast.opa)  # analog part unchanged
+
+    def test_breakdown_is_frozen(self, block_result):
+        energy = solve_energy(block_result)
+        with pytest.raises(AttributeError):
+            energy.opa = 0.0

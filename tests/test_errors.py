@@ -1,0 +1,43 @@
+"""The exception hierarchy contract: everything derives from ReproError."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.ValidationError,
+    errors.DeviceError,
+    errors.ProgrammingError,
+    errors.MappingError,
+    errors.CircuitError,
+    errors.SingularCircuitError,
+    errors.ConvergenceError,
+    errors.PartitionError,
+    errors.SolverError,
+    errors.ScheduleError,
+    errors.CostModelError,
+]
+
+
+@pytest.mark.parametrize("exc", ALL_ERRORS)
+def test_derives_from_repro_error(exc):
+    assert issubclass(exc, errors.ReproError)
+
+
+def test_validation_error_is_value_error():
+    """Callers using plain ValueError handling must still catch it."""
+    assert issubclass(errors.ValidationError, ValueError)
+
+
+def test_programming_error_is_device_error():
+    assert issubclass(errors.ProgrammingError, errors.DeviceError)
+
+
+def test_singular_circuit_error_is_circuit_error():
+    assert issubclass(errors.SingularCircuitError, errors.CircuitError)
+
+
+def test_catching_base_class():
+    with pytest.raises(errors.ReproError):
+        raise errors.SolverError("boom")

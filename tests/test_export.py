@@ -1,0 +1,50 @@
+"""Tests for the CSV exporters."""
+
+import csv
+
+import pytest
+
+from repro.analysis.accuracy import AccuracyRecord, accuracy_sweep
+from repro.analysis.export import records_to_csv, sweep_to_csv
+from repro.errors import ValidationError
+
+
+RECORDS = [
+    AccuracyRecord("solver-a", 8, 0, 0.1, False, 1e-6),
+    AccuracyRecord("solver-a", 8, 1, 0.2, True, 1e-6),
+    AccuracyRecord("solver-b", 8, 0, 0.05, False, 2e-6),
+]
+
+
+class TestRecordsToCsv:
+    def test_round_trip(self, tmp_path):
+        path = records_to_csv(RECORDS, tmp_path / "records.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 3
+        assert rows[0]["solver"] == "solver-a"
+        assert float(rows[1]["relative_error"]) == 0.2
+        assert rows[1]["saturated"] == "1"
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = records_to_csv(RECORDS, tmp_path / "deep" / "dir" / "r.csv")
+        assert path.exists()
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValidationError):
+            records_to_csv([], tmp_path / "r.csv")
+
+
+class TestSweepToCsv:
+    def test_round_trip(self, tmp_path):
+        table = accuracy_sweep(RECORDS)
+        path = sweep_to_csv(table, tmp_path / "sweep.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 2  # two solvers, one size each
+        by_solver = {row["solver"]: row for row in rows}
+        assert float(by_solver["solver-a"]["mean_relative_error"]) == pytest.approx(0.15)
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValidationError):
+            sweep_to_csv({}, tmp_path / "sweep.csv")

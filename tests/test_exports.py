@@ -1,0 +1,52 @@
+"""Public-API surface contract: every exported name resolves.
+
+Guards against `__all__` entries drifting out of sync with the actual
+module contents (a common failure mode of hand-maintained exports).
+"""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.amc",
+    "repro.analysis",
+    "repro.circuits",
+    "repro.core",
+    "repro.crossbar",
+    "repro.devices",
+    "repro.utils",
+    "repro.workloads",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_names_resolve(package):
+    module = importlib.import_module(package)
+    assert hasattr(module, "__all__"), f"{package} must declare __all__"
+    for name in module.__all__:
+        assert hasattr(module, name), f"{package}.__all__ lists missing name {name!r}"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_sorted(package):
+    """Sorted __all__ keeps diffs reviewable."""
+    module = importlib.import_module(package)
+    exported = [n for n in module.__all__ if n != "__version__"]
+    assert exported == sorted(exported), f"{package}.__all__ is not sorted"
+
+
+def test_version_string():
+    import repro
+
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3
+    assert all(part.isdigit() for part in parts)
+
+
+def test_star_import_clean():
+    namespace = {}
+    exec("from repro import *", namespace)  # noqa: S102 - deliberate contract test
+    assert "BlockAMCSolver" in namespace
+    assert "HardwareConfig" in namespace

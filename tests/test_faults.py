@@ -1,0 +1,63 @@
+"""Tests for stuck-at fault injection."""
+
+import numpy as np
+import pytest
+
+from repro.devices.faults import StuckFaultModel
+from repro.devices.models import DeviceSpec
+
+
+SPEC = DeviceSpec(g_min=1e-6, g_max=1e-4, g_off=0.0)
+
+
+class TestValidation:
+    def test_probabilities_must_sum_to_at_most_one(self):
+        with pytest.raises(ValueError):
+            StuckFaultModel(p_stuck_on=0.6, p_stuck_off=0.6)
+
+    def test_negative_probability_rejected(self):
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            StuckFaultModel(p_stuck_on=-0.1)
+
+    def test_trivial_flag(self):
+        assert StuckFaultModel().is_trivial
+        assert not StuckFaultModel(p_stuck_on=0.01).is_trivial
+
+
+class TestApply:
+    def test_trivial_returns_copy(self):
+        g = np.full((4, 4), 5e-5)
+        out = StuckFaultModel().apply(g, SPEC, rng=0)
+        np.testing.assert_array_equal(out, g)
+        assert out is not g
+
+    def test_input_not_modified(self):
+        g = np.full((50, 50), 5e-5)
+        model = StuckFaultModel(p_stuck_on=0.5)
+        _ = model.apply(g, SPEC, rng=0)
+        assert np.all(g == 5e-5)
+
+    def test_stuck_values(self):
+        g = np.full((100, 100), 5e-5)
+        model = StuckFaultModel(p_stuck_on=0.3, p_stuck_off=0.3)
+        out = model.apply(g, SPEC, rng=1)
+        values = set(np.unique(out))
+        assert values <= {0.0, 5e-5, 1e-4}
+
+    def test_fault_fractions_statistical(self):
+        g = np.full((200, 200), 5e-5)
+        model = StuckFaultModel(p_stuck_on=0.1, p_stuck_off=0.2)
+        out = model.apply(g, SPEC, rng=2)
+        frac_on = float(np.mean(out == SPEC.g_max))
+        frac_off = float(np.mean(out == SPEC.g_off))
+        assert frac_on == pytest.approx(0.1, abs=0.01)
+        assert frac_off == pytest.approx(0.2, abs=0.01)
+
+    def test_reproducible(self):
+        g = np.full((20, 20), 5e-5)
+        model = StuckFaultModel(p_stuck_on=0.2)
+        a = model.apply(g, SPEC, rng=5)
+        b = model.apply(g, SPEC, rng=5)
+        np.testing.assert_array_equal(a, b)

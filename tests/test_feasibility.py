@@ -1,0 +1,102 @@
+"""Tests for the AMC feasibility advisor."""
+
+import numpy as np
+import pytest
+
+from repro.amc.config import HardwareConfig
+from repro.core.feasibility import (
+    Finding,
+    assess_feasibility,
+    recommended_stage_count,
+)
+from repro.errors import PartitionError
+from repro.workloads.matrices import random_vector, wishart_matrix
+from repro.workloads.pde import poisson_1d
+
+
+class TestFinding:
+    def test_severity_validated(self):
+        with pytest.raises(ValueError):
+            Finding("fatal", "x", "y")
+
+
+class TestRecommendedStages:
+    def test_fits_directly(self):
+        assert recommended_stage_count(64, 256) == 1
+
+    def test_one_partition(self):
+        assert recommended_stage_count(512, 256) == 1
+
+    def test_two_partitions(self):
+        assert recommended_stage_count(1024, 256) == 2
+
+    def test_large(self):
+        assert recommended_stage_count(4096, 256) == 4
+
+    def test_invalid_limit(self):
+        with pytest.raises(PartitionError):
+            recommended_stage_count(64, 0)
+
+
+class TestAssessFeasibility:
+    def test_healthy_spd_system(self):
+        matrix = wishart_matrix(16, rng=0)
+        report = assess_feasibility(matrix, random_vector(16, rng=1))
+        assert report.feasible
+        assert report.stability_margin > 0.0
+        assert report.predicted_error is not None
+        assert report.recommended_stages == 1
+
+    def test_unstable_system_blocked(self):
+        matrix = -np.eye(8)
+        report = assess_feasibility(matrix)
+        assert not report.feasible
+        assert report.worst_severity == "blocker"
+        assert any("settle" in f.message for f in report.by_topic("stability"))
+
+    def test_singular_leading_block_blocked(self):
+        matrix = np.array(
+            [
+                [0.0, 0.0, 1.0, 0.0],
+                [0.0, 0.0, 0.0, 1.0],
+                [1.0, 0.0, 1.0, 0.0],
+                [0.0, 1.0, 0.0, 1.0],
+            ]
+        )
+        report = assess_feasibility(matrix)
+        assert not report.feasible
+        assert report.by_topic("partitioning")
+
+    def test_large_system_recommends_stages(self):
+        matrix = wishart_matrix(64, rng=2)
+        report = assess_feasibility(matrix, max_array_size=16)
+        assert report.recommended_stages == 2
+        assert any("MultiStageSolver" in f.message for f in report.findings)
+
+    def test_ill_conditioned_pde_warns_on_accuracy(self):
+        matrix = poisson_1d(64)
+        report = assess_feasibility(matrix, error_budget=0.05)
+        accuracy = report.by_topic("accuracy")
+        assert accuracy
+        assert accuracy[0].severity in ("warning", "blocker")
+
+    def test_no_variation_model_skips_prediction(self):
+        matrix = wishart_matrix(8, rng=3)
+        report = assess_feasibility(matrix, config=HardwareConfig.ideal())
+        assert report.predicted_error is None
+
+    def test_random_probe_when_b_missing(self):
+        matrix = wishart_matrix(8, rng=4)
+        report = assess_feasibility(matrix)
+        assert report.predicted_error is not None
+
+    def test_metrics_populated(self):
+        matrix = wishart_matrix(8, rng=5)
+        report = assess_feasibility(matrix)
+        assert report.metrics["n"] == 8
+        assert report.metrics["scale"] > 0.0
+
+    def test_dynamic_range_topic_present(self):
+        matrix = wishart_matrix(8, rng=6)
+        report = assess_feasibility(matrix)
+        assert report.by_topic("dynamic-range")

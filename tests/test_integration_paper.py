@@ -1,0 +1,139 @@
+"""Integration tests asserting the paper's qualitative claims.
+
+These are the repository's contract with the paper: each test encodes one
+of the evaluation section's directional findings at CI-friendly sizes.
+The benches regenerate the full curves; these tests pin the shapes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.amc.config import HardwareConfig
+from repro.analysis.accuracy import accuracy_sweep, run_trials
+from repro.core.blockamc import BlockAMCSolver
+from repro.core.multistage import MultiStageSolver
+from repro.core.original import OriginalAMCSolver
+from repro.workloads.matrices import random_vector, toeplitz_matrix, wishart_matrix
+
+
+def _mean_errors(config_factory, matrix_factory, sizes, trials=4, seed=0, stages=None):
+    if stages is None:
+        factories = {
+            "original": lambda: OriginalAMCSolver(config_factory()),
+            "blockamc": lambda: BlockAMCSolver(config_factory()),
+        }
+    else:
+        factories = {
+            "original": lambda: OriginalAMCSolver(config_factory()),
+            "blockamc": lambda: MultiStageSolver(config_factory(), stages=stages),
+        }
+    records = run_trials(factories, matrix_factory, sizes, trials, seed)
+    return accuracy_sweep(records)
+
+
+class TestFig6IdealMapping:
+    """Fig. 6: ideal conductances, realistic periphery."""
+
+    def test_error_grows_with_size(self):
+        table = _mean_errors(
+            HardwareConfig.paper_ideal_mapping, wishart_matrix, sizes=[8, 64], trials=6
+        )
+        assert table["original"][64][0] > table["original"][8][0]
+
+    def test_blockamc_at_least_as_accurate(self):
+        table = _mean_errors(
+            HardwareConfig.paper_ideal_mapping, wishart_matrix, sizes=[32, 64], trials=6
+        )
+        for size in (32, 64):
+            assert table["blockamc"][size][0] <= table["original"][size][0] * 1.1
+
+    def test_per_step_scatter_available(self):
+        """Fig. 6(a): every step's numerical-vs-BlockAMC pairs exist."""
+        matrix = wishart_matrix(16, rng=0)
+        result = BlockAMCSolver(HardwareConfig.paper_ideal_mapping()).solve(
+            matrix, random_vector(16, rng=1), rng=2
+        )
+        refs = result.metadata["reference_steps"]
+        outs = result.metadata["step_outputs"]
+        assert set(refs) == {"step1", "step2", "step3", "step4", "step5"}
+        for step, ref in refs.items():
+            actual = next(v for k, v in outs.items() if k.startswith(step))
+            # Hardware output tracks the numerical reference closely.
+            assert np.max(np.abs(actual - ref)) < 0.15 * (np.max(np.abs(ref)) + 1e-9)
+
+
+class TestFig7Variation:
+    """Fig. 7: 5% programming variation."""
+
+    def test_wishart_blockamc_slightly_better(self):
+        table = _mean_errors(
+            HardwareConfig.paper_variation, wishart_matrix, sizes=[32], trials=8
+        )
+        assert table["blockamc"][32][0] <= table["original"][32][0]
+
+    def test_errors_nonzero_under_variation(self):
+        table = _mean_errors(
+            HardwareConfig.paper_variation, wishart_matrix, sizes=[16], trials=4
+        )
+        assert table["original"][16][0] > 0.01
+
+    def test_toeplitz_handled(self):
+        table = _mean_errors(
+            HardwareConfig.paper_variation, toeplitz_matrix, sizes=[16, 64], trials=4
+        )
+        for size in (16, 64):
+            assert 0.0 < table["blockamc"][size][0] < 1.0
+
+
+class TestFig8TwoStage:
+    """Fig. 8: the two-stage solver matches the one-stage accuracy."""
+
+    def test_two_stage_comparable_accuracy(self):
+        table = _mean_errors(
+            HardwareConfig.paper_variation, wishart_matrix, sizes=[32], trials=6, stages=2
+        )
+        assert table["blockamc"][32][0] <= table["original"][32][0] * 1.2
+
+    def test_two_stage_array_inventory_16(self):
+        matrix = wishart_matrix(32, rng=3)
+        result = MultiStageSolver(HardwareConfig.paper_variation(), stages=2).solve(
+            matrix, random_vector(32, rng=4), rng=5
+        )
+        assert result.metadata["array_count"] == 16
+
+
+class TestFig9Interconnect:
+    """Fig. 9: wire resistance hurts, the original solver most."""
+
+    def test_interconnect_increases_error(self):
+        plain = _mean_errors(
+            HardwareConfig.paper_variation, wishart_matrix, sizes=[64], trials=6
+        )
+        wired = _mean_errors(
+            HardwareConfig.paper_interconnect, wishart_matrix, sizes=[64], trials=6
+        )
+        assert wired["original"][64][0] > plain["original"][64][0]
+
+    def test_blockamc_more_robust_to_interconnect(self):
+        table = _mean_errors(
+            HardwareConfig.paper_interconnect, wishart_matrix, sizes=[64], trials=6
+        )
+        assert table["blockamc"][64][0] < table["original"][64][0]
+
+
+class TestSeedSolutionClaim:
+    """Sec. IV: AMC provides a useful seed for digital iterative methods."""
+
+    def test_amc_seed_accelerates_cg(self):
+        from repro.core.digital import conjugate_gradient
+
+        # Large, well-conditioned system: CG converges well before the
+        # n-iteration exact-termination bound, so a seed saves work.
+        matrix = wishart_matrix(64, rng=np.random.default_rng(6), aspect=8.0)
+        b = random_vector(64, rng=7)
+        seed_x = BlockAMCSolver(HardwareConfig.paper_variation()).solve(
+            matrix, b, rng=8
+        ).x
+        cold = conjugate_gradient(matrix, b, tol=1e-10)
+        warm = conjugate_gradient(matrix, b, x0=seed_x, tol=1e-10)
+        assert warm.iterations < cold.iterations

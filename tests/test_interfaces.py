@@ -1,0 +1,89 @@
+"""Tests for DAC/ADC/S&H interface models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.amc.config import ConverterConfig, SampleHoldConfig
+from repro.amc.interfaces import ADC, DAC, SampleHold
+
+
+class TestQuantizers:
+    def test_ideal_converter_transparent(self):
+        dac = DAC(ConverterConfig.ideal())
+        v = np.array([0.123456789, -0.987654321])
+        np.testing.assert_array_equal(dac.convert(v), v)
+
+    def test_quantization_error_bounded(self):
+        cfg = ConverterConfig(dac_bits=8, adc_bits=8, v_fs=1.0)
+        lsb = 2.0 / 256
+        v = np.linspace(-0.99, 0.99, 101)
+        out = DAC(cfg).convert(v)
+        assert np.max(np.abs(out - v)) <= lsb / 2 + 1e-15
+
+    def test_clipping_at_full_scale(self):
+        cfg = ConverterConfig(adc_bits=8, v_fs=1.0)
+        out = ADC(cfg).convert(np.array([2.5, -3.0]))
+        assert out[0] <= 1.0
+        assert out[1] >= -1.0
+
+    def test_idempotent(self):
+        cfg = ConverterConfig(dac_bits=6, v_fs=1.0)
+        dac = DAC(cfg)
+        v = np.linspace(-1, 1, 37)
+        once = dac.convert(v)
+        np.testing.assert_array_equal(dac.convert(once), once)
+
+    def test_higher_resolution_smaller_error(self):
+        v = np.linspace(-0.9, 0.9, 101)
+        err4 = np.max(np.abs(DAC(ConverterConfig(dac_bits=4)).convert(v) - v))
+        err12 = np.max(np.abs(DAC(ConverterConfig(dac_bits=12)).convert(v) - v))
+        assert err12 < err4
+
+    @given(
+        st.lists(st.floats(min_value=-1.0, max_value=1.0), min_size=1, max_size=20),
+        st.integers(min_value=2, max_value=14),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_error_within_half_lsb(self, values, bits):
+        cfg = ConverterConfig(adc_bits=bits, v_fs=1.0)
+        v = np.asarray(values)
+        out = ADC(cfg).convert(v)
+        lsb = 2.0 / (2**bits)
+        assert np.max(np.abs(out - v)) <= lsb / 2 + 1e-12
+
+    def test_zero_maps_to_zero(self):
+        """Mid-tread quantizer: 0 V is always a code."""
+        cfg = ConverterConfig(adc_bits=5)
+        assert ADC(cfg).convert(np.array([0.0]))[0] == 0.0
+
+
+class TestSampleHold:
+    def test_transparent_by_default(self):
+        snh = SampleHold(SampleHoldConfig())
+        v = np.array([0.3, -0.2])
+        np.testing.assert_array_equal(snh.transfer(v), v)
+
+    def test_gain_error(self):
+        snh = SampleHold(SampleHoldConfig(gain_error=0.01))
+        v = np.array([1.0])
+        assert snh.transfer(v)[0] == pytest.approx(1.01)
+
+    def test_noise_statistics(self):
+        snh = SampleHold(SampleHoldConfig(noise_sigma_v=1e-3))
+        v = np.zeros(20_000)
+        out = snh.transfer(v, rng=0)
+        assert float(np.std(out)) == pytest.approx(1e-3, rel=0.05)
+
+    def test_noise_reproducible(self):
+        snh = SampleHold(SampleHoldConfig(noise_sigma_v=1e-3))
+        a = snh.transfer(np.zeros(8), rng=1)
+        b = snh.transfer(np.zeros(8), rng=1)
+        np.testing.assert_array_equal(a, b)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SampleHoldConfig(gain_error=1.5)
+        with pytest.raises(ValueError):
+            SampleHoldConfig(noise_sigma_v=-1.0)

@@ -1,0 +1,121 @@
+"""Unit and property tests for repro.utils.linalg."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PartitionError
+from repro.utils.linalg import (
+    block_join,
+    block_split,
+    condition_number,
+    is_square,
+    relative_l2_error,
+    schur_complement,
+)
+from repro.workloads.matrices import diagonally_dominant_matrix
+
+
+class TestIsSquare:
+    def test_square(self):
+        assert is_square(np.eye(3))
+
+    def test_rectangular(self):
+        assert not is_square(np.zeros((2, 3)))
+
+    def test_vector(self):
+        assert not is_square(np.zeros(3))
+
+
+class TestBlockSplitJoin:
+    def test_shapes(self):
+        a = np.arange(25, dtype=float).reshape(5, 5)
+        a1, a2, a3, a4 = block_split(a, 2)
+        assert a1.shape == (2, 2)
+        assert a2.shape == (2, 3)
+        assert a3.shape == (3, 2)
+        assert a4.shape == (3, 3)
+
+    def test_contents(self):
+        a = np.arange(16, dtype=float).reshape(4, 4)
+        a1, a2, a3, a4 = block_split(a, 2)
+        np.testing.assert_array_equal(a1, [[0, 1], [4, 5]])
+        np.testing.assert_array_equal(a4, [[10, 11], [14, 15]])
+
+    @pytest.mark.parametrize("split", [0, 4, -1, 7])
+    def test_invalid_split(self, split):
+        with pytest.raises(PartitionError):
+            block_split(np.eye(4), split)
+
+    @given(
+        n=st.integers(min_value=2, max_value=12),
+        data=st.data(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_join_inverts_split(self, n, data):
+        split = data.draw(st.integers(min_value=1, max_value=n - 1))
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**31)))
+        a = rng.normal(size=(n, n))
+        blocks = block_split(a, split)
+        np.testing.assert_array_equal(block_join(*blocks), a)
+
+    def test_join_rejects_mismatched_blocks(self):
+        with pytest.raises(PartitionError):
+            block_join(np.eye(2), np.zeros((3, 2)), np.zeros((2, 2)), np.eye(2))
+
+
+class TestSchurComplement:
+    def test_known_value(self):
+        a1 = np.array([[2.0, 0.0], [0.0, 2.0]])
+        a2 = np.array([[1.0], [1.0]])
+        a3 = np.array([[1.0, 1.0]])
+        a4 = np.array([[3.0]])
+        # 3 - [1 1] (I/2) [1 1]^T = 3 - 1 = 2
+        np.testing.assert_allclose(schur_complement(a1, a2, a3, a4), [[2.0]])
+
+    def test_singular_a1_raises(self):
+        with pytest.raises(PartitionError, match="singular"):
+            schur_complement(np.zeros((2, 2)), np.eye(2), np.eye(2), np.eye(2))
+
+    @given(st.integers(min_value=2, max_value=10), st.integers(0, 2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_block_elimination_identity(self, n, seed):
+        """Solving via the Schur complement must equal the direct solve."""
+        rng = np.random.default_rng(seed)
+        a = diagonally_dominant_matrix(n, rng)
+        split = max(1, n // 2)
+        a1 = a[:split, :split]
+        a2 = a[:split, split:]
+        a3 = a[split:, :split]
+        a4 = a[split:, split:]
+        s = schur_complement(a1, a2, a3, a4)
+        b = rng.normal(size=n)
+        f, g = b[:split], b[split:]
+        z = np.linalg.solve(s, g - a3 @ np.linalg.solve(a1, f))
+        y = np.linalg.solve(a1, f - a2 @ z)
+        x = np.concatenate([y, z])
+        np.testing.assert_allclose(x, np.linalg.solve(a, b), rtol=1e-8, atol=1e-10)
+
+
+class TestNorms:
+    def test_condition_number_identity(self):
+        assert condition_number(np.eye(5)) == pytest.approx(1.0)
+
+    def test_condition_number_scaling_invariant(self):
+        a = np.diag([1.0, 10.0])
+        assert condition_number(a) == pytest.approx(10.0)
+        assert condition_number(3.0 * a) == pytest.approx(10.0)
+
+    def test_relative_l2_error_zero_for_equal(self):
+        v = np.array([1.0, -2.0, 3.0])
+        assert relative_l2_error(v, v) == 0.0
+
+    def test_relative_l2_error_value(self):
+        assert relative_l2_error([3.0, 4.0], [3.0, 4.0 + 5.0]) == pytest.approx(1.0)
+
+    def test_relative_l2_error_zero_reference_raises(self):
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            relative_l2_error([0.0, 0.0], [1.0, 1.0])

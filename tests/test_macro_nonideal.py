@@ -1,0 +1,133 @@
+"""Macro behaviour under periphery non-idealities not covered elsewhere."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.amc.config import (
+    ConverterConfig,
+    HardwareConfig,
+    OpAmpConfig,
+    SampleHoldConfig,
+)
+from repro.core.blockamc import BlockAMCSolver
+from repro.core.original import OriginalAMCSolver
+from repro.workloads.matrices import random_vector, wishart_matrix
+
+
+def _solve(config, n=8, seed=0):
+    matrix = wishart_matrix(n, rng=seed)
+    b = random_vector(n, rng=seed + 1)
+    return BlockAMCSolver(config).solve(matrix, b, rng=seed + 2)
+
+
+class TestSampleHoldEffects:
+    def test_snh_gain_error_degrades_blockamc_only(self):
+        """S&H buffers sit only in the macro's cascade — the monolithic
+        solver has no inter-op buffering, so it is immune."""
+        matrix = wishart_matrix(8, rng=0)
+        b = random_vector(8, rng=1)
+        config = HardwareConfig.ideal().with_(
+            sample_hold=SampleHoldConfig(gain_error=0.01)
+        )
+        block = BlockAMCSolver(config).solve(matrix, b, rng=2)
+        original = OriginalAMCSolver(config).solve(matrix, b, rng=2)
+        assert block.relative_error > 1e-4
+        assert original.relative_error < 1e-9
+
+    def test_snh_noise_randomizes_solution(self):
+        config = HardwareConfig.ideal().with_(
+            sample_hold=SampleHoldConfig(noise_sigma_v=1e-3)
+        )
+        a = _solve(config, seed=10)
+        b = _solve(config, seed=10)
+        # Same seeds => same noise => identical; different rng => differs.
+        np.testing.assert_array_equal(a.x, b.x)
+        c = BlockAMCSolver(config).solve(
+            wishart_matrix(8, rng=10), random_vector(8, rng=11), rng=99
+        )
+        assert not np.allclose(a.x, c.x)
+
+    def test_snh_noise_scales_error(self):
+        quiet = HardwareConfig.ideal().with_(
+            sample_hold=SampleHoldConfig(noise_sigma_v=1e-5)
+        )
+        loud = HardwareConfig.ideal().with_(
+            sample_hold=SampleHoldConfig(noise_sigma_v=1e-2)
+        )
+        assert _solve(loud).relative_error > _solve(quiet).relative_error
+
+
+class TestSaturation:
+    def test_saturation_flag_reaches_solve_result(self):
+        config = HardwareConfig.ideal().with_(
+            opamp=OpAmpConfig(
+                open_loop_gain=math.inf, v_sat=0.05, input_offset_sigma_v=0.0
+            ),
+            # Disable ranging headroom relief by keeping converters ideal
+            # but v_sat below the input amplitude.
+            converters=ConverterConfig.ideal(),
+        )
+        result = _solve(config)
+        assert result.saturated
+
+    def test_no_saturation_with_wide_rails(self):
+        config = HardwareConfig.ideal().with_(
+            opamp=OpAmpConfig(
+                open_loop_gain=math.inf, v_sat=100.0, input_offset_sigma_v=0.0
+            )
+        )
+        assert not _solve(config).saturated
+
+
+class TestOutputNoise:
+    def test_output_noise_propagates(self):
+        config = HardwareConfig.ideal().with_(
+            opamp=OpAmpConfig(
+                open_loop_gain=math.inf,
+                input_offset_sigma_v=0.0,
+                output_noise_sigma_v=1e-3,
+            )
+        )
+        result = _solve(config)
+        assert 1e-5 < result.relative_error < 0.5
+
+    def test_output_noise_fresh_per_operation(self):
+        """Unlike offsets, noise differs between the two INV(A1) steps."""
+        from repro.amc.ops import AMCOperations
+        from repro.crossbar.array import CrossbarArray
+        from repro.crossbar.mapping import normalize_matrix
+
+        matrix, _ = normalize_matrix(wishart_matrix(4, rng=3))
+        array = CrossbarArray.program(matrix, rng=4, pre_normalized=True)
+        config = HardwareConfig.ideal().with_(
+            opamp=OpAmpConfig(
+                open_loop_gain=math.inf,
+                input_offset_sigma_v=0.0,
+                output_noise_sigma_v=1e-3,
+            )
+        )
+        ops = AMCOperations(config)
+        v = random_vector(4, rng=5) * 0.2
+        rng = np.random.default_rng(6)
+        first = ops.mvm(array, v, rng=rng).output
+        second = ops.mvm(array, v, rng=rng).output
+        assert not np.allclose(first, second)
+
+
+class TestConverterEdgeCases:
+    def test_one_bit_converters_still_produce_output(self):
+        config = HardwareConfig.ideal().with_(
+            converters=ConverterConfig(dac_bits=1, adc_bits=1)
+        )
+        result = _solve(config)
+        assert np.all(np.isfinite(result.x))
+        assert result.relative_error > 0.1  # 1-bit data is, of course, rough
+
+    def test_asymmetric_bits(self):
+        config = HardwareConfig.ideal().with_(
+            converters=ConverterConfig(dac_bits=12, adc_bits=4)
+        )
+        result = _solve(config)
+        assert result.relative_error > 1e-4

@@ -1,0 +1,113 @@
+"""Unit and property tests for repro.crossbar.mapping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.crossbar.mapping import (
+    map_to_conductances,
+    normalize_matrix,
+    split_signed,
+)
+from repro.devices.models import PAPER_G0_SIEMENS
+from repro.errors import MappingError
+
+
+finite_matrices = arrays(
+    np.float64,
+    st.tuples(st.integers(1, 6), st.integers(1, 6)),
+    elements=st.floats(min_value=-100.0, max_value=100.0, allow_nan=False),
+)
+
+
+class TestNormalize:
+    def test_peak_is_one(self):
+        a = np.array([[2.0, -8.0], [1.0, 4.0]])
+        normalized, scale = normalize_matrix(a)
+        assert scale == 8.0
+        assert np.max(np.abs(normalized)) == pytest.approx(1.0)
+
+    def test_round_trip(self):
+        a = np.array([[3.0, -1.0], [0.5, 2.0]])
+        normalized, scale = normalize_matrix(a)
+        np.testing.assert_allclose(scale * normalized, a)
+
+    def test_zero_matrix_raises(self):
+        with pytest.raises(MappingError):
+            normalize_matrix(np.zeros((3, 3)))
+
+    @given(finite_matrices)
+    @settings(max_examples=50, deadline=None)
+    def test_property_peak_le_one(self, a):
+        if np.max(np.abs(a)) == 0.0:
+            return
+        normalized, _ = normalize_matrix(a)
+        assert np.max(np.abs(normalized)) <= 1.0 + 1e-12
+
+
+class TestSplitSigned:
+    def test_reconstruction(self):
+        a = np.array([[1.0, -2.0], [-3.0, 4.0]])
+        pos, neg = split_signed(a)
+        np.testing.assert_allclose(pos - neg, a)
+
+    def test_non_negative(self):
+        a = np.array([[1.0, -2.0], [-3.0, 4.0]])
+        pos, neg = split_signed(a)
+        assert np.all(pos >= 0.0)
+        assert np.all(neg >= 0.0)
+
+    def test_disjoint_support(self):
+        a = np.array([[1.0, -2.0], [-3.0, 0.0]])
+        pos, neg = split_signed(a)
+        assert np.all(pos * neg == 0.0)
+
+    @given(finite_matrices)
+    @settings(max_examples=50, deadline=None)
+    def test_property_reconstruction(self, a):
+        pos, neg = split_signed(a)
+        np.testing.assert_allclose(pos - neg, a, atol=1e-12)
+        assert np.all(pos >= 0.0) and np.all(neg >= 0.0)
+
+
+class TestMapToConductances:
+    def test_reconstruct_original(self):
+        a = np.array([[2.0, -1.0], [0.5, -4.0]])
+        mapped = map_to_conductances(a)
+        np.testing.assert_allclose(mapped.reconstruct(), a, rtol=1e-12)
+
+    def test_unit_conductance_bound(self):
+        a = np.array([[2.0, -1.0], [0.5, -4.0]])
+        mapped = map_to_conductances(a, g_unit=PAPER_G0_SIEMENS)
+        assert np.max(mapped.g_pos) <= PAPER_G0_SIEMENS + 1e-18
+        assert np.max(mapped.g_neg) <= PAPER_G0_SIEMENS + 1e-18
+
+    def test_pre_normalized_keeps_scale(self):
+        a = np.array([[0.5, -0.25], [0.1, 1.0]])
+        mapped = map_to_conductances(a, pre_normalized=True, scale=7.0)
+        assert mapped.scale == 7.0
+        np.testing.assert_allclose(mapped.reconstruct_normalized(), a, rtol=1e-12)
+
+    def test_pre_normalized_rejects_large_entries(self):
+        with pytest.raises(MappingError, match="peak magnitude"):
+            map_to_conductances(np.array([[1.5]]), pre_normalized=True)
+
+    def test_shape_property(self):
+        mapped = map_to_conductances(np.ones((3, 5)))
+        assert mapped.shape == (3, 5)
+
+    def test_all_zero_pre_normalized_allowed(self):
+        """Zero blocks (A2 or A3 of a triangular system) must map."""
+        mapped = map_to_conductances(np.zeros((2, 2)), pre_normalized=True)
+        assert np.all(mapped.g_pos == 0.0)
+        assert np.all(mapped.g_neg == 0.0)
+
+    @given(finite_matrices)
+    @settings(max_examples=40, deadline=None)
+    def test_property_round_trip(self, a):
+        if np.max(np.abs(a)) == 0.0:
+            return
+        mapped = map_to_conductances(a)
+        np.testing.assert_allclose(mapped.reconstruct(), a, rtol=1e-9, atol=1e-9)

@@ -1,0 +1,74 @@
+"""Tests for the paper's accuracy metrics (Eq. 6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.metrics import max_abs_error, paper_relative_error, scatter_points
+from repro.errors import ValidationError
+
+
+class TestPaperRelativeError:
+    def test_zero_for_exact(self):
+        x = np.array([1.0, -2.0, 3.0])
+        assert paper_relative_error(x, x) == 0.0
+
+    def test_known_value(self):
+        # sum|dx| = 0.3, sum|x| = 3.0
+        x = np.array([1.0, -2.0])
+        xhat = np.array([1.1, -2.2])
+        assert paper_relative_error(x, xhat) == pytest.approx(0.1)
+
+    def test_l1_form_of_eq6(self):
+        """Eq. 6's per-element square roots collapse to absolute values."""
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=50)
+        xhat = x + rng.normal(size=50) * 0.1
+        expected = np.sum(np.sqrt((x - xhat) ** 2)) / np.sum(np.sqrt(x**2))
+        assert paper_relative_error(x, xhat) == pytest.approx(expected)
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(ValidationError):
+            paper_relative_error(np.zeros(3), np.ones(3))
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            paper_relative_error(np.ones(3), np.ones(4))
+
+    @given(
+        st.lists(st.floats(min_value=-10, max_value=10), min_size=1, max_size=20),
+        st.floats(min_value=1e-3, max_value=1e3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_scale_invariant(self, values, scale):
+        """Scaling both vectors leaves the relative error unchanged."""
+        x = np.asarray(values)
+        if np.sum(np.abs(x)) == 0.0:
+            return
+        xhat = x + 0.1
+        a = paper_relative_error(x, xhat)
+        b = paper_relative_error(scale * x, scale * xhat)
+        assert a == pytest.approx(b, rel=1e-9)
+
+    @given(st.integers(1, 30), st.integers(0, 2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_non_negative(self, n, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=n)
+        if np.sum(np.abs(x)) == 0.0:
+            return
+        assert paper_relative_error(x, rng.normal(size=n)) >= 0.0
+
+
+class TestMaxAbsError:
+    def test_value(self):
+        assert max_abs_error([1.0, 2.0], [1.5, 2.0]) == pytest.approx(0.5)
+
+
+class TestScatterPoints:
+    def test_shape_and_content(self):
+        pts = scatter_points([1.0, 2.0], [1.1, 1.9])
+        assert pts.shape == (2, 2)
+        np.testing.assert_allclose(pts[:, 0], [1.0, 2.0])
+        np.testing.assert_allclose(pts[:, 1], [1.1, 1.9])

@@ -1,0 +1,175 @@
+"""Tests for the MNA DC solver against hand-solvable circuits."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.mna import solve_dc
+from repro.circuits.netlist import Circuit
+from repro.errors import CircuitError, SingularCircuitError
+
+
+class TestBasicNetworks:
+    def test_voltage_divider(self):
+        c = Circuit()
+        c.vsource("in", "0", 10.0, name="V1")
+        c.resistor("in", "mid", 1000.0)
+        c.resistor("mid", "0", 1000.0)
+        sol = solve_dc(c)
+        assert sol.voltage("mid") == pytest.approx(5.0)
+
+    def test_source_current(self):
+        c = Circuit()
+        c.vsource("a", "0", 1.0, name="V1")
+        c.resistor("a", "0", 100.0)
+        sol = solve_dc(c)
+        # 10 mA flows out of the + terminal through the resistor; the
+        # branch current of the source is -10 mA by the MNA convention.
+        assert sol.current("V1") == pytest.approx(-0.01)
+
+    def test_current_source_into_resistor(self):
+        c = Circuit()
+        c.isource("a", "0", 2e-3)
+        c.resistor("a", "0", 500.0)
+        sol = solve_dc(c)
+        assert sol.voltage("a") == pytest.approx(1.0)
+
+    def test_wheatstone_balanced(self):
+        c = Circuit()
+        c.vsource("top", "0", 10.0)
+        for a, b, r in [
+            ("top", "l", 100.0),
+            ("top", "r", 100.0),
+            ("l", "0", 100.0),
+            ("r", "0", 100.0),
+        ]:
+            c.resistor(a, b, r)
+        c.resistor("l", "r", 50.0)  # bridge carries no current when balanced
+        sol = solve_dc(c)
+        assert sol.voltage("l") == pytest.approx(sol.voltage("r"))
+
+    def test_vcvs_gain(self):
+        c = Circuit()
+        c.vsource("in", "0", 0.5)
+        c.vcvs("out", "0", "in", "0", 4.0)
+        c.resistor("out", "0", 1e3)
+        sol = solve_dc(c)
+        assert sol.voltage("out") == pytest.approx(2.0)
+
+    def test_ground_spelling(self):
+        c = Circuit()
+        c.vsource("a", "gnd", 3.0)
+        c.resistor("a", "GND", 10.0)
+        sol = solve_dc(c)
+        assert sol.voltage("a") == pytest.approx(3.0)
+        assert sol.voltage("gnd") == 0.0
+
+
+class TestOpAmps:
+    def test_ideal_inverting_amplifier(self):
+        c = Circuit()
+        c.vsource("in", "0", 1.0)
+        c.resistor("in", "sum", 1e3)
+        c.resistor("out", "sum", 2e3)
+        c.opamp("sum", "0", "out")
+        sol = solve_dc(c)
+        assert sol.voltage("out") == pytest.approx(-2.0)
+        assert sol.voltage("sum") == pytest.approx(0.0, abs=1e-12)
+
+    def test_finite_gain_approaches_ideal(self):
+        def output(gain):
+            c = Circuit()
+            c.vsource("in", "0", 1.0)
+            c.resistor("in", "sum", 1e3)
+            c.resistor("out", "sum", 2e3)
+            c.opamp("sum", "0", "out", gain=gain)
+            return solve_dc(c).voltage("out")
+
+        errors = [abs(output(g) - (-2.0)) for g in (1e2, 1e4, 1e6)]
+        assert errors[0] > errors[1] > errors[2]
+        assert errors[2] < 1e-4
+
+    def test_ideal_follower(self):
+        c = Circuit()
+        c.vsource("in", "0", 0.7)
+        c.opamp("out", "in", "out")
+        c.resistor("out", "0", 1e3)
+        sol = solve_dc(c)
+        assert sol.voltage("out") == pytest.approx(0.7)
+
+
+class TestSuperposition:
+    @given(
+        v1=st.floats(min_value=-5, max_value=5),
+        v2=st.floats(min_value=-5, max_value=5),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_linear_superposition(self, v1, v2):
+        """The DC solution is linear in the sources."""
+
+        def solve(a, b):
+            c = Circuit()
+            c.vsource("x", "0", a)
+            c.vsource("y", "0", b)
+            c.resistor("x", "m", 1e3)
+            c.resistor("y", "m", 2e3)
+            c.resistor("m", "0", 3e3)
+            return solve_dc(c).voltage("m")
+
+        combined = solve(v1, v2)
+        assert combined == pytest.approx(solve(v1, 0.0) + solve(0.0, v2), abs=1e-9)
+
+
+class TestFailureModes:
+    def test_empty_circuit(self):
+        with pytest.raises(CircuitError):
+            solve_dc(Circuit())
+
+    def test_floating_node_singular(self):
+        c = Circuit()
+        c.vsource("a", "0", 1.0)
+        c.resistor("a", "0", 1.0)
+        c.resistor("b", "c", 1.0)  # floating island
+        with pytest.raises(SingularCircuitError):
+            solve_dc(c)
+
+    def test_unknown_node_query(self):
+        c = Circuit()
+        c.vsource("a", "0", 1.0)
+        c.resistor("a", "0", 1.0)
+        sol = solve_dc(c)
+        with pytest.raises(CircuitError):
+            sol.voltage("nope")
+
+    def test_unknown_current_query(self):
+        c = Circuit()
+        c.vsource("a", "0", 1.0)
+        c.resistor("a", "0", 1.0)
+        sol = solve_dc(c)
+        with pytest.raises(CircuitError):
+            sol.current("R7")
+
+
+class TestPower:
+    def test_resistor_power(self):
+        c = Circuit()
+        c.vsource("a", "0", 2.0)
+        c.resistor("a", "0", 4.0)
+        sol = solve_dc(c)
+        assert sol.resistor_power() == pytest.approx(1.0)
+
+    def test_sparse_path_matches_dense(self):
+        """A ladder big enough to trigger the sparse branch must agree
+        with Ohm's law."""
+        import repro.circuits.mna as mna
+
+        n = mna.DENSE_THRESHOLD + 10
+        c = Circuit()
+        c.vsource("n0", "0", 1.0)
+        for i in range(n):
+            c.resistor(f"n{i}", f"n{i+1}", 1.0)
+        c.resistor(f"n{n}", "0", 1.0)
+        sol = solve_dc(c)
+        # Voltage divides linearly along the uniform ladder.
+        assert sol.voltage(f"n{n}") == pytest.approx(1.0 / (n + 1), rel=1e-6)

@@ -1,0 +1,128 @@
+"""Tests for the multi-stage (two-stage and deeper) BlockAMC solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.amc.config import HardwareConfig
+from repro.core.multistage import MultiStageSolver
+from repro.errors import SolverError
+from repro.workloads.matrices import (
+    diagonally_dominant_matrix,
+    random_vector,
+    wishart_matrix,
+)
+
+
+class TestIdealExactness:
+    @pytest.mark.parametrize("stages", [1, 2, 3])
+    def test_matches_numpy_solve(self, stages):
+        matrix = wishart_matrix(16, rng=0)
+        b = random_vector(16, rng=1)
+        solver = MultiStageSolver(HardwareConfig.ideal(), stages=stages)
+        result = solver.solve(matrix, b, rng=2)
+        np.testing.assert_allclose(result.x, result.reference, rtol=1e-7, atol=1e-9)
+
+    def test_non_power_of_two_size(self):
+        matrix = wishart_matrix(11, rng=3)
+        b = random_vector(11, rng=4)
+        result = MultiStageSolver(HardwareConfig.ideal(), stages=2).solve(matrix, b, rng=5)
+        np.testing.assert_allclose(result.x, result.reference, rtol=1e-7, atol=1e-9)
+
+    @given(
+        n=st.integers(min_value=4, max_value=16),
+        stages=st.integers(min_value=1, max_value=3),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_property_exact(self, n, stages, seed):
+        rng = np.random.default_rng(seed)
+        matrix = diagonally_dominant_matrix(n, rng)
+        b = random_vector(n, rng)
+        solver = MultiStageSolver(HardwareConfig.ideal(), stages=stages)
+        result = solver.solve(matrix, b, rng=seed)
+        np.testing.assert_allclose(result.x, result.reference, rtol=1e-6, atol=1e-8)
+
+
+class TestArchitecture:
+    def test_two_stage_array_inventory(self):
+        """The paper: a 2-stage partition of a 2^k system yields 16 block
+        arrays — 4 per INV macro (x2) plus 4 tiles per MVM block (x2)."""
+        matrix = wishart_matrix(16, rng=6)
+        result = MultiStageSolver(HardwareConfig.ideal(), stages=2).solve(
+            matrix, random_vector(16, rng=7), rng=8
+        )
+        assert result.metadata["array_count"] == 16
+        assert result.metadata["macro_count"] == 2
+
+    def test_two_stage_operation_mix(self):
+        """Two macro invocations of A1 (steps 1 and 5) + one of A4s = 15
+        macro ops, plus 2 tiled MVMs of 4 partials each = 23 analog ops
+        ... per A1 solve; total: 3 macro solves * 5 + 2 * 4 = 23."""
+        matrix = wishart_matrix(16, rng=9)
+        result = MultiStageSolver(HardwareConfig.ideal(), stages=2).solve(
+            matrix, random_vector(16, rng=10), rng=11
+        )
+        counts = result.operation_counts
+        assert counts["inv"] == 9  # 3 macro solves x 3 INV steps
+        assert counts["mvm"] == 14  # 3 x 2 macro MVMs + 2 x 4 tile MVMs
+
+    def test_stage1_equivalent_to_single_macro(self):
+        matrix = wishart_matrix(8, rng=12)
+        b = random_vector(8, rng=13)
+        result = MultiStageSolver(HardwareConfig.ideal(), stages=1).solve(matrix, b, rng=14)
+        assert result.metadata["macro_count"] == 1
+        assert result.metadata["array_count"] == 4
+        np.testing.assert_allclose(result.x, result.reference, rtol=1e-8, atol=1e-10)
+
+    def test_conversions_counted(self):
+        matrix = wishart_matrix(16, rng=15)
+        result = MultiStageSolver(HardwareConfig.ideal(), stages=2).solve(
+            matrix, random_vector(16, rng=16), rng=17
+        )
+        # Digital glue between macros costs extra conversions vs one-stage.
+        assert result.metadata["dac_conversions"] > 2
+        assert result.metadata["adc_conversions"] > 2
+
+    def test_solver_name_includes_stages(self):
+        assert MultiStageSolver(stages=2).name == "blockamc-2stage"
+        assert MultiStageSolver(stages=3).name == "blockamc-3stage"
+
+    def test_invalid_stage_count(self):
+        with pytest.raises(SolverError):
+            MultiStageSolver(stages=0)
+
+
+class TestPrepared:
+    def test_prepare_and_reuse(self):
+        matrix = wishart_matrix(16, rng=18)
+        solver = MultiStageSolver(HardwareConfig.paper_variation(), stages=2)
+        prepared = solver.prepare(matrix, rng=19)
+        r1 = prepared.solve(random_vector(16, rng=20), rng=21)
+        r2 = prepared.solve(random_vector(16, rng=22), rng=23)
+        assert r1.relative_error < 1.0
+        assert r2.relative_error < 1.0
+
+    def test_zero_tiles_skipped(self):
+        """Block-triangular systems need fewer tile arrays: all-zero
+        MVM tiles are never programmed."""
+        rng = np.random.default_rng(30)
+        full = diagonally_dominant_matrix(16, rng)
+        triangular = np.tril(full)
+        result = MultiStageSolver(HardwareConfig.ideal(), stages=2).solve(
+            triangular, random_vector(16, rng=31), rng=32
+        )
+        np.testing.assert_allclose(result.x, result.reference, rtol=1e-6, atol=1e-9)
+        # The upper-right first-stage block (A2) is all zero: its 4 tiles
+        # vanish entirely, so fewer than 16 arrays remain.
+        assert result.metadata["array_count"] < 16
+
+    def test_tiny_block_fallback(self):
+        """Deep partitioning of a small system hits the direct-INV
+        fallback for 1x1 blocks without failing."""
+        matrix = diagonally_dominant_matrix(4, np.random.default_rng(24))
+        result = MultiStageSolver(HardwareConfig.ideal(), stages=3).solve(
+            matrix, random_vector(4, rng=25), rng=26
+        )
+        np.testing.assert_allclose(result.x, result.reference, rtol=1e-6, atol=1e-9)

@@ -1,0 +1,87 @@
+"""Tests for the netlist container and element builders."""
+
+import pytest
+
+from repro.circuits.elements import IdealOpAmp, Resistor, VCVS, VoltageSource
+from repro.circuits.netlist import Circuit, canonical_node
+from repro.errors import CircuitError
+
+
+class TestCanonicalNode:
+    @pytest.mark.parametrize("alias", ["0", "gnd", "GND"])
+    def test_ground_aliases(self, alias):
+        assert canonical_node(alias) == "0"
+
+    def test_regular_node(self):
+        assert canonical_node("n1") == "n1"
+
+
+class TestElementValidation:
+    def test_resistor_requires_positive_resistance(self):
+        with pytest.raises(CircuitError):
+            Resistor("R1", "a", "b", 0.0)
+
+    def test_resistor_conductance(self):
+        assert Resistor("R1", "a", "b", 2.0).conductance == 0.5
+
+    def test_empty_node_name_rejected(self):
+        with pytest.raises(CircuitError):
+            VoltageSource("V1", "", "0", 1.0)
+
+
+class TestCircuitBuilders:
+    def test_auto_names_unique(self):
+        c = Circuit()
+        r1 = c.resistor("a", "0", 1.0)
+        r2 = c.resistor("b", "0", 1.0)
+        assert r1.name != r2.name
+
+    def test_duplicate_name_rejected(self):
+        c = Circuit()
+        c.resistor("a", "0", 1.0, name="R")
+        with pytest.raises(CircuitError, match="duplicate"):
+            c.resistor("b", "0", 1.0, name="R")
+
+    def test_duplicate_name_via_add_rejected(self):
+        c = Circuit()
+        c.add(Resistor("R", "a", "0", 1.0))
+        with pytest.raises(CircuitError, match="duplicate"):
+            c.add(VoltageSource("R", "a", "0", 1.0))
+
+    def test_conductor_converts(self):
+        c = Circuit()
+        r = c.conductor("a", "0", 0.25)
+        assert r.resistance == 4.0
+
+    def test_conductor_rejects_nonpositive(self):
+        c = Circuit()
+        with pytest.raises(CircuitError):
+            c.conductor("a", "0", 0.0)
+
+    def test_nodes_sorted_excluding_ground(self):
+        c = Circuit()
+        c.resistor("b", "gnd", 1.0)
+        c.resistor("a", "b", 1.0)
+        assert c.nodes() == ["a", "b"]
+
+    def test_opamp_ideal_type(self):
+        c = Circuit()
+        e = c.opamp("inv", "0", "out")
+        assert isinstance(e, IdealOpAmp)
+
+    def test_opamp_finite_gain_is_vcvs(self):
+        c = Circuit()
+        e = c.opamp("inv", "0", "out", gain=1e5)
+        assert isinstance(e, VCVS)
+        assert e.gain == 1e5
+
+    def test_len_counts_elements(self):
+        c = Circuit()
+        c.resistor("a", "0", 1.0)
+        c.vsource("a", "0", 1.0)
+        assert len(c) == 2
+
+    def test_vcvs_nodes_collected(self):
+        c = Circuit()
+        c.vcvs("o", "0", "c1", "c2", 2.0)
+        assert set(c.nodes()) == {"o", "c1", "c2"}

@@ -1,0 +1,152 @@
+"""Tests for the interconnect resistance models."""
+
+import numpy as np
+import pytest
+
+from repro.crossbar.parasitics import (
+    ParasiticConfig,
+    effective_conductance_matrix,
+    exact_effective_matrix,
+    first_order_effective_matrix,
+)
+
+
+G0 = 100e-6
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = ParasiticConfig()
+        assert cfg.r_wire == 0.0
+        assert cfg.is_ideal
+
+    def test_paper_reference(self):
+        cfg = ParasiticConfig.paper_reference()
+        assert cfg.r_wire == 1.0
+        assert not cfg.is_ideal
+
+    def test_invalid_fidelity(self):
+        with pytest.raises(ValueError, match="fidelity"):
+            ParasiticConfig(fidelity="approximate")
+
+    def test_negative_resistance(self):
+        with pytest.raises(ValueError):
+            ParasiticConfig(r_wire=-1.0)
+
+    def test_none_fidelity_is_ideal_even_with_resistance(self):
+        assert ParasiticConfig(r_wire=5.0, fidelity="none").is_ideal
+
+
+class TestFirstOrder:
+    def test_zero_resistance_identity(self):
+        g = np.full((3, 3), G0)
+        np.testing.assert_array_equal(first_order_effective_matrix(g, 0.0), g)
+
+    def test_reduces_conductance(self):
+        g = np.full((4, 4), G0)
+        eff = first_order_effective_matrix(g, 10.0)
+        assert np.all(eff <= g)
+        assert np.all(eff > 0.0)
+
+    def test_far_cells_degrade_more(self):
+        g = np.full((8, 8), G0)
+        eff = first_order_effective_matrix(g, 10.0)
+        assert eff[7, 7] < eff[0, 0]
+
+    def test_zero_cells_stay_zero(self):
+        g = np.zeros((3, 3))
+        g[1, 1] = G0
+        eff = first_order_effective_matrix(g, 10.0)
+        assert eff[0, 0] == 0.0
+        assert eff[1, 1] < G0
+
+    def test_rejects_negative_conductance(self):
+        with pytest.raises(ValueError):
+            first_order_effective_matrix(np.full((2, 2), -1.0), 1.0)
+
+
+class TestExact:
+    def test_zero_resistance_identity(self):
+        g = np.full((3, 3), G0)
+        np.testing.assert_array_equal(exact_effective_matrix(g, 0.0), g)
+
+    def test_single_cell_matches_series_formula(self):
+        """With one cell at (i, j), the exact network is a pure series
+        path: (i+1) BL segments + cell + (j+1) WL segments."""
+        r = 50.0
+        for i, j in [(0, 0), (2, 3), (4, 1)]:
+            g = np.zeros((5, 5))
+            g[i, j] = G0
+            eff = exact_effective_matrix(g, r)
+            expected = 1.0 / (1.0 / G0 + r * ((i + 1) + (j + 1)))
+            assert eff[i, j] == pytest.approx(expected, rel=1e-9)
+            # All other entries are zero (no other cells conduct).
+            mask = np.ones_like(g, dtype=bool)
+            mask[i, j] = False
+            assert np.max(np.abs(eff[mask])) < G0 * 1e-12
+
+    def test_uniform_array_symmetric_under_transpose(self):
+        """Uniform conductances + symmetric geometry => symmetric M."""
+        g = np.full((4, 4), G0)
+        eff = exact_effective_matrix(g, 25.0)
+        np.testing.assert_allclose(eff, eff.T, rtol=1e-9)
+
+    def test_degradation_increases_with_resistance(self):
+        g = np.full((6, 6), G0)
+        loss_small = np.sum(g - exact_effective_matrix(g, 1.0))
+        loss_large = np.sum(g - exact_effective_matrix(g, 10.0))
+        assert loss_large > loss_small > 0.0
+
+    def test_first_order_tracks_exact(self):
+        """The perturbation model captures the exact effect to second
+        order: at r*G0*n = 1.6e-3 the residual is a few percent."""
+        rng = np.random.default_rng(0)
+        g = rng.uniform(0.0, G0, size=(16, 16))
+        exact = exact_effective_matrix(g, 1.0)
+        fast = first_order_effective_matrix(g, 1.0)
+        perturbation = np.linalg.norm(exact - g)
+        residual = np.linalg.norm(fast - exact)
+        assert perturbation > 0.0
+        assert residual < 0.05 * perturbation
+
+    def test_first_order_residual_is_second_order(self):
+        """Halving r must shrink the residual ~4x (second order)."""
+        rng = np.random.default_rng(1)
+        g = rng.uniform(0.0, G0, size=(12, 12))
+
+        def residual(r):
+            exact = exact_effective_matrix(g, r)
+            fast = first_order_effective_matrix(g, r)
+            return np.linalg.norm(fast - exact)
+
+        ratio = residual(2.0) / residual(1.0)
+        assert 3.0 < ratio < 5.0
+
+    def test_rejects_negative_resistance(self):
+        with pytest.raises(ValueError):
+            exact_effective_matrix(np.full((2, 2), G0), -1.0)
+
+
+class TestDispatch:
+    def test_none_fidelity(self):
+        g = np.full((3, 3), G0)
+        out = effective_conductance_matrix(g, ParasiticConfig(r_wire=9.0, fidelity="none"))
+        np.testing.assert_array_equal(out, g)
+
+    def test_first_order_dispatch(self):
+        g = np.full((3, 3), G0)
+        cfg = ParasiticConfig(r_wire=10.0, fidelity="first_order")
+        out = effective_conductance_matrix(g, cfg)
+        np.testing.assert_array_equal(out, first_order_effective_matrix(g, 10.0, cfg.alpha))
+
+    def test_exact_dispatch(self):
+        g = np.full((3, 3), G0)
+        cfg = ParasiticConfig(r_wire=10.0, fidelity="exact")
+        out = effective_conductance_matrix(g, cfg)
+        np.testing.assert_array_equal(out, exact_effective_matrix(g, 10.0))
+
+    def test_returns_copy_when_ideal(self):
+        g = np.full((2, 2), G0)
+        out = effective_conductance_matrix(g, ParasiticConfig.ideal())
+        out[0, 0] = 0.0
+        assert g[0, 0] == G0

@@ -1,0 +1,106 @@
+"""Tests for block partitioning and Schur preprocessing."""
+
+import numpy as np
+import pytest
+
+from repro.amc.config import HardwareConfig
+from repro.core.partition import PartitionSpec, build_macro_arrays, prepare_blocks
+from repro.crossbar.mapping import normalize_matrix
+from repro.errors import PartitionError
+from repro.utils.linalg import schur_complement
+from repro.workloads.matrices import wishart_matrix
+
+
+class TestPartitionSpec:
+    def test_default_half_split_even(self):
+        assert PartitionSpec().resolve(8) == 4
+
+    def test_default_half_split_odd(self):
+        """Odd n: the paper picks (n+1)/2 for the leading block."""
+        assert PartitionSpec().resolve(7) == 4
+
+    def test_explicit_split(self):
+        assert PartitionSpec(3).resolve(8) == 3
+
+    @pytest.mark.parametrize("split", [0, 8, -2])
+    def test_invalid_split(self, split):
+        with pytest.raises(PartitionError):
+            PartitionSpec(split).resolve(8)
+
+    def test_too_small_matrix(self):
+        with pytest.raises(PartitionError):
+            PartitionSpec().resolve(1)
+
+
+class TestPrepareBlocks:
+    def test_schur_complement_correct(self):
+        matrix, _ = normalize_matrix(wishart_matrix(8, rng=0))
+        blocks = prepare_blocks(matrix)
+        expected = schur_complement(
+            matrix[:4, :4], matrix[:4, 4:], matrix[4:, :4], matrix[4:, 4:]
+        )
+        np.testing.assert_allclose(blocks.a4s, expected)
+
+    def test_schur_scale_at_least_one(self):
+        matrix, _ = normalize_matrix(wishart_matrix(8, rng=1))
+        blocks = prepare_blocks(matrix)
+        assert blocks.schur_scale >= 1.0
+
+    def test_schur_scale_covers_large_entries(self):
+        matrix = np.array(
+            [
+                [0.1, 0.0, 1.0, 0.0],
+                [0.0, 0.1, 0.0, 1.0],
+                [-1.0, 0.0, 0.1, 0.0],
+                [0.0, -1.0, 0.0, 0.1],
+            ]
+        )
+        blocks = prepare_blocks(matrix)
+        assert blocks.schur_scale == pytest.approx(np.max(np.abs(blocks.a4s)))
+        assert np.max(np.abs(blocks.a4s / blocks.schur_scale)) <= 1.0
+
+    def test_singular_leading_block_raises(self):
+        matrix = np.array([[0.0, 1.0], [1.0, 0.0]])
+        with pytest.raises(PartitionError):
+            prepare_blocks(matrix)
+
+    def test_size_property(self):
+        matrix, _ = normalize_matrix(wishart_matrix(6, rng=2))
+        assert prepare_blocks(matrix).size == 6
+
+    def test_triangular_system_schur_equals_a4(self):
+        """If A2 (or A3) is zero, A4s reduces to A4 (paper Sec. III-A)."""
+        matrix = np.tril(normalize_matrix(wishart_matrix(6, rng=3))[0])
+        blocks = prepare_blocks(matrix)
+        np.testing.assert_allclose(blocks.a4s, matrix[3:, 3:])
+
+
+class TestBuildMacroArrays:
+    def test_arrays_hold_blocks(self):
+        matrix, _ = normalize_matrix(wishart_matrix(8, rng=4))
+        blocks = prepare_blocks(matrix)
+        arrays = build_macro_arrays(blocks, HardwareConfig.ideal(), rng=5)
+        np.testing.assert_allclose(
+            arrays.a1.effective_matrix(), blocks.a1, atol=1e-12
+        )
+        np.testing.assert_allclose(
+            arrays.a4s.effective_matrix() / arrays.schur_input_scale,
+            blocks.a4s,
+            atol=1e-10,
+        )
+
+    def test_schur_input_scale_reciprocal(self):
+        matrix, _ = normalize_matrix(wishart_matrix(8, rng=6))
+        blocks = prepare_blocks(matrix)
+        arrays = build_macro_arrays(blocks, HardwareConfig.ideal(), rng=7)
+        assert arrays.schur_input_scale == pytest.approx(1.0 / blocks.schur_scale)
+
+    def test_variation_draws_independent_across_arrays(self):
+        matrix, _ = normalize_matrix(wishart_matrix(8, rng=8))
+        blocks = prepare_blocks(matrix)
+        config = HardwareConfig.paper_variation()
+        arrays = build_macro_arrays(blocks, config, rng=9)
+        err1 = arrays.a1.programming_error()
+        err4 = arrays.a4s.programming_error()
+        assert err1.shape == err4.shape
+        assert not np.allclose(err1, err4)

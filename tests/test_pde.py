@@ -1,0 +1,95 @@
+"""Tests for the PDE workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.workloads.pde import poisson_1d, poisson_2d, poisson_rhs_1d
+
+
+class TestPoisson1D:
+    def test_structure(self):
+        a = poisson_1d(5)
+        np.testing.assert_allclose(np.diag(a), 2.0)
+        np.testing.assert_allclose(np.diag(a, 1), -1.0)
+        np.testing.assert_allclose(np.diag(a, -1), -1.0)
+
+    def test_symmetric_positive_definite(self):
+        a = poisson_1d(16)
+        np.testing.assert_allclose(a, a.T)
+        assert np.min(np.linalg.eigvalsh(a)) > 0.0
+
+    def test_known_eigenvalues(self):
+        """lambda_k = 2 - 2 cos(k pi / (n+1))."""
+        n = 8
+        a = poisson_1d(n)
+        k = np.arange(1, n + 1)
+        expected = 2.0 - 2.0 * np.cos(k * np.pi / (n + 1))
+        np.testing.assert_allclose(np.sort(np.linalg.eigvalsh(a)), np.sort(expected))
+
+    def test_condition_grows_quadratically(self):
+        c8 = np.linalg.cond(poisson_1d(8))
+        c32 = np.linalg.cond(poisson_1d(32))
+        assert c32 / c8 > 8.0  # ~ (32/8)^2 = 16 in the limit
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValidationError):
+            poisson_1d(1)
+
+
+class TestPoisson2D:
+    def test_shape(self):
+        a = poisson_2d(4)
+        assert a.shape == (16, 16)
+
+    def test_row_sums_boundary(self):
+        """Interior rows sum to 0; boundary-adjacent rows are positive."""
+        a = poisson_2d(4)
+        sums = a.sum(axis=1)
+        assert np.all(sums >= 0.0)
+        assert np.any(sums > 0.0)
+
+    def test_symmetric_positive_definite(self):
+        a = poisson_2d(5)
+        np.testing.assert_allclose(a, a.T)
+        assert np.min(np.linalg.eigvalsh(a)) > 0.0
+
+    def test_stencil_weights(self):
+        a = poisson_2d(3)
+        center = 4  # middle of the 3x3 grid
+        assert a[center, center] == 4.0
+        assert a[center, center - 1] == -1.0
+        assert a[center, center + 3] == -1.0
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValidationError):
+            poisson_2d(1)
+
+
+class TestRhs:
+    def test_point_source(self):
+        b = poisson_rhs_1d(9, "point")
+        assert b[4] == 1.0
+        assert np.sum(b != 0.0) == 1
+
+    def test_uniform(self):
+        b = poisson_rhs_1d(10, "uniform")
+        np.testing.assert_allclose(b, 0.1)
+
+    def test_random_reproducible(self):
+        a = poisson_rhs_1d(10, "random", rng=0)
+        b = poisson_rhs_1d(10, "random", rng=0)
+        np.testing.assert_array_equal(a, b)
+
+    def test_unknown_source(self):
+        with pytest.raises(ValidationError):
+            poisson_rhs_1d(10, "gaussian-beam")
+
+    def test_solves_sensibly(self):
+        """The discrete solution of -u'' = delta is the tent function."""
+        n = 21
+        x = np.linalg.solve(poisson_1d(n), poisson_rhs_1d(n, "point"))
+        peak = np.argmax(x)
+        assert peak == n // 2
+        assert np.all(np.diff(x[: peak + 1]) >= -1e-12)
+        assert np.all(np.diff(x[peak:]) <= 1e-12)

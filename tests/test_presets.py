@@ -1,0 +1,103 @@
+"""Tests for device family presets and the PCM drift model."""
+
+import numpy as np
+import pytest
+
+from repro.devices.models import PAPER_G0_SIEMENS
+from repro.devices.presets import (
+    DEVICE_PRESETS,
+    DriftModel,
+    get_preset,
+    mram_preset,
+    pcm_preset,
+    rram_preset,
+)
+from repro.errors import DeviceError
+
+
+class TestPresets:
+    def test_all_presets_construct(self):
+        for name in DEVICE_PRESETS:
+            spec = get_preset(name)
+            assert spec.g_max == PAPER_G0_SIEMENS
+
+    def test_rram_continuous(self):
+        assert rram_preset().levels is None
+
+    def test_mram_binary(self):
+        assert mram_preset().levels == 2
+
+    def test_pcm_levels(self):
+        assert pcm_preset().levels == 16
+
+    def test_unknown_family(self):
+        with pytest.raises(DeviceError, match="unknown device family"):
+            get_preset("dram")
+
+    def test_preset_registry_names(self):
+        assert {"rram", "pcm", "mram", "fefet", "rram-64"} <= set(DEVICE_PRESETS)
+
+
+class TestDriftModel:
+    def test_no_drift_identity(self):
+        g = np.full(10, 5e-5)
+        out = DriftModel.none().apply(g, elapsed_s=1e6)
+        np.testing.assert_array_equal(out, g)
+
+    def test_power_law_decay(self):
+        model = DriftModel(nu=0.05, t0=1.0)
+        g = np.full(4, 1e-4)
+        out = model.apply(g, elapsed_s=1e4)
+        expected = 1e-4 * (1e4) ** (-0.05)
+        np.testing.assert_allclose(out, expected)
+
+    def test_monotone_in_time(self):
+        model = DriftModel.pcm_typical()
+        g = np.full(4, 1e-4)
+        g1 = model.apply(g, elapsed_s=10.0)
+        g2 = model.apply(g, elapsed_s=1000.0)
+        assert np.all(g2 < g1)
+        assert np.all(g1 < g)
+
+    def test_before_reference_time_unchanged(self):
+        model = DriftModel(nu=0.1, t0=10.0)
+        g = np.full(4, 1e-4)
+        np.testing.assert_array_equal(model.apply(g, elapsed_s=5.0), g)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(DeviceError):
+            DriftModel.pcm_typical().apply(np.ones(2), elapsed_s=-1.0)
+
+    def test_negative_nu_rejected(self):
+        with pytest.raises(DeviceError):
+            DriftModel(nu=-0.1)
+
+    def test_drift_degrades_solver_accuracy(self):
+        """End-to-end: a PCM-programmed array drifts, the solve degrades."""
+        from repro.amc.config import HardwareConfig
+        from repro.amc.ops import AMCOperations
+        from repro.crossbar.array import CrossbarArray
+        from repro.crossbar.mapping import normalize_matrix
+        from repro.workloads.matrices import random_vector, wishart_matrix
+
+        matrix, _ = normalize_matrix(wishart_matrix(8, rng=0))
+        fresh = CrossbarArray.program(matrix, rng=1, pre_normalized=True)
+        model = DriftModel.pcm_typical()
+        aged = CrossbarArray(
+            model.apply(fresh.g_pos, 1e6),
+            model.apply(fresh.g_neg, 1e6),
+            g_unit=fresh.g_unit,
+        )
+        ops = AMCOperations(HardwareConfig.ideal())
+        v = random_vector(8, rng=2) * 0.2
+        exact_inv = -np.linalg.solve(matrix, v)
+        exact_mvm = -(matrix @ v)
+        fresh_inv_err = np.max(np.abs(ops.inv(fresh, v).output - exact_inv))
+        aged_inv_err = np.max(np.abs(ops.inv(aged, v).output - exact_inv))
+        aged_mvm_err = np.max(np.abs(ops.mvm(aged, v).output - exact_mvm))
+        # A week of drift at nu = 0.05 halves every conductance: the MVM
+        # output shrinks ~2x and the INV output doubles (the input
+        # conductance G0 does not drift), so both ops degrade badly.
+        assert fresh_inv_err < 1e-10
+        assert aged_inv_err > 0.5 * np.max(np.abs(exact_inv))
+        assert aged_mvm_err > 0.3 * np.max(np.abs(exact_mvm))

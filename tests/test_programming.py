@@ -1,0 +1,77 @@
+"""Tests for the write-and-verify programming simulation."""
+
+import numpy as np
+import pytest
+
+from repro.devices.models import DeviceSpec
+from repro.devices.programming import write_verify
+from repro.errors import ProgrammingError
+
+
+SPEC = DeviceSpec(g_min=1e-6, g_max=1e-4)
+
+
+class TestWriteVerify:
+    def test_reaches_targets(self):
+        rng = np.random.default_rng(0)
+        target = rng.uniform(SPEC.g_min, SPEC.g_max, size=(16, 16))
+        result = write_verify(target, SPEC, rng=1)
+        assert result.converged.all()
+        # Residuals bounded by tolerance plus read noise headroom.
+        assert np.max(np.abs(result.conductance - target)) < 3 * 2.5e-6
+
+    def test_off_cells_skipped(self):
+        target = np.array([0.0, 5e-5])
+        result = write_verify(target, SPEC, rng=0)
+        assert result.conductance[0] == 0.0
+        assert result.pulses[0] == 0
+        assert result.converged[0]
+
+    def test_pulse_counts_positive_for_programmed_cells(self):
+        target = np.full((4, 4), 5e-5)
+        result = write_verify(target, SPEC, rng=0)
+        assert np.all(result.pulses[target > 0] >= 1)
+
+    def test_mean_pulses(self):
+        target = np.full(16, 5e-5)
+        result = write_verify(target, SPEC, rng=0)
+        assert result.mean_pulses > 0
+
+    def test_strict_raises_on_budget_exhaustion(self):
+        target = np.full(4, 9e-5)
+        with pytest.raises(ProgrammingError, match="failed to converge"):
+            write_verify(target, SPEC, rng=0, max_pulses=2, strict=True)
+
+    def test_non_strict_reports_unconverged(self):
+        target = np.full(4, 9e-5)
+        result = write_verify(target, SPEC, rng=0, max_pulses=2)
+        assert not result.converged.all()
+
+    def test_invalid_max_pulses(self):
+        with pytest.raises(ProgrammingError):
+            write_verify(np.array([5e-5]), SPEC, max_pulses=0)
+
+    def test_residual_sigma_close_to_paper_assumption(self):
+        """The closed loop leaves a sub-tolerance residual spread.
+
+        This is the justification for modelling variation as Gaussian
+        with a small sigma (the paper cites the write&verify scheme).
+        """
+        rng = np.random.default_rng(42)
+        target = rng.uniform(2e-5, 9e-5, size=2000)
+        result = write_verify(target, SPEC, rng=43, tolerance=2.5e-6)
+        sigma = result.residual_sigma(target)
+        assert 0.0 < sigma < 5e-6  # 0.05 * G0 in the paper's units
+
+    def test_conductance_within_window(self):
+        rng = np.random.default_rng(3)
+        target = rng.uniform(SPEC.g_min, SPEC.g_max, size=100)
+        result = write_verify(target, SPEC, rng=4)
+        assert np.all(result.conductance <= SPEC.g_max)
+        assert np.all(result.conductance >= 0.0)
+
+    def test_reproducible(self):
+        target = np.full(10, 5e-5)
+        a = write_verify(target, SPEC, rng=7).conductance
+        b = write_verify(target, SPEC, rng=7).conductance
+        np.testing.assert_array_equal(a, b)

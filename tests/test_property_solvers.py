@@ -1,0 +1,106 @@
+"""End-to-end property tests on solver invariants.
+
+These complement the per-module tests with whole-pipeline properties:
+linearity, scale invariance, solver equivalence in the ideal limit, and
+monotonicity of error in the non-ideality magnitude.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.amc.config import HardwareConfig, OpAmpConfig
+from repro.core.blockamc import BlockAMCSolver
+from repro.core.multistage import MultiStageSolver
+from repro.core.original import OriginalAMCSolver
+from repro.crossbar.array import ProgrammingConfig
+from repro.devices.variations import RelativeGaussianVariation
+from repro.workloads.matrices import diagonally_dominant_matrix, random_vector
+
+
+def _system(n, seed):
+    rng = np.random.default_rng(seed)
+    return diagonally_dominant_matrix(n, rng), random_vector(n, rng)
+
+
+class TestSolverEquivalenceIdealLimit:
+    @given(n=st.integers(3, 10), seed=st.integers(0, 2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_all_solvers_agree_ideal(self, n, seed):
+        matrix, b = _system(n, seed)
+        config = HardwareConfig.ideal()
+        x_orig = OriginalAMCSolver(config).solve(matrix, b, rng=seed).x
+        x_one = BlockAMCSolver(config).solve(matrix, b, rng=seed).x
+        x_two = MultiStageSolver(config, stages=2).solve(matrix, b, rng=seed).x
+        reference = np.linalg.solve(matrix, b)
+        for x in (x_orig, x_one, x_two):
+            np.testing.assert_allclose(x, reference, rtol=1e-6, atol=1e-8)
+
+
+class TestScaleInvariance:
+    @given(
+        seed=st.integers(0, 2**31),
+        matrix_scale=st.floats(min_value=1e-2, max_value=1e3),
+        b_scale=st.floats(min_value=1e-2, max_value=1e3),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_solution_scales_correctly(self, seed, matrix_scale, b_scale):
+        """Solving (cA) x = (db) gives (d/c) A^-1 b exactly in the
+        ideal limit — normalization and converter scaling must cancel."""
+        matrix, b = _system(6, seed)
+        config = HardwareConfig.ideal()
+        base = BlockAMCSolver(config).solve(matrix, b, rng=seed).x
+        scaled = BlockAMCSolver(config).solve(
+            matrix_scale * matrix, b_scale * b, rng=seed
+        ).x
+        np.testing.assert_allclose(
+            scaled, base * (b_scale / matrix_scale), rtol=1e-6, atol=1e-10
+        )
+
+
+class TestErrorMonotonicity:
+    def test_error_grows_with_variation_sigma(self):
+        matrix, b = _system(12, 0)
+        means = []
+        for sigma in (0.01, 0.05, 0.15):
+            config = HardwareConfig(
+                opamp=OpAmpConfig(open_loop_gain=np.inf, input_offset_sigma_v=0.0),
+                programming=ProgrammingConfig(
+                    variation=RelativeGaussianVariation(sigma)
+                ),
+            )
+            errors = [
+                BlockAMCSolver(config).solve(matrix, b, rng=t).relative_error
+                for t in range(8)
+            ]
+            means.append(np.mean(errors))
+        assert means[0] < means[1] < means[2]
+
+    def test_error_grows_with_wire_resistance(self):
+        from repro.crossbar.parasitics import ParasiticConfig
+
+        matrix, b = _system(16, 1)
+        errors = []
+        for r_wire in (0.5, 2.0, 8.0):
+            config = HardwareConfig.ideal().with_(
+                parasitics=ParasiticConfig(r_wire=r_wire, fidelity="first_order")
+            )
+            errors.append(
+                OriginalAMCSolver(config).solve(matrix, b, rng=2).relative_error
+            )
+        assert errors[0] < errors[1] < errors[2]
+
+
+class TestResidualConsistency:
+    @given(n=st.integers(3, 10), seed=st.integers(0, 2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_reported_error_matches_recomputation(self, n, seed):
+        matrix, b = _system(n, seed)
+        result = BlockAMCSolver(HardwareConfig.paper_variation()).solve(
+            matrix, b, rng=seed
+        )
+        manual = np.sum(np.abs(result.x - result.reference)) / np.sum(
+            np.abs(result.reference)
+        )
+        assert result.relative_error == pytest.approx(manual)

@@ -1,0 +1,69 @@
+"""Unit and property tests for repro.devices.quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices.models import DeviceSpec
+from repro.devices.quantization import level_grid, quantize_conductance
+
+
+SPEC64 = DeviceSpec(g_min=1e-6, g_max=1e-4, levels=64)
+
+
+class TestLevelGrid:
+    def test_grid_size(self):
+        assert level_grid(SPEC64).size == 64
+
+    def test_grid_endpoints(self):
+        grid = level_grid(SPEC64)
+        assert grid[0] == pytest.approx(SPEC64.g_min)
+        assert grid[-1] == pytest.approx(SPEC64.g_max)
+
+    def test_continuous_device_raises(self):
+        with pytest.raises(ValueError, match="continuous"):
+            level_grid(DeviceSpec())
+
+
+class TestQuantize:
+    def test_snaps_to_grid(self):
+        grid = level_grid(SPEC64)
+        out = quantize_conductance(np.array([5.03e-5]), SPEC64)
+        assert out[0] in grid
+
+    def test_off_preserved(self):
+        out = quantize_conductance(np.array([0.0]), SPEC64)
+        assert out[0] == 0.0
+
+    def test_continuous_device_passthrough(self):
+        spec = DeviceSpec(g_min=1e-9, g_max=1e-4)
+        target = np.array([3.3e-5])
+        np.testing.assert_allclose(quantize_conductance(target, spec), target)
+
+    def test_idempotent(self):
+        target = np.linspace(SPEC64.g_min, SPEC64.g_max, 37)
+        once = quantize_conductance(target, SPEC64)
+        twice = quantize_conductance(once, SPEC64)
+        np.testing.assert_array_equal(once, twice)
+
+    def test_error_bounded_by_half_step(self):
+        step = (SPEC64.g_max - SPEC64.g_min) / (SPEC64.levels - 1)
+        target = np.linspace(SPEC64.g_min, SPEC64.g_max, 1001)
+        out = quantize_conductance(target, SPEC64)
+        assert np.max(np.abs(out - target)) <= step / 2 + 1e-18
+
+    @given(st.lists(st.floats(min_value=1e-6, max_value=1e-4), min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_monotone(self, values):
+        """Quantization preserves ordering."""
+        target = np.sort(np.asarray(values))
+        out = quantize_conductance(target, SPEC64)
+        assert np.all(np.diff(out) >= 0.0)
+
+    @given(st.floats(min_value=1e-6, max_value=1e-4))
+    @settings(max_examples=50, deadline=None)
+    def test_output_always_on_grid(self, value):
+        grid = level_grid(SPEC64)
+        out = quantize_conductance(np.array([value]), SPEC64)
+        assert np.min(np.abs(grid - out[0])) < 1e-18

@@ -1,0 +1,62 @@
+"""Unit tests for the remapping internals (greedy assignment)."""
+
+import numpy as np
+
+from repro.crossbar.remapping import _greedy_assignment
+
+
+class TestGreedyAssignment:
+    def test_identity_for_diagonal_cost(self):
+        """When the cheapest option for each row is its own slot, greedy
+        picks the identity."""
+        cost = np.ones((4, 4)) - np.eye(4)
+        assignment = _greedy_assignment(cost)
+        np.testing.assert_array_equal(assignment, np.arange(4))
+
+    def test_permutation_valid(self):
+        rng = np.random.default_rng(0)
+        cost = rng.random((7, 7))
+        assignment = _greedy_assignment(cost)
+        assert sorted(assignment) == list(range(7))
+
+    def test_prefers_cheap_pairs(self):
+        cost = np.array(
+            [
+                [0.0, 5.0],
+                [5.0, 1.0],
+            ]
+        )
+        assignment = _greedy_assignment(cost)
+        np.testing.assert_array_equal(assignment, [0, 1])
+
+    def test_conflict_resolution(self):
+        """Two rows wanting the same slot: the cheaper one wins it."""
+        cost = np.array(
+            [
+                [0.0, 9.0, 9.0],
+                [0.1, 9.0, 1.0],
+                [9.0, 0.5, 9.0],
+            ]
+        )
+        assignment = _greedy_assignment(cost)
+        assert assignment[0] == 0  # row 0 wins slot 0 (cost 0.0 < 0.1)
+        assert assignment[1] == 2
+        assert assignment[2] == 1
+
+    def test_single_element(self):
+        assignment = _greedy_assignment(np.array([[3.0]]))
+        np.testing.assert_array_equal(assignment, [0])
+
+    def test_total_cost_not_worse_than_identity_for_structured_case(self):
+        """For a cost map with clear structure the greedy beats identity."""
+        rng = np.random.default_rng(1)
+        n = 10
+        cost = rng.random((n, n))
+        # Make the anti-diagonal free: the optimum is the reversal.
+        for i in range(n):
+            cost[i, n - 1 - i] = 0.0
+        assignment = _greedy_assignment(cost)
+        greedy_total = float(cost[np.arange(n), assignment].sum())
+        identity_total = float(np.trace(cost))
+        assert greedy_total <= identity_total
+        np.testing.assert_array_equal(assignment, np.arange(n)[::-1])

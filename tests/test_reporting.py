@@ -1,0 +1,46 @@
+"""Tests for the ASCII table formatter."""
+
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.errors import ValidationError
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        table = format_table(["a", "b"], [[1, 2], [3, 4]])
+        lines = table.splitlines()
+        assert len(lines) == 4  # header, separator, two rows
+        assert "a" in lines[0] and "b" in lines[0]
+
+    def test_title(self):
+        table = format_table(["x"], [[1]], title="My Table")
+        assert table.splitlines()[0] == "My Table"
+
+    def test_column_alignment(self):
+        table = format_table(["col", "other"], [["x", "y"]])
+        header, _, row = table.splitlines()
+        assert header.index("|") == row.index("|")
+
+    def test_float_formatting(self):
+        table = format_table(["v"], [[0.000123456]])
+        assert "1.235e-04" in table
+
+    def test_compact_float(self):
+        table = format_table(["v"], [[3.14159]])
+        assert "3.142" in table
+
+    def test_zero(self):
+        assert "0" in format_table(["v"], [[0.0]])
+
+    def test_empty_rows_ok(self):
+        table = format_table(["a"], [])
+        assert "a" in table
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValidationError):
+            format_table([], [])

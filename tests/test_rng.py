@@ -1,0 +1,89 @@
+"""Unit tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RngStream, as_generator, spawn_generators
+
+
+class TestAsGenerator:
+    def test_from_int(self):
+        gen = as_generator(42)
+        assert isinstance(gen, np.random.Generator)
+
+    def test_from_none(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_same_seed_same_stream(self):
+        a = as_generator(7).random(5)
+        b = as_generator(7).random(5)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        assert len(spawn_generators(0, 5)) == 5
+
+    def test_zero_count(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_children_independent(self):
+        g1, g2 = spawn_generators(123, 2)
+        assert not np.allclose(g1.random(10), g2.random(10))
+
+    def test_reproducible_from_seed(self):
+        a = [g.random() for g in spawn_generators(9, 3)]
+        b = [g.random() for g in spawn_generators(9, 3)]
+        assert a == b
+
+    def test_from_generator_spawns(self):
+        parent = np.random.default_rng(5)
+        children = spawn_generators(parent, 2)
+        assert len(children) == 2
+
+    def test_from_seed_sequence(self):
+        seq = np.random.SeedSequence(11)
+        children = spawn_generators(seq, 2)
+        assert len(children) == 2
+
+
+class TestRngStream:
+    def test_children_differ(self):
+        stream = RngStream(1)
+        assert stream.child().random() != stream.child().random()
+
+    def test_replay_bit_exact(self):
+        def draw_all(seed):
+            stream = RngStream(seed)
+            return [stream.child().random() for _ in range(4)]
+
+        assert draw_all(77) == draw_all(77)
+
+    def test_different_seeds_differ(self):
+        a = RngStream(1).child().random()
+        b = RngStream(2).child().random()
+        assert a != b
+
+    def test_spawned_counter(self):
+        stream = RngStream(0)
+        assert stream.spawned == 0
+        stream.child()
+        stream.substream()
+        assert stream.spawned == 2
+
+    def test_substream_independent(self):
+        stream = RngStream(3)
+        sub = stream.substream()
+        assert sub.child().random() != stream.child().random()
+
+    def test_from_generator(self):
+        stream = RngStream(np.random.default_rng(4))
+        assert isinstance(stream.child(), np.random.Generator)

@@ -1,0 +1,130 @@
+"""Tests for the clock controller and pipelining model."""
+
+import pytest
+
+from repro.amc.scheduler import (
+    ClockController,
+    MACRO_ARRAYS,
+    PHASE_PROGRAM,
+    PhaseSchedule,
+    default_program,
+    simulate_schedule,
+)
+from repro.errors import ScheduleError
+
+
+class TestPhaseProgram:
+    def test_five_phases(self):
+        assert len(PHASE_PROGRAM) == 5
+
+    def test_paper_sequence(self):
+        """INV, MVM, INV, MVM, INV over A1, A3, A4s, A2, A1."""
+        kinds = [kind for _, kind, _ in PHASE_PROGRAM]
+        arrays = [array for _, _, array in PHASE_PROGRAM]
+        assert kinds == ["inv", "mvm", "inv", "mvm", "inv"]
+        assert arrays == ["A1", "A3", "A4s", "A2", "A1"]
+
+    def test_a1_used_twice(self):
+        arrays = [array for _, _, array in PHASE_PROGRAM]
+        assert arrays.count("A1") == 2
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ScheduleError):
+            PhaseSchedule("S9", "add", "A1")
+
+    def test_invalid_array_rejected(self):
+        with pytest.raises(ScheduleError):
+            PhaseSchedule("S0", "inv", "A7")
+
+
+class TestClockController:
+    def test_gate_word_one_hot(self):
+        """Exactly one transmission-gate group conducts per cycle."""
+        controller = ClockController()
+        for cycle in range(10):
+            word = controller.gate_word(cycle)
+            assert sum(word) == 1
+
+    def test_gate_word_targets_active_phase(self):
+        controller = ClockController()
+        groups = controller.gate_groups
+        for cycle in range(5):
+            phase = controller.phase(cycle)
+            word = controller.gate_word(cycle)
+            active = groups[word.index(True)]
+            assert active == (phase.array, phase.kind)
+
+    def test_program_wraps_around(self):
+        controller = ClockController()
+        assert controller.phase(0) == controller.phase(5)
+
+    def test_gate_group_count(self):
+        controller = ClockController()
+        assert len(controller.gate_groups) == 2 * len(MACRO_ARRAYS)
+
+    def test_empty_program_rejected(self):
+        controller = ClockController(program=())
+        with pytest.raises(ScheduleError):
+            controller.phase(0)
+
+    def test_default_program_objects(self):
+        program = default_program()
+        assert all(isinstance(p, PhaseSchedule) for p in program)
+
+
+class TestScheduleSimulation:
+    OPS = [1e-6] * 5
+
+    def test_single_problem_latency(self):
+        result = simulate_schedule(
+            self.OPS, t_dac=2e-7, t_adc=2e-7, t_snh=1e-8, n_problems=1
+        )
+        # DAC + five ops + four inter-op S&H transfers + ADC.
+        expected = 2e-7 + 5e-6 + 4 * 1e-8 + 2e-7
+        assert result.latency_first == pytest.approx(expected, rel=1e-6)
+
+    def test_pipelined_beats_serial(self):
+        serial = simulate_schedule(
+            self.OPS, t_dac=1e-6, t_adc=1e-6, t_snh=1e-8, n_problems=8, pipelined=False
+        )
+        piped = simulate_schedule(
+            self.OPS, t_dac=1e-6, t_adc=1e-6, t_snh=1e-8, n_problems=8, pipelined=True
+        )
+        assert piped.makespan < serial.makespan
+        assert piped.throughput > serial.throughput
+
+    def test_pipelining_hides_conversions(self):
+        """At steady state the period approaches the analog time alone."""
+        result = simulate_schedule(
+            self.OPS, t_dac=1e-6, t_adc=1e-6, t_snh=0.0, n_problems=50, pipelined=True
+        )
+        analog_per_problem = sum(self.OPS)
+        period = result.makespan / 50
+        assert period < analog_per_problem * 1.1
+
+    def test_opa_bank_never_double_booked(self):
+        result = simulate_schedule(
+            self.OPS, t_dac=5e-7, t_adc=5e-7, t_snh=1e-8, n_problems=6, pipelined=True
+        )
+        opa_events = sorted(
+            (e for e in result.events if e.resource == "opa"), key=lambda e: e.start
+        )
+        for first, second in zip(opa_events, opa_events[1:]):
+            assert second.start >= first.end - 1e-15
+
+    def test_event_durations(self):
+        result = simulate_schedule(self.OPS, t_dac=1e-7, t_adc=1e-7, t_snh=0.0)
+        for event in result.events:
+            assert event.duration >= 0.0
+
+    def test_empty_ops_rejected(self):
+        with pytest.raises(ScheduleError):
+            simulate_schedule([], t_dac=1e-7, t_adc=1e-7, t_snh=0.0)
+
+    def test_negative_times_rejected(self):
+        with pytest.raises(ScheduleError):
+            simulate_schedule([1e-6], t_dac=-1.0, t_adc=0.0, t_snh=0.0)
+
+    def test_bad_problem_count_rejected(self):
+        with pytest.raises(ScheduleError):
+            simulate_schedule([1e-6], t_dac=0.0, t_adc=0.0, t_snh=0.0, n_problems=0)

@@ -1,0 +1,36 @@
+"""Tests for the SolveResult container."""
+
+import numpy as np
+
+from repro.amc.config import HardwareConfig
+from repro.core.blockamc import BlockAMCSolver
+from repro.core.solution import SolveResult
+from repro.workloads.matrices import random_vector, wishart_matrix
+
+
+class TestSolveResult:
+    def test_relative_error_matches_metric(self):
+        x = np.array([1.0, 2.0])
+        ref = np.array([1.0, 2.5])
+        result = SolveResult(x=x, reference=ref, solver="test")
+        assert result.relative_error == 0.5 / 3.5
+
+    def test_size(self):
+        result = SolveResult(x=np.zeros(5) + 1, reference=np.ones(5), solver="t")
+        assert result.size == 5
+
+    def test_empty_operations_defaults(self):
+        result = SolveResult(x=np.ones(2), reference=np.ones(2), solver="t")
+        assert result.operations == ()
+        assert result.analog_time_s == 0.0
+        assert result.operation_counts == {}
+        assert not result.saturated
+
+    def test_populated_from_solver(self):
+        matrix = wishart_matrix(6, rng=0)
+        result = BlockAMCSolver(HardwareConfig.ideal()).solve(
+            matrix, random_vector(6, rng=1), rng=2
+        )
+        assert result.analog_time_s > 0.0
+        assert sum(result.operation_counts.values()) == 5
+        assert result.metadata["scale"] > 0.0

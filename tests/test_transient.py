@@ -1,0 +1,137 @@
+"""Tests for the time-domain simulation of the AMC circuits."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits.dynamics import inv_settling_time, mvm_settling_time
+from repro.circuits.transient import (
+    simulate_inv_transient,
+    simulate_mvm_transient,
+)
+from repro.crossbar.array import CrossbarArray
+from repro.crossbar.mapping import normalize_matrix
+from repro.errors import CircuitError
+from repro.workloads.matrices import random_vector, wishart_matrix
+
+
+def _array(n=6, seed=0):
+    matrix, _ = normalize_matrix(wishart_matrix(n, rng=seed))
+    return CrossbarArray.program(matrix, rng=seed, pre_normalized=True), matrix
+
+
+class TestMVMTransient:
+    def test_settles_to_dc_solution(self):
+        array, matrix = _array()
+        v = random_vector(6, rng=1) * 0.3
+        result = simulate_mvm_transient(array, v, open_loop_gain=1e4)
+        assert result.stable
+        # Finite gain scales the DC value slightly; compare against the
+        # finite-gain algebraic equilibrium.
+        expected = -(matrix @ v) / (1.0 + (1.0 + array.load_row_sums()) / 1e4)
+        np.testing.assert_allclose(result.final, expected, rtol=1e-9)
+        np.testing.assert_allclose(result.outputs[-1], expected, rtol=1e-3, atol=1e-6)
+
+    def test_starts_from_initial_condition(self):
+        array, _ = _array()
+        v = random_vector(6, rng=2) * 0.3
+        v0 = np.full(6, 0.1)
+        result = simulate_mvm_transient(array, v, v0=v0)
+        np.testing.assert_allclose(result.outputs[0], v0, atol=1e-9)
+
+    def test_settling_time_finite_and_positive(self):
+        array, _ = _array()
+        v = random_vector(6, rng=3) * 0.3
+        result = simulate_mvm_transient(array, v)
+        assert 0.0 < result.settling_time_s < math.inf
+
+    def test_settling_tracks_analytic_model(self):
+        """Transient settling within ~an order of the first-order formula."""
+        array, _ = _array()
+        v = random_vector(6, rng=4) * 0.3
+        result = simulate_mvm_transient(array, v, gbwp_hz=100e6, epsilon=1e-4)
+        g_total = np.asarray(array.g_pos) + np.asarray(array.g_neg)
+        analytic = mvm_settling_time(g_total, array.g_unit, 100e6, epsilon=1e-4)
+        assert analytic / 10 < result.settling_time_s < analytic * 10
+
+    def test_faster_opamp_settles_faster(self):
+        array, _ = _array()
+        v = random_vector(6, rng=5) * 0.3
+        slow = simulate_mvm_transient(array, v, gbwp_hz=10e6)
+        fast = simulate_mvm_transient(array, v, gbwp_hz=1e9)
+        assert fast.settling_time_s < slow.settling_time_s
+
+    def test_ideal_gain_rejected(self):
+        array, _ = _array()
+        with pytest.raises(CircuitError, match="finite"):
+            simulate_mvm_transient(array, np.zeros(6), open_loop_gain=math.inf)
+
+
+class TestINVTransient:
+    def test_settles_to_solution(self):
+        array, matrix = _array(seed=7)
+        v = random_vector(6, rng=8) * 0.3
+        result = simulate_inv_transient(array, v, open_loop_gain=1e5)
+        assert result.stable
+        expected = -np.linalg.solve(matrix, v)
+        np.testing.assert_allclose(result.final, expected, rtol=1e-2)
+        np.testing.assert_allclose(result.outputs[-1], result.final, rtol=1e-2, atol=1e-6)
+
+    def test_settling_tracks_eigenvalue_model(self):
+        array, matrix = _array(seed=9)
+        v = random_vector(6, rng=10) * 0.3
+        result = simulate_inv_transient(array, v, gbwp_hz=100e6, epsilon=1e-4)
+        analytic = inv_settling_time(matrix, 100e6, epsilon=1e-4)
+        assert analytic / 20 < result.settling_time_s < analytic * 20
+
+    def test_unstable_matrix_flagged(self):
+        matrix = -0.5 * np.eye(4)  # negative eigenvalues -> divergence
+        array = CrossbarArray.program(matrix, rng=0, pre_normalized=True)
+        result = simulate_inv_transient(array, np.full(4, 0.1))
+        assert not result.stable
+        assert math.isinf(result.settling_time_s)
+        assert np.all(np.isnan(result.final))
+
+    def test_size_independence_of_settling(self):
+        """The O(1) claim: settling depends on conditioning, not size."""
+        times = []
+        for n in (4, 16, 64):
+            matrix, _ = normalize_matrix(wishart_matrix(n, rng=11, aspect=8.0))
+            array = CrossbarArray.program(matrix, rng=12, pre_normalized=True)
+            v = random_vector(n, rng=13) * 0.2
+            result = simulate_inv_transient(array, v, epsilon=1e-3)
+            times.append(result.settling_time_s)
+        # Settling varies far less than the 16x size span.
+        assert max(times) / min(times) < 8.0
+
+    def test_requires_square(self):
+        array = CrossbarArray.program(np.ones((2, 3)) * 0.1, rng=0, pre_normalized=True)
+        with pytest.raises(CircuitError, match="square"):
+            simulate_inv_transient(array, np.zeros(2))
+
+    def test_input_scale_matches_ops(self):
+        """Transient equilibrium with a scaled input conductance equals
+        the Schur-compensated DC operation."""
+        matrix, _ = normalize_matrix(wishart_matrix(4, rng=14))
+        scale = 2.0
+        array = CrossbarArray.program(matrix / scale, rng=15, pre_normalized=True)
+        v = random_vector(4, rng=16) * 0.2
+        result = simulate_inv_transient(
+            array, v, open_loop_gain=1e6, input_scale=1.0 / scale
+        )
+        expected = -np.linalg.solve(matrix, v)
+        np.testing.assert_allclose(result.final, expected, rtol=1e-3)
+
+
+class TestResultHelpers:
+    def test_output_at_interpolates(self):
+        array, _ = _array()
+        v = random_vector(6, rng=17) * 0.3
+        result = simulate_mvm_transient(array, v)
+        mid = 0.5 * (result.times[3] + result.times[4])
+        interpolated = result.output_at(mid)
+        assert interpolated.shape == (6,)
+        lo = np.minimum(result.outputs[3], result.outputs[4]) - 1e-12
+        hi = np.maximum(result.outputs[3], result.outputs[4]) + 1e-12
+        assert np.all(interpolated >= lo) and np.all(interpolated <= hi)

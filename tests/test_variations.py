@@ -1,0 +1,97 @@
+"""Unit and statistical tests for repro.devices.variations."""
+
+import numpy as np
+import pytest
+
+from repro.devices.models import PAPER_G0_SIEMENS
+from repro.devices.variations import (
+    GaussianVariation,
+    LognormalVariation,
+    NoVariation,
+    RelativeGaussianVariation,
+)
+from repro.errors import ValidationError
+
+
+TARGET = np.full((100, 100), 50e-6)
+
+
+class TestNoVariation:
+    def test_identity(self):
+        out = NoVariation().apply(TARGET, rng=0)
+        np.testing.assert_array_equal(out, TARGET)
+
+    def test_returns_copy(self):
+        out = NoVariation().apply(TARGET)
+        assert out is not TARGET
+
+
+class TestGaussianVariation:
+    def test_statistics(self):
+        sigma = 5e-6
+        out = GaussianVariation(sigma).apply(TARGET, rng=0)
+        err = out - TARGET
+        assert abs(float(np.mean(err))) < sigma / 10
+        assert float(np.std(err)) == pytest.approx(sigma, rel=0.05)
+
+    def test_off_cells_untouched(self):
+        target = np.array([0.0, 50e-6])
+        out = GaussianVariation(5e-6).apply(target, rng=1)
+        assert out[0] == 0.0
+        assert out[1] != target[1]
+
+    def test_never_negative(self):
+        target = np.full(10_000, 1e-9)  # tiny targets, noise would go negative
+        out = GaussianVariation(5e-6).apply(target, rng=2)
+        assert np.all(out >= 0.0)
+
+    def test_reproducible(self):
+        a = GaussianVariation(1e-6).apply(TARGET, rng=3)
+        b = GaussianVariation(1e-6).apply(TARGET, rng=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_paper_reference_sigma(self):
+        model = GaussianVariation.paper_reference()
+        assert model.sigma == pytest.approx(0.05 * PAPER_G0_SIEMENS)
+
+    def test_rejects_bad_sigma(self):
+        with pytest.raises(ValidationError):
+            GaussianVariation(0.0)
+
+
+class TestRelativeGaussianVariation:
+    def test_spread_scales_with_target(self):
+        model = RelativeGaussianVariation(0.05)
+        big = np.full(20_000, 100e-6)
+        small = np.full(20_000, 1e-6)
+        std_big = np.std(model.apply(big, rng=0) - big)
+        std_small = np.std(model.apply(small, rng=0) - small)
+        assert std_big == pytest.approx(0.05 * 100e-6, rel=0.05)
+        assert std_small == pytest.approx(0.05 * 1e-6, rel=0.05)
+
+    def test_off_cells_untouched(self):
+        out = RelativeGaussianVariation(0.1).apply(np.array([0.0]), rng=0)
+        assert out[0] == 0.0
+
+    def test_paper_reference(self):
+        assert RelativeGaussianVariation.paper_reference().sigma_rel == 0.05
+
+    def test_never_negative(self):
+        out = RelativeGaussianVariation(2.0).apply(np.full(10_000, 1e-6), rng=1)
+        assert np.all(out >= 0.0)
+
+
+class TestLognormalVariation:
+    def test_multiplicative(self):
+        model = LognormalVariation(0.05)
+        out = model.apply(TARGET, rng=0)
+        ratio = out / TARGET
+        assert float(np.std(np.log(ratio))) == pytest.approx(0.05, rel=0.05)
+
+    def test_always_positive(self):
+        out = LognormalVariation(1.0).apply(np.full(1000, 1e-6), rng=1)
+        assert np.all(out > 0.0)
+
+    def test_off_cells_untouched(self):
+        out = LognormalVariation(0.5).apply(np.array([0.0, 1e-5]), rng=2)
+        assert out[0] == 0.0

@@ -1,0 +1,130 @@
+"""Tests for the workload generators and experiment suites."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.workloads.matrices import (
+    diagonally_dominant_matrix,
+    random_invertible_matrix,
+    random_vector,
+    toeplitz_matrix,
+    wishart_matrix,
+)
+from repro.workloads.suites import PAPER_SIZES, get_suite, list_suites
+
+
+class TestWishart:
+    def test_symmetric(self):
+        a = wishart_matrix(10, rng=0)
+        np.testing.assert_allclose(a, a.T)
+
+    def test_positive_definite(self):
+        a = wishart_matrix(10, rng=1)
+        assert np.min(np.linalg.eigvalsh(a)) > 0.0
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(wishart_matrix(6, rng=2), wishart_matrix(6, rng=2))
+
+    def test_aspect_controls_conditioning(self):
+        tall = wishart_matrix(32, rng=3, aspect=8.0)
+        square = wishart_matrix(32, rng=3, aspect=1.05)
+        assert np.linalg.cond(tall) < np.linalg.cond(square)
+
+    def test_aspect_below_one_rejected(self):
+        with pytest.raises(ValidationError):
+            wishart_matrix(4, rng=0, aspect=0.5)
+
+    def test_bad_size(self):
+        with pytest.raises(ValidationError):
+            wishart_matrix(0)
+
+
+class TestToeplitz:
+    def test_constant_diagonals(self):
+        a = toeplitz_matrix(8, rng=0)
+        for k in range(-7, 8):
+            diag = np.diagonal(a, k)
+            assert np.allclose(diag, diag[0])
+
+    def test_symmetric_by_default(self):
+        a = toeplitz_matrix(8, rng=1)
+        np.testing.assert_allclose(a, a.T)
+
+    def test_asymmetric_option(self):
+        a = toeplitz_matrix(8, rng=2, symmetric=False)
+        assert not np.allclose(a, a.T)
+
+    def test_unit_diagonal(self):
+        a = toeplitz_matrix(8, rng=3)
+        np.testing.assert_allclose(np.diag(a), 1.0)
+
+    def test_conditioning_grows_with_size(self):
+        """The property behind Fig. 7(b): large Toeplitz systems are
+        much harder than small ones."""
+        small = np.linalg.cond(toeplitz_matrix(8, rng=4))
+        large = np.linalg.cond(toeplitz_matrix(256, rng=4))
+        assert large > 5 * small
+
+    def test_invertible_across_sizes(self):
+        for n in (8, 32, 128):
+            a = toeplitz_matrix(n, rng=5)
+            assert np.linalg.matrix_rank(a) == n
+
+
+class TestOtherGenerators:
+    def test_dominant_strictly_dominant(self):
+        a = diagonally_dominant_matrix(12, rng=0)
+        off = np.sum(np.abs(a), axis=1) - np.abs(np.diag(a))
+        assert np.all(np.abs(np.diag(a)) > off)
+
+    def test_dominant_margin_validated(self):
+        with pytest.raises(ValidationError):
+            diagonally_dominant_matrix(4, rng=0, margin=1.0)
+
+    def test_random_invertible_condition_bounded(self):
+        a = random_invertible_matrix(8, rng=1, condition_cap=1e4)
+        assert np.linalg.cond(a) <= 1e4
+
+    def test_random_vector_in_range(self):
+        v = random_vector(100, rng=2, low=-0.5, high=0.5)
+        assert np.all(v >= -0.5) and np.all(v < 0.5)
+        assert np.any(v != 0.0)
+
+    def test_random_vector_bad_range(self):
+        with pytest.raises(ValidationError):
+            random_vector(4, rng=0, low=1.0, high=0.0)
+
+
+class TestSuites:
+    def test_paper_sizes(self):
+        assert PAPER_SIZES == (8, 16, 32, 64, 128, 256, 512)
+
+    def test_all_figures_covered(self):
+        names = list_suites()
+        assert {
+            "fig6-ideal-mapping",
+            "fig7-wishart",
+            "fig7-toeplitz",
+            "fig8-twostage",
+            "fig9-wishart",
+            "fig9-toeplitz",
+        } <= set(names)
+
+    def test_quick_vs_paper_scale(self):
+        quick = get_suite("fig7-wishart", quick=True)
+        full = get_suite("fig7-wishart", quick=False)
+        assert max(quick.sizes) < max(full.sizes)
+        assert quick.trials < full.trials
+        assert full.trials == 40  # the paper's trial count
+
+    def test_suite_factories_work(self):
+        suite = get_suite("fig9-toeplitz")
+        matrix = suite.matrix_factory(8, np.random.default_rng(0))
+        assert matrix.shape == (8, 8)
+        hardware = suite.hardware_factory()
+        assert hardware.parasitics.r_wire == 1.0
+
+    def test_unknown_suite(self):
+        with pytest.raises(ValidationError):
+            get_suite("fig99")
