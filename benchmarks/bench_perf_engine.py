@@ -1,0 +1,184 @@
+"""Perf engine bench: times the batched/cached hot paths against the
+pre-optimization reference implementations and writes the
+``BENCH_perf_engine.json`` trajectory artifact at the repo root.
+
+Three comparisons, matching the engine's three layers:
+
+1. ``exact_effective_matrix`` on a 64x64 array — reference cell-by-cell
+   assembly + per-column solves (``method="loop"``) vs. the Schur/banded
+   engine (target >= 10x).
+2. The tier-1-scale Fig. 7 variation sweep — sequential ``run_trials``
+   vs. trial-batched ``run_trials_batched`` (target >= 3x).
+3. 64 right-hand sides against one programmed one-stage solver —
+   sequential ``PreparedBlockAMC.solve`` loop vs. multi-RHS
+   ``solve_many``.
+
+Every comparison first asserts numerical equivalence (1e-10) so a
+"speedup" can never come from computing something different.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import paper_scale
+from benchmarks.perf_harness import PerfReport, time_call
+from repro.amc.config import HardwareConfig
+from repro.analysis.accuracy import accuracy_sweep, run_trials, run_trials_batched
+from repro.analysis.reporting import format_table
+from repro.core.blockamc import BlockAMCSolver
+from repro.core.original import OriginalAMCSolver
+from repro.crossbar.parasitics import exact_effective_matrix
+from repro.workloads.matrices import random_vector, wishart_matrix
+
+#: Tier-1-scale sweep shape (the CI-friendly Fig. 7 configuration).
+SWEEP_SIZES = (8, 16, 32)
+SWEEP_TRIALS = 3
+
+#: Loud-regression guards for the perf smoke. The committed artifact
+#: documents the actual measured speedups (>= 10x / >= 3x at merge
+#: time); the asserted floors leave headroom for noisy CI machines.
+MIN_EXACT_SPEEDUP = 6.0
+MIN_SWEEP_SPEEDUP = 2.0
+MIN_SOLVE_MANY_SPEEDUP = 4.0
+
+_report = PerfReport()
+
+
+def _sweep_args():
+    sizes = SWEEP_SIZES if not paper_scale() else (8, 16, 32, 64, 128)
+    trials = SWEEP_TRIALS if not paper_scale() else 40
+    return sizes, trials
+
+
+def test_exact_effective_matrix_64x64(report):
+    rng = np.random.default_rng(7)
+    g = rng.uniform(0.0, 1e-4, size=(64, 64))
+
+    reference = exact_effective_matrix(g, 1.0, method="loop")
+    fast = exact_effective_matrix(g, 1.0)
+    assert np.max(np.abs(fast - reference)) < 1e-10
+
+    old_s = time_call(lambda: exact_effective_matrix(g, 1.0, method="loop"), repeats=2)
+    new_s = time_call(lambda: exact_effective_matrix(g, 1.0), repeats=5)
+    speedup = _report.add(
+        "exact_effective_matrix_64x64",
+        old_s,
+        new_s,
+        detail="cell-loop assembly + per-column solves vs Schur engine",
+    )
+    report(
+        "perf_exact_effective",
+        format_table(
+            ["path", "ms"],
+            [["loop (reference)", old_s * 1e3], ["schur engine", new_s * 1e3]],
+            title=f"exact_effective_matrix 64x64 — {speedup:.1f}x",
+        ),
+    )
+    assert speedup >= MIN_EXACT_SPEEDUP
+
+
+def test_variation_sweep_tier1(report):
+    config = HardwareConfig.paper_variation()
+    sizes, trials = _sweep_args()
+
+    def sequential():
+        return run_trials(
+            {
+                "original-amc": lambda: OriginalAMCSolver(config),
+                "blockamc-1stage": lambda: BlockAMCSolver(config),
+            },
+            lambda n, rng: wishart_matrix(n, rng),
+            sizes,
+            trials,
+            seed=70,
+        )
+
+    def batched():
+        return run_trials_batched(
+            {
+                "original-amc": OriginalAMCSolver(config),
+                "blockamc-1stage": BlockAMCSolver(config),
+            },
+            lambda n, rng: wishart_matrix(n, rng),
+            sizes,
+            trials,
+            seed=70,
+        )
+
+    seq_records = sequential()
+    bat_records = batched()
+    seq_table = accuracy_sweep(seq_records)
+    bat_table = accuracy_sweep(bat_records)
+    for solver, by_size in seq_table.items():
+        for size, (mean, std) in by_size.items():
+            b_mean, b_std = bat_table[solver][size]
+            assert abs(mean - b_mean) < 1e-10
+            assert abs(std - b_std) < 1e-10
+
+    old_s = time_call(sequential, repeats=2)
+    new_s = time_call(batched, repeats=3)
+    speedup = _report.add(
+        "variation_sweep_tier1",
+        old_s,
+        new_s,
+        detail=(
+            f"Fig.7 Wishart sweep, sizes={sizes}, trials={trials}, "
+            "2 solvers, sequential run_trials vs run_trials_batched"
+        ),
+    )
+    report(
+        "perf_variation_sweep",
+        format_table(
+            ["path", "ms"],
+            [["run_trials (sequential)", old_s * 1e3], ["run_trials_batched", new_s * 1e3]],
+            title=f"tier-1 variation sweep — {speedup:.1f}x",
+        ),
+    )
+    assert speedup >= MIN_SWEEP_SPEEDUP
+
+
+def test_solve_many_64rhs(report):
+    config = HardwareConfig.paper_variation()
+    matrix = wishart_matrix(32, rng=0)
+    rhs = [random_vector(32, rng=i) for i in range(64)]
+    prepared = BlockAMCSolver(config).prepare(matrix, rng=5)
+
+    def sequential():
+        gen = np.random.default_rng(9)
+        return [prepared.solve(b, gen) for b in rhs]
+
+    def many():
+        return prepared.solve_many(rhs, np.random.default_rng(9))
+
+    seq_results = sequential()
+    many_results = many()
+    worst = max(
+        float(np.max(np.abs(a.x - b.x))) for a, b in zip(seq_results, many_results)
+    )
+    assert worst < 1e-10
+
+    old_s = time_call(sequential, repeats=2)
+    new_s = time_call(many, repeats=3)
+    speedup = _report.add(
+        "solve_many_64rhs_32x32",
+        old_s,
+        new_s,
+        detail="64 RHS on one programmed BlockAMC: solve loop vs solve_many",
+    )
+    report(
+        "perf_solve_many",
+        format_table(
+            ["path", "ms"],
+            [["solve() loop", old_s * 1e3], ["solve_many()", new_s * 1e3]],
+            title=f"64-RHS multi-solve — {speedup:.1f}x",
+        ),
+    )
+    assert speedup >= MIN_SOLVE_MANY_SPEEDUP
+
+
+def test_write_artifact():
+    """Write BENCH_perf_engine.json (runs last: file-order collection)."""
+    assert _report.entries, "perf comparisons must run before the artifact writes"
+    path = _report.write()
+    assert path.exists()

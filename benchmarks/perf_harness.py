@@ -1,0 +1,95 @@
+"""Timing harness for old-vs-new hot-path comparisons.
+
+Gives every perf bench the same measurement discipline — warmup, best-of
+repeats, one JSON artifact — so PR-to-PR numbers are comparable. The
+artifact (``BENCH_perf_engine.json`` at the repo root) is the perf
+trajectory future PRs check themselves against: each entry records the
+timed old path, the timed new path, and the resulting speedup.
+
+Use :func:`time_call` for raw timings, :class:`PerfReport` to accumulate
+entries, and :meth:`PerfReport.write` to produce the artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+#: Repo root (the artifact lands here so it is visible at top level).
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Default artifact path.
+DEFAULT_ARTIFACT = REPO_ROOT / "BENCH_perf_engine.json"
+
+
+def time_call(fn, *, repeats: int = 3, warmup: int = 1) -> float:
+    """Best-of-``repeats`` wall-clock seconds for ``fn()``.
+
+    ``warmup`` un-timed calls absorb one-time costs (imports, structure
+    caches, BLAS thread spin-up) so the measurement reflects steady
+    state; best-of rather than mean suppresses scheduler noise.
+    """
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+class PerfReport:
+    """Accumulates named old-vs-new timing entries and writes the artifact."""
+
+    def __init__(self):
+        self.entries: dict[str, dict] = {}
+
+    def add(
+        self,
+        name: str,
+        old_s: float,
+        new_s: float,
+        *,
+        detail: str = "",
+    ) -> float:
+        """Record one comparison; returns the speedup ``old_s / new_s``."""
+        speedup = old_s / new_s if new_s > 0 else float("inf")
+        self.entries[name] = {
+            "old_s": old_s,
+            "new_s": new_s,
+            "speedup": round(speedup, 2),
+            "detail": detail,
+        }
+        return speedup
+
+    def rows(self) -> list[list]:
+        """Table rows (name, old ms, new ms, speedup) for human output."""
+        return [
+            [name, entry["old_s"] * 1e3, entry["new_s"] * 1e3, entry["speedup"]]
+            for name, entry in self.entries.items()
+        ]
+
+    def write(self, path: Path | None = None) -> Path:
+        """Write the JSON artifact and return its path."""
+        path = path or DEFAULT_ARTIFACT
+        payload = {
+            "generated_by": "benchmarks/bench_perf_engine.py",
+            "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "entries": self.entries,
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+        return path
+
+
+def load_previous(path: Path | None = None) -> dict | None:
+    """Previous artifact contents, or ``None`` if absent/corrupt."""
+    path = path or DEFAULT_ARTIFACT
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None

@@ -15,17 +15,23 @@ from repro.utils.rng import as_generator
 from repro.utils.validation import check_vector
 
 
-def _quantize(voltages: np.ndarray, bits: int | None, v_fs: float) -> np.ndarray:
+def quantize_voltages(voltages: np.ndarray, bits: int | None, v_fs: float) -> np.ndarray:
     """Uniform mid-tread quantizer over ``[-v_fs, +v_fs]``.
 
     ``bits=None`` is transparent (ideal converter). Values outside the
-    full-scale range clip, as a real converter would.
+    full-scale range clip, as a real converter would. Shape-generic: the
+    single converter model behind :class:`DAC`/:class:`ADC` and the
+    batched solve engines (``core.batched``, ``PreparedBlockAMC.solve_many``).
     """
     if bits is None:
         return voltages.copy()
     lsb = 2.0 * v_fs / (2**bits)
     clipped = np.clip(voltages, -v_fs, v_fs)
     return np.clip(np.round(clipped / lsb) * lsb, -v_fs, v_fs)
+
+
+#: Backwards-compatible private alias (pre-existing internal call sites).
+_quantize = quantize_voltages
 
 
 class DAC:

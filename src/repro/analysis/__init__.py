@@ -5,6 +5,7 @@ from repro.analysis.accuracy import (
     accuracy_quantiles,
     accuracy_sweep,
     run_trials,
+    run_trials_batched,
 )
 from repro.analysis.costmodel import (
     ComponentCosts,
@@ -45,6 +46,7 @@ __all__ = [
     "predicted_variation_error",
     "records_to_csv",
     "run_trials",
+    "run_trials_batched",
     "savings_vs_original",
     "scatter_points",
     "solve_energy",

@@ -34,7 +34,13 @@ from repro.circuits.elements import (
     VoltageSource,
 )
 from repro.circuits.generators import build_inv_circuit, build_mvm_circuit
-from repro.circuits.mna import DCSolution, solve_dc
+from repro.circuits.mna import (
+    AssembledMNA,
+    DCSolution,
+    assemble_mna,
+    solve_dc,
+    solve_dc_many,
+)
 from repro.circuits.netlist import Circuit
 from repro.circuits.transient import (
     TransientResult,
@@ -44,6 +50,7 @@ from repro.circuits.transient import (
 
 __all__ = [
     "ACSolution",
+    "AssembledMNA",
     "Circuit",
     "CurrentSource",
     "DCSolution",
@@ -53,6 +60,7 @@ __all__ = [
     "VCVS",
     "VoltageSource",
     "amc_frequency_response",
+    "assemble_mna",
     "build_inv_circuit",
     "build_mvm_circuit",
     "inv_settling_time",
@@ -64,4 +72,5 @@ __all__ = [
     "single_pole_gain",
     "solve_ac",
     "solve_dc",
+    "solve_dc_many",
 ]

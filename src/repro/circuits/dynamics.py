@@ -80,8 +80,17 @@ def inv_settling_time(
     matrix: np.ndarray,
     gbwp_hz: float,
     epsilon: float = DEFAULT_EPSILON,
+    *,
+    margin: float | None = None,
 ) -> float:
     """Settling time (seconds) of the INV circuit for a normalized matrix.
+
+    Parameters
+    ----------
+    margin:
+        Precomputed :func:`inv_eigenvalue_margin` of ``matrix``; pass it
+        when the caller already ran the stability check so the (dominant)
+        ``eigvals`` call is not repeated.
 
     Raises
     ------
@@ -91,7 +100,8 @@ def inv_settling_time(
     """
     check_positive(gbwp_hz, "gbwp_hz")
     check_positive(epsilon, "epsilon")
-    margin = inv_eigenvalue_margin(matrix)
+    if margin is None:
+        margin = inv_eigenvalue_margin(matrix)
     if margin <= 0.0:
         raise ConvergenceError(
             f"INV circuit unstable: smallest eigenvalue real part {margin:.3g} <= 0"

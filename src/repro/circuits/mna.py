@@ -10,13 +10,23 @@ sources, VCVS, and ideal op-amps. Dense LU is used for small systems and
 SuperLU for large sparse ones. This is exactly the equation system a SPICE
 engine solves for the DC operating point of a linear circuit, which is all
 the paper's HSPICE experiments require.
+
+Assembly and solve are split: :func:`assemble_mna` stamps a circuit once
+into an :class:`AssembledMNA` that caches its LU factorization, and
+independent-source values live purely in the right-hand side, so the same
+assembled system solves arbitrarily many source configurations
+(:meth:`AssembledMNA.solve`, :func:`solve_dc_many`) at triangular-solve
+cost. :func:`solve_dc` remains the one-shot convenience wrapper.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
+import scipy.linalg
 from scipy.sparse import csc_matrix
 from scipy.sparse.linalg import splu
 
@@ -29,7 +39,7 @@ from repro.circuits.elements import (
     VCVS,
     VoltageSource,
 )
-from repro.circuits.netlist import Circuit
+from repro.circuits.netlist import GROUND_NAMES, Circuit
 from repro.errors import CircuitError, SingularCircuitError
 
 #: Systems at or below this many unknowns are solved densely.
@@ -51,16 +61,43 @@ class DCSolution:
 
     def voltage(self, node: str) -> float:
         """Voltage of ``node`` relative to ground."""
-        if node in ("0", "gnd", "GND"):
+        if node in GROUND_NAMES:
             return 0.0
         try:
             return float(self.values[self.node_index[node]])
         except KeyError:
             raise CircuitError(f"unknown node {node!r}") from None
 
+    def node_indices(self, nodes) -> np.ndarray:
+        """Index array for an iterable of node names (ground maps to -1)."""
+        n_nodes = len(self.node_index)
+        out = np.empty(len(nodes), dtype=np.intp)
+        for k, node in enumerate(nodes):
+            if node in GROUND_NAMES:
+                out[k] = -1
+                continue
+            try:
+                out[k] = self.node_index[node]
+            except KeyError:
+                raise CircuitError(f"unknown node {node!r}") from None
+        if np.any(out >= n_nodes):  # pragma: no cover - index map is consistent
+            raise CircuitError("node index out of range")
+        return out
+
+    @cached_property
+    def _node_voltages_ext(self) -> np.ndarray:
+        """Node voltages with a trailing 0.0 slot so index -1 is ground."""
+        n_nodes = len(self.node_index)
+        return np.append(self.values[:n_nodes], 0.0)
+
     def voltages(self, nodes) -> np.ndarray:
-        """Vector of voltages for an iterable of node names."""
-        return np.array([self.voltage(node) for node in nodes])
+        """Vector of voltages for an iterable of node names.
+
+        One fancy-indexed gather against a precomputed node-index array
+        (the per-node Python loop only resolves names to indices).
+        """
+        nodes = list(nodes)
+        return self._node_voltages_ext[self.node_indices(nodes)].copy()
 
     def current(self, element_name: str) -> float:
         """Branch current of a voltage source, VCVS, or ideal op-amp.
@@ -76,30 +113,165 @@ class DCSolution:
                 f"{element_name!r} is not a voltage-defined element of this circuit"
             ) from None
 
+    @cached_property
+    def _resistor_stamp(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Precomputed ``(idx_a, idx_b, conductance)`` arrays over resistors."""
+        resistors = [e for e in self.circuit.elements if isinstance(e, Resistor)]
+        idx_a = self.node_indices([e.a for e in resistors])
+        idx_b = self.node_indices([e.b for e in resistors])
+        g = np.array([e.conductance for e in resistors])
+        return idx_a, idx_b, g
+
     def resistor_power(self) -> float:
-        """Total power dissipated in all resistors (watts)."""
-        total = 0.0
-        for element in self.circuit.elements:
-            if isinstance(element, Resistor):
-                dv = self.voltage(element.a) - self.voltage(element.b)
-                total += dv * dv * element.conductance
-        return total
+        """Total power dissipated in all resistors (watts).
+
+        Vectorized over a precomputed node-index array; the per-element
+        dict lookups happen once per solution, not once per call.
+        """
+        idx_a, idx_b, g = self._resistor_stamp
+        if g.size == 0:
+            return 0.0
+        v = self._node_voltages_ext
+        dv = v[idx_a] - v[idx_b]
+        return float(np.sum(dv * dv * g))
 
 
 def _index_nodes(circuit: Circuit) -> dict[str, int]:
     return {node: k for k, node in enumerate(circuit.nodes())}
 
 
-def solve_dc(circuit: Circuit) -> DCSolution:
-    """Solve the DC operating point of ``circuit``.
+class AssembledMNA:
+    """A stamped MNA system with a cached LU factorization.
+
+    Assembly (topology + element values -> matrix) happens once, in
+    :func:`assemble_mna`; the factorization happens lazily on the first
+    solve and is reused for every subsequent one. Independent-source
+    values appear only in the right-hand side, so :meth:`solve` accepts a
+    ``source_values`` override mapping and re-solves the *same*
+    factorized system for any drive configuration — the cached hot path
+    behind the five-step AMC schedule and :func:`solve_dc_many`.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        node_index: dict[str, int],
+        branch_index: dict[str, int],
+        matrix,
+        dense: bool,
+        source_rows: dict[str, list[tuple[int, float]]],
+        base_values: dict[str, float],
+    ):
+        self.circuit = circuit
+        self.node_index = node_index
+        self.branch_index = branch_index
+        self.matrix = matrix
+        self.dense = dense
+        self.size = matrix.shape[0]
+        self._source_rows = source_rows
+        self._base_values = base_values
+        self._factor = None
+
+    # ------------------------------------------------------------------
+    # right-hand side construction
+    # ------------------------------------------------------------------
+    def rhs(self, source_values: dict[str, float] | None = None) -> np.ndarray:
+        """Assemble the RHS for the circuit's (optionally overridden) sources.
+
+        Parameters
+        ----------
+        source_values:
+            ``{element_name: value}`` overrides for independent voltage or
+            current sources. Unnamed sources keep their netlist values.
+        """
+        values = self._base_values
+        if source_values:
+            for name in source_values:
+                if name not in self._source_rows:
+                    raise CircuitError(
+                        f"{name!r} is not an independent source of this circuit"
+                    )
+            values = {**values, **source_values}
+        rhs = np.zeros(self.size)
+        for name, entries in self._source_rows.items():
+            value = values[name]
+            if value != 0.0:
+                for row, coef in entries:
+                    rhs[row] += coef * value
+        return rhs
+
+    # ------------------------------------------------------------------
+    # factorization and solves
+    # ------------------------------------------------------------------
+    def _factorize(self):
+        if self._factor is not None:
+            return self._factor
+        if self.dense:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                lu, piv = scipy.linalg.lu_factor(self.matrix, check_finite=False)
+            if np.any(np.diag(lu) == 0.0) or not np.all(np.isfinite(lu)):
+                raise SingularCircuitError("MNA system is singular")
+            self._factor = (lu, piv)
+        else:
+            try:
+                self._factor = splu(self.matrix)
+            except RuntimeError as exc:
+                raise SingularCircuitError(f"MNA system is singular: {exc}") from exc
+        return self._factor
+
+    def solve_rhs(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve the assembled system for raw RHS vector(s).
+
+        ``rhs`` may be 1-D (one system) or 2-D of shape ``(size, k)``
+        (``k`` right-hand sides against one factorization).
+        """
+        rhs = np.asarray(rhs, dtype=float)
+        factor = self._factorize()
+        if self.dense:
+            values = scipy.linalg.lu_solve(factor, rhs, check_finite=False)
+        else:
+            values = factor.solve(rhs)
+        if not np.all(np.isfinite(values)):
+            raise SingularCircuitError("MNA solution contains non-finite values")
+        return values
+
+    def _solution(self, values: np.ndarray) -> DCSolution:
+        return DCSolution(
+            circuit=self.circuit,
+            node_index=self.node_index,
+            branch_index=self.branch_index,
+            values=values,
+        )
+
+    def solve(self, source_values: dict[str, float] | None = None) -> DCSolution:
+        """Solve the DC operating point, optionally overriding source values."""
+        return self._solution(self.solve_rhs(self.rhs(source_values)))
+
+    def solve_many(self, source_batches) -> list[DCSolution]:
+        """Solve one factorized system for many source configurations.
+
+        Parameters
+        ----------
+        source_batches:
+            Iterable of ``{element_name: value}`` override mappings (one
+            per requested solve; empty dict = netlist values).
+        """
+        batches = list(source_batches)
+        if not batches:
+            return []
+        rhs = np.column_stack([self.rhs(overrides) for overrides in batches])
+        values = self.solve_rhs(rhs)
+        return [self._solution(values[:, k].copy()) for k in range(len(batches))]
+
+
+def assemble_mna(circuit: Circuit) -> AssembledMNA:
+    """Stamp ``circuit`` into an :class:`AssembledMNA` (no solve yet).
 
     Raises
     ------
-    SingularCircuitError
-        If the MNA matrix is singular (floating nodes, unconstrained
-        op-amp, loop of ideal sources, ...).
     CircuitError
-        If the circuit is empty.
+        If the circuit is empty or has no unknowns.
     """
     if len(circuit) == 0:
         raise CircuitError("cannot solve an empty circuit")
@@ -121,7 +293,8 @@ def solve_dc(circuit: Circuit) -> DCSolution:
     rows: list[int] = []
     cols: list[int] = []
     data: list[float] = []
-    rhs = np.zeros(size)
+    source_rows: dict[str, list[tuple[int, float]]] = {}
+    base_values: dict[str, float] = {}
 
     def node(n: str) -> int | None:
         return None if n == "0" else node_index[n]
@@ -153,10 +326,13 @@ def solve_dc(circuit: Circuit) -> DCSolution:
             stamp(k, b, -1.0)
         elif isinstance(element, CurrentSource):
             plus, minus = node(element.plus), node(element.minus)
+            entries = []
             if plus is not None:
-                rhs[plus] += element.value
+                entries.append((plus, 1.0))
             if minus is not None:
-                rhs[minus] -= element.value
+                entries.append((minus, -1.0))
+            source_rows[element.name] = entries
+            base_values[element.name] = element.value
         elif isinstance(element, VoltageSource):
             k = n_nodes + branch_index[element.name]
             plus, minus = node(element.plus), node(element.minus)
@@ -164,7 +340,8 @@ def solve_dc(circuit: Circuit) -> DCSolution:
             stamp(minus, k, -1.0)
             stamp(k, plus, 1.0)
             stamp(k, minus, -1.0)
-            rhs[k] = element.value
+            source_rows[element.name] = [(k, 1.0)]
+            base_values[element.name] = element.value
         elif isinstance(element, VCVS):
             if isinstance(element.gain, complex):
                 raise CircuitError(
@@ -193,25 +370,64 @@ def solve_dc(circuit: Circuit) -> DCSolution:
 
     if size <= DENSE_THRESHOLD:
         matrix = np.zeros((size, size))
-        for r, c, v in zip(rows, cols, data):
-            matrix[r, c] += v
-        try:
-            values = np.linalg.solve(matrix, rhs)
-        except np.linalg.LinAlgError as exc:
-            raise SingularCircuitError(f"MNA system is singular: {exc}") from exc
+        np.add.at(
+            matrix,
+            (np.asarray(rows, dtype=np.intp), np.asarray(cols, dtype=np.intp)),
+            np.asarray(data),
+        )
+        dense = True
     else:
         matrix = csc_matrix((data, (rows, cols)), shape=(size, size))
-        try:
-            values = splu(matrix).solve(rhs)
-        except RuntimeError as exc:
-            raise SingularCircuitError(f"MNA system is singular: {exc}") from exc
+        dense = False
 
-    if not np.all(np.isfinite(values)):
-        raise SingularCircuitError("MNA solution contains non-finite values")
-
-    return DCSolution(
+    return AssembledMNA(
         circuit=circuit,
         node_index=node_index,
         branch_index=branch_index,
-        values=values,
+        matrix=matrix,
+        dense=dense,
+        source_rows=source_rows,
+        base_values=base_values,
     )
+
+
+def solve_dc(circuit: Circuit) -> DCSolution:
+    """Solve the DC operating point of ``circuit``.
+
+    One-shot convenience wrapper over :func:`assemble_mna`; workloads
+    re-solving one topology for many source values should hold on to the
+    :class:`AssembledMNA` (or use :func:`solve_dc_many`) so the
+    factorization is reused.
+
+    Raises
+    ------
+    SingularCircuitError
+        If the MNA matrix is singular (floating nodes, unconstrained
+        op-amp, loop of ideal sources, ...).
+    CircuitError
+        If the circuit is empty.
+    """
+    return assemble_mna(circuit).solve()
+
+
+def solve_dc_many(circuit: Circuit, rhs_batch) -> list[DCSolution]:
+    """Solve ``circuit`` for a batch of independent-source configurations.
+
+    Assembles and factors the MNA system once, then solves every
+    right-hand side in a single multi-RHS triangular solve.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to solve.
+    rhs_batch:
+        Iterable of ``{source_name: value}`` mappings, one per solve;
+        each overrides the named independent voltage/current sources
+        (empty dict = the netlist's own values).
+
+    Returns
+    -------
+    list[DCSolution]
+        One solution per entry of ``rhs_batch``, in order.
+    """
+    return assemble_mna(circuit).solve_many(rhs_batch)

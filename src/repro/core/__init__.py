@@ -6,6 +6,8 @@
 - :mod:`repro.core.multistage` — the two-stage (and deeper) solver
   (Fig. 5), with digital glue between macros;
 - :mod:`repro.core.original` — the baseline: a single large INV circuit;
+- :mod:`repro.core.batched` — trial-batched Monte-Carlo execution of the
+  one-stage solvers (stacked linalg over all trials of a sweep);
 - :mod:`repro.core.digital` — digital reference solvers (LU and classic
   iterative methods, used for the preconditioning experiments);
 - :mod:`repro.core.refinement` — AMC-seeded iterative refinement, the
@@ -18,6 +20,7 @@
   system solve well on AMC?").
 """
 
+from repro.core.batched import is_batchable_config, make_batched_runner
 from repro.core.blockamc import BatchResult, BlockAMCSolver
 from repro.core.digital import (
     DigitalDirectSolver,
@@ -61,8 +64,10 @@ __all__ = [
     "fgmres",
     "gauss_seidel",
     "gmres",
+    "is_batchable_config",
     "iterative_refinement",
     "jacobi",
+    "make_batched_runner",
     "prepare_blocks",
     "recommended_stage_count",
     "richardson",

@@ -18,18 +18,28 @@ matrix (programming — and its variation draw — happens once).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.amc.config import HardwareConfig
+from repro.amc.interfaces import quantize_voltages
 from repro.amc.macro import BlockAMCMacro
+from repro.amc.ops import OpResult
+from repro.circuits.dynamics import mvm_settling_time
 from repro.amc.scheduler import ScheduleResult, simulate_schedule
-from repro.core.common import DEFAULT_INPUT_FRACTION, auto_range, input_voltage_scale
+from repro.core.common import (
+    DEFAULT_INPUT_FRACTION,
+    MAX_RANGING_ATTEMPTS,
+    RANGING_HEADROOM,
+    auto_range,
+    input_voltage_scale,
+)
 from repro.core.partition import PartitionSpec, build_macro_arrays, prepare_blocks
 from repro.core.solution import SolveResult
 from repro.crossbar.mapping import normalize_matrix
-from repro.errors import ValidationError
+from repro.errors import SolverError, ValidationError
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_square_matrix, check_vector
 
@@ -91,6 +101,242 @@ class PreparedBlockAMC:
             },
         )
 
+    def solve_many(self, rhs_batch, rng=None) -> tuple[SolveResult, ...]:
+        """Solve many right-hand sides with shared per-step factorizations.
+
+        The programmed arrays, their effective matrices, and the
+        eigenvalue/settling analysis are fixed across right-hand sides,
+        so the five-step schedule runs once with *matrix-valued*
+        intermediates: each INV step is a single multi-RHS
+        ``np.linalg.solve`` (one factorization for the whole batch) and
+        each MVM step one matmul. Gain ranging still operates per
+        right-hand side (columns rerun independently, exactly like
+        sequential :meth:`solve` calls).
+
+        Results match a sequential loop of :meth:`solve` calls to
+        ~1e-12. Configurations whose per-operation randomness cannot be
+        shared across a batch (MNA routing, output or sample-and-hold
+        noise) transparently fall back to that loop.
+        """
+        rhs_list = [np.asarray(b, dtype=float) for b in rhs_batch]
+        if not rhs_list:
+            raise ValidationError("rhs_batch must contain at least one vector")
+        n = self.matrix.shape[0]
+        bs = np.stack([check_vector(b, "b", size=n) for b in rhs_list])
+        rng = as_generator(rng)
+        config = self.macro.config
+        if (
+            config.use_mna
+            or config.opamp.output_noise_sigma_v > 0.0
+            or config.sample_hold.noise_sigma_v > 0.0
+        ):
+            return tuple(self.solve(b, rng) for b in bs)
+
+        macro = self.macro
+        arrays = macro.arrays
+        ops = macro.ops
+        split = self.split
+        par = config.parasitics
+        a1, a2, a3, a4s = arrays.a1, arrays.a2, arrays.a3, arrays.a4s
+        eff1 = a1.effective_matrix(par)
+        eff2 = a2.effective_matrix(par)
+        eff3 = a3.effective_matrix(par)
+        eff4 = a4s.effective_matrix(par)
+        load1, load2 = a1.load_row_sums(), a2.load_row_sums()
+        load3, load4 = a3.load_row_sums(), a4s.load_row_sums()
+        id1, id2 = ops._ideal_matrix(a1), ops._ideal_matrix(a2)
+        id3, id4 = ops._ideal_matrix(a3), ops._ideal_matrix(a4s)
+        k_sz, m_sz = arrays.upper_size, arrays.lower_size
+        off_k = ops._draw_offsets(k_sz, rng)
+        off_m = ops._draw_offsets(m_sz, rng)
+        s_in = arrays.schur_input_scale
+        a0 = config.opamp.open_loop_gain
+        v_sat = config.opamp.v_sat
+        conv = config.converters
+        v_fs = conv.v_fs
+        snh_gain = (1.0 + config.sample_hold.gain_error) ** 2
+        gbwp = config.opamp.gbwp_hz
+
+        settle = {
+            1: ops._inv_settle(eff1),
+            2: mvm_settling_time(
+                np.asarray(a3.g_pos) + np.asarray(a3.g_neg), a3.g_unit, gbwp
+            ),
+            3: ops._inv_settle(eff4),
+            4: mvm_settling_time(
+                np.asarray(a2.g_pos) + np.asarray(a2.g_neg), a2.g_unit, gbwp
+            ),
+        }
+        settle[5] = settle[1]
+
+        def prep_inv(eff, load, input_scale):
+            loading = input_scale + load
+            system = eff.copy()
+            if not math.isinf(a0):
+                system[np.diag_indices_from(system)] += loading / a0
+            return system, loading
+
+        sys1, loading1 = prep_inv(eff1, load1, 1.0)
+        sys4, loading4 = prep_inv(eff4, load4, s_in)
+
+        def inv_multi(system, loading, off, v_in, input_scale):
+            rhs = -input_scale * v_in
+            if off is not None:
+                rhs = rhs + loading * off
+            try:
+                return np.linalg.solve(system, rhs.T).T
+            except np.linalg.LinAlgError as exc:
+                raise SolverError(
+                    f"effective block matrix is singular: {exc}"
+                ) from exc
+
+        def mvm_multi(eff, load, off, v_in):
+            raw = -(v_in @ eff.T)
+            noise_gain = 1.0 + load
+            if off is not None:
+                raw = raw + noise_gain * off
+            if not math.isinf(a0):
+                raw = raw / (1.0 + noise_gain / a0)
+            return raw
+
+        def saturate(raw):
+            if math.isinf(v_sat):
+                return raw, np.zeros(raw.shape[0], dtype=bool)
+            clipped = np.clip(raw, -v_sat, v_sat)
+            return clipped, np.any(clipped != raw, axis=1)
+
+        def quantize(v, bits):
+            # Shared shape-generic converter model (amc.interfaces).
+            return quantize_voltages(v, bits, v_fs)
+
+        batch = bs.shape[0]
+        peaks_b = np.max(np.abs(bs), axis=1)
+        if np.any(peaks_b == 0.0):
+            raise ValidationError("b must be non-zero (the all-zero system is trivial)")
+        k = self.input_fraction * v_fs / peaks_b
+        final: dict[str, np.ndarray] = {}
+        final_k = k.copy()
+        final_sat = np.zeros((batch, 5), dtype=bool)
+        active = np.arange(batch)
+        for attempt in range(MAX_RANGING_ATTEMPTS):
+            f = k[active, None] * bs[active, :split]
+            g = k[active, None] * bs[active, split:]
+            v_f = quantize(f, conv.dac_bits)
+            v_g = quantize(g, conv.dac_bits)
+            s1, sat1 = saturate(inv_multi(sys1, loading1, off_k, v_f, 1.0))
+            h1 = s1 * snh_gain
+            s2, sat2 = saturate(mvm_multi(eff3, load3, off_m, h1))
+            h2 = s2 * snh_gain
+            s3, sat3 = saturate(inv_multi(sys4, loading4, off_m, h2 - v_g, s_in))
+            h3 = s3 * snh_gain
+            s4, sat4 = saturate(mvm_multi(eff2, load2, off_k, h3))
+            h4 = s4 * snh_gain
+            s5, sat5 = saturate(inv_multi(sys1, loading1, off_k, v_f + h4, 1.0))
+            outs = np.concatenate([s1, s2, s3, s4, s5], axis=1)
+            peaks = np.max(np.abs(outs), axis=1)
+            sat = np.stack([sat1, sat2, sat3, sat4, sat5], axis=1)
+            if attempt == MAX_RANGING_ATTEMPTS - 1:
+                accept = np.ones_like(peaks, dtype=bool)
+            else:
+                accept = peaks <= RANGING_HEADROOM * v_fs
+            accepted = active[accept]
+            payload = {
+                "s1": s1, "s2": s2, "s3": s3, "s4": s4, "s5": s5,
+                "in1": v_f, "in2": h1, "in3": h2 - v_g, "in4": h3,
+                "in5": v_f + h4, "f": f, "g": g,
+            }
+            for key, values in payload.items():
+                if key not in final:
+                    final[key] = np.zeros((batch, values.shape[1]))
+                final[key][accepted] = values[accept]
+            final_k[accepted] = k[active][accept]
+            final_sat[accepted] = sat[accept]
+            if np.all(accept):
+                break
+            rescale = ~accept
+            k[active[rescale]] = (
+                k[active[rescale]] * (RANGING_HEADROOM * v_fs / peaks[rescale]) * 0.95
+            )
+            active = active[rescale]
+
+        x_lower = quantize(final["s3"], conv.adc_bits)
+        x_upper = -quantize(final["s5"], conv.adc_bits)
+        x = np.concatenate([x_upper, x_lower], axis=1) / (final_k * self.scale)[:, None]
+        references = np.linalg.solve(self.matrix, bs.T).T
+
+        # Exact-arithmetic per-step references (Fig. 6a curves), batched.
+        f, g = final["f"], final["g"]
+        a4s_n = id4 / s_in
+        y_t = np.linalg.solve(id1, f.T).T
+        g_t = y_t @ id3.T
+        z = np.linalg.solve(a4s_n, (g - g_t).T).T
+        f_t = z @ id2.T
+        y = np.linalg.solve(id1, (f - f_t).T).T
+
+        # Ideal (perfect-circuit) outputs per executed step, batched.
+        ideal1 = -np.linalg.solve(id1, final["in1"].T).T
+        ideal2 = -(final["in2"] @ id3.T)
+        ideal3 = -np.linalg.solve(id4, (s_in * final["in3"]).T).T
+        ideal4 = -(final["in4"] @ id2.T)
+        ideal5 = -np.linalg.solve(id1, final["in5"].T).T
+
+        step_specs = [
+            ("step1:INV(A1)", "inv", "s1", ideal1, a1),
+            ("step2:MVM(A3)", "mvm", "s2", ideal2, a3),
+            ("step3:INV(A4s)", "inv", "s3", ideal3, a4s),
+            ("step4:MVM(A2)", "mvm", "s4", ideal4, a2),
+            ("step5:INV(A1)", "inv", "s5", ideal5, a1),
+        ]
+        results = []
+        for c in range(batch):
+            steps = tuple(
+                OpResult(
+                    kind=kind,
+                    label=label,
+                    output=final[key][c],
+                    ideal_output=ideal[c],
+                    settling_time_s=settle[num],
+                    saturated=bool(final_sat[c, num - 1]),
+                    rows=array.shape[0],
+                    cols=array.shape[1],
+                    opa_count=array.shape[0],
+                    device_count=array.device_count,
+                )
+                for num, (label, kind, key, ideal, array) in enumerate(step_specs, 1)
+            )
+            reference_steps = {
+                "step1": -y_t[c],
+                "step2": g_t[c],
+                "step3": z[c],
+                "step4": -f_t[c],
+                "step5": -y[c],
+            }
+            results.append(
+                SolveResult(
+                    x=x[c],
+                    reference=references[c],
+                    solver="blockamc-1stage",
+                    operations=steps,
+                    metadata={
+                        "scale": self.scale,
+                        "input_scale": float(final_k[c]),
+                        "split": self.split,
+                        "schur_scale": self.schur_scale,
+                        "opa_count": macro.opa_count,
+                        "dac_count": macro.dac_count,
+                        "adc_count": macro.adc_count,
+                        "device_count": macro.device_count,
+                        "dac_conversions": 2,
+                        "adc_conversions": 2,
+                        "reference_steps": reference_steps,
+                        "step_outputs": {
+                            step.label: step.output for step in steps
+                        },
+                    },
+                )
+            )
+        return tuple(results)
+
     def solve_batch(
         self,
         rhs_batch,
@@ -126,7 +372,7 @@ class PreparedBlockAMC:
         if not rhs_batch:
             raise ValidationError("rhs_batch must contain at least one vector")
         rng = as_generator(rng)
-        results = tuple(self.solve(b, rng) for b in rhs_batch)
+        results = self.solve_many(rhs_batch, rng)
         # All solves share the macro, so the op-time profile of the first
         # result describes every pipeline slot.
         op_times = [op.settling_time_s for op in results[0].operations]

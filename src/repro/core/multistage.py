@@ -33,7 +33,7 @@ from repro.core.partition import PartitionSpec, build_macro_arrays, prepare_bloc
 from repro.core.solution import SolveResult
 from repro.crossbar.array import CrossbarArray
 from repro.crossbar.mapping import normalize_matrix
-from repro.errors import SolverError
+from repro.errors import SolverError, ValidationError
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_square_matrix, check_vector
 
@@ -311,6 +311,23 @@ class PreparedMultiStage:
                 "adc_conversions": tally.adc_conversions,
             },
         )
+
+    def solve_many(self, rhs_batch, rng=None) -> tuple[SolveResult, ...]:
+        """Solve a batch of right-hand sides on the programmed tree.
+
+        Programming the whole solver tree — including every tile array's
+        variation draw and parasitic extraction — happened once in
+        :meth:`MultiStageSolver.prepare`; this method amortizes that
+        setup across the batch. The recursion itself runs per right-hand
+        side (its digital glue is inherently sequential), with the op-amp
+        offset draws shared batch-wide exactly as repeated
+        :meth:`solve` calls share them.
+        """
+        rhs_batch = list(rhs_batch)
+        if not rhs_batch:
+            raise ValidationError("rhs_batch must contain at least one vector")
+        rng = as_generator(rng)
+        return tuple(self.solve(b, rng) for b in rhs_batch)
 
 
 class MultiStageSolver:

@@ -21,6 +21,8 @@ from repro.crossbar.remapping import (
 )
 from repro.crossbar.parasitics import (
     ParasiticConfig,
+    ParasiticExtractor,
+    default_extractor,
     effective_conductance_matrix,
     exact_effective_matrix,
     first_order_effective_matrix,
@@ -30,7 +32,9 @@ __all__ = [
     "CrossbarArray",
     "MappedConductances",
     "ParasiticConfig",
+    "ParasiticExtractor",
     "ProgrammingConfig",
+    "default_extractor",
     "effective_conductance_matrix",
     "exact_effective_matrix",
     "fault_aware_permutation",

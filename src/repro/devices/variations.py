@@ -22,6 +22,11 @@ from repro.utils.validation import check_positive
 PAPER_SIGMA_RELATIVE = 0.05
 
 
+def _check_trials(trials: int) -> None:
+    if trials < 0:
+        raise ValueError(f"trials must be >= 0, got {trials}")
+
+
 class VariationModel(abc.ABC):
     """Transforms target conductances into (random) programmed conductances."""
 
@@ -39,6 +44,27 @@ class VariationModel(abc.ABC):
             Seed or ``numpy.random.Generator``.
         """
 
+    def apply_batch(self, target: np.ndarray, trials: int, rng=None) -> np.ndarray:
+        """Draw ``trials`` independent programmed arrays in one call.
+
+        Returns an array of shape ``(trials, *target.shape)``. The
+        built-in models draw all their noise in a single vectorized call;
+        because NumPy generators consume the bit stream value by value,
+        the result is *bit-identical* to ``trials`` sequential
+        :meth:`apply` calls against the same generator (the batched
+        Monte-Carlo engine relies on this, and tests enforce it). The
+        generic fallback used by subclasses simply loops.
+        """
+        _check_trials(trials)
+        target = np.asarray(target, dtype=float)
+        if trials == 0:
+            return np.empty((0, *target.shape))
+        # Coerce once so an int/None seed becomes a single advancing
+        # generator — re-seeding per trial would make every "independent"
+        # draw identical.
+        rng = as_generator(rng)
+        return np.stack([self.apply(target, rng) for _ in range(trials)])
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         fields = ", ".join(f"{k}={v!r}" for k, v in vars(self).items())
         return f"{type(self).__name__}({fields})"
@@ -49,6 +75,11 @@ class NoVariation(VariationModel):
 
     def apply(self, target: np.ndarray, rng=None) -> np.ndarray:
         return np.array(target, dtype=float, copy=True)
+
+    def apply_batch(self, target: np.ndarray, trials: int, rng=None) -> np.ndarray:
+        _check_trials(trials)
+        target = np.asarray(target, dtype=float)
+        return np.broadcast_to(target, (trials, *target.shape)).copy()
 
 
 class GaussianVariation(VariationModel):
@@ -76,6 +107,14 @@ class GaussianVariation(VariationModel):
         rng = as_generator(rng)
         target = np.asarray(target, dtype=float)
         noise = rng.normal(0.0, self.sigma, size=target.shape)
+        programmed = np.where(target > 0.0, target + noise, target)
+        return np.clip(programmed, 0.0, None)
+
+    def apply_batch(self, target: np.ndarray, trials: int, rng=None) -> np.ndarray:
+        _check_trials(trials)
+        rng = as_generator(rng)
+        target = np.asarray(target, dtype=float)
+        noise = rng.normal(0.0, self.sigma, size=(trials, *target.shape))
         programmed = np.where(target > 0.0, target + noise, target)
         return np.clip(programmed, 0.0, None)
 
@@ -113,6 +152,14 @@ class RelativeGaussianVariation(VariationModel):
         programmed = np.where(target > 0.0, target * factor, target)
         return np.clip(programmed, 0.0, None)
 
+    def apply_batch(self, target: np.ndarray, trials: int, rng=None) -> np.ndarray:
+        _check_trials(trials)
+        rng = as_generator(rng)
+        target = np.asarray(target, dtype=float)
+        factor = 1.0 + rng.normal(0.0, self.sigma_rel, size=(trials, *target.shape))
+        programmed = np.where(target > 0.0, target * factor, target)
+        return np.clip(programmed, 0.0, None)
+
 
 class LognormalVariation(VariationModel):
     """Multiplicative lognormal programming error.
@@ -135,4 +182,11 @@ class LognormalVariation(VariationModel):
         rng = as_generator(rng)
         target = np.asarray(target, dtype=float)
         factor = np.exp(rng.normal(0.0, self.sigma_rel, size=target.shape))
+        return np.where(target > 0.0, target * factor, target)
+
+    def apply_batch(self, target: np.ndarray, trials: int, rng=None) -> np.ndarray:
+        _check_trials(trials)
+        rng = as_generator(rng)
+        target = np.asarray(target, dtype=float)
+        factor = np.exp(rng.normal(0.0, self.sigma_rel, size=(trials, *target.shape)))
         return np.where(target > 0.0, target * factor, target)

@@ -37,7 +37,16 @@ class TestPaperRelativeError:
             paper_relative_error(np.ones(3), np.ones(4))
 
     @given(
-        st.lists(st.floats(min_value=-10, max_value=10), min_size=1, max_size=20),
+        st.lists(
+            # Snap tiny magnitudes to exact zero: scaling a near-denormal
+            # by 1e-3 underflows into subnormal precision, which would
+            # test float underflow rather than scale invariance.
+            st.floats(min_value=-10, max_value=10).map(
+                lambda v: 0.0 if abs(v) < 1e-9 else v
+            ),
+            min_size=1,
+            max_size=20,
+        ),
         st.floats(min_value=1e-3, max_value=1e3),
     )
     @settings(max_examples=40, deadline=None)
