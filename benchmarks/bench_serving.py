@@ -1,0 +1,178 @@
+"""Serving bench: sequential per-request loop vs the solver service.
+
+Drives a mixed-traffic workload (hot Wishart/Toeplitz/Poisson matrices,
+fresh right-hand sides — see :func:`repro.workloads.traffic.mixed_traffic`)
+through two execution paths:
+
+1. **sequential loop** — the repo's one-shot path before ``repro.serve``
+   existed: every request independently normalizes, partitions, and
+   programs a macro, then solves once (exactly what ``repro solve`` and
+   the examples did per system);
+2. **solver service** — :class:`repro.serve.SolverService` with its
+   prepared-solver cache and micro-batching scheduler.
+
+Before timing anything the bench asserts the service's results are
+**bit-identical** to the sequential reference executor
+(:func:`repro.serve.run_sequential`) — a speedup must never come from
+computing something different. The measured comparison then lands in
+``BENCH_serving.json`` at the repo root, alongside the perf-engine
+trajectory.
+
+Run:  python benchmarks/bench_serving.py [--quick] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+for _path in (str(_ROOT), str(_ROOT / "src")):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
+import numpy as np
+
+from benchmarks.perf_harness import time_call
+from repro.analysis.reporting import format_table
+from repro.core.blockamc import BlockAMCSolver
+from repro.serve import ServiceConfig, SolverService, run_sequential
+from repro.workloads.traffic import mixed_traffic
+
+#: Artifact path (repo root, like BENCH_perf_engine.json).
+DEFAULT_ARTIFACT = _ROOT / "BENCH_serving.json"
+
+#: The acceptance workload: 64 mixed requests over a 4-matrix working set
+#: (Wishart/Toeplitz/Poisson at 96, Wishart at 128). Preparation —
+#: normalize, Schur-preprocess, program, settling analysis — scales
+#: ~n^3, so these sizes are where caching it actually matters; the quick
+#: (CI) workload shrinks both the sizes and the stream.
+FULL_REQUESTS = 64
+FULL_SIZES = (96, 128)
+FULL_UNIQUE = 4
+QUICK_REQUESTS = 32
+QUICK_SIZES = (48, 64)
+QUICK_UNIQUE = 4
+
+#: Loud-regression floors. The committed artifact documents the actual
+#: measured speedup at merge time; the asserted floors leave headroom
+#: for noisy CI machines.
+MIN_SPEEDUP_FULL = 5.0
+MIN_SPEEDUP_QUICK = 1.5
+
+
+def run_bench(quick: bool = False, out: Path | None = None) -> dict:
+    """Execute the comparison and write the artifact; returns the payload."""
+    n_requests = QUICK_REQUESTS if quick else FULL_REQUESTS
+    sizes = QUICK_SIZES if quick else FULL_SIZES
+    unique = QUICK_UNIQUE if quick else FULL_UNIQUE
+    requests = mixed_traffic(
+        n_requests, unique_matrices=unique, sizes=sizes, seed=42
+    )
+    config = ServiceConfig(workers=2, max_batch_size=16, max_linger_s=0.002)
+    hardware = config.default_hardware
+
+    print(
+        f"workload: {len(requests)} mixed requests, "
+        f"{len({r.digest for r in requests})} distinct matrices, "
+        f"sizes {sorted({r.size for r in requests})}"
+    )
+
+    # ------------------------------------------------------------------
+    # equivalence first: service vs sequential reference, bit for bit
+    # ------------------------------------------------------------------
+    reference, _ = run_sequential(requests, config)
+    with SolverService(config) as service:
+        service_results = service.solve_all(requests)
+        service_metrics = service.metrics()
+    bit_identical = all(
+        np.array_equal(a.x, b.x) and a.relative_error == b.relative_error
+        for a, b in zip(reference, service_results)
+    )
+    print(f"service vs sequential reference: bit-identical = {bit_identical}")
+    assert bit_identical, "service results diverged from the sequential reference"
+
+    # ------------------------------------------------------------------
+    # timing: per-request one-shot loop vs the service
+    # ------------------------------------------------------------------
+    def sequential_loop():
+        solver = BlockAMCSolver(hardware)
+        return [
+            solver.solve(r.matrix, r.b, rng=np.random.default_rng(r.seed))
+            for r in requests
+        ]
+
+    def service_run():
+        with SolverService(config) as svc:
+            return svc.solve_all(requests)
+
+    old_s = time_call(sequential_loop, repeats=2)
+    new_s = time_call(service_run, repeats=3)
+    speedup = old_s / new_s
+
+    print(
+        format_table(
+            ["path", "ms", "solve/s"],
+            [
+                ["sequential per-request loop", old_s * 1e3, n_requests / old_s],
+                ["solver service", new_s * 1e3, n_requests / new_s],
+            ],
+            title=f"{n_requests}-RHS mixed traffic — {speedup:.1f}x",
+        )
+    )
+    print()
+    print(service_metrics.table(title="service metrics (equivalence run)"))
+
+    payload = {
+        "generated_by": "benchmarks/bench_serving.py",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "mode": "quick" if quick else "full",
+        "workload": {
+            "requests": n_requests,
+            "unique_matrices": unique,
+            "sizes": list(sizes),
+            "seed": 42,
+            "solver": config.default_solver,
+            "hardware": "paper_variation",
+        },
+        "sequential_loop_s": old_s,
+        "service_s": new_s,
+        "speedup": round(speedup, 2),
+        "bit_identical_to_reference": bit_identical,
+        "service_metrics": service_metrics.as_dict(),
+        "detail": (
+            "per-request prepare+solve loop vs SolverService "
+            "(2 workers, prepared-solver cache, micro-batching)"
+        ),
+    }
+    path = out or DEFAULT_ARTIFACT
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {path}")
+
+    floor = MIN_SPEEDUP_QUICK if quick else MIN_SPEEDUP_FULL
+    assert speedup >= floor, (
+        f"serving speedup {speedup:.2f}x fell below the {floor}x floor"
+    )
+    return payload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help=f"CI-size run ({QUICK_REQUESTS} requests, {MIN_SPEEDUP_QUICK}x floor)",
+    )
+    parser.add_argument("--out", type=Path, default=None, help="artifact path")
+    args = parser.parse_args(argv)
+    run_bench(quick=args.quick, out=args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

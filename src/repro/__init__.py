@@ -58,8 +58,15 @@ from repro.core import (
 )
 from repro.crossbar import CrossbarArray, ParasiticConfig, ProgrammingConfig
 from repro.devices import DeviceSpec, GaussianVariation, StuckFaultModel
+from repro.serve import (
+    ServiceConfig,
+    SolveRequest,
+    SolverService,
+    run_sequential,
+)
 from repro.workloads import (
     PAPER_SIZES,
+    mixed_traffic,
     random_vector,
     toeplitz_matrix,
     wishart_matrix,
@@ -91,13 +98,18 @@ __all__ = [
     "ProgrammingConfig",
     "SampleHold",
     "SampleHoldConfig",
+    "ServiceConfig",
+    "SolveRequest",
     "SolveResult",
+    "SolverService",
     "StuckFaultModel",
     "accuracy_sweep",
     "format_table",
     "iterative_refinement",
+    "mixed_traffic",
     "paper_relative_error",
     "random_vector",
+    "run_sequential",
     "run_trials",
     "solver_cost_breakdown",
     "toeplitz_matrix",

@@ -17,14 +17,36 @@ experiments so benches read like the evaluation section:
 
 from __future__ import annotations
 
+import hashlib
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, is_dataclass, replace
 
 from repro.crossbar.array import ProgrammingConfig
 from repro.crossbar.parasitics import ParasiticConfig
 from repro.devices.models import PAPER_G0_SIEMENS
 from repro.devices.variations import RelativeGaussianVariation
 from repro.utils.validation import check_positive
+
+
+def _content_signature(value):
+    """Canonical, hashable signature of a configuration value.
+
+    Dataclasses flatten field by field; objects exposing ``signature()``
+    (the variation models) delegate to it; scalars pass through. The
+    fallback is ``repr`` so exotic values still produce *some* stable
+    key rather than failing — at worst two configs that repr identically
+    share a key, which for frozen config objects means they are equal.
+    """
+    if is_dataclass(value) and not isinstance(value, type):
+        return (
+            type(value).__name__,
+            tuple((f.name, _content_signature(getattr(value, f.name))) for f in fields(value)),
+        )
+    if hasattr(value, "signature") and callable(value.signature):
+        return value.signature()
+    if isinstance(value, (bool, int, float, str, type(None))):
+        return value
+    return repr(value)
 
 
 @dataclass(frozen=True)
@@ -208,3 +230,31 @@ class HardwareConfig:
     def with_(self, **changes) -> "HardwareConfig":
         """Return a copy with the given fields replaced."""
         return replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # content addressing
+    # ------------------------------------------------------------------
+    def signature(self) -> tuple:
+        """Canonical tuple covering every field, nested configs included."""
+        return _content_signature(self)
+
+    def cache_key(self) -> str:
+        """Stable content digest of the full configuration.
+
+        Two configs have the same key iff every nested parameter — device
+        envelope, variation model, faults, converter resolutions, op-amp
+        non-idealities, parasitics, MNA routing — is equal, so prepared
+        solvers cached under this key (see
+        :class:`repro.serve.PreparedSolverCache`) can never be served to
+        a differently-configured request. The digest is stable across
+        processes and platforms (it hashes a canonical repr, not object
+        identities).
+
+        Memoized per instance: the config is frozen, and the service
+        derives a cache key on every submitted request.
+        """
+        cached = self.__dict__.get("_cache_key")
+        if cached is None:
+            cached = hashlib.sha256(repr(self.signature()).encode()).hexdigest()
+            object.__setattr__(self, "_cache_key", cached)
+        return cached

@@ -20,7 +20,7 @@ import sys
 import numpy as np
 
 from repro.amc.config import HardwareConfig
-from repro.analysis.accuracy import accuracy_sweep, run_trials
+from repro.analysis.accuracy import accuracy_sweep, run_trials_batched
 from repro.analysis.costmodel import ARCHITECTURES, savings_vs_original, solver_cost_breakdown
 from repro.analysis.export import records_to_csv, sweep_to_csv
 from repro.analysis.reporting import format_table
@@ -28,15 +28,14 @@ from repro.core.blockamc import BlockAMCSolver
 from repro.core.feasibility import assess_feasibility
 from repro.core.multistage import MultiStageSolver
 from repro.core.original import OriginalAMCSolver
-from repro.workloads.matrices import random_vector, toeplitz_matrix, wishart_matrix
-from repro.workloads.pde import poisson_1d
+from repro.serve import SOLVER_KINDS, ServiceConfig, SolverService, run_sequential
+from repro.workloads.matrices import random_vector, wishart_matrix
 from repro.workloads.suites import get_suite, list_suites
+from repro.workloads.traffic import TRAFFIC_FAMILIES, mixed_traffic
 
-MATRIX_FAMILIES = {
-    "wishart": lambda n, rng: wishart_matrix(n, rng),
-    "toeplitz": lambda n, rng: toeplitz_matrix(n, rng),
-    "poisson": lambda n, rng: poisson_1d(n),
-}
+#: One matrix-family table for the whole surface: `repro check`,
+#: `repro submit`, and traffic generation stay in sync by construction.
+MATRIX_FAMILIES = TRAFFIC_FAMILIES
 
 HARDWARE_FACTORIES = {
     "ideal": HardwareConfig.ideal,
@@ -64,9 +63,15 @@ def _cmd_list(_args) -> int:
 
 def _cmd_run(args) -> int:
     suite = get_suite(args.suite, quick=args.quick)
-    factories = _solver_factories(suite.hardware_factory)
-    records = run_trials(
-        factories, suite.matrix_factory, suite.sizes, suite.trials, seed=args.seed
+    # The trial-batched engine produces records identical to the
+    # sequential run_trials (bit-identical random draws; enforced by
+    # benchmarks/bench_perf_engine.py) at a fraction of the wall clock.
+    solvers = {
+        name: factory()
+        for name, factory in _solver_factories(suite.hardware_factory).items()
+    }
+    records = run_trials_batched(
+        solvers, suite.matrix_factory, suite.sizes, suite.trials, seed=args.seed
     )
     table = accuracy_sweep(records)
     solvers = sorted(table)
@@ -125,6 +130,66 @@ def _cmd_solve(args) -> int:
     print(f"relative error:  {result.relative_error:.3e}")
     print(f"analog time:     {result.analog_time_s*1e6:.3f} us")
     print(f"operations:      {result.operation_counts}")
+    return 0
+
+
+def _service_config(args) -> ServiceConfig:
+    return ServiceConfig(
+        workers=args.workers,
+        max_batch_size=args.max_batch,
+        max_linger_s=args.linger_ms * 1e-3,
+        default_solver=args.solver,
+        default_hardware=HARDWARE_FACTORIES[args.hardware](),
+        cache_capacity=args.cache_capacity,
+    )
+
+
+def _cmd_serve(args) -> int:
+    requests = mixed_traffic(
+        args.requests,
+        unique_matrices=args.unique_matrices,
+        sizes=tuple(args.sizes),
+        seed=args.seed,
+    )
+    config = _service_config(args)
+    print(
+        f"serving {len(requests)} mixed requests "
+        f"({len({r.digest for r in requests})} distinct matrices) "
+        f"on {config.workers} workers, max batch {config.max_batch_size}"
+    )
+    with SolverService(config) as service:
+        tickets = [service.submit_request(request) for request in requests]
+        results = [ticket.result() for ticket in tickets]
+        metrics = service.metrics()
+    print(metrics.table(title="service metrics"))
+    if args.check:
+        reference, _ = run_sequential(requests, config)
+        identical = all(
+            np.array_equal(a.x, b.x) for a, b in zip(reference, results)
+        )
+        print(f"bit-identical to sequential reference: {identical}")
+        if not identical:
+            return 1
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    matrix = MATRIX_FAMILIES[args.family](args.size, np.random.default_rng(args.seed))
+    config = _service_config(args)
+    with SolverService(config) as service:
+        tickets = [
+            service.submit(matrix, random_vector(args.size, rng=args.seed + 1 + i), seed=i)
+            for i in range(args.rhs)
+        ]
+        results = [ticket.result() for ticket in tickets]
+        metrics = service.metrics()
+    errors = [result.relative_error for result in results]
+    print(f"solver:            {results[0].solver}")
+    print(f"matrix:            {args.family} {args.size}x{args.size}")
+    print(f"right-hand sides:  {args.rhs}")
+    print(f"mean rel. error:   {float(np.mean(errors)):.3e}")
+    print(f"worst rel. error:  {float(np.max(errors)):.3e}")
+    print(metrics.table(title="service metrics"))
     return 0
 
 
@@ -200,6 +265,48 @@ def build_parser() -> argparse.ArgumentParser:
         "--hardware", choices=sorted(HARDWARE_FACTORIES), default="variation"
     )
     check.set_defaults(func=_cmd_check)
+
+    def add_service_args(parser):
+        parser.add_argument("--workers", type=int, default=2)
+        parser.add_argument("--max-batch", type=int, default=16)
+        parser.add_argument(
+            "--linger-ms", type=float, default=2.0,
+            help="micro-batch linger window (milliseconds)",
+        )
+        parser.add_argument("--cache-capacity", type=int, default=32)
+        parser.add_argument(
+            "--solver", choices=sorted(SOLVER_KINDS), default="blockamc-1stage"
+        )
+        parser.add_argument(
+            "--hardware", choices=sorted(HARDWARE_FACTORIES), default="variation"
+        )
+        parser.add_argument("--seed", type=int, default=0)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run a mixed-traffic workload through the repro.serve solver service",
+    )
+    serve.add_argument("--requests", type=int, default=64)
+    serve.add_argument("--unique-matrices", type=int, default=6)
+    serve.add_argument(
+        "--sizes", type=int, nargs="+", default=[16, 24, 32],
+        help="matrix sizes in the traffic working set",
+    )
+    serve.add_argument(
+        "--check", action="store_true",
+        help="also run the sequential reference and verify bit-identical results",
+    )
+    add_service_args(serve)
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit one matrix (many right-hand sides) to the service"
+    )
+    submit.add_argument("--size", type=int, default=32)
+    submit.add_argument("--family", choices=sorted(MATRIX_FAMILIES), default="wishart")
+    submit.add_argument("--rhs", type=int, default=8, help="right-hand sides to submit")
+    add_service_args(submit)
+    submit.set_defaults(func=_cmd_submit)
 
     report = sub.add_parser(
         "report", help="run all suites and write a markdown report"

@@ -65,6 +65,19 @@ class VariationModel(abc.ABC):
         rng = as_generator(rng)
         return np.stack([self.apply(target, rng) for _ in range(trials)])
 
+    def signature(self) -> tuple:
+        """Stable content signature for cache keys.
+
+        ``(class name, sorted scalar parameters)`` — two model instances
+        with equal parameters produce equal signatures, and any parameter
+        change produces a different one. Subclasses with non-scalar state
+        must override.
+        """
+        return (
+            type(self).__name__,
+            tuple(sorted((name, float(value)) for name, value in vars(self).items())),
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         fields = ", ".join(f"{k}={v!r}" for k, v in vars(self).items())
         return f"{type(self).__name__}({fields})"

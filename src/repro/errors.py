@@ -54,3 +54,15 @@ class ScheduleError(ReproError):
 
 class CostModelError(ReproError):
     """The area/power model received an unknown component or architecture."""
+
+
+class ServeError(ReproError):
+    """The solver service could not accept or execute a request."""
+
+
+class ServiceOverloadedError(ServeError):
+    """A bounded request queue was full under the ``reject`` backpressure policy."""
+
+
+class ServiceClosedError(ServeError):
+    """The service has shut down and no longer accepts requests."""

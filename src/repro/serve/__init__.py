@@ -1,0 +1,53 @@
+"""``repro.serve`` — a batching, caching solver service over the AMC engines.
+
+The paper positions AMC as a fast seed/preconditioner service for
+digital solvers; this package is the traffic-facing layer that makes the
+repo's batched primitives actually *serve*: a content-addressed cache of
+programmed macros (:class:`PreparedSolverCache`), a micro-batching
+scheduler that coalesces concurrent requests into multi-RHS solves, a
+sharded worker pool with bounded queues and backpressure
+(:class:`SolverService`), and service metrics (:class:`ServiceMetrics`).
+
+Entry points: :class:`SolverService` / :class:`ServiceConfig` for the
+concurrent service, :func:`run_sequential` for the bit-identical
+sequential reference, ``repro serve`` / ``repro submit`` on the CLI,
+``examples/solver_service.py`` for a demo, and
+``benchmarks/bench_serving.py`` for the throughput artifact.
+"""
+
+from repro.serve.batching import MicroBatcher, execute_batch
+from repro.serve.cache import (
+    SOLVER_KINDS,
+    CacheStats,
+    PreparedEntry,
+    PreparedKey,
+    PreparedSolverCache,
+    prepare_entry,
+)
+from repro.serve.metrics import MetricsRecorder, ServiceMetrics
+from repro.serve.requests import SolveRequest, matrix_digest
+from repro.serve.service import (
+    ServiceConfig,
+    SolveTicket,
+    SolverService,
+    run_sequential,
+)
+
+__all__ = [
+    "SOLVER_KINDS",
+    "CacheStats",
+    "MetricsRecorder",
+    "MicroBatcher",
+    "PreparedEntry",
+    "PreparedKey",
+    "PreparedSolverCache",
+    "ServiceConfig",
+    "ServiceMetrics",
+    "SolveRequest",
+    "SolveTicket",
+    "SolverService",
+    "execute_batch",
+    "matrix_digest",
+    "prepare_entry",
+    "run_sequential",
+]

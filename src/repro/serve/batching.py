@@ -1,0 +1,130 @@
+"""Micro-batching: coalescing queued requests into multi-RHS solves.
+
+Two pieces live here:
+
+- :func:`execute_batch` — the **canonical execution kernel**. Every
+  solve the service performs (and the sequential reference in
+  :func:`repro.serve.service.run_sequential`) goes through this one
+  function, so a request's result is a pure function of (prepared entry,
+  ``b``, ``seed``) and never of how the scheduler happened to group it.
+  Coalescible entries always run the multi-RHS ``solve_many`` pipeline —
+  a lone request is padded to a two-column batch so the identical BLAS
+  kernels execute regardless of batch size — and that pipeline's
+  per-column results are bitwise invariant to batch composition and
+  order (``tests/test_serve.py`` enforces this).
+- :class:`MicroBatcher` — per-worker bookkeeping that groups queued
+  items by prepared key and hands out batches of at most
+  ``max_batch_size``, oldest group first.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.solution import SolveResult
+from repro.errors import ServeError
+from repro.serve.cache import PreparedEntry
+
+__all__ = ["MicroBatcher", "execute_batch"]
+
+
+def execute_batch(
+    entry: PreparedEntry, bs: Sequence[np.ndarray], seeds: Sequence[int]
+) -> list[SolveResult]:
+    """Execute one batch of right-hand sides against a prepared entry.
+
+    Coalescible entries run the batched five-step pipeline (one
+    factorization per INV step for the whole batch); the generator
+    argument is vestigial there — offsets were warmed at preparation —
+    so a fixed seed keeps the call deterministic by construction. Other
+    entries execute per request, each consuming its own
+    ``default_rng(seed)`` so results do not depend on batch composition
+    even when the configuration draws fresh noise per operation.
+    """
+    if len(bs) != len(seeds):
+        raise ServeError(f"got {len(bs)} right-hand sides but {len(seeds)} seeds")
+    if not bs:
+        return []
+    if entry.coalescible:
+        cols = list(bs)
+        if len(cols) == 1:
+            # Pad so the multi-RHS BLAS path runs; drop the twin column.
+            results = entry.prepared.solve_many([cols[0], cols[0]], np.random.default_rng(0))
+            return [results[0]]
+        return list(entry.prepared.solve_many(cols, np.random.default_rng(0)))
+    return [
+        entry.prepared.solve(b, np.random.default_rng(seed))
+        for b, seed in zip(bs, seeds)
+    ]
+
+
+class MicroBatcher:
+    """Per-worker grouping of queued items by prepared key.
+
+    Items are anything exposing a ``key`` attribute. Within a group,
+    arrival order is preserved; across groups :meth:`next_key` serves
+    round-robin — a newly seen key joins the back, and a group that
+    still has items after a partial :meth:`take` rotates to the back —
+    so one hot matrix cannot starve traffic for the others.
+    """
+
+    def __init__(self, max_batch_size: int):
+        if max_batch_size < 1:
+            raise ServeError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        self.max_batch_size = max_batch_size
+        self._groups: OrderedDict = OrderedDict()
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def add(self, item) -> None:
+        """Queue one item under its prepared key."""
+        group = self._groups.get(item.key)
+        if group is None:
+            group = deque()
+            self._groups[item.key] = group
+        group.append(item)
+        self._count += 1
+
+    def next_key(self):
+        """Key of the group to serve next (``None`` when empty)."""
+        return next(iter(self._groups), None)
+
+    def pending_for(self, key) -> int:
+        """Number of queued items under ``key``."""
+        group = self._groups.get(key)
+        return len(group) if group is not None else 0
+
+    def peek(self, key):
+        """Head item of ``key``'s group without removing it (or ``None``)."""
+        group = self._groups.get(key)
+        return group[0] if group else None
+
+    def take(self, key) -> list:
+        """Remove and return up to ``max_batch_size`` items of ``key``."""
+        group = self._groups.get(key)
+        if not group:
+            return []
+        batch = []
+        while group and len(batch) < self.max_batch_size:
+            batch.append(group.popleft())
+        if not group:
+            del self._groups[key]
+        else:
+            # Partial take: rotate the group to the back so a hot key
+            # that refills faster than it drains cannot starve the
+            # other keys on this shard.
+            self._groups.move_to_end(key)
+        self._count -= len(batch)
+        return batch
+
+    def drain(self) -> list:
+        """Remove and return every queued item (for shutdown paths)."""
+        items = [item for group in self._groups.values() for item in group]
+        self._groups.clear()
+        self._count = 0
+        return items

@@ -1,0 +1,167 @@
+"""Service telemetry: throughput, latency quantiles, batching, caching.
+
+A :class:`MetricsRecorder` accumulates counters from the submit path and
+the shard workers; :meth:`MetricsRecorder.snapshot` folds in the shard
+cache stats and freezes everything into a :class:`ServiceMetrics` —
+machine-readable via :meth:`ServiceMetrics.as_dict`, human-readable via
+:meth:`ServiceMetrics.table` (rendered with
+:func:`repro.analysis.reporting.format_table`, like every other bench
+artifact in this repo).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.serve.cache import CacheStats
+
+__all__ = ["MetricsRecorder", "ServiceMetrics"]
+
+
+@dataclass(frozen=True)
+class ServiceMetrics:
+    """Immutable snapshot of service telemetry."""
+
+    requests_submitted: int
+    requests_completed: int
+    requests_failed: int
+    requests_rejected: int
+    batches_executed: int
+    batch_size_histogram: dict[int, int]
+    mean_batch_size: float
+    latency_p50_s: float
+    latency_p95_s: float
+    latency_mean_s: float
+    latency_max_s: float
+    throughput_rps: float
+    wall_s: float
+    cache: CacheStats
+    prepare_s: float
+
+    def as_dict(self) -> dict:
+        """Flat, JSON-serializable view (cache counters inlined)."""
+        out = {
+            "requests_submitted": self.requests_submitted,
+            "requests_completed": self.requests_completed,
+            "requests_failed": self.requests_failed,
+            "requests_rejected": self.requests_rejected,
+            "batches_executed": self.batches_executed,
+            "batch_size_histogram": dict(sorted(self.batch_size_histogram.items())),
+            "mean_batch_size": self.mean_batch_size,
+            "latency_p50_s": self.latency_p50_s,
+            "latency_p95_s": self.latency_p95_s,
+            "latency_mean_s": self.latency_mean_s,
+            "latency_max_s": self.latency_max_s,
+            "throughput_rps": self.throughput_rps,
+            "wall_s": self.wall_s,
+            "prepare_s": self.prepare_s,
+        }
+        for name, value in self.cache.as_dict().items():
+            out[f"cache_{name}"] = value
+        return out
+
+    def table(self, title: str = "solver service metrics") -> str:
+        """ASCII table of the headline numbers."""
+        histogram = " ".join(
+            f"{size}x{count}" for size, count in sorted(self.batch_size_histogram.items())
+        )
+        rows = [
+            ["requests completed", f"{self.requests_completed}/{self.requests_submitted}"],
+            ["requests failed", str(self.requests_failed)],
+            ["requests rejected", str(self.requests_rejected)],
+            ["throughput (solve/s)", f"{self.throughput_rps:.1f}"],
+            ["latency p50 (ms)", f"{self.latency_p50_s * 1e3:.2f}"],
+            ["latency p95 (ms)", f"{self.latency_p95_s * 1e3:.2f}"],
+            ["batches executed", str(self.batches_executed)],
+            ["mean batch size", f"{self.mean_batch_size:.2f}"],
+            ["batch-size histogram", histogram or "-"],
+            ["cache hit rate", f"{self.cache.hit_rate * 100:.1f}%"],
+            ["cache hits/misses/evictions",
+             f"{self.cache.hits}/{self.cache.misses}/{self.cache.evictions}"],
+            ["prepare time (s)", f"{self.prepare_s:.3f}"],
+        ]
+        return format_table(["metric", "value"], rows, title=title)
+
+
+@dataclass
+class MetricsRecorder:
+    """Thread-safe accumulator behind :class:`ServiceMetrics`."""
+
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    rejected: int = 0
+    batch_sizes: Counter = field(default_factory=Counter)
+    latencies: list = field(default_factory=list)
+    prepare_s: float = 0.0
+    first_submit_t: float | None = None
+    last_done_t: float | None = None
+
+    def record_submit(self) -> None:
+        """Count one accepted request (stamps the throughput window start)."""
+        with self._lock:
+            self.submitted += 1
+            if self.first_submit_t is None:
+                self.first_submit_t = time.perf_counter()
+
+    def record_rejected(self) -> None:
+        """Count one request refused by backpressure."""
+        with self._lock:
+            self.rejected += 1
+
+    def record_batch(self, size: int) -> None:
+        """Count one executed batch of ``size`` requests."""
+        with self._lock:
+            self.batch_sizes[size] += 1
+
+    def record_prepare(self, seconds: float) -> None:
+        """Accumulate time spent programming macros (cache misses)."""
+        with self._lock:
+            self.prepare_s += seconds
+
+    def record_done(self, latency_s: float, *, failed: bool = False) -> None:
+        """Count one finished request and its submit-to-done latency."""
+        with self._lock:
+            if failed:
+                self.failed += 1
+            else:
+                self.completed += 1
+            self.latencies.append(latency_s)
+            self.last_done_t = time.perf_counter()
+
+    def snapshot(self, cache: CacheStats) -> ServiceMetrics:
+        """Freeze current counters (plus aggregated cache stats)."""
+        with self._lock:
+            latencies = np.asarray(self.latencies, dtype=float)
+            sizes = dict(self.batch_sizes)
+            batches = sum(sizes.values())
+            coalesced = sum(size * count for size, count in sizes.items())
+            wall = (
+                self.last_done_t - self.first_submit_t
+                if self.first_submit_t is not None and self.last_done_t is not None
+                else 0.0
+            )
+            return ServiceMetrics(
+                requests_submitted=self.submitted,
+                requests_completed=self.completed,
+                requests_failed=self.failed,
+                requests_rejected=self.rejected,
+                batches_executed=batches,
+                batch_size_histogram=sizes,
+                mean_batch_size=coalesced / batches if batches else 0.0,
+                latency_p50_s=float(np.quantile(latencies, 0.5)) if latencies.size else 0.0,
+                latency_p95_s=float(np.quantile(latencies, 0.95)) if latencies.size else 0.0,
+                latency_mean_s=float(latencies.mean()) if latencies.size else 0.0,
+                latency_max_s=float(latencies.max()) if latencies.size else 0.0,
+                throughput_rps=self.completed / wall if wall > 0.0 else 0.0,
+                wall_s=wall,
+                cache=cache,
+                prepare_s=self.prepare_s,
+            )

@@ -1,0 +1,88 @@
+"""Request types and content digests for the solver service.
+
+A :class:`SolveRequest` is one unit of traffic: a matrix, a right-hand
+side, and the policy knobs (solver kind, hardware configuration, seeds)
+that determine *which* prepared macro executes it. Requests are
+content-addressed: :func:`matrix_digest` hashes the matrix bytes, and
+together with the hardware config digest, the solver kind, and the
+preparation seed it forms the :class:`~repro.serve.cache.PreparedKey`
+that the service caches and shards by.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.amc.config import HardwareConfig
+from repro.utils.validation import check_square_matrix, check_vector
+
+__all__ = ["SolveRequest", "matrix_digest"]
+
+
+def matrix_digest(matrix: np.ndarray) -> str:
+    """Content digest of a matrix (shape + element bytes, SHA-256 hex).
+
+    Equal matrices always digest equally; the probability of two distinct
+    matrices colliding is cryptographically negligible, so the digest can
+    stand in for the matrix in cache keys and shard routing.
+    """
+    a = np.ascontiguousarray(matrix, dtype=float)
+    h = hashlib.sha256()
+    h.update(str(a.shape).encode())
+    h.update(a.tobytes())
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """One solve job submitted to the service.
+
+    Parameters
+    ----------
+    matrix, b:
+        The linear system ``A x = b``.
+    solver:
+        Solver kind (``"blockamc-1stage"``, ``"blockamc-2stage"``,
+        ``"original-amc"``); ``None`` uses the service default.
+    hardware:
+        :class:`HardwareConfig` for this request; ``None`` uses the
+        service default.
+    seed:
+        Per-request randomness seed. Only consumed by configurations
+        with per-operation noise (output or sample-and-hold noise, MNA
+        routing); deterministic configurations ignore it. Either way the
+        result is a pure function of (prepared solver, ``b``, ``seed``),
+        never of scheduling order.
+    prep_seed:
+        Seed of the preparation draw (programming variation, op-amp
+        offsets) — the "seed policy" part of the cache key. Requests
+        sharing (matrix, hardware, solver, prep_seed) share one
+        programmed macro; ``None`` uses the service default.
+    digest:
+        Precomputed :func:`matrix_digest` (skips re-hashing when the
+        caller submits the same matrix many times).
+    """
+
+    matrix: np.ndarray
+    b: np.ndarray
+    solver: str | None = None
+    hardware: HardwareConfig | None = None
+    seed: int = 0
+    prep_seed: int | None = None
+    digest: str = field(default="")
+
+    def __post_init__(self):
+        matrix = check_square_matrix(self.matrix)
+        b = check_vector(self.b, "b", size=matrix.shape[0])
+        object.__setattr__(self, "matrix", matrix)
+        object.__setattr__(self, "b", b)
+        if not self.digest:
+            object.__setattr__(self, "digest", matrix_digest(matrix))
+
+    @property
+    def size(self) -> int:
+        """System size ``n``."""
+        return self.matrix.shape[0]

@@ -1,0 +1,442 @@
+"""The solver service: sharded workers, bounded queues, micro-batching.
+
+:class:`SolverService` accepts concurrent solve requests and executes
+them at engine speed:
+
+- requests are hash-sharded by **matrix digest** onto worker threads, so
+  each prepared macro lives in exactly one shard's
+  :class:`~repro.serve.cache.PreparedSolverCache` and is never touched
+  by two threads at once;
+- each worker coalesces queued requests that target the same prepared
+  solver into one multi-RHS ``solve_many`` call (up to
+  ``max_batch_size``, lingering up to ``max_linger_s`` for stragglers);
+- queues are bounded: the ``block`` backpressure policy stalls
+  submitters when a shard is saturated, ``reject`` raises
+  :class:`~repro.errors.ServiceOverloadedError` immediately.
+
+Determinism: every execution goes through the canonical kernel
+(:func:`repro.serve.batching.execute_batch`) against entries whose
+random draws were fixed at preparation time, so results are bit-identical
+to :func:`run_sequential` over the same requests — regardless of worker
+count, queue timing, or how batches happened to form.
+
+The service is in-process by design (the engines are NumPy-bound and
+release the GIL inside BLAS); a network front-end can wrap
+:meth:`SolverService.submit` without touching the scheduling core.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+from repro.amc.config import HardwareConfig
+from repro.core.solution import SolveResult
+from repro.errors import ServeError, ServiceClosedError, ServiceOverloadedError
+from repro.serve.batching import MicroBatcher, execute_batch
+from repro.serve.cache import (
+    SOLVER_KINDS,
+    CacheStats,
+    PreparedKey,
+    PreparedSolverCache,
+    prepare_entry,
+)
+from repro.serve.metrics import MetricsRecorder, ServiceMetrics
+from repro.serve.requests import SolveRequest
+
+__all__ = ["ServiceConfig", "SolveTicket", "SolverService", "run_sequential"]
+
+#: Idle-poll period of the worker loops (shutdown latency bound).
+_POLL_S = 0.02
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning knobs of one :class:`SolverService`.
+
+    Parameters
+    ----------
+    workers:
+        Worker threads; also the shard count of the cache/queue fabric.
+    max_batch_size:
+        Most requests one coalesced ``solve_many`` call may carry.
+    max_linger_s:
+        How long a worker holds a formable batch open waiting for more
+        requests to the same prepared solver. ``0`` disables lingering
+        (batches still coalesce whatever is already queued).
+    queue_depth:
+        Bound of each shard's request queue. The owning worker holds at
+        most another ``queue_depth`` of drained-but-unexecuted requests,
+        so per-shard in-flight work is bounded by ~2x this value.
+    backpressure:
+        ``"block"`` stalls submitters while a shard queue is full;
+        ``"reject"`` raises :class:`ServiceOverloadedError` instead.
+    cache_capacity:
+        Prepared solvers retained per shard (LRU beyond that).
+    default_solver, default_hardware, default_prep_seed:
+        Applied to requests that leave the corresponding field unset.
+    """
+
+    workers: int = 2
+    max_batch_size: int = 16
+    max_linger_s: float = 0.002
+    queue_depth: int = 256
+    backpressure: str = "block"
+    cache_capacity: int = 32
+    default_solver: str = "blockamc-1stage"
+    default_hardware: HardwareConfig = field(
+        default_factory=HardwareConfig.paper_variation
+    )
+    default_prep_seed: int = 0
+
+    def __post_init__(self):
+        if self.workers < 1:
+            raise ServeError(f"workers must be >= 1, got {self.workers}")
+        if self.max_batch_size < 1:
+            raise ServeError(f"max_batch_size must be >= 1, got {self.max_batch_size}")
+        if self.max_linger_s < 0.0:
+            raise ServeError(f"max_linger_s must be >= 0, got {self.max_linger_s}")
+        if self.queue_depth < 1:
+            raise ServeError(f"queue_depth must be >= 1, got {self.queue_depth}")
+        if self.backpressure not in ("block", "reject"):
+            raise ServeError(
+                f"backpressure must be 'block' or 'reject', got {self.backpressure!r}"
+            )
+        if self.cache_capacity < 1:
+            raise ServeError(f"cache_capacity must be >= 1, got {self.cache_capacity}")
+        if self.default_solver not in SOLVER_KINDS:
+            raise ServeError(
+                f"unknown default_solver {self.default_solver!r}; "
+                f"available: {sorted(SOLVER_KINDS)}"
+            )
+
+
+def _resolve(request: SolveRequest, config: ServiceConfig) -> tuple[PreparedKey, HardwareConfig]:
+    """Apply service defaults and derive the request's cache identity."""
+    hardware = request.hardware if request.hardware is not None else config.default_hardware
+    solver = request.solver if request.solver is not None else config.default_solver
+    if solver not in SOLVER_KINDS:
+        raise ServeError(f"unknown solver kind {solver!r}; available: {sorted(SOLVER_KINDS)}")
+    prep_seed = (
+        request.prep_seed if request.prep_seed is not None else config.default_prep_seed
+    )
+    return PreparedKey(request.digest, hardware.cache_key(), solver, prep_seed), hardware
+
+
+class SolveTicket:
+    """Handle to one submitted request (a thin Future wrapper)."""
+
+    def __init__(self, request: SolveRequest, key: PreparedKey, hardware: HardwareConfig):
+        self.request = request
+        self.key = key
+        self.hardware = hardware
+        self.submitted_at = time.perf_counter()
+        self._future: Future = Future()
+
+    def result(self, timeout: float | None = None) -> SolveResult:
+        """Block until the solve finishes; re-raises execution errors."""
+        return self._future.result(timeout)
+
+    def exception(self, timeout: float | None = None):
+        """The execution error, or ``None`` on success (blocks like result)."""
+        return self._future.exception(timeout)
+
+    def done(self) -> bool:
+        """True once a result or error is set."""
+        return self._future.done()
+
+
+class _Shard:
+    """One worker's queue, cache, and batcher."""
+
+    def __init__(self, index: int, config: ServiceConfig):
+        self.index = index
+        self.queue: queue.Queue = queue.Queue(maxsize=config.queue_depth)
+        self.cache = PreparedSolverCache(config.cache_capacity)
+        self.batcher = MicroBatcher(config.max_batch_size)
+        self.thread: threading.Thread | None = None
+
+
+class SolverService:
+    """A batching, caching solve service over the AMC engines.
+
+    Use as a context manager (or call :meth:`close`)::
+
+        with SolverService(ServiceConfig(workers=2)) as service:
+            tickets = [service.submit(matrix, b, seed=i) for i, b in enumerate(batch)]
+            results = [t.result() for t in tickets]
+    """
+
+    def __init__(self, config: ServiceConfig | None = None):
+        self.config = config or ServiceConfig()
+        self._metrics = MetricsRecorder()
+        self._closed = threading.Event()
+        self._abort = threading.Event()
+        # Serializes the closed-check against queue puts: close() flips
+        # the flag under this lock, so once close() returns no submit can
+        # slip a ticket into a queue its worker has already abandoned.
+        self._submit_lock = threading.Lock()
+        self._shards = [_Shard(i, self.config) for i in range(self.config.workers)]
+        for shard in self._shards:
+            shard.thread = threading.Thread(
+                target=self._worker_loop,
+                args=(shard,),
+                name=f"repro-serve-{shard.index}",
+                daemon=True,
+            )
+            shard.thread.start()
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(self, matrix, b, **kwargs) -> SolveTicket:
+        """Build a :class:`SolveRequest` and submit it.
+
+        Keyword arguments pass through to :class:`SolveRequest`
+        (``solver``, ``hardware``, ``seed``, ``prep_seed``, ``digest``).
+        """
+        return self.submit_request(SolveRequest(matrix=matrix, b=b, **kwargs))
+
+    def submit_request(self, request: SolveRequest) -> SolveTicket:
+        """Queue one request; returns immediately with a ticket.
+
+        Raises :class:`ServiceClosedError` after :meth:`close`, and
+        :class:`ServiceOverloadedError` when the owning shard's queue is
+        full under the ``reject`` backpressure policy (under ``block``
+        the call stalls until the shard drains).
+        """
+        key, hardware = _resolve(request, self.config)
+        ticket = SolveTicket(request, key, hardware)
+        shard = self._shards[key.shard(len(self._shards))]
+        while True:
+            with self._submit_lock:
+                if self._closed.is_set():
+                    raise ServiceClosedError(
+                        "service is closed; no further requests accepted"
+                    )
+                try:
+                    shard.queue.put_nowait(ticket)
+                    break
+                except queue.Full:
+                    if self.config.backpressure == "reject":
+                        self._metrics.record_rejected()
+                        raise ServiceOverloadedError(
+                            f"shard {shard.index} queue is full "
+                            f"({self.config.queue_depth} requests pending)"
+                        ) from None
+            # ``block`` policy: wait on the queue itself, outside the
+            # lock, so the submitter wakes the moment the worker drains
+            # a slot and close()/other shards' submitters stay live; the
+            # timeout only bounds how often the closed flag is re-read.
+            try:
+                shard.queue.put(ticket, timeout=_POLL_S)
+            except queue.Full:
+                continue
+            if self._closed.is_set():
+                # This put bypassed the lock, so it may have landed after
+                # the worker's final drain; wait the worker out and
+                # rescue anything it can no longer see.
+                if shard.thread is not None:
+                    shard.thread.join()
+                self._fail_pending(shard)
+            break
+        self._metrics.record_submit()
+        return ticket
+
+    def solve_all(self, requests) -> list[SolveResult]:
+        """Submit every request, then gather results in request order."""
+        tickets = [self.submit_request(r) for r in requests]
+        return [t.result() for t in tickets]
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def metrics(self) -> ServiceMetrics:
+        """Snapshot of service telemetry (aggregated across shards)."""
+        cache = CacheStats()
+        for shard in self._shards:
+            cache = cache.merge(shard.cache.stats)
+        return self._metrics.snapshot(cache)
+
+    def cached_solvers(self) -> list[PreparedKey]:
+        """Keys of every resident prepared solver, across all shards."""
+        return [key for shard in self._shards for key in shard.cache.keys()]
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting requests and shut the workers down.
+
+        ``wait=True`` (default) lets workers drain everything already
+        queued; ``wait=False`` aborts, failing still-pending tickets
+        with :class:`ServiceClosedError`.
+        """
+        with self._submit_lock:
+            self._closed.set()
+        if not wait:
+            self._abort.set()
+        for shard in self._shards:
+            if shard.thread is not None:
+                shard.thread.join()
+
+    def __enter__(self) -> "SolverService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close(wait=exc_info[0] is None)
+
+    # ------------------------------------------------------------------
+    # worker internals
+    # ------------------------------------------------------------------
+    def _worker_loop(self, shard: _Shard) -> None:
+        batcher = shard.batcher
+        while True:
+            if self._abort.is_set():
+                self._fail_pending(shard)
+                return
+            if not len(batcher):
+                try:
+                    batcher.add(shard.queue.get(timeout=_POLL_S))
+                except queue.Empty:
+                    if self._closed.is_set():
+                        # Closed is flipped under the submit lock, so no
+                        # put can follow it — but one may have raced the
+                        # empty check above. Drain once more and only
+                        # exit if truly nothing is left.
+                        self._drain_queue(shard)
+                        if not len(batcher):
+                            return
+                    continue
+            self._drain_queue(shard)
+            key = batcher.next_key()
+            entry = self._entry_for(shard, key)
+            if entry is None:
+                continue
+            if (
+                entry.coalescible
+                and self.config.max_linger_s > 0.0
+                and batcher.pending_for(key) < self.config.max_batch_size
+            ):
+                self._linger(shard, key)
+            batch = batcher.take(key)
+            if batch:
+                shard.cache.credit_hits(len(batch) - 1)
+                self._execute(entry, batch)
+
+    def _drain_queue(self, shard: _Shard) -> None:
+        # The batcher backlog is bounded like the queue: once the worker
+        # holds a full queue's worth it stops pulling, so ``queue_depth``
+        # genuinely limits in-flight work (at most ~2x queue_depth per
+        # shard between queue and batcher) and backpressure engages
+        # instead of the backlog growing without bound.
+        while len(shard.batcher) < self.config.queue_depth:
+            try:
+                shard.batcher.add(shard.queue.get_nowait())
+            except queue.Empty:
+                return
+
+    def _linger(self, shard: _Shard, key: PreparedKey) -> None:
+        """Hold the batch open briefly, hoping to coalesce stragglers."""
+        deadline = time.perf_counter() + self.config.max_linger_s
+        while (
+            shard.batcher.pending_for(key) < self.config.max_batch_size
+            and len(shard.batcher) < self.config.queue_depth
+        ):
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0.0 or self._abort.is_set():
+                return
+            try:
+                shard.batcher.add(shard.queue.get(timeout=remaining))
+            except queue.Empty:
+                return
+
+    def _entry_for(self, shard: _Shard, key: PreparedKey):
+        head = shard.batcher.peek(key)
+
+        def factory():
+            entry = prepare_entry(key, head.request.matrix, head.hardware)
+            self._metrics.record_prepare(entry.prepare_seconds)
+            return entry
+
+        try:
+            return shard.cache.get_or_prepare(key, factory)
+        except Exception as exc:  # fail the whole group, keep the worker alive
+            now = time.perf_counter()
+            for ticket in shard.batcher.take(key):
+                ticket._future.set_exception(exc)
+                self._metrics.record_done(now - ticket.submitted_at, failed=True)
+            return None
+
+    def _execute(self, entry, batch: list[SolveTicket]) -> None:
+        self._metrics.record_batch(len(batch))
+        try:
+            results = execute_batch(
+                entry,
+                [t.request.b for t in batch],
+                [t.request.seed for t in batch],
+            )
+        except Exception as exc:
+            now = time.perf_counter()
+            for ticket in batch:
+                ticket._future.set_exception(exc)
+                self._metrics.record_done(now - ticket.submitted_at, failed=True)
+            return
+        now = time.perf_counter()
+        for ticket, result in zip(batch, results):
+            ticket._future.set_result(result)
+            self._metrics.record_done(now - ticket.submitted_at)
+
+    def _fail_pending(self, shard: _Shard) -> None:
+        error = ServiceClosedError("service aborted before this request executed")
+        while True:
+            # Unbounded drain: after abort no submits can add work, so
+            # this terminates; every stranded ticket must resolve.
+            try:
+                shard.batcher.add(shard.queue.get_nowait())
+            except queue.Empty:
+                pass
+            pending = shard.batcher.drain()
+            if not pending and shard.queue.empty():
+                return
+            now = time.perf_counter()
+            for ticket in pending:
+                ticket._future.set_exception(error)
+                self._metrics.record_done(now - ticket.submitted_at, failed=True)
+
+
+def run_sequential(
+    requests, config: ServiceConfig | None = None
+) -> tuple[list[SolveResult], ServiceMetrics]:
+    """Sequential reference executor for the service's semantics.
+
+    Runs the requests one at a time, in order, through the *same*
+    prepared-solver cache and canonical execution kernel the service
+    uses — no queues, no threads, no coalescing. Service results are
+    bit-identical to this reference for any scheduling outcome, which is
+    what the service tests and ``benchmarks/bench_serving.py`` assert.
+    Returns ``(results, metrics)``; the metrics cover cache behaviour
+    and throughput of the loop itself.
+    """
+    config = config or ServiceConfig()
+    cache = PreparedSolverCache(config.cache_capacity)
+    recorder = MetricsRecorder()
+    results: list[SolveResult] = []
+    for request in requests:
+        key, hardware = _resolve(request, config)
+        recorder.record_submit()
+        start = time.perf_counter()
+
+        def factory(key=key, request=request, hardware=hardware):
+            entry = prepare_entry(key, request.matrix, hardware)
+            recorder.record_prepare(entry.prepare_seconds)
+            return entry
+
+        entry = cache.get_or_prepare(key, factory)
+        recorder.record_batch(1)
+        results.append(execute_batch(entry, [request.b], [request.seed])[0])
+        recorder.record_done(time.perf_counter() - start)
+    return results, recorder.snapshot(cache.stats)

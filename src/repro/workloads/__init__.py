@@ -14,13 +14,16 @@ from repro.workloads.suites import (
     get_suite,
     list_suites,
 )
+from repro.workloads.traffic import TRAFFIC_FAMILIES, mixed_traffic
 
 __all__ = [
     "ExperimentSuite",
     "PAPER_SIZES",
+    "TRAFFIC_FAMILIES",
     "diagonally_dominant_matrix",
     "get_suite",
     "list_suites",
+    "mixed_traffic",
     "poisson_1d",
     "poisson_2d",
     "poisson_rhs_1d",

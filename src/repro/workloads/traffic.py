@@ -1,0 +1,101 @@
+"""Mixed solve-request traffic for the solver service.
+
+Real AMC deployment traffic (the paper's seed/preconditioner use case)
+re-solves a working set of matrices against ever-fresh right-hand sides:
+a handful of systems are hot (the PDE operator of the current time step,
+the precoding channel of the current coherence interval) while new
+matrices keep arriving. :func:`mixed_traffic` reproduces that shape —
+a deterministic stream of :class:`~repro.serve.requests.SolveRequest`
+objects drawing from a bounded working set of mixed Wishart / Toeplitz /
+Poisson systems with a skewed (rank-weighted) popularity profile.
+
+Everything derives from one root seed through
+:class:`~repro.utils.rng.RngStream`, so a traffic trace replays
+bit-exactly — which is what lets the serving bench assert bit-identical
+results between the concurrent service and the sequential reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.serve.requests import SolveRequest, matrix_digest
+from repro.utils.rng import RngStream
+from repro.workloads.matrices import random_vector, toeplitz_matrix, wishart_matrix
+from repro.workloads.pde import poisson_1d
+
+__all__ = ["TRAFFIC_FAMILIES", "mixed_traffic"]
+
+#: Matrix families available to traffic generation.
+TRAFFIC_FAMILIES = {
+    "wishart": lambda n, rng: wishart_matrix(n, rng),
+    "toeplitz": lambda n, rng: toeplitz_matrix(n, rng),
+    "poisson": lambda n, rng: poisson_1d(n),
+}
+
+
+def mixed_traffic(
+    n_requests: int,
+    *,
+    unique_matrices: int = 6,
+    sizes: tuple[int, ...] = (16, 24, 32),
+    families: tuple[str, ...] = ("wishart", "toeplitz", "poisson"),
+    skew: float = 1.0,
+    seed=0,
+) -> list[SolveRequest]:
+    """Generate a deterministic stream of mixed solve requests.
+
+    Parameters
+    ----------
+    n_requests:
+        Stream length.
+    unique_matrices:
+        Size of the working set. Matrices cycle through the
+        (family, size) grid, so the set mixes all requested families.
+    sizes, families:
+        The workload grid. Family names must be keys of
+        :data:`TRAFFIC_FAMILIES`.
+    skew:
+        Popularity skew: matrix at popularity rank ``r`` is requested
+        with weight ``(r + 1) ** -skew`` (0 = uniform; larger = hotter
+        head, longer tail of cold matrices).
+    seed:
+        Root seed; the full stream is a pure function of it.
+    """
+    if n_requests < 1:
+        raise ValidationError(f"n_requests must be >= 1, got {n_requests}")
+    if unique_matrices < 1:
+        raise ValidationError(f"unique_matrices must be >= 1, got {unique_matrices}")
+    if skew < 0.0:
+        raise ValidationError(f"skew must be >= 0, got {skew}")
+    if not sizes or not families:
+        raise ValidationError("sizes and families must be non-empty")
+    for family in families:
+        if family not in TRAFFIC_FAMILIES:
+            raise ValidationError(
+                f"unknown family {family!r}; available: {sorted(TRAFFIC_FAMILIES)}"
+            )
+
+    stream = RngStream(seed)
+    working_set = []
+    for index in range(unique_matrices):
+        family = families[index % len(families)]
+        size = sizes[(index // len(families)) % len(sizes)]
+        matrix = TRAFFIC_FAMILIES[family](size, stream.child())
+        working_set.append((matrix, matrix_digest(matrix)))
+
+    weights = (1.0 + np.arange(unique_matrices)) ** -skew
+    weights /= weights.sum()
+    picker = stream.child()
+    choices = picker.choice(unique_matrices, size=n_requests, p=weights)
+
+    requests = []
+    for i, index in enumerate(choices):
+        matrix, digest = working_set[index]
+        b = random_vector(matrix.shape[0], stream.child())
+        request_seed = int(stream.child().integers(0, 2**63 - 1))
+        requests.append(
+            SolveRequest(matrix=matrix, b=b, seed=request_seed, digest=digest)
+        )
+    return requests

@@ -63,3 +63,33 @@ class TestCommands:
         assert "fig7-wishart" in out
         assert csv_path.exists()
         assert (tmp_path / "series.csv.raw.csv").exists()
+
+
+class TestServeCommands:
+    def test_serve_with_check(self, capsys):
+        assert main([
+            "serve", "--requests", "10", "--unique-matrices", "2",
+            "--sizes", "8", "12", "--workers", "2", "--check",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "service metrics" in out
+        assert "bit-identical to sequential reference: True" in out
+
+    def test_serve_hardware_and_solver_choices(self, capsys):
+        assert main([
+            "serve", "--requests", "6", "--unique-matrices", "2",
+            "--sizes", "8", "--hardware", "ideal-mapping",
+            "--solver", "blockamc-1stage", "--workers", "1",
+        ]) == 0
+        assert "requests completed" in capsys.readouterr().out
+
+    def test_submit(self, capsys):
+        assert main(["submit", "--size", "12", "--rhs", "4", "--hardware", "ideal"]) == 0
+        out = capsys.readouterr().out
+        assert "blockamc-1stage" in out
+        assert "mean rel. error" in out
+        assert "cache hit rate" in out
+
+    def test_submit_rejects_unknown_solver(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit", "--solver", "nope"])

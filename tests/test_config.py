@@ -97,3 +97,82 @@ class TestSampleHoldConfig:
         cfg = SampleHoldConfig()
         assert cfg.gain_error == 0.0
         assert cfg.noise_sigma_v == 0.0
+
+
+class TestCacheKey:
+    """Content digests for the repro.serve prepared-solver cache."""
+
+    def _variants(self):
+        from repro.crossbar.array import ProgrammingConfig
+        from repro.devices.models import DeviceSpec
+        from repro.devices.faults import StuckFaultModel
+        from repro.devices.variations import (
+            GaussianVariation,
+            LognormalVariation,
+            RelativeGaussianVariation,
+        )
+
+        return [
+            HardwareConfig.ideal(),
+            HardwareConfig.paper_ideal_mapping(),
+            HardwareConfig.paper_variation(),
+            HardwareConfig.paper_variation(0.04),
+            HardwareConfig.paper_interconnect(),
+            HardwareConfig.paper_interconnect(r_wire=2.0),
+            HardwareConfig.paper_interconnect(fidelity="exact"),
+            HardwareConfig.paper_variation().with_(use_mna=True),
+            HardwareConfig.paper_variation().with_(g_unit=5e-5),
+            HardwareConfig(opamp=OpAmpConfig(open_loop_gain=1e5)),
+            HardwareConfig(opamp=OpAmpConfig(v_sat=1.5)),
+            HardwareConfig(opamp=OpAmpConfig(output_noise_sigma_v=1e-4)),
+            HardwareConfig(converters=ConverterConfig(dac_bits=8)),
+            HardwareConfig(converters=ConverterConfig(adc_bits=8)),
+            HardwareConfig(converters=ConverterConfig(v_fs=2.0)),
+            HardwareConfig(sample_hold=SampleHoldConfig(gain_error=1e-3)),
+            HardwareConfig(
+                programming=ProgrammingConfig(variation=GaussianVariation(5e-6))
+            ),
+            HardwareConfig(
+                programming=ProgrammingConfig(variation=LognormalVariation(0.05))
+            ),
+            HardwareConfig(
+                programming=ProgrammingConfig(
+                    variation=RelativeGaussianVariation(0.05), quantize=True
+                )
+            ),
+            HardwareConfig(
+                programming=ProgrammingConfig(
+                    variation=RelativeGaussianVariation(0.05), use_write_verify=True
+                )
+            ),
+            HardwareConfig(
+                programming=ProgrammingConfig(faults=StuckFaultModel(p_stuck_on=0.01))
+            ),
+            HardwareConfig(
+                programming=ProgrammingConfig(device=DeviceSpec(g_min=2e-6))
+            ),
+        ]
+
+    def test_distinct_configs_never_collide(self):
+        variants = self._variants()
+        keys = [cfg.cache_key() for cfg in variants]
+        assert len(set(keys)) == len(variants)
+
+    def test_equal_configs_always_hit(self):
+        for cfg in self._variants():
+            rebuilt = cfg.with_()
+            assert rebuilt == cfg
+            assert rebuilt.cache_key() == cfg.cache_key()
+
+    def test_equal_variation_instances_share_keys(self):
+        a = HardwareConfig.paper_variation(0.05)
+        b = HardwareConfig.paper_variation(0.05)
+        assert a.programming.variation is not b.programming.variation
+        assert a.cache_key() == b.cache_key()
+
+    def test_key_is_stable_hex(self):
+        key = HardwareConfig.ideal().cache_key()
+        assert isinstance(key, str)
+        assert len(key) == 64
+        int(key, 16)
+        assert key == HardwareConfig.ideal().cache_key()

@@ -1,0 +1,455 @@
+"""Tests for the ``repro.serve`` solver service.
+
+The load-bearing guarantees:
+
+- **determinism under concurrency** — results are bit-identical to the
+  sequential reference executor no matter how many workers run, how
+  requests interleave, or how the micro-batcher grouped them;
+- **coalescing correctness** — a coalesced multi-RHS batch equals
+  per-request execution;
+- **cache behaviour** — eviction at capacity, hits on re-use, isolation
+  between configs/seeds;
+- **backpressure** — a full bounded queue rejects (or stalls) instead of
+  growing without bound.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.amc.config import HardwareConfig
+from repro.errors import (
+    ServeError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+    ValidationError,
+)
+from repro.serve import (
+    SOLVER_KINDS,
+    MicroBatcher,
+    PreparedKey,
+    PreparedSolverCache,
+    ServiceConfig,
+    SolveRequest,
+    SolverService,
+    execute_batch,
+    matrix_digest,
+    prepare_entry,
+    run_sequential,
+)
+from repro.workloads.matrices import random_vector, wishart_matrix
+from repro.workloads.traffic import mixed_traffic
+
+
+def _requests(n=12, unique=3, sizes=(12, 16), seed=0):
+    return mixed_traffic(n, unique_matrices=unique, sizes=sizes, seed=seed)
+
+
+def _identical(a, b) -> bool:
+    return np.array_equal(a.x, b.x) and a.relative_error == b.relative_error
+
+
+class TestMatrixDigest:
+    def test_equal_matrices_share_digest(self):
+        m = wishart_matrix(8, rng=0)
+        assert matrix_digest(m) == matrix_digest(m.copy())
+
+    def test_distinct_matrices_differ(self):
+        assert matrix_digest(wishart_matrix(8, rng=0)) != matrix_digest(
+            wishart_matrix(8, rng=1)
+        )
+
+    def test_shape_participates(self):
+        flat = np.zeros((4, 4))
+        assert matrix_digest(flat) != matrix_digest(np.zeros((2, 8)))
+
+
+class TestSolveRequest:
+    def test_digest_computed(self):
+        m = wishart_matrix(8, rng=0)
+        request = SolveRequest(matrix=m, b=random_vector(8, rng=1))
+        assert request.digest == matrix_digest(m)
+        assert request.size == 8
+
+    def test_precomputed_digest_kept(self):
+        m = wishart_matrix(8, rng=0)
+        request = SolveRequest(matrix=m, b=random_vector(8, rng=1), digest="abc")
+        assert request.digest == "abc"
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(ValidationError):
+            SolveRequest(matrix=wishart_matrix(8, rng=0), b=np.ones(9))
+
+
+class TestMicroBatcher:
+    def test_groups_by_key_and_takes_in_order(self):
+        class Item:
+            def __init__(self, key, tag):
+                self.key, self.tag = key, tag
+
+        batcher = MicroBatcher(max_batch_size=2)
+        for item in [Item("a", 1), Item("b", 2), Item("a", 3), Item("a", 4)]:
+            batcher.add(item)
+        assert len(batcher) == 4
+        assert batcher.next_key() == "a"
+        assert batcher.peek("a").tag == 1
+        assert [i.tag for i in batcher.take("a")] == [1, 3]
+        assert batcher.pending_for("a") == 1
+        assert [i.tag for i in batcher.take("a")] == [4]
+        assert batcher.next_key() == "b"
+        assert len(batcher) == 1
+
+    def test_bad_batch_size(self):
+        with pytest.raises(ServeError):
+            MicroBatcher(max_batch_size=0)
+
+    def test_partially_drained_hot_key_does_not_starve_others(self):
+        class Item:
+            def __init__(self, key, tag):
+                self.key, self.tag = key, tag
+
+        batcher = MicroBatcher(max_batch_size=2)
+        for tag in range(5):
+            batcher.add(Item("hot", tag))
+        batcher.add(Item("cold", 99))
+        assert batcher.next_key() == "hot"
+        batcher.take("hot")  # partial: 3 hot items remain
+        # Even if the hot key keeps refilling, the cold key serves next.
+        batcher.add(Item("hot", 5))
+        assert batcher.next_key() == "cold"
+        assert [i.tag for i in batcher.take("cold")] == [99]
+        assert batcher.next_key() == "hot"
+
+
+class TestCanonicalKernel:
+    """Coalesced execution must equal per-request execution."""
+
+    @pytest.fixture(scope="class")
+    def entry(self):
+        matrix = wishart_matrix(16, rng=3)
+        config = HardwareConfig.paper_variation()
+        key = PreparedKey(matrix_digest(matrix), config.cache_key(), "blockamc-1stage", 0)
+        return prepare_entry(key, matrix, config)
+
+    def test_entry_is_coalescible(self, entry):
+        assert entry.coalescible
+
+    def test_coalesced_equals_per_request(self, entry):
+        bs = [random_vector(16, rng=i) for i in range(6)]
+        seeds = list(range(6))
+        batch = execute_batch(entry, bs, seeds)
+        singles = [execute_batch(entry, [b], [s])[0] for b, s in zip(bs, seeds)]
+        for a, b in zip(batch, singles):
+            assert _identical(a, b)
+
+    def test_batch_composition_invariance(self, entry):
+        bs = [random_vector(16, rng=i) for i in range(8)]
+        full = execute_batch(entry, bs, list(range(8)))
+        sub = execute_batch(entry, [bs[5], bs[1], bs[6]], [5, 1, 6])
+        assert _identical(sub[0], full[5])
+        assert _identical(sub[1], full[1])
+        assert _identical(sub[2], full[6])
+
+    def test_rng_independent_after_warm(self, entry):
+        b = random_vector(16, rng=9)
+        assert _identical(
+            execute_batch(entry, [b], [0])[0], execute_batch(entry, [b], [123])[0]
+        )
+
+    def test_mismatched_seeds_rejected(self, entry):
+        with pytest.raises(ServeError):
+            execute_batch(entry, [np.ones(16)], [1, 2])
+
+    def test_noisy_config_not_coalescible_but_seed_deterministic(self):
+        matrix = wishart_matrix(12, rng=4)
+        config = HardwareConfig.paper_variation().with_(
+            opamp=HardwareConfig.paper_variation().opamp
+        )
+        noisy = config.with_(opamp=config.opamp.__class__(output_noise_sigma_v=1e-4))
+        key = PreparedKey(matrix_digest(matrix), noisy.cache_key(), "blockamc-1stage", 0)
+        entry = prepare_entry(key, matrix, noisy)
+        assert not entry.coalescible
+        b = random_vector(12, rng=1)
+        one = execute_batch(entry, [b], [7])[0]
+        two = execute_batch(entry, [b], [7])[0]
+        other = execute_batch(entry, [b], [8])[0]
+        assert _identical(one, two)
+        assert not np.array_equal(one.x, other.x)
+
+
+class TestSequentialReference:
+    def test_replays_bit_exactly(self):
+        requests = _requests()
+        first, metrics = run_sequential(requests)
+        second, _ = run_sequential(requests)
+        for a, b in zip(first, second):
+            assert _identical(a, b)
+        assert metrics.requests_completed == len(requests)
+        assert metrics.cache.misses == 3
+
+    def test_solver_kinds_execute(self):
+        matrix = wishart_matrix(12, rng=0)
+        b = random_vector(12, rng=1)
+        for kind in sorted(SOLVER_KINDS):
+            results, _ = run_sequential(
+                [SolveRequest(matrix=matrix, b=b, solver=kind)]
+            )
+            assert results[0].x.shape == (12,)
+
+
+class TestServiceDeterminism:
+    def test_bit_identical_to_reference(self):
+        requests = _requests(n=16)
+        config = ServiceConfig(workers=2, max_batch_size=4, max_linger_s=0.001)
+        reference, _ = run_sequential(requests, config)
+        with SolverService(config) as service:
+            results = service.solve_all(requests)
+        for a, b in zip(reference, results):
+            assert _identical(a, b)
+
+    def test_bit_identical_under_concurrent_submitters(self):
+        requests = _requests(n=24, unique=4)
+        config = ServiceConfig(workers=3, max_batch_size=5, max_linger_s=0.002)
+        reference, _ = run_sequential(requests, config)
+        with SolverService(config) as service:
+            with ThreadPoolExecutor(max_workers=6) as pool:
+                tickets = list(pool.map(service.submit_request, requests))
+            results = [t.result(timeout=60) for t in tickets]
+        for a, b in zip(reference, results):
+            assert _identical(a, b)
+
+    def test_worker_count_does_not_change_results(self):
+        requests = _requests(n=10, unique=2)
+        outcomes = []
+        for workers in (1, 3):
+            config = ServiceConfig(workers=workers, max_batch_size=3, max_linger_s=0.0)
+            with SolverService(config) as service:
+                outcomes.append(service.solve_all(requests))
+        for a, b in zip(*outcomes):
+            assert _identical(a, b)
+
+    def test_distinct_prep_seeds_are_distinct_entries(self):
+        matrix = wishart_matrix(12, rng=0)
+        b = random_vector(12, rng=1)
+        with SolverService(ServiceConfig(workers=1)) as service:
+            r0 = service.submit(matrix, b, prep_seed=0).result()
+            r1 = service.submit(matrix, b, prep_seed=1).result()
+            metrics = service.metrics()
+        assert metrics.cache.misses == 2
+        assert not np.array_equal(r0.x, r1.x)
+
+
+class TestCacheBehaviour:
+    def test_hits_on_reuse(self):
+        matrix = wishart_matrix(12, rng=0)
+        with SolverService(ServiceConfig(workers=1)) as service:
+            for i in range(5):
+                service.submit(matrix, random_vector(12, rng=i), seed=i).result()
+            metrics = service.metrics()
+        assert metrics.cache.misses == 1
+        assert metrics.cache.hits == 4
+        assert metrics.cache.hit_rate == pytest.approx(0.8)
+
+    def test_eviction_at_capacity(self):
+        matrices = [wishart_matrix(10, rng=i) for i in range(3)]
+        config = ServiceConfig(workers=1, cache_capacity=2)
+        with SolverService(config) as service:
+            for m in matrices:
+                service.submit(m, random_vector(10, rng=0)).result()
+            assert len(service.cached_solvers()) == 2
+            # Oldest matrix was evicted; touching it re-prepares.
+            service.submit(matrices[0], random_vector(10, rng=1)).result()
+            metrics = service.metrics()
+        assert metrics.cache.evictions >= 2
+        assert metrics.cache.misses == 4
+
+    def test_standalone_cache_lru_order(self):
+        cache = PreparedSolverCache(capacity=2)
+        matrix = wishart_matrix(8, rng=0)
+        config = HardwareConfig.ideal()
+
+        def key(tag):
+            return PreparedKey(matrix_digest(matrix), config.cache_key(), "blockamc-1stage", tag)
+
+        def entry_for(k):
+            return lambda: prepare_entry(k, matrix, config)
+
+        a, b, c = key(0), key(1), key(2)
+        cache.get_or_prepare(a, entry_for(a))
+        cache.get_or_prepare(b, entry_for(b))
+        cache.get_or_prepare(a, entry_for(a))  # refresh a
+        cache.get_or_prepare(c, entry_for(c))  # evicts b (LRU)
+        assert set(cache.keys()) == {a, c}
+        assert cache.stats.evictions == 1
+
+    def test_factory_key_mismatch_rejected(self):
+        cache = PreparedSolverCache(capacity=2)
+        matrix = wishart_matrix(8, rng=0)
+        config = HardwareConfig.ideal()
+        good = PreparedKey(matrix_digest(matrix), config.cache_key(), "blockamc-1stage", 0)
+        bad = PreparedKey("nope", config.cache_key(), "blockamc-1stage", 0)
+        with pytest.raises(ServeError):
+            cache.get_or_prepare(bad, lambda: prepare_entry(good, matrix, config))
+
+
+class TestBackpressureAndLifecycle:
+    @pytest.fixture
+    def slow_kind(self):
+        """A solver kind whose prepare blocks until released (deterministic
+        way to wedge the single worker while we fill its bounded queue)."""
+        started = threading.Event()
+        release = threading.Event()
+
+        class _SlowPrepared:
+            def __init__(self, n):
+                self.n = n
+
+            def solve(self, b, rng=None):
+                class _R:
+                    x = np.zeros(self.n)
+                    relative_error = 0.0
+                return _R()
+
+        class _SlowSolver:
+            def __init__(self, config):
+                pass
+
+            def prepare(self, matrix, rng=None):
+                started.set()
+                assert release.wait(timeout=30)
+                return _SlowPrepared(matrix.shape[0])
+
+        SOLVER_KINDS["slow-test"] = lambda config: _SlowSolver(config)
+        try:
+            yield started, release
+        finally:
+            release.set()
+            SOLVER_KINDS.pop("slow-test", None)
+
+    def test_reject_policy_raises_when_full(self, slow_kind):
+        started, release = slow_kind
+        config = ServiceConfig(
+            workers=1, queue_depth=1, backpressure="reject", max_linger_s=0.0
+        )
+        matrix = wishart_matrix(8, rng=0)
+        b = random_vector(8, rng=1)
+        with SolverService(config) as service:
+            blocker = service.submit(matrix, b, solver="slow-test")
+            assert started.wait(timeout=30)  # worker is wedged in prepare
+            queued = service.submit(matrix, b, solver="slow-test")
+            with pytest.raises(ServiceOverloadedError):
+                service.submit(matrix, b, solver="slow-test")
+            assert service.metrics().requests_rejected == 1
+            release.set()
+            blocker.result(timeout=30)
+            queued.result(timeout=30)
+
+    def test_closed_service_rejects(self):
+        service = SolverService(ServiceConfig(workers=1))
+        service.close()
+        with pytest.raises(ServiceClosedError):
+            service.submit(wishart_matrix(8, rng=0), np.ones(8))
+
+    def test_close_drains_queued_work(self):
+        config = ServiceConfig(workers=1, max_linger_s=0.0)
+        service = SolverService(config)
+        tickets = [
+            service.submit(wishart_matrix(10, rng=0), random_vector(10, rng=i))
+            for i in range(6)
+        ]
+        service.close(wait=True)
+        assert all(t.done() for t in tickets)
+        assert service.metrics().requests_completed == 6
+
+    def test_abort_fails_pending(self, slow_kind):
+        started, release = slow_kind
+        config = ServiceConfig(workers=1, max_linger_s=0.0)
+        service = SolverService(config)
+        matrix = wishart_matrix(8, rng=0)
+        blocker = service.submit(matrix, np.ones(8), solver="slow-test")
+        assert started.wait(timeout=30)
+        pending = service.submit(matrix, np.ones(8), solver="slow-test")
+        release.set()
+        service.close(wait=False)
+        # The wedged request finishes or fails; the queued one must resolve
+        # rather than hang (either executed before shutdown or aborted).
+        assert blocker.done() or blocker.exception(timeout=30) is not None
+        assert pending.done() or pending.exception(timeout=30) is not None
+
+    def test_unknown_solver_rejected_at_submit(self):
+        with SolverService(ServiceConfig(workers=1)) as service:
+            with pytest.raises(ServeError):
+                service.submit(wishart_matrix(8, rng=0), np.ones(8), solver="nope")
+
+    def test_failed_solve_sets_exception_and_service_survives(self):
+        singular = np.zeros((8, 8))
+        singular[0, 0] = 1.0
+        with SolverService(ServiceConfig(workers=1)) as service:
+            bad = service.submit(singular, np.ones(8))
+            assert bad.exception(timeout=60) is not None
+            good = service.submit(wishart_matrix(8, rng=0), random_vector(8, rng=1))
+            assert good.result(timeout=60).x.shape == (8,)
+            metrics = service.metrics()
+        assert metrics.requests_failed >= 1
+        assert metrics.requests_completed >= 1
+
+    def test_config_validation(self):
+        with pytest.raises(ServeError):
+            ServiceConfig(workers=0)
+        with pytest.raises(ServeError):
+            ServiceConfig(backpressure="drop")
+        with pytest.raises(ServeError):
+            ServiceConfig(default_solver="nope")
+
+
+class TestMetrics:
+    def test_dict_shape_and_consistency(self):
+        requests = _requests(n=8, unique=2)
+        config = ServiceConfig(workers=2, max_batch_size=4)
+        with SolverService(config) as service:
+            service.solve_all(requests)
+            metrics = service.metrics()
+        payload = metrics.as_dict()
+        for field in (
+            "requests_submitted",
+            "requests_completed",
+            "batches_executed",
+            "batch_size_histogram",
+            "latency_p50_s",
+            "latency_p95_s",
+            "throughput_rps",
+            "cache_hits",
+            "cache_misses",
+            "cache_hit_rate",
+        ):
+            assert field in payload
+        assert payload["requests_submitted"] == 8
+        assert payload["requests_completed"] == 8
+        assert sum(
+            size * count for size, count in payload["batch_size_histogram"].items()
+        ) == 8
+        assert payload["latency_p95_s"] >= payload["latency_p50_s"] >= 0.0
+        assert payload["throughput_rps"] > 0.0
+        assert metrics.table()  # renders without error
+
+    def test_traffic_replays_deterministically(self):
+        a = mixed_traffic(10, unique_matrices=3, sizes=(8, 12), seed=5)
+        b = mixed_traffic(10, unique_matrices=3, sizes=(8, 12), seed=5)
+        for ra, rb in zip(a, b):
+            assert ra.digest == rb.digest
+            assert np.array_equal(ra.b, rb.b)
+            assert ra.seed == rb.seed
+        c = mixed_traffic(10, unique_matrices=3, sizes=(8, 12), seed=6)
+        assert any(ra.digest != rc.digest for ra, rc in zip(a, c))
+
+    def test_traffic_validation(self):
+        with pytest.raises(ValidationError):
+            mixed_traffic(0)
+        with pytest.raises(ValidationError):
+            mixed_traffic(4, unique_matrices=0)
+        with pytest.raises(ValidationError):
+            mixed_traffic(4, families=("nope",))
