@@ -26,6 +26,7 @@ from repro.amc.config import HardwareConfig
 from repro.amc.interfaces import ADC, DAC, SampleHold
 from repro.amc.ops import AMCOperations, OpResult
 from repro.amc.scheduler import default_program
+from repro.core.common import contract, solve_columns
 from repro.crossbar.array import CrossbarArray
 from repro.errors import SolverError
 from repro.utils.rng import as_generator
@@ -119,6 +120,38 @@ class MacroResult:
         return any(step.saturated for step in self.steps)
 
 
+def reference_schedule(
+    a1: np.ndarray,
+    a2: np.ndarray,
+    a3: np.ndarray,
+    a4s_normalized: np.ndarray,
+    f: np.ndarray,
+    g: np.ndarray,
+) -> dict[str, np.ndarray]:
+    """Exact-arithmetic outputs of the five-step schedule (Fig. 6a).
+
+    Shape-generic over the kernel conventions: ``f``/``g`` may be single
+    vectors or row-stacked ``(rhs, n)`` batches, and the batch results
+    are bit-identical per row to the scalar calls (solves go one column
+    at a time through :func:`repro.core.common.solve_columns`,
+    contractions through :func:`repro.core.common.contract`).
+    ``a4s_normalized`` is the Schur block *after* undoing its private
+    array scale (``A4s / schur_input_scale``).
+    """
+    y_t = solve_columns(a1, f, what="A1 block")
+    g_t = contract(a3, y_t)
+    z = solve_columns(a4s_normalized, g - g_t, what="Schur block")
+    f_t = contract(a2, z)
+    y = solve_columns(a1, f - f_t, what="A1 block")
+    return {
+        "step1": -y_t,
+        "step2": g_t,
+        "step3": z,
+        "step4": -f_t,
+        "step5": -y,
+    }
+
+
 class BlockAMCMacro:
     """One-stage BlockAMC macro: four arrays sharing one op-amp column."""
 
@@ -160,24 +193,15 @@ class BlockAMCMacro:
     # ------------------------------------------------------------------
     def reference_steps(self, f: np.ndarray, g: np.ndarray) -> dict[str, np.ndarray]:
         """Exact step outputs for inputs ``f``, ``g`` (with circuit signs)."""
-        a1 = self.arrays.a1.target.reconstruct_normalized()
-        a2 = self.arrays.a2.target.reconstruct_normalized()
-        a3 = self.arrays.a3.target.reconstruct_normalized()
-        a4s = (
-            self.arrays.a4s.target.reconstruct_normalized() / self.arrays.schur_input_scale
+        return reference_schedule(
+            self.arrays.a1.target.reconstruct_normalized(),
+            self.arrays.a2.target.reconstruct_normalized(),
+            self.arrays.a3.target.reconstruct_normalized(),
+            self.arrays.a4s.target.reconstruct_normalized()
+            / self.arrays.schur_input_scale,
+            f,
+            g,
         )
-        y_t = np.linalg.solve(a1, f)
-        g_t = a3 @ y_t
-        z = np.linalg.solve(a4s, g - g_t)
-        f_t = a2 @ z
-        y = np.linalg.solve(a1, f - f_t)
-        return {
-            "step1": -y_t,
-            "step2": g_t,
-            "step3": z,
-            "step4": -f_t,
-            "step5": -y,
-        }
 
     # ------------------------------------------------------------------
     # execution

@@ -35,6 +35,12 @@ counts for the cost model. With ``HardwareConfig.use_mna`` the same
 operations are routed through full MNA netlists
 (:mod:`repro.circuits.generators`) instead of the algebraic model; tests
 verify the two paths agree.
+
+The algebraic physics itself lives in :mod:`repro.core.common` — the
+shared shape-generic kernel also driving the trial-batched and
+multi-RHS engines — so this module only owns the scalar call shape:
+per-operation telemetry, quasi-static offset caching, output noise, and
+the MNA routing.
 """
 
 from __future__ import annotations
@@ -53,6 +59,14 @@ from repro.circuits.dynamics import (
 )
 from repro.circuits.generators import build_inv_circuit, build_mvm_circuit
 from repro.circuits.mna import assemble_mna
+from repro.core.common import (
+    draw_offsets,
+    ideal_inv,
+    ideal_mvm,
+    inv_raw,
+    mvm_raw,
+    saturate,
+)
 from repro.crossbar.array import CrossbarArray
 from repro.errors import SolverError
 from repro.utils.rng import as_generator
@@ -137,11 +151,8 @@ class AMCOperations:
         return (np.asarray(array.g_pos) - np.asarray(array.g_neg)) / array.g_unit
 
     def _saturate(self, v_out: np.ndarray) -> tuple[np.ndarray, bool]:
-        v_sat = self.config.opamp.v_sat
-        if math.isinf(v_sat):
-            return v_out, False
-        clipped = np.clip(v_out, -v_sat, v_sat)
-        return clipped, bool(np.any(clipped != v_out))
+        clipped, saturated = saturate(v_out, self.config.opamp.v_sat)
+        return clipped, bool(saturated)
 
     def _draw_offsets(self, rows: int, rng) -> np.ndarray | None:
         """Input-referred offsets of the shared op-amp column.
@@ -155,7 +166,7 @@ class AMCOperations:
             return None
         cached = self._offsets_by_rows.get(rows)
         if cached is None:
-            cached = as_generator(rng).normal(0.0, sigma, size=rows)
+            cached = draw_offsets(sigma, rows, rng)
             self._offsets_by_rows[rows] = cached
         return cached
 
@@ -192,20 +203,19 @@ class AMCOperations:
         rows, cols = array.shape
         v_in = check_vector(v_in, "v_in", size=cols)
 
-        ideal = -self._ideal_matrix(array) @ v_in
+        ideal = ideal_mvm(self._ideal_matrix(array), v_in)
         offsets = self._draw_offsets(rows, rng)
 
         if self.config.use_mna:
             raw = self._mvm_mna(array, v_in, offsets)
         else:
-            effective = array.effective_matrix(self.config.parasitics)
-            raw = -effective @ v_in
-            noise_gain = 1.0 + array.load_row_sums()
-            if offsets is not None:
-                raw = raw + noise_gain * offsets
-            a0 = self.config.opamp.open_loop_gain
-            if not math.isinf(a0):
-                raw = raw / (1.0 + noise_gain / a0)
+            raw = mvm_raw(
+                array.effective_matrix(self.config.parasitics),
+                array.load_row_sums(),
+                v_in,
+                offsets,
+                self.config.opamp.open_loop_gain,
+            )
 
         raw = self._add_output_noise(raw, rng)
         output, saturated = self._saturate(raw)
@@ -295,30 +305,21 @@ class AMCOperations:
         v_in = check_vector(v_in, "v_in", size=rows)
         check_positive(input_scale, "input_scale")
 
-        ideal_matrix = self._ideal_matrix(array)
-        try:
-            ideal = -np.linalg.solve(ideal_matrix, input_scale * v_in)
-        except np.linalg.LinAlgError as exc:
-            raise SolverError(f"ideal block matrix is singular: {exc}") from exc
+        ideal = ideal_inv(self._ideal_matrix(array), v_in, input_scale)
 
         offsets = self._draw_offsets(rows, rng)
+        effective = array.effective_matrix(self.config.parasitics)
         if self.config.use_mna:
             raw = self._inv_mna(array, v_in, input_scale, offsets)
-            effective = array.effective_matrix(self.config.parasitics)
         else:
-            effective = array.effective_matrix(self.config.parasitics)
-            system = effective.copy()
-            loading = input_scale + array.load_row_sums()
-            rhs = -input_scale * v_in
-            if offsets is not None:
-                rhs = rhs + loading * offsets
-            a0 = self.config.opamp.open_loop_gain
-            if not math.isinf(a0):
-                system[np.diag_indices_from(system)] += loading / a0
-            try:
-                raw = np.linalg.solve(system, rhs)
-            except np.linalg.LinAlgError as exc:
-                raise SolverError(f"effective block matrix is singular: {exc}") from exc
+            raw = inv_raw(
+                effective,
+                array.load_row_sums(),
+                v_in,
+                offsets,
+                input_scale,
+                self.config.opamp.open_loop_gain,
+            )
 
         raw = self._add_output_noise(raw, rng)
         output, saturated = self._saturate(raw)

@@ -1,5 +1,8 @@
 """The paper's primary contribution: BlockAMC solvers and baselines.
 
+- :mod:`repro.core.common` — the shared analog solve kernel (input
+  scaling, offsets, raw INV/MVM, saturation, gain ranging) behind every
+  solver shape: scalar, multi-RHS, and trial-batched;
 - :mod:`repro.core.partition` — block partitioning and Schur-complement
   preprocessing (the digital setup phase of the algorithm);
 - :mod:`repro.core.blockamc` — the one-stage BlockAMC solver (Fig. 2-4);
@@ -18,57 +21,57 @@
   precision extension;
 - :mod:`repro.core.feasibility` — the pre-flight advisor ("will this
   system solve well on AMC?").
+
+Submodules are imported lazily (PEP 562): the analog kernel in
+:mod:`repro.core.common` sits *below* :mod:`repro.amc` in the layering
+(``amc.ops`` delegates its physics to it), so this package ``__init__``
+must not eagerly pull in the solver modules — they import ``repro.amc``
+right back, which would make ``import repro.amc`` circular.
 """
 
-from repro.core.batched import is_batchable_config, make_batched_runner
-from repro.core.blockamc import BatchResult, BlockAMCSolver
-from repro.core.digital import (
-    DigitalDirectSolver,
-    conjugate_gradient,
-    gauss_seidel,
-    gmres,
-    jacobi,
-    richardson,
-)
-from repro.core.feasibility import (
-    FeasibilityReport,
-    Finding,
-    assess_feasibility,
-    recommended_stage_count,
-)
-from repro.core.multistage import MultiStageSolver
-from repro.core.original import OriginalAMCSolver
-from repro.core.partition import PartitionSpec, build_macro_arrays, prepare_blocks
-from repro.core.precision import CompensatedMVM, compensated_refinement
-from repro.core.preconditioned import amc_preconditioner, fgmres
-from repro.core.refinement import RefinementResult, iterative_refinement
-from repro.core.solution import SolveResult
+from importlib import import_module
 
-__all__ = [
-    "BatchResult",
-    "BlockAMCSolver",
-    "CompensatedMVM",
-    "DigitalDirectSolver",
-    "FeasibilityReport",
-    "Finding",
-    "MultiStageSolver",
-    "OriginalAMCSolver",
-    "PartitionSpec",
-    "RefinementResult",
-    "SolveResult",
-    "amc_preconditioner",
-    "assess_feasibility",
-    "build_macro_arrays",
-    "compensated_refinement",
-    "conjugate_gradient",
-    "fgmres",
-    "gauss_seidel",
-    "gmres",
-    "is_batchable_config",
-    "iterative_refinement",
-    "jacobi",
-    "make_batched_runner",
-    "prepare_blocks",
-    "recommended_stage_count",
-    "richardson",
-]
+#: Public name -> defining submodule (resolved on first attribute access).
+_EXPORTS = {
+    "BatchResult": "repro.core.blockamc",
+    "BlockAMCSolver": "repro.core.blockamc",
+    "CompensatedMVM": "repro.core.precision",
+    "DigitalDirectSolver": "repro.core.digital",
+    "FeasibilityReport": "repro.core.feasibility",
+    "Finding": "repro.core.feasibility",
+    "MultiStageSolver": "repro.core.multistage",
+    "OriginalAMCSolver": "repro.core.original",
+    "PartitionSpec": "repro.core.partition",
+    "RefinementResult": "repro.core.refinement",
+    "SolveResult": "repro.core.solution",
+    "amc_preconditioner": "repro.core.preconditioned",
+    "assess_feasibility": "repro.core.feasibility",
+    "build_macro_arrays": "repro.core.partition",
+    "compensated_refinement": "repro.core.precision",
+    "conjugate_gradient": "repro.core.digital",
+    "fgmres": "repro.core.preconditioned",
+    "gauss_seidel": "repro.core.digital",
+    "gmres": "repro.core.digital",
+    "is_batchable_config": "repro.core.batched",
+    "iterative_refinement": "repro.core.refinement",
+    "jacobi": "repro.core.digital",
+    "make_batched_runner": "repro.core.batched",
+    "prepare_blocks": "repro.core.partition",
+    "recommended_stage_count": "repro.core.feasibility",
+    "richardson": "repro.core.digital",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.core' has no attribute {name!r}")
+    value = getattr(import_module(module_name), name)
+    globals()[name] = value  # cache: subsequent lookups skip __getattr__
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -16,9 +16,11 @@ Equivalence contract (enforced by tests):
   the order the sequential path does (programming draws, then op-amp
   offset draws), so all random samples are **bit-identical** to
   :func:`repro.analysis.accuracy.run_trials`;
-- the remaining arithmetic is the same operations evaluated through
-  stacked LAPACK calls, so results match the sequential path to
-  ~1e-12 (documented tolerance 1e-10).
+- the physics itself is the shared kernel of :mod:`repro.core.common`
+  (the same functions the scalar path calls, evaluated per-slice through
+  shape-stable contractions and stacked LAPACK), so results are
+  **bit-identical** to the sequential path — not merely close
+  (``tests/test_kernel_equivalence.py`` asserts exact equality).
 
 Configurations the batched engine cannot express (MNA routing,
 write-and-verify programming, quantized targets, stuck-at faults, exact
@@ -29,19 +31,26 @@ sequential path.
 
 from __future__ import annotations
 
-import math
-
 import numpy as np
 
 from repro.amc.config import HardwareConfig
 from repro.amc.interfaces import quantize_voltages
 from repro.circuits.dynamics import DEFAULT_EPSILON
 from repro.core.blockamc import BlockAMCSolver
-from repro.core.common import MAX_RANGING_ATTEMPTS, RANGING_HEADROOM
+from repro.core.common import (
+    auto_range_many,
+    draw_offsets_batch,
+    input_voltage_scale_many,
+    inv_raw,
+    mvm_raw,
+    saturate,
+    snh_cascade,
+    solve_slices,
+)
 from repro.core.original import OriginalAMCSolver
-from repro.crossbar.parasitics import _shared_segments
+from repro.crossbar.parasitics import first_order_effective_matrix
 from repro.devices.variations import GaussianVariation, RelativeGaussianVariation
-from repro.errors import PartitionError, SolverError, ValidationError
+from repro.errors import PartitionError, ValidationError
 
 __all__ = ["TrialOutcome", "make_batched_runner", "is_batchable_config"]
 
@@ -153,16 +162,6 @@ def _program_batch(blocks: np.ndarray, config: HardwareConfig, rngs) -> tuple:
     return g_pos, g_neg
 
 
-def _first_order_batch(g: np.ndarray, r_wire: float, alpha: float) -> np.ndarray:
-    """Batched :func:`repro.crossbar.parasitics.first_order_effective_matrix`."""
-    rows, cols = g.shape[1], g.shape[2]
-    p_rows = _shared_segments(rows)
-    p_cols = _shared_segments(cols)
-    bl_term = g * (p_rows @ g)
-    wl_term = g * (g @ p_cols)
-    return g - alpha * r_wire * (bl_term + wl_term)
-
-
 class _ArrayBatch:
     """The batched analog of one :class:`CrossbarArray` across trials."""
 
@@ -173,9 +172,14 @@ class _ArrayBatch:
         parasitics = config.parasitics
         if parasitics.is_ideal:
             eff_pos, eff_neg = g_pos, g_neg
-        else:  # first_order (checked by is_batchable_config)
-            eff_pos = _first_order_batch(g_pos, parasitics.r_wire, parasitics.alpha)
-            eff_neg = _first_order_batch(g_neg, parasitics.r_wire, parasitics.alpha)
+        else:  # first_order (checked by is_batchable_config); the scalar
+            # model is shape-generic over a leading trials axis.
+            eff_pos = first_order_effective_matrix(
+                g_pos, parasitics.r_wire, parasitics.alpha
+            )
+            eff_neg = first_order_effective_matrix(
+                g_neg, parasitics.r_wire, parasitics.alpha
+            )
         self.effective = (eff_pos - eff_neg) / g_unit  # (T, r, c)
         g_total = g_pos + g_neg
         self.load_row_sums = g_total.sum(axis=2) / g_unit  # (T, r)
@@ -226,130 +230,22 @@ class _OpAccumulator:
 
     def add_for(self, indices: np.ndarray, raw: np.ndarray, settle) -> np.ndarray:
         """Register one step's raw outputs; returns the (clipped) outputs."""
-        if math.isinf(self.v_sat):
-            out = raw
-        else:
-            out = np.clip(raw, -self.v_sat, self.v_sat)
-            self.saturated[indices] |= np.any(out != raw, axis=1)
+        out, clipped = saturate(raw, self.v_sat)
+        self.saturated[indices] |= clipped
         self.settle[indices] = self.settle[indices] + settle
         return out
-
-
-def _inv_raw(
-    array: _ArrayBatch,
-    v_in: np.ndarray,
-    offsets: np.ndarray | None,
-    input_scale,
-    config: HardwareConfig,
-) -> np.ndarray:
-    """Batched algebraic INV (matches ``AMCOperations.inv``)."""
-    loading = np.asarray(input_scale)[..., None] + array.load_row_sums
-    rhs = -np.asarray(input_scale)[..., None] * v_in
-    if offsets is not None:
-        rhs = rhs + loading * offsets
-    a0 = config.opamp.open_loop_gain
-    system = array.effective
-    if not math.isinf(a0):
-        system = system.copy()
-        n = system.shape[1]
-        idx = np.arange(n)
-        system[:, idx, idx] += loading / a0
-    try:
-        return np.linalg.solve(system, rhs[..., None])[..., 0]
-    except np.linalg.LinAlgError as exc:
-        raise SolverError(f"effective block matrix is singular: {exc}") from exc
-
-
-def _mvm_raw(
-    array: _ArrayBatch,
-    v_in: np.ndarray,
-    offsets: np.ndarray | None,
-    config: HardwareConfig,
-) -> np.ndarray:
-    """Batched algebraic MVM (matches ``AMCOperations.mvm``)."""
-    raw = -np.einsum("trc,tc->tr", array.effective, v_in)
-    noise_gain = 1.0 + array.load_row_sums
-    if offsets is not None:
-        raw = raw + noise_gain * offsets
-    a0 = config.opamp.open_loop_gain
-    if not math.isinf(a0):
-        raw = raw / (1.0 + noise_gain / a0)
-    return raw
-
-
-def _draw_offsets_batch(
-    config: HardwareConfig, sizes: list[int], rngs
-) -> dict[int, np.ndarray | None]:
-    """Per-trial op-amp offset columns, drawn in schedule-first-use order.
-
-    Mirrors ``AMCOperations._draw_offsets``: one draw per distinct column
-    size per trial, cached for the rest of that trial's schedule.
-    """
-    sigma = config.opamp.input_offset_sigma_v
-    if sigma == 0.0:
-        return {size: None for size in sizes}
-    distinct: list[int] = []
-    for size in sizes:
-        if size not in distinct:
-            distinct.append(size)
-    out: dict[int, np.ndarray] = {
-        size: np.empty((len(rngs), size)) for size in distinct
-    }
-    for t, rng in enumerate(rngs):
-        for size in distinct:
-            out[size][t] = rng.normal(0.0, sigma, size=size)
-    return out
-
-
-def _input_scale_batch(bs: np.ndarray, v_fs: float, fraction: float) -> np.ndarray:
-    """Batched :func:`repro.core.common.input_voltage_scale`."""
-    peak = np.max(np.abs(bs), axis=1)
-    if np.any(peak == 0.0):
-        raise ValidationError("b must be non-zero (the all-zero system is trivial)")
-    return fraction * v_fs / peak
 
 
 def _relative_errors(
     matrices: np.ndarray, bs: np.ndarray, xs: np.ndarray
 ) -> np.ndarray:
-    """Batched paper Eq. 6 error against the digital reference solve."""
-    reference = np.linalg.solve(matrices, bs[..., None])[..., 0]
-    return np.sum(np.abs(xs - reference), axis=1) / np.sum(np.abs(reference), axis=1)
+    """Batched paper Eq. 6 error against the digital reference solve.
 
-
-def _auto_range_batch(run, k0: np.ndarray, v_fs: float):
-    """Batched :func:`repro.core.common.auto_range`.
-
-    ``run(k, indices)`` executes the pipeline for the trial subset
-    ``indices`` at per-trial scales ``k`` and returns ``(peaks, payload)``
-    where payload is a dict of per-trial output arrays. Each trial
-    rescales and reruns independently, exactly like the sequential loop.
+    References go through the kernel's per-slice solve so each trial's
+    reference is bit-identical to the scalar path's.
     """
-    trials = k0.size
-    k = k0.copy()
-    active = np.arange(trials)
-    final: dict[str, np.ndarray] = {}
-    final_k = k0.copy()
-    for attempt in range(MAX_RANGING_ATTEMPTS):
-        peaks, payload = run(k[active], active)
-        if attempt == MAX_RANGING_ATTEMPTS - 1:
-            accept = np.ones_like(peaks, dtype=bool)
-        else:
-            accept = peaks <= RANGING_HEADROOM * v_fs
-        accepted = active[accept]
-        for key, values in payload.items():
-            if key not in final:
-                final[key] = np.zeros((trials, *values.shape[1:]), dtype=values.dtype)
-            final[key][accepted] = values[accept]
-        final_k[accepted] = k[active][accept]
-        if np.all(accept):
-            return final, final_k
-        rescale = ~accept
-        k[active[rescale]] = (
-            k[active[rescale]] * (RANGING_HEADROOM * v_fs / peaks[rescale]) * 0.95
-        )
-        active = active[rescale]
-    return final, final_k  # pragma: no cover - loop always returns
+    reference = solve_slices(matrices, bs, what="system matrix")
+    return np.sum(np.abs(xs - reference), axis=1) / np.sum(np.abs(reference), axis=1)
 
 
 # ----------------------------------------------------------------------
@@ -370,25 +266,30 @@ class _BatchedOriginalAMC:
         trials, n = bs.shape
         normalized, scale = _normalize_batch(matrices)
         array = _ArrayBatch(normalized, config, rngs)
-        offsets = _draw_offsets_batch(config, [n], rngs)[n]
+        offsets = draw_offsets_batch(
+            config.opamp.input_offset_sigma_v, [n], rngs
+        )[n]
         inv_settle = array.inv_settle()
 
         conv = config.converters
         v_fs = conv.v_fs
         v_sat = config.opamp.v_sat
         acc = _OpAccumulator(trials, v_sat)
+        a0 = config.opamp.open_loop_gain
 
         def run_subset(k, indices):
             acc.begin(indices)
             sub = _ArrayView(array, indices)
             v_in = _quantize_batch(k[:, None] * bs[indices], conv.dac_bits, v_fs)
-            raw = _inv_raw(sub, v_in, _take(offsets, indices), 1.0, config)
+            raw = inv_raw(
+                sub.effective, sub.load_row_sums, v_in, _take(offsets, indices), 1.0, a0
+            )
             out = acc.add_for(indices, raw, inv_settle[indices])
             peaks = np.max(np.abs(out), axis=1)
             return peaks, {"out": out}
 
-        k0 = _input_scale_batch(bs, v_fs, self.input_fraction)
-        final, k = _auto_range_batch(run_subset, k0, v_fs)
+        k0 = input_voltage_scale_many(bs, v_fs, self.input_fraction)
+        final, k = auto_range_many(run_subset, k0, v_fs)
 
         x = -_quantize_batch(final["out"], conv.adc_bits, v_fs) / (k * scale)[:, None]
         errors = _relative_errors(matrices, bs, x)
@@ -436,7 +337,9 @@ class _BatchedBlockAMC:
 
         k_size, m_size = split, n - split
         # Offsets draw in first-use order: step 1 (size k), step 2 (size m).
-        offsets = _draw_offsets_batch(config, [k_size, m_size], rngs)
+        offsets = draw_offsets_batch(
+            config.opamp.input_offset_sigma_v, [k_size, m_size], rngs
+        )
 
         settle1 = arr1.inv_settle()
         settle2 = arr3.mvm_settle()
@@ -446,8 +349,9 @@ class _BatchedBlockAMC:
         conv = config.converters
         v_fs = conv.v_fs
         v_sat = config.opamp.v_sat
-        snh_gain = (1.0 + config.sample_hold.gain_error) ** 2
+        snh_error = config.sample_hold.gain_error
         acc = _OpAccumulator(trials, v_sat)
+        a0 = config.opamp.open_loop_gain
 
         def run_subset(k, indices):
             acc.begin(indices)
@@ -458,39 +362,44 @@ class _BatchedBlockAMC:
             off_k = _take(offsets[k_size], indices)
             off_m = _take(offsets[m_size], indices)
 
+            def view(arr):
+                return _ArrayView(arr, indices)
+
+            a1, a2, a3, a4s = view(arr1), view(arr2), view(arr3), view(arr4s)
             s1 = acc.add_for(
                 indices,
-                _inv_raw(_ArrayView(arr1, indices), v_f, off_k, 1.0, config),
+                inv_raw(a1.effective, a1.load_row_sums, v_f, off_k, 1.0, a0),
                 settle1[indices],
             )
-            h1 = s1 * snh_gain
+            h1 = snh_cascade(s1, snh_error)
             s2 = acc.add_for(
                 indices,
-                _mvm_raw(_ArrayView(arr3, indices), h1, off_m, config),
+                mvm_raw(a3.effective, a3.load_row_sums, h1, off_m, a0),
                 settle2[indices],
             )
-            h2 = s2 * snh_gain
+            h2 = snh_cascade(s2, snh_error)
             s3 = acc.add_for(
                 indices,
-                _inv_raw(
-                    _ArrayView(arr4s, indices),
+                inv_raw(
+                    a4s.effective,
+                    a4s.load_row_sums,
                     h2 - v_g,
                     off_m,
                     schur_input_scale[indices],
-                    config,
+                    a0,
                 ),
                 settle3[indices],
             )
-            h3 = s3 * snh_gain
+            h3 = snh_cascade(s3, snh_error)
             s4 = acc.add_for(
                 indices,
-                _mvm_raw(_ArrayView(arr2, indices), h3, off_k, config),
+                mvm_raw(a2.effective, a2.load_row_sums, h3, off_k, a0),
                 settle4[indices],
             )
-            h4 = s4 * snh_gain
+            h4 = snh_cascade(s4, snh_error)
             s5 = acc.add_for(
                 indices,
-                _inv_raw(_ArrayView(arr1, indices), v_f + h4, off_k, 1.0, config),
+                inv_raw(a1.effective, a1.load_row_sums, v_f + h4, off_k, 1.0, a0),
                 settle1[indices],
             )
             peaks = np.max(
@@ -500,8 +409,8 @@ class _BatchedBlockAMC:
             x_upper = -_quantize_batch(s5, conv.adc_bits, v_fs)
             return peaks, {"x": np.concatenate([x_upper, x_lower], axis=1)}
 
-        k0 = _input_scale_batch(bs, v_fs, self.input_fraction)
-        final, k = _auto_range_batch(run_subset, k0, v_fs)
+        k0 = input_voltage_scale_many(bs, v_fs, self.input_fraction)
+        final, k = auto_range_many(run_subset, k0, v_fs)
 
         x = final["x"] / (k * scale)[:, None]
         errors = _relative_errors(matrices, bs, x)

@@ -18,28 +18,37 @@ matrix (programming — and its variation draw — happens once).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.amc.config import HardwareConfig
 from repro.amc.interfaces import quantize_voltages
-from repro.amc.macro import BlockAMCMacro
+from repro.amc.macro import BlockAMCMacro, reference_schedule
 from repro.amc.ops import OpResult
 from repro.circuits.dynamics import mvm_settling_time
 from repro.amc.scheduler import ScheduleResult, simulate_schedule
 from repro.core.common import (
     DEFAULT_INPUT_FRACTION,
-    MAX_RANGING_ATTEMPTS,
-    RANGING_HEADROOM,
+    FactoredSystem,
     auto_range,
+    auto_range_many,
+    ideal_inv,
+    ideal_mvm,
     input_voltage_scale,
+    input_voltage_scale_many,
+    inv_loading,
+    inv_rhs,
+    inv_system,
+    mvm_raw,
+    saturate,
+    snh_cascade,
+    solve_columns,
 )
 from repro.core.partition import PartitionSpec, build_macro_arrays, prepare_blocks
 from repro.core.solution import SolveResult
 from repro.crossbar.mapping import normalize_matrix
-from repro.errors import SolverError, ValidationError
+from repro.errors import ValidationError
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_square_matrix, check_vector
 
@@ -77,7 +86,7 @@ class PreparedBlockAMC:
         macro_result, k = auto_range(run, k0, v_fs)
         x = macro_result.solution / (k * self.scale)
 
-        reference = np.linalg.solve(self.matrix, b)
+        reference = solve_columns(self.matrix, b, what="system matrix")
         return SolveResult(
             x=x,
             reference=reference,
@@ -113,10 +122,15 @@ class PreparedBlockAMC:
         right-hand side (columns rerun independently, exactly like
         sequential :meth:`solve` calls).
 
-        Results match a sequential loop of :meth:`solve` calls to
-        ~1e-12. Configurations whose per-operation randomness cannot be
-        shared across a batch (MNA routing, output or sample-and-hold
-        noise) transparently fall back to that loop.
+        Results are **bit-identical** to a sequential loop of
+        :meth:`solve` calls: every step goes through the shared kernel
+        of :mod:`repro.core.common`, whose multi-RHS solves factor once
+        but back-substitute one column at a time (see
+        :class:`repro.core.common.FactoredSystem`) and whose
+        contractions are shape-stable. Configurations whose
+        per-operation randomness cannot be shared across a batch (MNA
+        routing, output or sample-and-hold noise) transparently fall
+        back to that loop.
         """
         rhs_list = [np.asarray(b, dtype=float) for b in rhs_batch]
         if not rhs_list:
@@ -154,7 +168,7 @@ class PreparedBlockAMC:
         v_sat = config.opamp.v_sat
         conv = config.converters
         v_fs = conv.v_fs
-        snh_gain = (1.0 + config.sample_hold.gain_error) ** 2
+        snh_error = config.sample_hold.gain_error
         gbwp = config.opamp.gbwp_hz
 
         settle = {
@@ -169,148 +183,114 @@ class PreparedBlockAMC:
         }
         settle[5] = settle[1]
 
-        def prep_inv(eff, load, input_scale):
-            loading = input_scale + load
-            system = eff.copy()
-            if not math.isinf(a0):
-                system[np.diag_indices_from(system)] += loading / a0
-            return system, loading
+        # One INV stage each for A1 (steps 1/5) and A4s (step 3): the
+        # finite-gain system is assembled and LU-factored once for the
+        # whole batch; back-substitution happens per column, so results
+        # stay bit-identical to per-RHS scalar solves.
+        loading1 = inv_loading(load1, 1.0)
+        loading4 = inv_loading(load4, s_in)
+        fact1 = FactoredSystem(inv_system(eff1, loading1, a0))
+        fact4 = FactoredSystem(inv_system(eff4, loading4, a0))
 
-        sys1, loading1 = prep_inv(eff1, load1, 1.0)
-        sys4, loading4 = prep_inv(eff4, load4, s_in)
+        def inv_step(fact, loading, off, v_in, input_scale):
+            return saturate(fact.solve(inv_rhs(v_in, loading, off, input_scale)), v_sat)
 
-        def inv_multi(system, loading, off, v_in, input_scale):
-            rhs = -input_scale * v_in
-            if off is not None:
-                rhs = rhs + loading * off
-            try:
-                return np.linalg.solve(system, rhs.T).T
-            except np.linalg.LinAlgError as exc:
-                raise SolverError(
-                    f"effective block matrix is singular: {exc}"
-                ) from exc
-
-        def mvm_multi(eff, load, off, v_in):
-            raw = -(v_in @ eff.T)
-            noise_gain = 1.0 + load
-            if off is not None:
-                raw = raw + noise_gain * off
-            if not math.isinf(a0):
-                raw = raw / (1.0 + noise_gain / a0)
-            return raw
-
-        def saturate(raw):
-            if math.isinf(v_sat):
-                return raw, np.zeros(raw.shape[0], dtype=bool)
-            clipped = np.clip(raw, -v_sat, v_sat)
-            return clipped, np.any(clipped != raw, axis=1)
+        def mvm_step(eff, load, off, v_in):
+            return saturate(mvm_raw(eff, load, v_in, off, a0), v_sat)
 
         def quantize(v, bits):
             # Shared shape-generic converter model (amc.interfaces).
             return quantize_voltages(v, bits, v_fs)
 
         batch = bs.shape[0]
-        peaks_b = np.max(np.abs(bs), axis=1)
-        if np.any(peaks_b == 0.0):
-            raise ValidationError("b must be non-zero (the all-zero system is trivial)")
-        k = self.input_fraction * v_fs / peaks_b
-        final: dict[str, np.ndarray] = {}
-        final_k = k.copy()
-        final_sat = np.zeros((batch, 5), dtype=bool)
-        active = np.arange(batch)
-        for attempt in range(MAX_RANGING_ATTEMPTS):
-            f = k[active, None] * bs[active, :split]
-            g = k[active, None] * bs[active, split:]
+
+        def run_subset(k, indices):
+            f = k[:, None] * bs[indices, :split]
+            g = k[:, None] * bs[indices, split:]
             v_f = quantize(f, conv.dac_bits)
             v_g = quantize(g, conv.dac_bits)
-            s1, sat1 = saturate(inv_multi(sys1, loading1, off_k, v_f, 1.0))
-            h1 = s1 * snh_gain
-            s2, sat2 = saturate(mvm_multi(eff3, load3, off_m, h1))
-            h2 = s2 * snh_gain
-            s3, sat3 = saturate(inv_multi(sys4, loading4, off_m, h2 - v_g, s_in))
-            h3 = s3 * snh_gain
-            s4, sat4 = saturate(mvm_multi(eff2, load2, off_k, h3))
-            h4 = s4 * snh_gain
-            s5, sat5 = saturate(inv_multi(sys1, loading1, off_k, v_f + h4, 1.0))
+            s1, sat1 = inv_step(fact1, loading1, off_k, v_f, 1.0)
+            h1 = snh_cascade(s1, snh_error)
+            s2, sat2 = mvm_step(eff3, load3, off_m, h1)
+            h2 = snh_cascade(s2, snh_error)
+            s3, sat3 = inv_step(fact4, loading4, off_m, h2 - v_g, s_in)
+            h3 = snh_cascade(s3, snh_error)
+            s4, sat4 = mvm_step(eff2, load2, off_k, h3)
+            h4 = snh_cascade(s4, snh_error)
+            s5, sat5 = inv_step(fact1, loading1, off_k, v_f + h4, 1.0)
             outs = np.concatenate([s1, s2, s3, s4, s5], axis=1)
             peaks = np.max(np.abs(outs), axis=1)
-            sat = np.stack([sat1, sat2, sat3, sat4, sat5], axis=1)
-            if attempt == MAX_RANGING_ATTEMPTS - 1:
-                accept = np.ones_like(peaks, dtype=bool)
-            else:
-                accept = peaks <= RANGING_HEADROOM * v_fs
-            accepted = active[accept]
             payload = {
                 "s1": s1, "s2": s2, "s3": s3, "s4": s4, "s5": s5,
                 "in1": v_f, "in2": h1, "in3": h2 - v_g, "in4": h3,
                 "in5": v_f + h4, "f": f, "g": g,
+                "sat": np.stack([sat1, sat2, sat3, sat4, sat5], axis=1),
             }
-            for key, values in payload.items():
-                if key not in final:
-                    final[key] = np.zeros((batch, values.shape[1]))
-                final[key][accepted] = values[accept]
-            final_k[accepted] = k[active][accept]
-            final_sat[accepted] = sat[accept]
-            if np.all(accept):
-                break
-            rescale = ~accept
-            k[active[rescale]] = (
-                k[active[rescale]] * (RANGING_HEADROOM * v_fs / peaks[rescale]) * 0.95
-            )
-            active = active[rescale]
+            return peaks, payload
+
+        k0 = input_voltage_scale_many(bs, v_fs, self.input_fraction)
+        final, final_k = auto_range_many(run_subset, k0, v_fs)
+        final_sat = final["sat"]
 
         x_lower = quantize(final["s3"], conv.adc_bits)
         x_upper = -quantize(final["s5"], conv.adc_bits)
         x = np.concatenate([x_upper, x_lower], axis=1) / (final_k * self.scale)[:, None]
-        references = np.linalg.solve(self.matrix, bs.T).T
+        references = solve_columns(self.matrix, bs, what="system matrix")
 
         # Exact-arithmetic per-step references (Fig. 6a curves), batched.
-        f, g = final["f"], final["g"]
-        a4s_n = id4 / s_in
-        y_t = np.linalg.solve(id1, f.T).T
-        g_t = y_t @ id3.T
-        z = np.linalg.solve(a4s_n, (g - g_t).T).T
-        f_t = z @ id2.T
-        y = np.linalg.solve(id1, (f - f_t).T).T
+        reference = reference_schedule(
+            id1, id2, id3, id4 / s_in, final["f"], final["g"]
+        )
 
         # Ideal (perfect-circuit) outputs per executed step, batched.
-        ideal1 = -np.linalg.solve(id1, final["in1"].T).T
-        ideal2 = -(final["in2"] @ id3.T)
-        ideal3 = -np.linalg.solve(id4, (s_in * final["in3"]).T).T
-        ideal4 = -(final["in4"] @ id2.T)
-        ideal5 = -np.linalg.solve(id1, final["in5"].T).T
+        ideal1 = ideal_inv(id1, final["in1"])
+        ideal2 = ideal_mvm(id3, final["in2"])
+        ideal3 = ideal_inv(id4, final["in3"], s_in)
+        ideal4 = ideal_mvm(id2, final["in4"])
+        ideal5 = ideal_inv(id1, final["in5"])
 
+        # Per-step invariants, resolved once: OpResult construction runs
+        # batch x 5 times and dominates assembly time if the macro
+        # properties are recomputed per result.
         step_specs = [
-            ("step1:INV(A1)", "inv", "s1", ideal1, a1),
-            ("step2:MVM(A3)", "mvm", "s2", ideal2, a3),
-            ("step3:INV(A4s)", "inv", "s3", ideal3, a4s),
-            ("step4:MVM(A2)", "mvm", "s4", ideal4, a2),
-            ("step5:INV(A1)", "inv", "s5", ideal5, a1),
+            ("step1:INV(A1)", "inv", final["s1"], ideal1, settle[1], a1.shape, a1.device_count),
+            ("step2:MVM(A3)", "mvm", final["s2"], ideal2, settle[2], a3.shape, a3.device_count),
+            ("step3:INV(A4s)", "inv", final["s3"], ideal3, settle[3], a4s.shape, a4s.device_count),
+            ("step4:MVM(A2)", "mvm", final["s4"], ideal4, settle[4], a2.shape, a2.device_count),
+            ("step5:INV(A1)", "inv", final["s5"], ideal5, settle[5], a1.shape, a1.device_count),
         ]
+        sat_rows = final_sat.tolist()
+        metadata_common = {
+            "scale": self.scale,
+            "split": self.split,
+            "schur_scale": self.schur_scale,
+            "opa_count": macro.opa_count,
+            "dac_count": macro.dac_count,
+            "adc_count": macro.adc_count,
+            "device_count": macro.device_count,
+            "dac_conversions": 2,
+            "adc_conversions": 2,
+        }
         results = []
         for c in range(batch):
+            sat_row = sat_rows[c]
             steps = tuple(
                 OpResult(
                     kind=kind,
                     label=label,
-                    output=final[key][c],
+                    output=outputs[c],
                     ideal_output=ideal[c],
-                    settling_time_s=settle[num],
-                    saturated=bool(final_sat[c, num - 1]),
-                    rows=array.shape[0],
-                    cols=array.shape[1],
-                    opa_count=array.shape[0],
-                    device_count=array.device_count,
+                    settling_time_s=settle_s,
+                    saturated=sat_row[num],
+                    rows=shape[0],
+                    cols=shape[1],
+                    opa_count=shape[0],
+                    device_count=device_count,
                 )
-                for num, (label, kind, key, ideal, array) in enumerate(step_specs, 1)
+                for num, (label, kind, outputs, ideal, settle_s, shape, device_count)
+                in enumerate(step_specs)
             )
-            reference_steps = {
-                "step1": -y_t[c],
-                "step2": g_t[c],
-                "step3": z[c],
-                "step4": -f_t[c],
-                "step5": -y[c],
-            }
+            reference_steps = {name: rows[c] for name, rows in reference.items()}
             results.append(
                 SolveResult(
                     x=x[c],
@@ -318,16 +298,8 @@ class PreparedBlockAMC:
                     solver="blockamc-1stage",
                     operations=steps,
                     metadata={
-                        "scale": self.scale,
+                        **metadata_common,
                         "input_scale": float(final_k[c]),
-                        "split": self.split,
-                        "schur_scale": self.schur_scale,
-                        "opa_count": macro.opa_count,
-                        "dac_count": macro.dac_count,
-                        "adc_count": macro.adc_count,
-                        "device_count": macro.device_count,
-                        "dac_conversions": 2,
-                        "adc_conversions": 2,
                         "reference_steps": reference_steps,
                         "step_outputs": {
                             step.label: step.output for step in steps

@@ -16,7 +16,12 @@ import numpy as np
 from repro.amc.config import HardwareConfig
 from repro.amc.interfaces import ADC, DAC
 from repro.amc.ops import AMCOperations
-from repro.core.common import DEFAULT_INPUT_FRACTION, auto_range, input_voltage_scale
+from repro.core.common import (
+    DEFAULT_INPUT_FRACTION,
+    auto_range,
+    input_voltage_scale,
+    solve_columns,
+)
 from repro.core.solution import SolveResult
 from repro.crossbar.array import CrossbarArray
 from repro.crossbar.mapping import normalize_matrix
@@ -55,7 +60,7 @@ class PreparedOriginalAMC:
         # The circuit returns -A_n^-1 v_in; undo sign and scaling digitally.
         x = -adc.convert(op.output) / (k * self.scale)
 
-        reference = np.linalg.solve(self.matrix, b)
+        reference = solve_columns(self.matrix, b, what="system matrix")
         return SolveResult(
             x=x,
             reference=reference,

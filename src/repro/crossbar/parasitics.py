@@ -64,7 +64,7 @@ from scipy.linalg import blas as _blas, lapack as _lapack
 from scipy.sparse import csc_matrix
 from scipy.sparse.linalg import splu
 
-from repro.errors import CircuitError
+from repro.errors import CircuitError, ValidationError
 from repro.utils.validation import check_matrix
 
 #: Wire segment resistance assumed in the paper's Fig. 9 (ohm).
@@ -138,18 +138,28 @@ def first_order_effective_matrix(
     ----------
     g:
         Non-negative programmed conductance matrix (siemens), rows = WLs
-        (amplifier at column 0), columns = BLs (driver at row 0).
+        (amplifier at column 0), columns = BLs (driver at row 0). Shape-
+        generic: a ``(trials, rows, cols)`` stack applies the model per
+        slice (the batched Monte-Carlo engine delegates here, so the
+        correction has exactly one implementation).
     r_wire:
         Segment resistance (ohm).
     alpha:
         Overall correction scale (1.0 = analytic value).
     """
-    g = check_matrix(g, "g")
+    if np.ndim(g) == 3:
+        g = np.asarray(g, dtype=float)
+        if g.size == 0:
+            raise ValidationError("g must be non-empty")
+        if not np.all(np.isfinite(g)):
+            raise ValidationError("g contains non-finite entries")
+    else:
+        g = check_matrix(g, "g")
     if np.any(g < 0.0):
         raise ValueError("conductances must be non-negative")
     if r_wire == 0.0:
         return g.copy()
-    rows, cols = g.shape
+    rows, cols = g.shape[-2:]
     p_rows = _shared_segments(rows)
     p_cols = _shared_segments(cols)
     bl_term = g * (p_rows @ g)

@@ -7,11 +7,12 @@ Two pieces live here:
   :func:`repro.serve.service.run_sequential`) goes through this one
   function, so a request's result is a pure function of (prepared entry,
   ``b``, ``seed``) and never of how the scheduler happened to group it.
-  Coalescible entries always run the multi-RHS ``solve_many`` pipeline —
-  a lone request is padded to a two-column batch so the identical BLAS
-  kernels execute regardless of batch size — and that pipeline's
+  Coalescible entries run the multi-RHS ``solve_many`` pipeline, whose
   per-column results are bitwise invariant to batch composition and
-  order (``tests/test_serve.py`` enforces this).
+  order *by construction*: the shared kernel
+  (:mod:`repro.core.common`) factors each INV system once but
+  back-substitutes one column at a time, so no BLAS call ever sees the
+  batch size (``tests/test_serve.py`` enforces the invariance).
 - :class:`MicroBatcher` — per-worker bookkeeping that groups queued
   items by prepared key and hands out batches of at most
   ``max_batch_size``, oldest group first.
@@ -49,12 +50,7 @@ def execute_batch(
     if not bs:
         return []
     if entry.coalescible:
-        cols = list(bs)
-        if len(cols) == 1:
-            # Pad so the multi-RHS BLAS path runs; drop the twin column.
-            results = entry.prepared.solve_many([cols[0], cols[0]], np.random.default_rng(0))
-            return [results[0]]
-        return list(entry.prepared.solve_many(cols, np.random.default_rng(0)))
+        return list(entry.prepared.solve_many(list(bs), np.random.default_rng(0)))
     return [
         entry.prepared.solve(b, np.random.default_rng(seed))
         for b, seed in zip(bs, seeds)

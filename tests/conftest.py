@@ -5,6 +5,25 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-goldens",
+        action="store_true",
+        default=False,
+        help=(
+            "rewrite tests/goldens/*.npz from current engine output instead "
+            "of comparing against them (use after an intentional numerical "
+            "change, then commit the updated fixtures)"
+        ),
+    )
+
+
+@pytest.fixture
+def regen_goldens(request) -> bool:
+    """True when the run should regenerate golden fixtures."""
+    return request.config.getoption("--regen-goldens")
+
 from repro.amc.config import HardwareConfig
 from repro.crossbar.array import CrossbarArray, ProgrammingConfig
 from repro.crossbar.mapping import normalize_matrix

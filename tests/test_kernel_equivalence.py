@@ -1,0 +1,663 @@
+"""Property-based equivalence suite for the consolidated analog kernel.
+
+``repro.core.common`` is the single implementation of the analog solve
+physics; three call-path shapes consume it:
+
+- **scalar** — ``AMCOperations`` / ``PreparedBlockAMC.solve`` /
+  ``PreparedOriginalAMC.solve`` (one vector at a time);
+- **trial-batched** — ``repro.core.batched`` (stacked ``(trials, n, n)``
+  Monte-Carlo tensors);
+- **multi-RHS** — ``PreparedBlockAMC.solve_many`` (one programmed macro,
+  row-stacked right-hand sides).
+
+This suite *proves* the consolidation: for every configuration the
+batched engines support, the three shapes must produce **bit-identical**
+payloads — not merely close. Assertions here use ``==`` and
+``np.array_equal``, never tolerances. A reintroduced per-path copy of
+the physics (a second ranging margin, a ``@`` where the kernel uses
+``einsum``, an ``nrhs > 1`` LAPACK call) breaks these tests on the first
+affected sample; the drift-guard tests at the bottom demonstrate that
+detection explicitly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.core.batched as batched_module
+from repro.amc.config import (
+    ConverterConfig,
+    HardwareConfig,
+    OpAmpConfig,
+    SampleHoldConfig,
+)
+from repro.analysis.accuracy import run_trials, run_trials_batched
+from repro.core.batched import make_batched_runner
+from repro.core.blockamc import BlockAMCSolver
+from repro.core.common import (
+    DEFAULT_INPUT_FRACTION,
+    MAX_RANGING_ATTEMPTS,
+    QUANTIZATION_MARGIN,
+    RANGING_HEADROOM,
+    FactoredSystem,
+    auto_range,
+    auto_range_many,
+    contract,
+    draw_offsets,
+    draw_offsets_batch,
+    input_voltage_scale,
+    input_voltage_scale_many,
+    inv_raw,
+    inv_solve,
+    mvm_raw,
+    ranging_rescale,
+    saturate,
+    snh_cascade,
+    solve_columns,
+    solve_slices,
+)
+from repro.core.original import OriginalAMCSolver
+from repro.crossbar.array import ProgrammingConfig
+from repro.devices.variations import (
+    GaussianVariation,
+    LognormalVariation,
+    NoVariation,
+    RelativeGaussianVariation,
+)
+from repro.errors import SolverError, ValidationError
+from repro.workloads.matrices import (
+    diagonally_dominant_matrix,
+    random_vector,
+    wishart_matrix,
+)
+
+# ----------------------------------------------------------------------
+# workload generators: sizes, condition numbers, rhs counts
+# ----------------------------------------------------------------------
+
+
+def graded_matrix(n: int, decay: float, rng) -> np.ndarray:
+    """SPD matrix with eigenvalues ``decay ** k`` — condition knob.
+
+    ``decay`` close to 1 is benign; smaller values grow the inverse's
+    norm until INV outputs clip converter full scale and the
+    gain-ranging rerun path executes.
+    """
+    rng = np.random.default_rng(rng)
+    q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    s = decay ** np.arange(n)
+    return (q * s) @ q.T
+
+
+MATRIX_FAMILIES = {
+    "wishart": lambda n, rng: wishart_matrix(n, rng),
+    "dominant": lambda n, rng: diagonally_dominant_matrix(n, rng),
+    # Ill-conditioned enough that gain ranging reruns on most draws.
+    "graded": lambda n, rng: graded_matrix(n, 0.8, rng),
+}
+
+
+def _config_variants():
+    """HardwareConfig grid: noise on/off, quantization, saturation."""
+    return {
+        "ideal": HardwareConfig.ideal(),
+        "ideal_mapping": HardwareConfig.paper_ideal_mapping(),
+        "variation": HardwareConfig.paper_variation(),
+        "interconnect": HardwareConfig.paper_interconnect(),
+        "abs_gaussian": HardwareConfig.paper_variation().with_(
+            programming=ProgrammingConfig(variation=GaussianVariation(2e-6))
+        ),
+        "lognormal": HardwareConfig.paper_variation().with_(
+            programming=ProgrammingConfig(variation=LognormalVariation(0.05))
+        ),
+        "coarse_quant": HardwareConfig.paper_variation().with_(
+            converters=ConverterConfig(dac_bits=6, adc_bits=6)
+        ),
+        "saturating": HardwareConfig.paper_variation().with_(
+            opamp=OpAmpConfig(v_sat=0.7)
+        ),
+        "snh_gain_error": HardwareConfig.paper_variation().with_(
+            sample_hold=SampleHoldConfig(gain_error=0.01)
+        ),
+    }
+
+
+CONFIGS = _config_variants()
+
+
+def _records_exactly_equal(seq, bat):
+    assert [(r.solver, r.size, r.trial) for r in seq] == [
+        (r.solver, r.size, r.trial) for r in bat
+    ]
+    for s, b in zip(seq, bat):
+        key = (s.solver, s.size, s.trial)
+        assert s.relative_error == b.relative_error, key
+        assert s.saturated == b.saturated, key
+        assert s.analog_time_s == b.analog_time_s, key
+
+
+def _results_exactly_equal(s, b):
+    """Full SolveResult payload comparison, bit-for-bit."""
+    assert np.array_equal(s.x, b.x)
+    assert np.array_equal(s.reference, b.reference)
+    assert s.relative_error == b.relative_error
+    assert s.saturated == b.saturated
+    assert s.analog_time_s == b.analog_time_s
+    assert s.metadata["input_scale"] == b.metadata["input_scale"]
+    assert len(s.operations) == len(b.operations)
+    for op_s, op_b in zip(s.operations, b.operations):
+        assert op_s.label == op_b.label and op_s.kind == op_b.kind
+        assert np.array_equal(op_s.output, op_b.output), op_s.label
+        assert np.array_equal(op_s.ideal_output, op_b.ideal_output), op_s.label
+        assert op_s.settling_time_s == op_b.settling_time_s
+        assert op_s.saturated == op_b.saturated
+    ref_s = s.metadata["reference_steps"]
+    ref_b = b.metadata["reference_steps"]
+    assert set(ref_s) == set(ref_b)
+    for name in ref_s:
+        assert np.array_equal(ref_s[name], ref_b[name]), name
+
+
+# ----------------------------------------------------------------------
+# kernel-level shape stability (hypothesis)
+# ----------------------------------------------------------------------
+
+
+def _random_stage(n, trials, seed, with_offsets=True):
+    rng = np.random.default_rng(seed)
+    effective = rng.standard_normal((trials, n, n)) + 3.0 * n * np.eye(n)
+    loads = rng.uniform(0.0, 4.0, size=(trials, n))
+    v_in = rng.uniform(-1.0, 1.0, size=(trials, n))
+    offsets = rng.normal(0.0, 1e-3, size=(trials, n)) if with_offsets else None
+    scales = rng.uniform(0.2, 1.0, size=trials)
+    return effective, loads, v_in, offsets, scales
+
+
+class TestKernelShapeStability:
+    """The kernel's three shapes are the same bits, by construction."""
+
+    @given(
+        n=st.integers(1, 9),
+        trials=st.integers(1, 5),
+        seed=st.integers(0, 10_000),
+        a0=st.sampled_from([np.inf, 1e4, 500.0]),
+        with_offsets=st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_inv_raw_trial_batch_matches_scalar(self, n, trials, seed, a0, with_offsets):
+        effective, loads, v_in, offsets, scales = _random_stage(
+            n, trials, seed, with_offsets
+        )
+        stacked = inv_raw(effective, loads, v_in, offsets, scales, a0)
+        for t in range(trials):
+            scalar = inv_raw(
+                effective[t],
+                loads[t],
+                v_in[t],
+                None if offsets is None else offsets[t],
+                float(scales[t]),
+                a0,
+            )
+            assert np.array_equal(stacked[t], scalar)
+
+    @given(
+        n=st.integers(1, 9),
+        rows=st.integers(1, 6),
+        seed=st.integers(0, 10_000),
+        a0=st.sampled_from([np.inf, 1e4]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_inv_raw_multi_rhs_matches_scalar(self, n, rows, seed, a0):
+        effective, loads, v_in, offsets, _ = _random_stage(n, rows, seed)
+        shared_eff, shared_load = effective[0], loads[0]
+        shared_off = offsets[0]
+        stacked = inv_raw(shared_eff, shared_load, v_in, shared_off, 0.5, a0)
+        for r in range(rows):
+            scalar = inv_raw(shared_eff, shared_load, v_in[r], shared_off, 0.5, a0)
+            assert np.array_equal(stacked[r], scalar)
+
+    @given(
+        n=st.integers(1, 9),
+        rows=st.integers(1, 6),
+        seed=st.integers(0, 10_000),
+        a0=st.sampled_from([np.inf, 1e4]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_mvm_raw_shapes_match(self, n, rows, seed, a0):
+        effective, loads, v_in, offsets, _ = _random_stage(n, rows, seed)
+        # trial-batched vs scalar
+        stacked = mvm_raw(effective, loads, v_in, offsets, a0)
+        for t in range(rows):
+            assert np.array_equal(
+                stacked[t], mvm_raw(effective[t], loads[t], v_in[t], offsets[t], a0)
+            )
+        # multi-RHS (shared matrix) vs scalar
+        multi = mvm_raw(effective[0], loads[0], v_in, offsets[0], a0)
+        for r in range(rows):
+            assert np.array_equal(
+                multi[r], mvm_raw(effective[0], loads[0], v_in[r], offsets[0], a0)
+            )
+
+    @given(n=st.integers(1, 10), rows=st.integers(1, 7), seed=st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_factored_system_matches_per_column(self, n, rows, seed):
+        rng = np.random.default_rng(seed)
+        matrix = rng.standard_normal((n, n)) + 3.0 * n * np.eye(n)
+        rhs = rng.standard_normal((rows, n))
+        fact = FactoredSystem(matrix)
+        block = fact.solve(rhs)
+        for r in range(rows):
+            assert np.array_equal(block[r], fact.solve(rhs[r]))
+            assert np.array_equal(block[r], solve_columns(matrix, rhs[r]))
+        # the stacked-slices entry point is the same calls per trial
+        matrices = np.broadcast_to(matrix, (rows, n, n))
+        assert np.array_equal(solve_slices(matrices, rhs), block)
+        assert np.array_equal(inv_solve(matrix, rhs), block)
+        assert np.array_equal(inv_solve(np.array(matrices), rhs), block)
+
+    @given(n=st.integers(1, 9), rows=st.integers(1, 6), seed=st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_contract_rows_match_scalar(self, n, rows, seed):
+        rng = np.random.default_rng(seed)
+        matrix = rng.standard_normal((n, n))
+        v = rng.standard_normal((rows, n))
+        multi = contract(matrix, v)
+        for r in range(rows):
+            assert np.array_equal(multi[r], contract(matrix, v[r]))
+
+    def test_factored_system_rejects_singular(self):
+        singular = np.zeros((3, 3))
+        singular[0, 0] = 1.0
+        with pytest.raises(SolverError, match="singular"):
+            FactoredSystem(singular)
+        with pytest.raises(SolverError, match="singular"):
+            inv_solve(singular, np.ones(3))
+        with pytest.raises(SolverError, match="ideal block matrix is singular"):
+            solve_columns(singular, np.ones(3), what="ideal block matrix")
+
+    def test_saturate_shapes(self):
+        raw = np.array([[0.5, -2.0], [0.1, 0.2]])
+        clipped, sat = saturate(raw, 1.0)
+        assert np.array_equal(sat, [True, False])
+        assert clipped.max() <= 1.0 and clipped.min() >= -1.0
+        scalar_out, scalar_sat = saturate(raw[0], 1.0)
+        assert np.array_equal(scalar_out, clipped[0]) and bool(scalar_sat) is True
+        no_out, no_sat = saturate(raw, np.inf)
+        assert no_out is raw and not no_sat.any()
+
+    def test_snh_cascade_matches_two_transfers(self):
+        v = np.array([0.25, -0.5, 1.0])
+        gain_error = 0.013
+        # Two successive products, never (1 + e) ** 2: the scalar macro
+        # runs two physical SampleHold stages.
+        expected = (v * (1.0 + gain_error)) * (1.0 + gain_error)
+        assert np.array_equal(snh_cascade(v, gain_error), expected)
+
+
+class TestOffsetStreamExactness:
+    """Batched offset draws replay the scalar per-trial streams exactly."""
+
+    @given(
+        sigma=st.sampled_from([1e-4, 0.25e-3]),
+        trials=st.integers(1, 5),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_draw_offsets_batch_matches_sequential(self, sigma, trials, seed):
+        sizes = [4, 7, 4]  # duplicate size: drawn once, reused
+        rngs = [np.random.default_rng(seed + t) for t in range(trials)]
+        batch = draw_offsets_batch(sigma, sizes, rngs)
+        fresh = [np.random.default_rng(seed + t) for t in range(trials)]
+        for t, rng in enumerate(fresh):
+            for size in (4, 7):  # first-use order, each size once
+                assert np.array_equal(batch[size][t], rng.normal(0.0, sigma, size=size))
+
+    def test_zero_sigma_is_none(self):
+        assert draw_offsets_batch(0.0, [3, 5], []) == {3: None, 5: None}
+        assert draw_offsets(0.0, 4, rng=0) is None
+
+    def test_scalar_draw_matches_generator_stream(self):
+        drawn = draw_offsets(1e-3, 5, rng=42)
+        expected = np.random.default_rng(42).normal(0.0, 1e-3, size=5)
+        assert np.array_equal(drawn, expected)
+
+
+class TestVariationStreamExactness:
+    """``apply_batch`` consumes generators exactly like sequential apply."""
+
+    @pytest.mark.parametrize(
+        "model",
+        [
+            NoVariation(),
+            GaussianVariation(5e-6),
+            RelativeGaussianVariation(0.05),
+            LognormalVariation(0.05),
+        ],
+        ids=lambda m: type(m).__name__,
+    )
+    @given(trials=st.integers(1, 6), seed=st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_batch_equals_sequential_stream(self, model, trials, seed):
+        target = np.abs(np.random.default_rng(seed).uniform(0.0, 1e-4, size=(4, 3)))
+        batched = model.apply_batch(target, trials, np.random.default_rng(seed))
+        rng = np.random.default_rng(seed)
+        sequential = np.stack([model.apply(target, rng) for _ in range(trials)])
+        assert np.array_equal(batched, sequential)
+
+
+# ----------------------------------------------------------------------
+# end-to-end: scalar vs trial-batched engine
+# ----------------------------------------------------------------------
+
+
+class TestScalarVsTrialBatched:
+    @pytest.mark.parametrize("config_name", sorted(CONFIGS))
+    @pytest.mark.parametrize("family", sorted(MATRIX_FAMILIES))
+    def test_records_bit_identical(self, config_name, family):
+        config = CONFIGS[config_name]
+        factory = MATRIX_FAMILIES[family]
+        sizes, trials = (6, 9, 12), 3
+        seq = run_trials(
+            {
+                "orig": lambda: OriginalAMCSolver(config),
+                "block": lambda: BlockAMCSolver(config),
+            },
+            factory,
+            sizes,
+            trials,
+            seed=70,
+        )
+        bat = run_trials_batched(
+            {
+                "orig": OriginalAMCSolver(config),
+                "block": BlockAMCSolver(config),
+            },
+            factory,
+            sizes,
+            trials,
+            seed=70,
+        )
+        _records_exactly_equal(seq, bat)
+
+    def test_graded_family_actually_reran_ranging(self):
+        """The ill-conditioned family exercises the rerun path (sanity)."""
+        config = CONFIGS["variation"]
+        matrix = graded_matrix(12, 0.8, rng=3)
+        b = random_vector(12, rng=4)
+        result = OriginalAMCSolver(config).solve(matrix, b, rng=7)
+        k0 = input_voltage_scale(b, config.converters.v_fs)
+        assert result.metadata["input_scale"] != k0
+
+
+# ----------------------------------------------------------------------
+# end-to-end: scalar loop vs multi-RHS solve_many
+# ----------------------------------------------------------------------
+
+
+class TestScalarVsMultiRHS:
+    @pytest.mark.parametrize(
+        "config_name",
+        ["ideal", "variation", "coarse_quant", "saturating", "snh_gain_error"],
+    )
+    @pytest.mark.parametrize("rhs_count", [1, 2, 5])
+    def test_solve_many_bit_identical(self, config_name, rhs_count):
+        config = CONFIGS[config_name]
+        matrix = wishart_matrix(17, rng=0)
+        rhs = [random_vector(17, rng=i + 1) for i in range(rhs_count)]
+        sequential_prep = BlockAMCSolver(config).prepare(matrix, rng=5)
+        gen = np.random.default_rng(9)
+        sequential = [sequential_prep.solve(b, gen) for b in rhs]
+        batched_prep = BlockAMCSolver(config).prepare(matrix, rng=5)
+        batched = batched_prep.solve_many(rhs, np.random.default_rng(9))
+        for s, b in zip(sequential, batched):
+            _results_exactly_equal(s, b)
+
+    def test_solve_many_with_ranging_rerun(self):
+        """Clipping right-hand sides rerun per column, like scalar calls."""
+        config = CONFIGS["variation"]
+        matrix = graded_matrix(14, 0.8, rng=6)
+        rhs = [random_vector(14, rng=i) for i in range(4)]
+        prep_a = BlockAMCSolver(config).prepare(matrix, rng=5)
+        gen = np.random.default_rng(9)
+        sequential = [prep_a.solve(b, gen) for b in rhs]
+        prep_b = BlockAMCSolver(config).prepare(matrix, rng=5)
+        batched = prep_b.solve_many(rhs, np.random.default_rng(9))
+        k0 = input_voltage_scale_many(np.stack(rhs), config.converters.v_fs)
+        reran = [
+            r.metadata["input_scale"] != k for r, k in zip(batched, k0)
+        ]
+        assert any(reran), "workload must exercise the rerun path"
+        for s, b in zip(sequential, batched):
+            _results_exactly_equal(s, b)
+
+    def test_batch_composition_invariance(self):
+        """A column's bits never depend on its batch neighbours."""
+        config = CONFIGS["variation"]
+        matrix = wishart_matrix(16, rng=2)
+        rhs = [random_vector(16, rng=i) for i in range(6)]
+        prep = BlockAMCSolver(config).prepare(matrix, rng=5)
+        full = prep.solve_many(rhs, np.random.default_rng(0))
+        prefix = prep.solve_many(rhs[:2], np.random.default_rng(0))
+        for a, b in zip(prefix, full[:2]):
+            _results_exactly_equal(a, b)
+        # reversed order: each result only depends on its own column
+        swapped = prep.solve_many(list(reversed(rhs)), np.random.default_rng(0))
+        for a, b in zip(reversed(swapped), full):
+            _results_exactly_equal(a, b)
+
+
+# ----------------------------------------------------------------------
+# input scaling and gain-ranging edge cases
+# ----------------------------------------------------------------------
+
+
+class TestInputScaling:
+    def test_zero_b_rejected_scalar(self):
+        with pytest.raises(ValidationError, match="non-zero"):
+            input_voltage_scale(np.zeros(4), 1.0)
+
+    def test_zero_row_rejected_batched(self):
+        bs = np.ones((3, 4))
+        bs[1] = 0.0
+        with pytest.raises(ValidationError, match="non-zero"):
+            input_voltage_scale_many(bs, 1.0)
+
+    def test_near_zero_b_scales_finite_and_matches(self):
+        b = np.full(4, 1e-300)
+        scalar = input_voltage_scale(b, 1.0)
+        assert np.isfinite(scalar) and scalar > 0.0
+        many = input_voltage_scale_many(np.stack([b, b * 2.0]), 1.0)
+        assert many[0] == scalar
+
+    def test_fraction_bounds_enforced(self):
+        with pytest.raises(ValidationError):
+            input_voltage_scale(np.ones(3), 1.0, fraction=0.0)
+        with pytest.raises(ValidationError):
+            input_voltage_scale(np.ones(3), 1.0, fraction=1.0)
+
+    @given(seed=st.integers(0, 10_000), rows=st.integers(1, 6))
+    @settings(max_examples=25, deadline=None)
+    def test_batched_scale_matches_scalar_rows(self, seed, rows):
+        bs = np.random.default_rng(seed).uniform(-2.0, 2.0, size=(rows, 5))
+        bs[np.all(bs == 0.0, axis=1)] = 1.0
+        many = input_voltage_scale_many(bs, 1.0)
+        for r in range(rows):
+            assert many[r] == input_voltage_scale(bs[r], 1.0)
+
+
+class TestGainRangingEdgeCases:
+    V_FS = 1.0
+
+    def _linear_run(self, gain):
+        """An analog stage whose peak is ``gain * k`` (linear, like INV)."""
+        calls = []
+
+        def run(k):
+            calls.append(k)
+            return gain * k, {"k_seen": k}
+
+        return run, calls
+
+    def test_accepts_first_attempt_when_within_headroom(self):
+        run, calls = self._linear_run(gain=1.0)
+        payload, k = auto_range(run, 0.5, self.V_FS)
+        assert len(calls) == 1 and k == 0.5
+        assert payload["k_seen"] == 0.5
+
+    def test_clipping_rerun_rescales_with_margin(self):
+        run, calls = self._linear_run(gain=4.0)
+        payload, k = auto_range(run, 0.5, self.V_FS)
+        # first attempt peaks at 2.0 > 0.9: one corrective rerun lands
+        # exactly on the ranging_rescale target
+        expected = ranging_rescale(0.5, 2.0, self.V_FS)
+        assert len(calls) == 2
+        assert k == expected == 0.5 * (RANGING_HEADROOM / 2.0) * QUANTIZATION_MARGIN
+        assert payload["k_seen"] == expected
+
+    def test_exhaustion_returns_last_attempt(self):
+        """A stage that always clips still returns after MAX attempts."""
+        calls = []
+
+        def run(k):
+            calls.append(k)
+            return 10.0 * self.V_FS, {"k_seen": k}  # never within headroom
+
+        payload, k = auto_range(run, 1.0, self.V_FS)
+        assert len(calls) == MAX_RANGING_ATTEMPTS
+        assert k == calls[-1] and payload["k_seen"] == calls[-1]
+        # every rescale applied the single policy step
+        for before, after in zip(calls, calls[1:]):
+            assert after == ranging_rescale(before, 10.0 * self.V_FS, self.V_FS)
+
+    def test_auto_range_many_matches_scalar_elementwise(self):
+        """The vectorized loop is the scalar loop, trial by trial."""
+        gains = np.array([0.5, 3.0, 8.0, 40.0])
+
+        def run_many(k, indices):
+            peaks = gains[indices] * k
+            return peaks, {"k_seen": k.copy()}
+
+        k0 = np.full(gains.size, 0.6)
+        final, final_k = auto_range_many(run_many, k0, self.V_FS)
+        for t, gain in enumerate(gains):
+            run, _ = self._linear_run(gain)
+            payload, k = auto_range(run, 0.6, self.V_FS)
+            assert final_k[t] == k
+            assert final["k_seen"][t] == payload["k_seen"]
+
+    def test_auto_range_many_exhaustion_subset(self):
+        """Trials that never settle take all attempts; others exit early."""
+        attempts_seen = {"count": 0}
+
+        def run_many(k, indices):
+            attempts_seen["count"] += 1
+            peaks = np.where(indices == 1, 10.0, 0.5 * self.V_FS)
+            return peaks, {"k_seen": k.copy()}
+
+        k0 = np.array([0.4, 0.4])
+        final, final_k = auto_range_many(run_many, k0, self.V_FS)
+        assert attempts_seen["count"] == MAX_RANGING_ATTEMPTS
+        assert final_k[0] == 0.4  # accepted on attempt 0
+        assert final_k[1] != 0.4  # rescaled every attempt
+        assert final["k_seen"][1] == final_k[1]
+
+
+# ----------------------------------------------------------------------
+# drift guards: a skewed copy of the physics fails this suite
+# ----------------------------------------------------------------------
+
+
+class TestMarginDriftGuard:
+    """The 0.95 quantization margin exists exactly once.
+
+    These tests demonstrate the suite's detection power: reintroducing a
+    private ranging margin in one path (simulated by patching only the
+    batched engine's view of ``auto_range_many``) makes the equivalence
+    assertions fail on a ranging-heavy workload.
+    """
+
+    def _sweep(self, runner_config, solver_seq, solver_bat):
+        factory = MATRIX_FAMILIES["graded"]
+        seq = run_trials(
+            {"orig": solver_seq}, factory, (10, 12), 3, seed=11
+        )
+        bat = run_trials_batched(
+            {"orig": solver_bat}, factory, (10, 12), 3, seed=11
+        )
+        return seq, bat
+
+    def test_unskewed_paths_agree(self):
+        config = CONFIGS["variation"]
+        seq, bat = self._sweep(
+            config, lambda: OriginalAMCSolver(config), OriginalAMCSolver(config)
+        )
+        _records_exactly_equal(seq, bat)
+
+    def test_skewed_margin_in_one_path_is_detected(self, monkeypatch):
+        """A drifted margin in the batched path breaks bit-equality."""
+
+        def skewed_auto_range_many(run, k0, v_fs):
+            count = k0.size
+            k = k0.copy()
+            active = np.arange(count)
+            final: dict[str, np.ndarray] = {}
+            final_k = k0.copy()
+            for attempt in range(MAX_RANGING_ATTEMPTS):
+                peaks, payload = run(k[active], active)
+                if attempt == MAX_RANGING_ATTEMPTS - 1:
+                    accept = np.ones_like(peaks, dtype=bool)
+                else:
+                    accept = peaks <= RANGING_HEADROOM * v_fs
+                accepted = active[accept]
+                for key, values in payload.items():
+                    if key not in final:
+                        final[key] = np.zeros(
+                            (count, *values.shape[1:]), dtype=values.dtype
+                        )
+                    final[key][accepted] = values[accept]
+                final_k[accepted] = k[active][accept]
+                if np.all(accept):
+                    return final, final_k
+                rescale = ~accept
+                # The drift under test: 0.90 instead of QUANTIZATION_MARGIN.
+                k[active[rescale]] = (
+                    k[active[rescale]]
+                    * (RANGING_HEADROOM * v_fs / peaks[rescale])
+                    * 0.90
+                )
+                active = active[rescale]
+            return final, final_k
+
+        monkeypatch.setattr(
+            batched_module, "auto_range_many", skewed_auto_range_many
+        )
+        config = CONFIGS["variation"]
+        seq, bat = self._sweep(
+            config, lambda: OriginalAMCSolver(config), OriginalAMCSolver(config)
+        )
+        diverged = any(
+            s.relative_error != b.relative_error for s, b in zip(seq, bat)
+        )
+        assert diverged, (
+            "a skewed ranging margin in one path must break bit-equality "
+            "(did the workload stop exercising gain ranging?)"
+        )
+
+    def test_margin_literal_not_duplicated_in_call_paths(self):
+        """No call path re-states the 0.95 margin (single-source check)."""
+        import inspect
+
+        import repro.amc.ops as ops_module
+        import repro.core.blockamc as blockamc_module
+        import repro.core.original as original_module
+
+        assert QUANTIZATION_MARGIN == 0.95
+        for module in (batched_module, blockamc_module, ops_module, original_module):
+            source = inspect.getsource(module)
+            assert "0.95" not in source, (
+                f"{module.__name__} re-states the ranging margin; use "
+                "repro.core.common.ranging_rescale instead"
+            )

@@ -9,6 +9,7 @@ from repro.crossbar.parasitics import (
     exact_effective_matrix,
     first_order_effective_matrix,
 )
+from repro.errors import ValidationError
 
 
 G0 = 100e-6
@@ -59,6 +60,26 @@ class TestFirstOrder:
         eff = first_order_effective_matrix(g, 10.0)
         assert eff[0, 0] == 0.0
         assert eff[1, 1] < G0
+
+    def test_stacked_slices_match_scalar_calls(self):
+        rng = np.random.default_rng(5)
+        stack = rng.uniform(0.0, G0, size=(4, 5, 3))
+        batched = first_order_effective_matrix(stack, 2.0)
+        for t in range(stack.shape[0]):
+            np.testing.assert_array_equal(
+                batched[t], first_order_effective_matrix(stack[t], 2.0)
+            )
+
+    def test_stacked_validation_matches_scalar(self):
+        """The 3-D path rejects the same inputs the scalar path rejects."""
+        bad = np.full((2, 3, 3), G0)
+        bad[1, 0, 0] = np.nan
+        with pytest.raises(ValidationError, match="non-finite"):
+            first_order_effective_matrix(bad, 1.0)
+        with pytest.raises(ValidationError, match="non-empty"):
+            first_order_effective_matrix(np.empty((0, 3, 3)), 1.0)
+        with pytest.raises(ValueError, match="non-negative"):
+            first_order_effective_matrix(np.full((2, 3, 3), -G0), 1.0)
 
     def test_rejects_negative_conductance(self):
         with pytest.raises(ValueError):
