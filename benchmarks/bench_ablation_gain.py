@@ -4,51 +4,53 @@ Explains the ideal-mapping accuracy trend (Fig. 6c): with exact
 conductances, the residual error comes from the analog periphery —
 finite open-loop gain and input offsets, both scaled by the array's
 conductance loading. This ablation separates the two contributions.
+
+Since PR 4 the sweep is the ``ablation-gain``
+:class:`~repro.campaigns.CampaignSpec` — each op-amp case is one
+hardware variant of the campaign grid — and this bench aggregates the
+artifact store.
 """
 
-import math
+import tempfile
 
 import numpy as np
 
-from benchmarks.conftest import paper_scale
 from repro.amc.config import HardwareConfig, OpAmpConfig
 from repro.analysis.reporting import format_table
-from repro.core.blockamc import BlockAMCSolver
+from repro.campaigns import ArtifactStore, campaign_records, get_campaign, run_campaign
 from repro.core.original import OriginalAMCSolver
 from repro.workloads.matrices import random_vector, wishart_matrix
 
+from benchmarks.conftest import paper_scale
+
 
 def _gain_table():
-    n = 128 if paper_scale() else 32
-    trials = 6 if paper_scale() else 3
+    spec = get_campaign("ablation-gain", quick=not paper_scale())
+    with tempfile.TemporaryDirectory() as root:
+        run_campaign(spec, root, workers=0)
+        grouped = campaign_records(spec, ArtifactStore(root))
+    n = spec.sizes[0]
     rows = []
-    cases = [
-        ("gain=1e3, no offset", 1e3, 0.0),
-        ("gain=1e4, no offset", 1e4, 0.0),
-        ("gain=1e5, no offset", 1e5, 0.0),
-        ("ideal gain, offset 0.25mV", math.inf, 0.25e-3),
-        ("gain=1e4, offset 0.25mV", 1e4, 0.25e-3),
-        ("gain=1e4, offset 1mV", 1e4, 1e-3),
-    ]
-    for label, gain, offset in cases:
-        errors_orig, errors_block = [], []
-        for trial in range(trials):
-            matrix = wishart_matrix(n, rng=100 + trial)
-            b = random_vector(n, rng=200 + trial)
-            config = HardwareConfig(
-                opamp=OpAmpConfig(open_loop_gain=gain, input_offset_sigma_v=offset)
-            )
-            errors_orig.append(
-                OriginalAMCSolver(config).solve(matrix, b, rng=trial).relative_error
-            )
-            errors_block.append(
-                BlockAMCSolver(config).solve(matrix, b, rng=trial).relative_error
-            )
-        rows.append([label, float(np.mean(errors_orig)), float(np.mean(errors_block))])
+    for variant in spec.variants:
+        records = grouped[(variant.label, "wishart")]
+        by_solver = {
+            solver: [r.relative_error for r in records if r.solver == solver]
+            for solver in spec.solvers
+        }
+        rows.append(
+            [
+                variant.label,
+                float(np.mean(by_solver["original-amc"])),
+                float(np.mean(by_solver["blockamc-1stage"])),
+            ]
+        )
     return format_table(
-        ["op-amp model", "original error", "BlockAMC error"],
+        ["op-amp variant", "original error", "BlockAMC error"],
         rows,
-        title=f"Ablation — periphery non-idealities, {n}x{n} Wishart, ideal mapping",
+        title=(
+            f"Ablation — periphery non-idealities, {n}x{n} Wishart, ideal "
+            f"mapping, campaign {spec.name}"
+        ),
     )
 
 

@@ -4,49 +4,52 @@ The two-stage solver round-trips every inter-macro intermediate through
 ADC -> memory -> DAC (Fig. 5), so its accuracy depends on converter
 resolution in a way the fully-analog one-stage macro does not. This
 ablation sweeps DAC/ADC bits for both solvers.
+
+Since PR 4 the sweep is the ``ablation-quantization``
+:class:`~repro.campaigns.CampaignSpec` — one hardware variant per
+resolution — and this bench aggregates the artifact store.
 """
+
+import tempfile
 
 import numpy as np
 
-from benchmarks.conftest import paper_scale
 from repro.amc.config import ConverterConfig, HardwareConfig
 from repro.analysis.reporting import format_table
-from repro.core.blockamc import BlockAMCSolver
+from repro.campaigns import ArtifactStore, campaign_records, get_campaign, run_campaign
 from repro.core.multistage import MultiStageSolver
 from repro.workloads.matrices import random_vector, wishart_matrix
 
+from benchmarks.conftest import paper_scale
+
 
 def _quantization_table():
-    n = 64 if paper_scale() else 16
-    trials = 8 if paper_scale() else 4
+    spec = get_campaign("ablation-quantization", quick=not paper_scale())
+    with tempfile.TemporaryDirectory() as root:
+        run_campaign(spec, root, workers=0)
+        grouped = campaign_records(spec, ArtifactStore(root))
+    n = spec.sizes[0]
     rows = []
-    for bits in (4, 6, 8, 10, 12, None):
-        errors_one, errors_two = [], []
-        for trial in range(trials):
-            matrix = wishart_matrix(n, rng=100 + trial)
-            b = random_vector(n, rng=200 + trial)
-            config = HardwareConfig.paper_variation().with_(
-                converters=ConverterConfig(dac_bits=bits, adc_bits=bits)
-            )
-            errors_one.append(
-                BlockAMCSolver(config).solve(matrix, b, rng=trial).relative_error
-            )
-            errors_two.append(
-                MultiStageSolver(config, stages=2)
-                .solve(matrix, b, rng=trial)
-                .relative_error
-            )
+    for variant in spec.variants:
+        records = grouped[(variant.label, "wishart")]
+        by_solver = {
+            solver: [r.relative_error for r in records if r.solver == solver]
+            for solver in spec.solvers
+        }
         rows.append(
             [
-                "ideal" if bits is None else bits,
-                float(np.mean(errors_one)),
-                float(np.mean(errors_two)),
+                variant.label,
+                float(np.mean(by_solver["blockamc-1stage"])),
+                float(np.mean(by_solver["blockamc-2stage"])),
             ]
         )
     return format_table(
         ["bits", "1-stage error", "2-stage error"],
         rows,
-        title=f"Ablation — converter resolution, {n}x{n} Wishart, sigma = 5%",
+        title=(
+            f"Ablation — converter resolution, {n}x{n} Wishart, sigma = 5%, "
+            f"campaign {spec.name}"
+        ),
     )
 
 

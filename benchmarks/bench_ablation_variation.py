@@ -5,51 +5,58 @@ is modelled as 5% *of each cell's conductance* (relative), because the
 absolute reading (5% of G0 on every cell) buries the weak off-diagonal
 blocks of large normalized matrices in noise and produces errors far
 above the published Fig. 7 curves. This ablation shows both.
+
+Since PR 4 the sweep is the ``ablation-variation``
+:class:`~repro.campaigns.CampaignSpec` — the two readings are hardware
+variants swapping the programming-variation model through the campaign
+codec — and this bench aggregates the artifact store.
 """
+
+import tempfile
 
 import numpy as np
 
-from benchmarks.conftest import paper_scale
 from repro.amc.config import HardwareConfig
 from repro.analysis.reporting import format_table
+from repro.campaigns import ArtifactStore, campaign_records, get_campaign, run_campaign
 from repro.core.blockamc import BlockAMCSolver
-from repro.core.original import OriginalAMCSolver
-from repro.crossbar.array import ProgrammingConfig
-from repro.devices.models import PAPER_G0_SIEMENS
-from repro.devices.variations import GaussianVariation, RelativeGaussianVariation
 from repro.workloads.matrices import random_vector, wishart_matrix
+
+from benchmarks.conftest import paper_scale
 
 
 def _variation_table():
-    sizes = (8, 32, 128) if paper_scale() else (8, 16, 32)
-    trials = 10 if paper_scale() else 4
-    models = {
-        "relative 5% (default)": RelativeGaussianVariation(0.05),
-        "absolute 0.05*G0 (literal)": GaussianVariation(0.05 * PAPER_G0_SIEMENS),
-    }
+    spec = get_campaign("ablation-variation", quick=not paper_scale())
+    with tempfile.TemporaryDirectory() as root:
+        run_campaign(spec, root, workers=0)
+        grouped = campaign_records(spec, ArtifactStore(root))
     rows = []
-    for label, model in models.items():
-        for n in sizes:
-            config = HardwareConfig(
-                programming=ProgrammingConfig(variation=model)
-            )
-            errors_orig, errors_block = [], []
-            for trial in range(trials):
-                matrix = wishart_matrix(n, rng=100 + trial)
-                b = random_vector(n, rng=200 + trial)
-                errors_orig.append(
-                    OriginalAMCSolver(config).solve(matrix, b, rng=trial).relative_error
-                )
-                errors_block.append(
-                    BlockAMCSolver(config).solve(matrix, b, rng=trial).relative_error
-                )
+    for variant in spec.variants:
+        records = grouped[(variant.label, "wishart")]
+        for n in spec.sizes:
+            by_solver = {
+                solver: [
+                    r.relative_error
+                    for r in records
+                    if r.solver == solver and r.size == n
+                ]
+                for solver in spec.solvers
+            }
             rows.append(
-                [label, n, float(np.median(errors_orig)), float(np.median(errors_block))]
+                [
+                    variant.label,
+                    n,
+                    float(np.median(by_solver["original-amc"])),
+                    float(np.median(by_solver["blockamc-1stage"])),
+                ]
             )
     return format_table(
         ["variation model", "size", "original (median)", "BlockAMC (median)"],
         rows,
-        title="Ablation — variation model reading (paper Fig. 7 plausibility)",
+        title=(
+            "Ablation — variation model reading (paper Fig. 7 plausibility), "
+            f"campaign {spec.name}"
+        ),
     )
 
 

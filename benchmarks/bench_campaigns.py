@@ -1,0 +1,254 @@
+"""Campaign bench: legacy sequential sweep vs the campaign runner.
+
+Drives the Fig. 7 workload (seed 70, Wishart + Toeplitz) through three
+execution paths:
+
+1. **legacy loop** — the hand-rolled single-process
+   :func:`repro.analysis.accuracy.run_trials` sweep the figure benches
+   used to contain (one solver pipeline run per (size, trial, solver));
+2. **campaign, 1 worker** — the same sweep as content-addressed work
+   units executed inline through the trial-batched engine with a
+   checkpointing artifact store;
+3. **campaign, 4 process workers** — the same units on a
+   ``ProcessPoolExecutor``.
+
+Before timing anything the bench asserts the determinism contract:
+campaign records are **bit-identical** to the legacy loop, the 1-worker
+and 4-worker stores are bit-identical, and an interrupted (``max_units``)
+then resumed store is bit-identical with zero recomputation. The
+measured comparison lands in ``BENCH_campaigns.json`` at the repo root.
+
+The multiprocess speedup floor (>= 2x vs the legacy loop with 4 workers)
+is asserted on multi-core runners; on a single-core container the
+4-worker pool cannot beat the clock, so only the single-worker
+(batched-engine) floor applies there. ``cpu_count`` is recorded in the
+artifact either way.
+
+Run:  python benchmarks/bench_campaigns.py [--quick] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+for _path in (str(_ROOT), str(_ROOT / "src")):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
+from benchmarks.perf_harness import time_call
+from repro.analysis.accuracy import run_trials
+from repro.analysis.reporting import format_table
+from repro.campaigns import (
+    ArtifactStore,
+    CampaignSpec,
+    campaign_records,
+    run_campaign,
+    stores_equal,
+)
+from repro.serve.cache import SOLVER_KINDS
+from repro.workloads.traffic import TRAFFIC_FAMILIES
+
+#: Artifact path (repo root, like BENCH_perf_engine.json).
+DEFAULT_ARTIFACT = _ROOT / "BENCH_campaigns.json"
+
+#: Workload sizes: enough per-unit work that process fan-out matters.
+FULL_SIZES = (16, 32, 48, 64)
+FULL_TRIALS = 12
+QUICK_SIZES = (8, 16, 32)
+QUICK_TRIALS = 6
+
+#: Loud-regression floors. The single-worker floor holds on any
+#: machine (the campaign engine batches the Monte-Carlo stack); the
+#: 4-worker floor additionally needs cores to fan out to.
+MIN_SPEEDUP_1W = 1.5
+MIN_SPEEDUP_4W = 2.0
+
+
+def _spec(quick: bool) -> CampaignSpec:
+    return CampaignSpec(
+        name="fig7-variation-bench",
+        title="Fig. 7 workload for the campaign wall-clock bench",
+        solvers=("original-amc", "blockamc-1stage"),
+        families=("wishart", "toeplitz"),
+        sizes=QUICK_SIZES if quick else FULL_SIZES,
+        trials=QUICK_TRIALS if quick else FULL_TRIALS,
+        seed=70,
+        hardware="variation",
+    )
+
+
+def _legacy_records(spec: CampaignSpec):
+    """The pre-campaign sweep: sequential run_trials per family."""
+    out = {}
+    for family in spec.families:
+        out[family] = run_trials(
+            {
+                name: (lambda name=name: SOLVER_KINDS[name](
+                    spec.resolve_hardware(0)
+                ))
+                for name in spec.solvers
+            },
+            TRAFFIC_FAMILIES[family],
+            spec.sizes,
+            spec.trials,
+            seed=spec.seed,
+        )
+    return out
+
+
+def _assert_records_equal(legacy, campaign) -> None:
+    legacy = sorted(legacy, key=lambda r: (r.size, r.trial, r.solver))
+    campaign = sorted(campaign, key=lambda r: (r.size, r.trial, r.solver))
+    assert len(legacy) == len(campaign)
+    for a, b in zip(legacy, campaign):
+        assert (a.solver, a.size, a.trial) == (b.solver, b.size, b.trial)
+        assert a.relative_error == b.relative_error, (a.solver, a.size, a.trial)
+        assert a.saturated == b.saturated
+        assert a.analog_time_s == b.analog_time_s
+
+
+def run_bench(quick: bool = False, out: Path | None = None) -> dict:
+    """Execute the comparison and write the artifact; returns the payload."""
+    import tempfile
+
+    spec = _spec(quick)
+    cpu_count = os.cpu_count() or 1
+    print(
+        f"workload: campaign {spec.name}, {len(spec.families)} families x "
+        f"{len(spec.sizes)} sizes, {spec.trials} trials "
+        f"({cpu_count} CPUs visible)"
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp = Path(tmp)
+
+        # --------------------------------------------------------------
+        # determinism first: legacy vs campaign, 1w vs 4w, kill/resume
+        # --------------------------------------------------------------
+        run_campaign(spec, tmp / "ref", workers=0)
+        ref = ArtifactStore(tmp / "ref")
+        legacy = _legacy_records(spec)
+        grouped = campaign_records(spec, ref)
+        for family in spec.families:
+            _assert_records_equal(legacy[family], grouped[("base", family)])
+        print("campaign records: bit-identical to the legacy sequential loop")
+
+        run_campaign(spec, tmp / "w4", workers=4)
+        assert stores_equal(ref, ArtifactStore(tmp / "w4"))
+        print("1-worker vs 4-worker stores: bit-identical")
+
+        interrupted = run_campaign(spec, tmp / "resume", workers=0, max_units=3)
+        assert not interrupted.finished
+        resumed = run_campaign(spec, tmp / "resume", workers=4)
+        assert resumed.finished and resumed.skipped_units == 3
+        assert stores_equal(ref, ArtifactStore(tmp / "resume"))
+        print("interrupt + resume: bit-identical store, no recomputation")
+
+        # --------------------------------------------------------------
+        # timing: fresh stores per repetition (no checkpoint reuse)
+        # --------------------------------------------------------------
+        counter = {"n": 0}
+
+        def fresh_root():
+            counter["n"] += 1
+            return tmp / f"timed-{counter['n']}"
+
+        legacy_s = time_call(lambda: _legacy_records(spec), repeats=2)
+        campaign_1w_s = time_call(
+            lambda: run_campaign(spec, fresh_root(), workers=0), repeats=2
+        )
+        campaign_4w_s = time_call(
+            lambda: run_campaign(spec, fresh_root(), workers=4), repeats=2
+        )
+
+    speedup_1w = legacy_s / campaign_1w_s
+    speedup_4w = legacy_s / campaign_4w_s
+    total_units = len(spec.families) * len(spec.sizes)
+    print(
+        format_table(
+            ["path", "ms", "units/s"],
+            [
+                ["legacy sequential sweep", legacy_s * 1e3, total_units / legacy_s],
+                ["campaign, 1 worker", campaign_1w_s * 1e3, total_units / campaign_1w_s],
+                ["campaign, 4 workers", campaign_4w_s * 1e3, total_units / campaign_4w_s],
+            ],
+            title=(
+                f"Fig. 7 workload — campaign speedup {speedup_1w:.1f}x (1w) / "
+                f"{speedup_4w:.1f}x (4w) vs legacy"
+            ),
+        )
+    )
+
+    payload = {
+        "generated_by": "benchmarks/bench_campaigns.py",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": cpu_count,
+        "mode": "quick" if quick else "full",
+        "workload": {
+            "campaign": spec.name,
+            "families": list(spec.families),
+            "sizes": list(spec.sizes),
+            "trials": spec.trials,
+            "seed": spec.seed,
+            "solvers": list(spec.solvers),
+            "units": total_units,
+        },
+        "legacy_sequential_s": legacy_s,
+        "campaign_1worker_s": campaign_1w_s,
+        "campaign_4workers_s": campaign_4w_s,
+        "speedup_1worker_vs_legacy": round(speedup_1w, 2),
+        "speedup_4workers_vs_legacy": round(speedup_4w, 2),
+        "bit_identical_to_legacy": True,
+        "bit_identical_1w_vs_4w": True,
+        "resume_no_recompute": True,
+        "detail": (
+            "legacy hand-rolled run_trials sweep vs repro.campaigns "
+            "(content-addressed units, checkpointing store, trial-batched "
+            "engine; 4-worker path on a ProcessPoolExecutor). The 4-worker "
+            "floor is asserted only when cpu_count > 1."
+        ),
+    }
+    path = out or DEFAULT_ARTIFACT
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {path}")
+
+    assert speedup_1w >= MIN_SPEEDUP_1W, (
+        f"campaign 1-worker speedup {speedup_1w:.2f}x fell below the "
+        f"{MIN_SPEEDUP_1W}x floor"
+    )
+    if cpu_count > 1:
+        assert speedup_4w >= MIN_SPEEDUP_4W, (
+            f"campaign 4-worker speedup {speedup_4w:.2f}x fell below the "
+            f"{MIN_SPEEDUP_4W}x floor on a {cpu_count}-core machine"
+        )
+    else:
+        print(
+            f"single-core machine: {MIN_SPEEDUP_4W}x 4-worker floor not "
+            "asserted (recorded for multi-core runners)"
+        )
+    return payload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help=f"CI-size run ({QUICK_TRIALS} trials over {QUICK_SIZES})",
+    )
+    parser.add_argument("--out", type=Path, default=None, help="artifact path")
+    args = parser.parse_args(argv)
+    run_bench(quick=args.quick, out=args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

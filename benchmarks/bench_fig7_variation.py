@@ -3,12 +3,25 @@
 Regenerates the error-vs-size curves of Fig. 7(a) (Wishart) and
 Fig. 7(b) (Toeplitz) for the original AMC solver and one-stage
 BlockAMC, 40 Monte-Carlo trials per size at paper scale.
+
+Since PR 4 this bench is a thin wrapper over the ``fig7-variation``
+:class:`~repro.campaigns.CampaignSpec`: the sweep runs through the
+campaign subsystem (content-addressed units, checkpointing artifact
+store) and the tables aggregate from the store. Campaign records are
+bit-identical to the legacy hand-rolled ``run_trials`` loop this file
+used to contain (same seed 70, same stream derivation), which
+``benchmarks/bench_campaigns.py`` and ``tests/test_campaigns.py``
+assert explicitly.
 """
 
-from benchmarks.conftest import bench_sizes, bench_trials
+import functools
+import tempfile
+
+from benchmarks.conftest import paper_scale
 from repro.amc.config import HardwareConfig
-from repro.analysis.accuracy import accuracy_quantiles, accuracy_sweep, run_trials
+from repro.analysis.accuracy import accuracy_quantiles, accuracy_sweep
 from repro.analysis.reporting import format_table
+from repro.campaigns import ArtifactStore, campaign_records, get_campaign, run_campaign
 from repro.core.blockamc import BlockAMCSolver
 from repro.core.original import OriginalAMCSolver
 from repro.workloads.matrices import random_vector, toeplitz_matrix, wishart_matrix
@@ -20,47 +33,47 @@ PAPER_FIG7 = {
 }
 
 
-def _sweep(family, matrix_factory):
-    records = run_trials(
-        {
-            "original-amc": lambda: OriginalAMCSolver(HardwareConfig.paper_variation()),
-            "blockamc-1stage": lambda: BlockAMCSolver(HardwareConfig.paper_variation()),
-        },
-        matrix_factory,
-        bench_sizes(),
-        bench_trials(),
-        seed=70,
-    )
-    table = accuracy_sweep(records)
-    medians = accuracy_quantiles(records, (0.5,))
-    rows = []
-    for size in bench_sizes():
-        orig_mean, orig_std = table["original-amc"][size]
-        block_mean, block_std = table["blockamc-1stage"][size]
-        rows.append(
-            [
-                size,
-                orig_mean,
-                medians["original-amc"][size][0],
-                orig_std,
-                block_mean,
-                medians["blockamc-1stage"][size][0],
-                block_std,
-            ]
+@functools.lru_cache(maxsize=1)
+def _campaign_tables():
+    spec = get_campaign("fig7-variation", quick=not paper_scale())
+    with tempfile.TemporaryDirectory() as root:
+        run_campaign(spec, root, workers=0)
+        grouped = campaign_records(spec, ArtifactStore(root))
+    tables = {}
+    for family in spec.families:
+        records = grouped[(spec.variants[0].label, family)]
+        table = accuracy_sweep(records)
+        medians = accuracy_quantiles(records, (0.5,))
+        rows = []
+        for size in spec.sizes:
+            orig_mean, orig_std = table["original-amc"][size]
+            block_mean, block_std = table["blockamc-1stage"][size]
+            rows.append(
+                [
+                    size,
+                    orig_mean,
+                    medians["original-amc"][size][0],
+                    orig_std,
+                    block_mean,
+                    medians["blockamc-1stage"][size][0],
+                    block_std,
+                ]
+            )
+        anchors = PAPER_FIG7[family]
+        tables[family] = format_table(
+            ["size", "orig mean", "orig med", "orig std", "block mean", "block med", "block std"],
+            rows,
+            title=(
+                f"Fig. 7 — {family}, sigma = 5%, {spec.trials} trials/size, "
+                f"campaign {spec.name} "
+                f"(paper anchors: 8 -> {anchors[8]}, 512 -> {anchors[512]})"
+            ),
         )
-    anchors = PAPER_FIG7[family]
-    return format_table(
-        ["size", "orig mean", "orig med", "orig std", "block mean", "block med", "block std"],
-        rows,
-        title=(
-            f"Fig. 7 — {family}, sigma = 5%, {bench_trials()} trials/size "
-            f"(paper anchors: 8 -> {anchors[8]}, 512 -> {anchors[512]})"
-        ),
-    )
+    return tables
 
 
 def test_fig7a_wishart(report, benchmark):
-    report("fig7a_wishart", _sweep("wishart", lambda n, rng: wishart_matrix(n, rng)))
+    report("fig7a_wishart", _campaign_tables()["wishart"])
 
     matrix = wishart_matrix(32, rng=0)
     b = random_vector(32, rng=1)
@@ -69,7 +82,7 @@ def test_fig7a_wishart(report, benchmark):
 
 
 def test_fig7b_toeplitz(report, benchmark):
-    report("fig7b_toeplitz", _sweep("toeplitz", lambda n, rng: toeplitz_matrix(n, rng)))
+    report("fig7b_toeplitz", _campaign_tables()["toeplitz"])
 
     matrix = toeplitz_matrix(32, rng=3)
     b = random_vector(32, rng=4)

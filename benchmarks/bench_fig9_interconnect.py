@@ -5,47 +5,55 @@ Fig. 9(b) (Toeplitz) with 1 ohm/segment wire resistance on top of the
 5% variation, for original AMC, one-stage, and two-stage BlockAMC.
 The paper's headline: BlockAMC reduces the relative error by up to ~10
 percentage points, and the two-stage solver extends the improvement.
+
+Since PR 4 the sweep is the ``fig9-interconnect``
+:class:`~repro.campaigns.CampaignSpec` (legacy seed 90; the two-stage
+solver rides the campaign engine's transparent sequential fallback) and
+this bench only aggregates the artifact store.
 """
 
-from benchmarks.conftest import bench_sizes, bench_trials
+import functools
+import tempfile
+
+from benchmarks.conftest import paper_scale
 from repro.amc.config import HardwareConfig
-from repro.analysis.accuracy import accuracy_quantiles, run_trials
+from repro.analysis.accuracy import accuracy_quantiles
 from repro.analysis.reporting import format_table
+from repro.campaigns import ArtifactStore, campaign_records, get_campaign, run_campaign
 from repro.core.blockamc import BlockAMCSolver
-from repro.core.multistage import MultiStageSolver
 from repro.core.original import OriginalAMCSolver
 from repro.workloads.matrices import random_vector, toeplitz_matrix, wishart_matrix
 
 
-def _sweep(family, matrix_factory):
-    config = HardwareConfig.paper_interconnect
-    records = run_trials(
-        {
-            "original-amc": lambda: OriginalAMCSolver(config()),
-            "blockamc-1stage": lambda: BlockAMCSolver(config()),
-            "blockamc-2stage": lambda: MultiStageSolver(config(), stages=2),
-        },
-        matrix_factory,
-        bench_sizes(),
-        bench_trials(),
-        seed=90,
-    )
-    table = accuracy_quantiles(records, (0.5,))
-    rows = []
-    for size in bench_sizes():
-        orig = table["original-amc"][size][0]
-        one = table["blockamc-1stage"][size][0]
-        two = table["blockamc-2stage"][size][0]
-        rows.append([size, orig, one, two, orig - one])
-    return format_table(
-        ["size", "original (med)", "1-stage (med)", "2-stage (med)", "orig - 1stage"],
-        rows,
-        title=f"Fig. 9 — {family}, sigma = 5% + 1 ohm/segment wires",
-    )
+@functools.lru_cache(maxsize=1)
+def _campaign_tables():
+    spec = get_campaign("fig9-interconnect", quick=not paper_scale())
+    with tempfile.TemporaryDirectory() as root:
+        run_campaign(spec, root, workers=0)
+        grouped = campaign_records(spec, ArtifactStore(root))
+    tables = {}
+    for family in spec.families:
+        records = grouped[(spec.variants[0].label, family)]
+        table = accuracy_quantiles(records, (0.5,))
+        rows = []
+        for size in spec.sizes:
+            orig = table["original-amc"][size][0]
+            one = table["blockamc-1stage"][size][0]
+            two = table["blockamc-2stage"][size][0]
+            rows.append([size, orig, one, two, orig - one])
+        tables[family] = format_table(
+            ["size", "original (med)", "1-stage (med)", "2-stage (med)", "orig - 1stage"],
+            rows,
+            title=(
+                f"Fig. 9 — {family}, sigma = 5% + 1 ohm/segment wires, "
+                f"campaign {spec.name}"
+            ),
+        )
+    return tables
 
 
 def test_fig9a_wishart(report, benchmark):
-    report("fig9a_wishart", _sweep("wishart", lambda n, rng: wishart_matrix(n, rng)))
+    report("fig9a_wishart", _campaign_tables()["wishart"])
 
     matrix = wishart_matrix(32, rng=0)
     b = random_vector(32, rng=1)
@@ -54,7 +62,7 @@ def test_fig9a_wishart(report, benchmark):
 
 
 def test_fig9b_toeplitz(report, benchmark):
-    report("fig9b_toeplitz", _sweep("toeplitz", lambda n, rng: toeplitz_matrix(n, rng)))
+    report("fig9b_toeplitz", _campaign_tables()["toeplitz"])
 
     matrix = toeplitz_matrix(32, rng=3)
     b = random_vector(32, rng=4)

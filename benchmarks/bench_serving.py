@@ -110,9 +110,49 @@ def run_bench(quick: bool = False, out: Path | None = None) -> dict:
         with SolverService(config) as svc:
             return svc.solve_all(requests)
 
+    # Lean serving mode: identical solution bits, no per-step OpResult
+    # construction (which dominates service-side time at scale).
+    lean_config = ServiceConfig(
+        workers=config.workers,
+        max_batch_size=config.max_batch_size,
+        max_linger_s=config.max_linger_s,
+        lean_results=True,
+    )
+
+    def service_lean_run():
+        with SolverService(lean_config) as svc:
+            return svc.solve_all(requests)
+
+    lean_results = service_lean_run()
+    lean_identical = all(
+        np.array_equal(a.x, b.x) and a.relative_error == b.relative_error
+        for a, b in zip(reference, lean_results)
+    )
+    print(f"lean service vs sequential reference: bit-identical = {lean_identical}")
+    assert lean_identical, "lean results diverged from the full-result reference"
+
     old_s = time_call(sequential_loop, repeats=2)
     new_s = time_call(service_run, repeats=3)
+    lean_s = time_call(service_lean_run, repeats=3)
     speedup = old_s / new_s
+    lean_speedup = new_s / lean_s
+
+    # Result assembly is per-request overhead, so the lean win peaks in
+    # the many-small-solves regime (the ROADMAP's "at scale" case) —
+    # measure that separately from the large-matrix headline workload.
+    small_requests = mixed_traffic(
+        64 if quick else 256, unique_matrices=4, sizes=(24, 32), seed=43
+    )
+
+    def small_run(cfg):
+        with SolverService(cfg) as svc:
+            return svc.solve_all(small_requests)
+
+    small_full_cfg = ServiceConfig(workers=2, max_batch_size=32)
+    small_lean_cfg = ServiceConfig(workers=2, max_batch_size=32, lean_results=True)
+    small_full_s = time_call(lambda: small_run(small_full_cfg), repeats=3)
+    small_lean_s = time_call(lambda: small_run(small_lean_cfg), repeats=3)
+    small_lean_speedup = small_full_s / small_lean_s
 
     print(
         format_table(
@@ -120,9 +160,18 @@ def run_bench(quick: bool = False, out: Path | None = None) -> dict:
             [
                 ["sequential per-request loop", old_s * 1e3, n_requests / old_s],
                 ["solver service", new_s * 1e3, n_requests / new_s],
+                ["solver service (lean results)", lean_s * 1e3, n_requests / lean_s],
             ],
-            title=f"{n_requests}-RHS mixed traffic — {speedup:.1f}x",
+            title=(
+                f"{n_requests}-RHS mixed traffic — {speedup:.1f}x "
+                f"(lean mode: {lean_speedup:.2f}x over full results)"
+            ),
         )
+    )
+    print(
+        f"lean mode on {len(small_requests)} small solves (24/32): "
+        f"{small_full_s * 1e3:.1f}ms -> {small_lean_s * 1e3:.1f}ms "
+        f"({small_lean_speedup:.2f}x)"
     )
     print()
     print(service_metrics.table(title="service metrics (equivalence run)"))
@@ -143,8 +192,18 @@ def run_bench(quick: bool = False, out: Path | None = None) -> dict:
         },
         "sequential_loop_s": old_s,
         "service_s": new_s,
+        "service_lean_s": lean_s,
         "speedup": round(speedup, 2),
+        "lean_speedup_vs_full": round(lean_speedup, 3),
+        "lean_small_solves": {
+            "requests": len(small_requests),
+            "sizes": [24, 32],
+            "service_full_s": small_full_s,
+            "service_lean_s": small_lean_s,
+            "lean_speedup_vs_full": round(small_lean_speedup, 3),
+        },
         "bit_identical_to_reference": bit_identical,
+        "lean_bit_identical_to_reference": lean_identical,
         "service_metrics": service_metrics.as_dict(),
         "detail": (
             "per-request prepare+solve loop vs SolverService "

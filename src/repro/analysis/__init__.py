@@ -21,7 +21,12 @@ from repro.analysis.metrics import (
     paper_relative_error,
     scatter_points,
 )
-from repro.analysis.reporting import format_table
+from repro.analysis.reporting import (
+    format_table,
+    generate_report,
+    markdown_table,
+    write_report,
+)
 from repro.analysis.sensitivity import (
     SensitivityMap,
     inv_sensitivity,
@@ -39,7 +44,9 @@ __all__ = [
     "accuracy_quantiles",
     "accuracy_sweep",
     "format_table",
+    "generate_report",
     "inv_sensitivity",
+    "markdown_table",
     "max_abs_error",
     "mvm_sensitivity",
     "paper_relative_error",
@@ -52,4 +59,5 @@ __all__ = [
     "solve_energy",
     "solver_cost_breakdown",
     "sweep_to_csv",
+    "write_report",
 ]

@@ -1,0 +1,68 @@
+"""``repro.campaigns`` — declarative, resumable, multiprocess campaigns.
+
+The paper's results are sweeps; this package turns each one into a
+:class:`CampaignSpec` (a declarative grid over hardware variants, matrix
+families, sizes, and trials) expanded into content-addressed work units,
+executed by a multiprocess shard runner (:func:`run_campaign`) against a
+checkpointing :class:`ArtifactStore` — kill a campaign at any point and
+a re-run resumes exactly where it stopped, with completed units never
+recomputed. Unit seeds derive from unit position (``SeedSequence.spawn``
+style), so the finished store is **bit-identical** for any worker count,
+shard order, or resume history, and ``mode="trials"`` campaigns are
+bit-identical to the legacy single-process sweep loops.
+
+Entry points: ``repro campaign run/status/resume/report/diff`` on the
+CLI, :func:`get_campaign` for the registered figure/ablation specs,
+:mod:`repro.campaigns.aggregate` for flowing artifacts back through the
+analysis/report/export layers, and ``benchmarks/bench_campaigns.py``
+for the wall-clock artifact (``BENCH_campaigns.json``).
+"""
+
+from repro.campaigns.aggregate import (
+    campaign_records,
+    campaign_report,
+    campaign_tables,
+    records_to_campaign_csv,
+)
+from repro.campaigns.registry import get_campaign, list_campaigns
+from repro.campaigns.runner import (
+    CampaignRun,
+    CampaignStatus,
+    campaign_status,
+    execute_unit,
+    run_campaign,
+)
+from repro.campaigns.spec import (
+    BASE_HARDWARE,
+    CampaignSpec,
+    HardwareVariant,
+    WorkUnit,
+    apply_overrides,
+    expand,
+    unit_seed_sequence,
+)
+from repro.campaigns.store import ArtifactStore, store_diff, stores_equal
+
+__all__ = [
+    "ArtifactStore",
+    "BASE_HARDWARE",
+    "CampaignRun",
+    "CampaignSpec",
+    "CampaignStatus",
+    "HardwareVariant",
+    "WorkUnit",
+    "apply_overrides",
+    "campaign_records",
+    "campaign_report",
+    "campaign_status",
+    "campaign_tables",
+    "execute_unit",
+    "expand",
+    "get_campaign",
+    "list_campaigns",
+    "records_to_campaign_csv",
+    "run_campaign",
+    "store_diff",
+    "stores_equal",
+    "unit_seed_sequence",
+]

@@ -1,0 +1,201 @@
+"""Aggregation: campaign artifacts into the analysis/report/export paths.
+
+The store holds per-unit arrays; this module reassembles them into the
+flat :class:`~repro.analysis.accuracy.AccuracyRecord` stream the
+analysis layer already understands, so campaign output flows through
+the *existing* aggregation (:func:`~repro.analysis.accuracy.accuracy_sweep`,
+:func:`~repro.analysis.accuracy.accuracy_quantiles`), tabulation
+(:func:`~repro.analysis.reporting.format_table`), markdown
+(:func:`~repro.analysis.reporting.markdown_table`), and CSV export
+(:func:`~repro.analysis.export.records_to_csv`) paths — no second
+reporting stack.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.accuracy import AccuracyRecord, accuracy_quantiles, accuracy_sweep
+from repro.analysis.export import records_to_csv
+from repro.analysis.reporting import format_table, markdown_table
+from repro.campaigns.runner import campaign_status
+from repro.campaigns.spec import CampaignSpec, expand
+from repro.campaigns.store import ArtifactStore
+from repro.errors import CampaignError
+
+__all__ = [
+    "campaign_records",
+    "campaign_report",
+    "campaign_tables",
+    "records_to_campaign_csv",
+]
+
+
+def campaign_records(
+    spec: CampaignSpec,
+    store: ArtifactStore,
+    *,
+    strict: bool = True,
+) -> dict[tuple[str, str], list[AccuracyRecord]]:
+    """Reassemble store artifacts into per-(variant, family) records.
+
+    Returns ``{(variant_label, family): [AccuracyRecord, ...]}`` with
+    records in the same trial-major order
+    :func:`~repro.analysis.accuracy.run_trials` emits, so downstream
+    consumers cannot tell a campaign apart from a legacy sweep.
+
+    ``strict=True`` raises :class:`CampaignError` when units are
+    missing; ``strict=False`` aggregates whatever completed (partial
+    status reports).
+    """
+    status = campaign_status(spec, store)
+    if strict and status.pending:
+        missing = ", ".join(u.describe() for u in status.pending[:5])
+        raise CampaignError(
+            f"campaign {spec.name!r} is incomplete: "
+            f"{len(status.pending)}/{status.total_units} units pending "
+            f"(e.g. {missing}); run `repro campaign run` to finish it"
+        )
+    grouped: dict[tuple[str, str], list[AccuracyRecord]] = {}
+    for unit in expand(spec):
+        if not store.has(unit.key):
+            continue
+        arrays, _ = store.load_unit(unit.key)
+        records = grouped.setdefault((unit.variant_label, unit.family), [])
+        rel = arrays["relative_error"]
+        sat = arrays["saturated"]
+        elapsed = arrays["analog_time_s"]
+        for trial in range(rel.shape[1]):
+            for i, solver in enumerate(spec.solvers):
+                records.append(
+                    AccuracyRecord(
+                        solver=solver,
+                        size=unit.size,
+                        trial=trial,
+                        relative_error=float(rel[i, trial]),
+                        saturated=bool(sat[i, trial]),
+                        analog_time_s=float(elapsed[i, trial]),
+                    )
+                )
+    return grouped
+
+
+def campaign_tables(
+    spec: CampaignSpec,
+    store: ArtifactStore,
+    *,
+    strict: bool = True,
+    grouped: dict | None = None,
+) -> str:
+    """ASCII tables (one per variant × family) of mean/median error.
+
+    ``grouped`` accepts a precomputed :func:`campaign_records` mapping
+    so callers rendering several outputs aggregate the store once.
+    """
+    if grouped is None:
+        grouped = campaign_records(spec, store, strict=strict)
+    sections = []
+    for (variant, family), records in grouped.items():
+        means = accuracy_sweep(records)
+        medians = accuracy_quantiles(records, (0.5,))
+        rows = []
+        for size in spec.sizes:
+            row = [size]
+            for solver in spec.solvers:
+                by_size = means.get(solver, {})
+                if size in by_size:
+                    row.append(by_size[size][0])
+                    row.append(medians[solver][size][0])
+                else:
+                    row.append("-")
+                    row.append("-")
+            rows.append(row)
+        headers = ["size"]
+        for solver in spec.solvers:
+            headers += [f"{solver} mean", f"{solver} med"]
+        label = f"{spec.name} [{variant}] {family}"
+        sections.append(
+            format_table(
+                headers,
+                rows,
+                title=f"{label} — {spec.trials} trials/size, seed {spec.seed}",
+            )
+        )
+    return "\n\n".join(sections)
+
+
+def campaign_report(
+    spec: CampaignSpec,
+    store: ArtifactStore,
+    *,
+    strict: bool = True,
+    grouped: dict | None = None,
+) -> str:
+    """Markdown report of a campaign (same shape as ``repro report``).
+
+    ``grouped`` accepts a precomputed :func:`campaign_records` mapping.
+    """
+    if grouped is None:
+        grouped = campaign_records(spec, store, strict=strict)
+    status = campaign_status(spec, store)
+    lines = [
+        f"# Campaign report: {spec.name}",
+        "",
+        spec.title or "(no description)",
+        "",
+        f"Mode: {spec.mode} | seed: {spec.seed} | trials/unit: {spec.trials} | "
+        f"units: {status.completed_units}/{status.total_units} | "
+        f"spec digest: `{spec.digest()[:12]}`",
+        "",
+    ]
+    for (variant, family), records in grouped.items():
+        means = accuracy_sweep(records)
+        medians = accuracy_quantiles(records, (0.5,))
+        headers = ["size"] + [f"{s} (mean/med)" for s in spec.solvers]
+        rows = []
+        for size in spec.sizes:
+            row = [str(size)]
+            for solver in spec.solvers:
+                by_size = means.get(solver, {})
+                if size in by_size:
+                    row.append(
+                        f"{by_size[size][0]:.4f}/{medians[solver][size][0]:.4f}"
+                    )
+                else:
+                    row.append("-")
+            rows.append(row)
+        lines.append(f"## {variant} / {family}")
+        lines.append("")
+        lines.append(markdown_table(headers, rows))
+        lines.append("")
+    return "\n".join(lines)
+
+
+def records_to_campaign_csv(
+    spec: CampaignSpec,
+    store: ArtifactStore,
+    path,
+    *,
+    strict: bool = True,
+    grouped: dict | None = None,
+) -> list[Path]:
+    """Export per-(variant, family) raw records as CSV files.
+
+    ``path`` is the base name: ``<base>.<variant>.<family>.csv`` per
+    group (single-group campaigns write ``<base>`` verbatim). Goes
+    through :func:`repro.analysis.export.records_to_csv` — the same
+    writer `repro run --csv` uses. ``grouped`` accepts a precomputed
+    :func:`campaign_records` mapping.
+    """
+    if grouped is None:
+        grouped = campaign_records(spec, store, strict=strict)
+    path = Path(path)
+    written = []
+    if len(grouped) == 1:
+        records = next(iter(grouped.values()))
+        written.append(records_to_csv(records, path))
+        return written
+    for (variant, family), records in grouped.items():
+        target = path.with_suffix(f".{variant}.{family}.csv")
+        written.append(records_to_csv(records, target))
+    return written

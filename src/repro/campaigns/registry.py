@@ -1,0 +1,166 @@
+"""Named campaign specs: the paper's figure sweeps and ablations.
+
+Each entry is a thin declarative wrapper over the sweep a
+``benchmarks/bench_*.py`` script used to hand-roll. The ``quick``
+variants shrink sizes/trials to CI scale (matching
+``benchmarks/conftest.py``); ``quick=False`` sweeps the paper's range.
+
+Seeds are the legacy bench seeds (``fig7`` = 70, ``fig9`` = 90), and
+``mode="trials"`` campaigns replay the legacy ``run_trials`` stream
+bit-exactly (see :mod:`repro.campaigns.spec`), so `repro campaign run
+fig7-variation` reproduces `benchmarks/bench_fig7_variation.py`'s
+numbers to the last bit — now resumable and multiprocess.
+"""
+
+from __future__ import annotations
+
+from repro.campaigns.spec import PAPER_G0, CampaignSpec, HardwareVariant
+from repro.errors import CampaignError
+
+__all__ = ["get_campaign", "list_campaigns"]
+
+#: Sizes/trials of the quick (CI) and paper-scale sweeps, matching the
+#: legacy bench plumbing in ``benchmarks/conftest.py``.
+QUICK_SIZES = (8, 16, 32)
+PAPER_SIZES = (8, 16, 32, 64, 128, 256, 512)
+QUICK_TRIALS = 3
+PAPER_TRIALS = 40
+
+
+def _campaigns(quick: bool) -> dict[str, CampaignSpec]:
+    sizes = QUICK_SIZES if quick else PAPER_SIZES
+    trials = QUICK_TRIALS if quick else PAPER_TRIALS
+    specs = (
+        CampaignSpec(
+            name="fig7-variation",
+            title="Fig. 7 — accuracy under 5% programming variation "
+            "(Wishart and Toeplitz)",
+            solvers=("original-amc", "blockamc-1stage"),
+            families=("wishart", "toeplitz"),
+            sizes=sizes,
+            trials=trials,
+            seed=70,
+            hardware="variation",
+        ),
+        CampaignSpec(
+            name="fig9-interconnect",
+            title="Fig. 9 — accuracy with 5% variation plus 1 ohm/segment "
+            "interconnect resistance",
+            solvers=("original-amc", "blockamc-1stage", "blockamc-2stage"),
+            families=("wishart", "toeplitz"),
+            sizes=sizes,
+            trials=trials,
+            seed=90,
+            hardware="interconnect",
+        ),
+        CampaignSpec(
+            name="ablation-gain",
+            title="Ablation — op-amp open-loop gain and input offset "
+            "(explains the Fig. 6c trend)",
+            solvers=("original-amc", "blockamc-1stage"),
+            families=("wishart",),
+            sizes=(32,) if quick else (128,),
+            trials=3 if quick else 6,
+            seed=100,
+            hardware="ideal-mapping",
+            variants=(
+                HardwareVariant(
+                    "gain-1e3", {"opamp.open_loop_gain": 1e3,
+                                 "opamp.input_offset_sigma_v": 0.0}
+                ),
+                HardwareVariant(
+                    "gain-1e4", {"opamp.open_loop_gain": 1e4,
+                                 "opamp.input_offset_sigma_v": 0.0}
+                ),
+                HardwareVariant(
+                    "gain-1e5", {"opamp.open_loop_gain": 1e5,
+                                 "opamp.input_offset_sigma_v": 0.0}
+                ),
+                HardwareVariant(
+                    "ideal-gain-offset-0.25mV",
+                    {"opamp.open_loop_gain": float("inf"),
+                     "opamp.input_offset_sigma_v": 0.25e-3},
+                ),
+                HardwareVariant(
+                    "gain-1e4-offset-0.25mV",
+                    {"opamp.open_loop_gain": 1e4,
+                     "opamp.input_offset_sigma_v": 0.25e-3},
+                ),
+                HardwareVariant(
+                    "gain-1e4-offset-1mV",
+                    {"opamp.open_loop_gain": 1e4,
+                     "opamp.input_offset_sigma_v": 1e-3},
+                ),
+            ),
+        ),
+        CampaignSpec(
+            name="ablation-quantization",
+            title="Ablation — converter resolution vs one- and two-stage "
+            "accuracy (inter-macro ADC/DAC round trips)",
+            solvers=("blockamc-1stage", "blockamc-2stage"),
+            families=("wishart",),
+            sizes=(16,) if quick else (64,),
+            trials=4 if quick else 8,
+            seed=101,
+            hardware="variation",
+            variants=tuple(
+                HardwareVariant(
+                    "ideal" if bits is None else f"{bits}b",
+                    {"converters.dac_bits": bits, "converters.adc_bits": bits},
+                )
+                for bits in (4, 6, 8, 10, 12, None)
+            ),
+        ),
+        CampaignSpec(
+            name="ablation-variation",
+            title="Ablation — relative vs absolute reading of the paper's "
+            "'sigma = 0.05 G0' programming variation",
+            solvers=("original-amc", "blockamc-1stage"),
+            families=("wishart",),
+            sizes=(8, 16, 32) if quick else (8, 32, 128),
+            trials=4 if quick else 10,
+            seed=102,
+            hardware="ideal-mapping",
+            variants=(
+                HardwareVariant(
+                    "relative-5pct",
+                    {"programming.variation": {
+                        "kind": "relative_gaussian", "sigma_rel": 0.05}},
+                ),
+                HardwareVariant(
+                    "absolute-0.05G0",
+                    {"programming.variation": {
+                        "kind": "gaussian", "sigma": 0.05 * PAPER_G0}},
+                ),
+            ),
+        ),
+        CampaignSpec(
+            name="serving-rhs",
+            title="Serving-style sweep — one prepared matrix per cell, "
+            "many right-hand sides through the multi-RHS kernel "
+            "(lean results, prepared-solver cache)",
+            mode="rhs",
+            solvers=("blockamc-1stage",),
+            families=("wishart", "toeplitz", "poisson"),
+            sizes=(16, 24) if quick else (32, 64, 96),
+            trials=8 if quick else 32,
+            seed=7,
+            hardware="variation",
+        ),
+    )
+    return {spec.name: spec for spec in specs}
+
+
+def list_campaigns(quick: bool = True) -> list[str]:
+    """Names of all registered campaigns."""
+    return sorted(_campaigns(quick))
+
+
+def get_campaign(name: str, quick: bool = True) -> CampaignSpec:
+    """Look up a registered campaign (``quick`` selects CI-scale grids)."""
+    campaigns = _campaigns(quick)
+    if name not in campaigns:
+        raise CampaignError(
+            f"unknown campaign {name!r}; available: {sorted(campaigns)}"
+        )
+    return campaigns[name]

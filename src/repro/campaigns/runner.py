@@ -1,0 +1,321 @@
+"""Campaign execution: unit evaluation and the multiprocess shard runner.
+
+:func:`execute_unit` evaluates one work unit against the AMC engines:
+
+- ``mode="trials"`` drives
+  :func:`repro.analysis.accuracy.run_trials_batched` — the whole cell's
+  Monte-Carlo stack runs as batched linalg, and the seed stream is
+  positioned with :func:`repro.campaigns.spec.unit_seed_sequence` so
+  records are bit-identical to the legacy sequential sweeps;
+- ``mode="rhs"`` prepares (or reuses) a programmed solver through the
+  worker's :class:`~repro.serve.cache.PreparedSolverCache` and runs all
+  right-hand sides through the multi-RHS kernel with **lean** results.
+
+:func:`run_campaign` schedules pending units either inline
+(``workers <= 1``) or on a :class:`concurrent.futures.ProcessPoolExecutor`.
+Each worker process writes its own artifacts (atomic, content-addressed)
+directly to the store, so killing the driver — or the whole process tree
+— loses at most the units in flight; a re-run resumes exactly where the
+campaign stopped and completed units are never recomputed. Because every
+unit's randomness derives from its position alone, the finished store is
+bit-identical for any worker count, scheduling order, or kill/resume
+history (``benchmarks/bench_campaigns.py`` and the CI ``campaign-smoke``
+job verify this).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.campaigns.spec import CampaignSpec, WorkUnit, expand, unit_seed_sequence
+from repro.campaigns.store import ArtifactStore
+from repro.errors import CampaignError
+
+__all__ = ["CampaignRun", "CampaignStatus", "campaign_status", "execute_unit", "run_campaign"]
+
+
+# ----------------------------------------------------------------------
+# unit execution
+# ----------------------------------------------------------------------
+
+#: Per-process prepared-solver cache for ``mode="rhs"`` units. Workers
+#: are long-lived (one per pool), so programmed macros persist across
+#: the units a worker executes.
+_WORKER_CACHE = None
+
+#: Prepared solvers retained per worker process.
+_WORKER_CACHE_CAPACITY = 16
+
+
+def _worker_cache():
+    global _WORKER_CACHE
+    if _WORKER_CACHE is None:
+        from repro.serve.cache import PreparedSolverCache
+
+        _WORKER_CACHE = PreparedSolverCache(_WORKER_CACHE_CAPACITY)
+    return _WORKER_CACHE
+
+
+def execute_unit(spec: CampaignSpec, unit: WorkUnit) -> tuple[dict, dict]:
+    """Evaluate one work unit; returns ``(arrays, meta)`` for the store.
+
+    Arrays (all shaped ``(len(spec.solvers), spec.trials)``, solver-major
+    in ``spec.solvers`` order):
+
+    - ``relative_error`` — paper Eq. 6 error per trial;
+    - ``saturated`` — whether any analog op clipped;
+    - ``analog_time_s`` — summed settling time.
+    """
+    start = time.perf_counter()
+    hardware = spec.resolve_hardware(unit.variant_index)
+    if spec.mode == "trials":
+        arrays = _execute_trials_unit(spec, unit, hardware)
+    else:
+        arrays = _execute_rhs_unit(spec, unit, hardware)
+    meta = {
+        "unit": {
+            "key": unit.key,
+            "variant": unit.variant_label,
+            "family": unit.family,
+            "size": unit.size,
+            "size_index": unit.size_index,
+            "solvers": list(spec.solvers),
+            "trials": spec.trials,
+            "mode": spec.mode,
+            "spec_digest": spec.digest(),
+        },
+        "runtime": {
+            "elapsed_s": time.perf_counter() - start,
+            "pid": os.getpid(),
+        },
+    }
+    return arrays, meta
+
+
+def _execute_trials_unit(spec, unit, hardware):
+    from repro.analysis.accuracy import run_trials_batched
+    from repro.serve.cache import SOLVER_KINDS
+    from repro.workloads.traffic import TRAFFIC_FAMILIES
+
+    solvers = {name: SOLVER_KINDS[name](hardware) for name in spec.solvers}
+    records = run_trials_batched(
+        solvers,
+        TRAFFIC_FAMILIES[unit.family],
+        [unit.size],
+        spec.trials,
+        seed=unit_seed_sequence(spec.seed, unit.size_index, spec.trials),
+    )
+    index = {name: i for i, name in enumerate(spec.solvers)}
+    rel = np.empty((len(spec.solvers), spec.trials))
+    sat = np.zeros((len(spec.solvers), spec.trials), dtype=bool)
+    elapsed = np.empty((len(spec.solvers), spec.trials))
+    for record in records:
+        i = index[record.solver]
+        rel[i, record.trial] = record.relative_error
+        sat[i, record.trial] = record.saturated
+        elapsed[i, record.trial] = record.analog_time_s
+    return {"relative_error": rel, "saturated": sat, "analog_time_s": elapsed}
+
+
+def _execute_rhs_unit(spec, unit, hardware):
+    from repro.serve.batching import execute_batch
+    from repro.serve.cache import PreparedKey, prepare_entry
+    from repro.serve.requests import matrix_digest
+    from repro.workloads.matrices import random_vector
+    from repro.workloads.traffic import TRAFFIC_FAMILIES
+
+    # Unit-key-derived randomness: a pure function of the cell
+    # coordinates, independent of execution order.
+    seq = np.random.SeedSequence(
+        spec.seed,
+        spawn_key=(unit.variant_index, unit.family_index, unit.size_index),
+    )
+    children = seq.spawn(1 + spec.trials)
+    matrix = TRAFFIC_FAMILIES[unit.family](
+        unit.size, np.random.default_rng(children[0])
+    )
+    bs = [
+        random_vector(unit.size, np.random.default_rng(children[1 + t]))
+        for t in range(spec.trials)
+    ]
+    digest = matrix_digest(matrix)
+    cache = _worker_cache()
+
+    rel = np.empty((len(spec.solvers), spec.trials))
+    sat = np.zeros((len(spec.solvers), spec.trials), dtype=bool)
+    elapsed = np.empty((len(spec.solvers), spec.trials))
+    for i, solver in enumerate(spec.solvers):
+        key = PreparedKey(digest, hardware.cache_key(), solver, spec.seed)
+        entry = cache.get_or_prepare(
+            key, lambda key=key: prepare_entry(key, matrix, hardware)
+        )
+        results = execute_batch(entry, bs, list(range(spec.trials)), lean=True)
+        for t, result in enumerate(results):
+            rel[i, t] = result.relative_error
+            sat[i, t] = result.saturated
+            elapsed[i, t] = result.analog_time_s
+    return {"relative_error": rel, "saturated": sat, "analog_time_s": elapsed}
+
+
+# ----------------------------------------------------------------------
+# scheduling
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CampaignRun:
+    """Outcome of one :func:`run_campaign` invocation."""
+
+    total_units: int
+    skipped_units: int
+    completed_units: int
+    remaining_units: int
+    elapsed_s: float
+
+    @property
+    def finished(self) -> bool:
+        """True when every unit of the campaign has an artifact."""
+        return self.remaining_units == 0
+
+
+@dataclass(frozen=True)
+class CampaignStatus:
+    """Completion state of a store against a spec."""
+
+    total_units: int
+    completed_units: int
+    pending: tuple
+
+    @property
+    def finished(self) -> bool:
+        return not self.pending
+
+
+def campaign_status(spec: CampaignSpec, store: ArtifactStore) -> CampaignStatus:
+    """How much of ``spec`` the store has completed.
+
+    Raises :class:`CampaignError` when the store's manifest belongs to a
+    different campaign (otherwise a scale or ``--store`` mix-up would
+    read as "everything pending" instead of the actual mismatch).
+    """
+    store.verify_manifest(spec)
+    units = expand(spec)
+    done = store.completed_keys()
+    pending = tuple(u for u in units if u.key not in done)
+    return CampaignStatus(
+        total_units=len(units),
+        completed_units=len(units) - len(pending),
+        pending=pending,
+    )
+
+
+def _run_unit_to_store(spec: CampaignSpec, unit: WorkUnit, root: str) -> str:
+    """Worker entry point: execute one unit and persist its artifact."""
+    arrays, meta = execute_unit(spec, unit)
+    ArtifactStore(root).write_unit(unit.key, arrays, meta)
+    return unit.key
+
+
+def _mp_context(start_method: str | None):
+    import multiprocessing
+    import sys
+
+    if start_method is None:
+        # Prefer fork only on Linux (cheap worker start, inherited
+        # imports). macOS has fork available but CPython made spawn the
+        # default there for a reason — forking after Accelerate/ObjC
+        # initialization can crash — so everywhere else we take the
+        # platform's default context.
+        if sys.platform.startswith("linux") and (
+            "fork" in multiprocessing.get_all_start_methods()
+        ):
+            start_method = "fork"
+        else:
+            return multiprocessing.get_context()
+    return multiprocessing.get_context(start_method)
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    store_root,
+    *,
+    workers: int = 0,
+    max_units: int | None = None,
+    start_method: str | None = None,
+    progress=None,
+) -> CampaignRun:
+    """Run (or resume) a campaign against an artifact store.
+
+    Parameters
+    ----------
+    spec:
+        The campaign. The store's manifest pins its digest; resuming
+        with a different spec raises :class:`CampaignError`.
+    store_root:
+        Artifact store directory (created if missing).
+    workers:
+        ``0`` or ``1`` executes inline (no subprocesses, useful for
+        tests and tiny sweeps); ``>= 2`` runs a
+        :class:`ProcessPoolExecutor` with that many workers, each
+        writing artifacts directly so driver death loses nothing.
+    max_units:
+        Stop after completing this many pending units (a controlled
+        interruption — the store remains resumable). ``None`` runs all.
+    start_method:
+        Multiprocessing start method; default prefers ``fork`` (cheap
+        worker start, inherited imports) and falls back to ``spawn``.
+    progress:
+        Optional ``progress(unit, completed, total)`` callback invoked
+        after each unit completes (inline and pooled).
+    """
+    if workers < 0:
+        raise CampaignError(f"workers must be >= 0, got {workers}")
+    if max_units is not None and max_units < 1:
+        raise CampaignError(f"max_units must be >= 1, got {max_units}")
+    store = ArtifactStore(store_root)
+    store.write_manifest(spec)
+    units = expand(spec)
+    done = store.completed_keys()
+    pending = [u for u in units if u.key not in done]
+    skipped = len(units) - len(pending)
+    budget = pending if max_units is None else pending[:max_units]
+    start = time.perf_counter()
+    completed = 0
+
+    if len(budget) == 0:
+        pass
+    elif workers <= 1:
+        for unit in budget:
+            _run_unit_to_store(spec, unit, str(store.root))
+            completed += 1
+            if progress is not None:
+                progress(unit, skipped + completed, len(units))
+    else:
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=_mp_context(start_method)
+        ) as pool:
+            futures = {
+                pool.submit(_run_unit_to_store, spec, unit, str(store.root)): unit
+                for unit in budget
+            }
+            outstanding = set(futures)
+            while outstanding:
+                finished, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    future.result()  # propagate worker failures
+                    completed += 1
+                    if progress is not None:
+                        progress(futures[future], skipped + completed, len(units))
+
+    return CampaignRun(
+        total_units=len(units),
+        skipped_units=skipped,
+        completed_units=completed,
+        remaining_units=len(pending) - completed,
+        elapsed_s=time.perf_counter() - start,
+    )

@@ -1,0 +1,187 @@
+"""Checkpointing artifact store: one record per completed work unit.
+
+Layout under the store root::
+
+    manifest.json          # the spec (verbatim) + its digest
+    units/<key>.npz        # result arrays of one completed unit
+    units/<key>.json       # unit coordinates + runtime telemetry
+
+Writes are atomic (temp file + ``os.replace``) and the ``.json`` sidecar
+lands *last*, so a unit is "completed" iff its sidecar exists — a
+``SIGKILL`` mid-write can strand a temp file or an orphaned ``.npz``,
+never a half-valid record. Re-running a campaign against an existing
+store skips completed units (resume == run), and the manifest pins the
+spec digest so a store can never silently mix artifacts from two
+different campaigns.
+
+Unit artifacts are deterministic: equal spec + equal unit ⇒ bit-equal
+arrays and an equal ``"unit"`` metadata block. The ``"runtime"`` block
+(wall time, worker pid) is explicitly excluded from
+:func:`stores_equal`, which is what the determinism tests and the CI
+``campaign-smoke`` job compare across worker counts and kill/resume
+boundaries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.campaigns.spec import CampaignSpec
+from repro.errors import CampaignError
+
+__all__ = ["ArtifactStore", "stores_equal", "store_diff"]
+
+
+class ArtifactStore:
+    """Directory-backed store of campaign unit artifacts."""
+
+    def __init__(self, root):
+        self.root = Path(root)
+        self.units_dir = self.root / "units"
+
+    # ------------------------------------------------------------------
+    # manifest
+    # ------------------------------------------------------------------
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / "manifest.json"
+
+    def verify_manifest(self, spec: CampaignSpec) -> None:
+        """Raise when the store belongs to a different campaign than ``spec``.
+
+        A store without a manifest passes (nothing to contradict). The
+        usual way to hit the mismatch is pointing ``--store`` at another
+        campaign's directory or mixing quick and ``--paper`` grids —
+        their spec digests differ, so their unit keys are disjoint.
+        """
+        existing = self.read_manifest()
+        if existing is not None and existing["digest"] != spec.digest():
+            raise CampaignError(
+                f"store {self.root} holds campaign "
+                f"{existing['spec'].get('name')!r} [{existing['digest'][:12]}], "
+                f"not {spec.name!r} [{spec.digest()[:12]}] — wrong --store, or "
+                "quick vs --paper scale mismatch? Use a separate store per grid"
+            )
+
+    def write_manifest(self, spec: CampaignSpec) -> None:
+        """Record the spec, or verify it matches an existing manifest."""
+        self.verify_manifest(spec)
+        if self.read_manifest() is not None:
+            return
+        self.units_dir.mkdir(parents=True, exist_ok=True)
+        _atomic_write_text(
+            self.manifest_path,
+            json.dumps({"digest": spec.digest(), "spec": spec.to_dict()}, indent=2)
+            + "\n",
+        )
+
+    def read_manifest(self) -> dict | None:
+        """The stored manifest, or ``None`` for a fresh directory."""
+        if not self.manifest_path.exists():
+            return None
+        return json.loads(self.manifest_path.read_text())
+
+    # ------------------------------------------------------------------
+    # unit records
+    # ------------------------------------------------------------------
+    def _npz_path(self, key: str) -> Path:
+        return self.units_dir / f"{key}.npz"
+
+    def _meta_path(self, key: str) -> Path:
+        return self.units_dir / f"{key}.json"
+
+    def has(self, key: str) -> bool:
+        """True when the unit completed (sidecar is the commit marker)."""
+        return self._meta_path(key).exists() and self._npz_path(key).exists()
+
+    def completed_keys(self) -> set[str]:
+        """Keys of every completed unit in the store."""
+        if not self.units_dir.exists():
+            return set()
+        return {
+            path.stem
+            for path in self.units_dir.glob("*.json")
+            if self._npz_path(path.stem).exists()
+        }
+
+    def write_unit(self, key: str, arrays: dict, meta: dict) -> None:
+        """Atomically persist one completed unit (arrays first, meta last)."""
+        self.units_dir.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.units_dir, suffix=".npz.tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez(handle, **arrays)
+            os.replace(tmp, self._npz_path(key))
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        _atomic_write_text(
+            self._meta_path(key), json.dumps(meta, indent=2, sort_keys=True) + "\n"
+        )
+
+    def load_unit(self, key: str) -> tuple[dict, dict]:
+        """Load one completed unit's ``(arrays, meta)``."""
+        if not self.has(key):
+            raise CampaignError(f"store {self.root} has no completed unit {key}")
+        with np.load(self._npz_path(key)) as payload:
+            arrays = {name: payload[name] for name in payload.files}
+        meta = json.loads(self._meta_path(key).read_text())
+        return arrays, meta
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+def store_diff(a: ArtifactStore, b: ArtifactStore) -> list[str]:
+    """Human-readable differences between two stores (empty == equal).
+
+    Compares the campaign digest, the completed-unit key sets, every
+    result array **bit for bit**, and the deterministic ``"unit"`` block
+    of each record's metadata. Runtime telemetry (wall time, pid) is
+    excluded — it legitimately differs between runs of the same
+    campaign.
+    """
+    diffs: list[str] = []
+    ma, mb = a.read_manifest(), b.read_manifest()
+    if (ma and ma["digest"]) != (mb and mb["digest"]):
+        diffs.append(
+            f"manifest digest: {ma and ma['digest'][:12]} != {mb and mb['digest'][:12]}"
+        )
+        return diffs
+    keys_a, keys_b = a.completed_keys(), b.completed_keys()
+    for key in sorted(keys_a - keys_b):
+        diffs.append(f"unit {key}: only in {a.root}")
+    for key in sorted(keys_b - keys_a):
+        diffs.append(f"unit {key}: only in {b.root}")
+    for key in sorted(keys_a & keys_b):
+        arrays_a, meta_a = a.load_unit(key)
+        arrays_b, meta_b = b.load_unit(key)
+        if set(arrays_a) != set(arrays_b):
+            diffs.append(f"unit {key}: array sets differ")
+            continue
+        for name in sorted(arrays_a):
+            if not np.array_equal(arrays_a[name], arrays_b[name]):
+                diffs.append(f"unit {key}: array {name!r} differs")
+        if meta_a.get("unit") != meta_b.get("unit"):
+            diffs.append(f"unit {key}: unit metadata differs")
+    return diffs
+
+
+def stores_equal(a: ArtifactStore, b: ArtifactStore) -> bool:
+    """True when two stores hold bit-identical campaign results."""
+    return not store_diff(a, b)

@@ -7,6 +7,8 @@ can be regenerated without writing code:
     python -m repro run fig7-wishart --quick --csv out.csv
     python -m repro costs --size 512
     python -m repro solve --size 64 --hardware variation
+    python -m repro campaign run fig7-variation --workers 4
+    python -m repro campaign status fig7-variation
 
 Exit code is 0 on success; validation problems print to stderr and
 return 2 (argparse convention).
@@ -194,7 +196,7 @@ def _cmd_submit(args) -> int:
 
 
 def _cmd_report(args) -> int:
-    from repro.analysis.report import write_report
+    from repro.analysis.reporting import write_report
 
     path = write_report(
         args.out, quick=args.quick, seed=args.seed, suites=args.suite
@@ -222,6 +224,124 @@ def _cmd_check(args) -> int:
     for finding in report.findings:
         print(f"  [{finding.severity:7s}] {finding.topic}: {finding.message}")
     return 0 if report.feasible else 1
+
+
+# ----------------------------------------------------------------------
+# campaigns
+# ----------------------------------------------------------------------
+
+
+def _campaign_spec(args):
+    from repro.campaigns import get_campaign
+
+    return get_campaign(args.name, quick=not args.paper)
+
+
+def _campaign_store_root(args):
+    from pathlib import Path
+
+    if args.store is not None:
+        return Path(args.store)
+    return Path("campaign_runs") / args.name
+
+
+def _cmd_campaign_list(args) -> int:
+    from repro.campaigns import expand, get_campaign, list_campaigns
+
+    print("Registered campaigns:")
+    for name in list_campaigns(quick=not args.paper):
+        spec = get_campaign(name, quick=not args.paper)
+        print(
+            f"  {name:24s} {len(expand(spec)):3d} units "
+            f"({len(spec.variants)} variants x {len(spec.families)} families "
+            f"x {len(spec.sizes)} sizes, {spec.trials} trials)  {spec.title}"
+        )
+    return 0
+
+
+def _cmd_campaign_run(args) -> int:
+    from repro.campaigns import run_campaign
+
+    spec = _campaign_spec(args)
+    root = _campaign_store_root(args)
+
+    def progress(unit, completed, total):
+        print(f"  [{completed}/{total}] {unit.describe()}", flush=True)
+
+    run = run_campaign(
+        spec,
+        root,
+        workers=args.workers,
+        max_units=args.max_units,
+        start_method=args.start_method,
+        progress=progress,
+    )
+    mode = "inline" if args.workers <= 1 else f"{args.workers} process workers"
+    print(
+        f"campaign {spec.name}: {run.completed_units} units executed, "
+        f"{run.skipped_units} already complete, {run.remaining_units} remaining "
+        f"({mode}, {run.elapsed_s:.2f}s) -> {root}"
+    )
+    if not run.finished:
+        print("campaign incomplete; rerun `repro campaign run` (or `resume`) to finish")
+    return 0
+
+
+def _cmd_campaign_status(args) -> int:
+    from repro.campaigns import ArtifactStore, campaign_status
+
+    spec = _campaign_spec(args)
+    status = campaign_status(spec, ArtifactStore(_campaign_store_root(args)))
+    print(
+        f"campaign {spec.name} [{spec.digest()[:12]}]: "
+        f"{status.completed_units}/{status.total_units} units complete"
+    )
+    for unit in status.pending:
+        print(f"  pending: {unit.describe()}")
+    return 0 if status.finished else 1
+
+
+def _cmd_campaign_report(args) -> int:
+    from pathlib import Path
+
+    from repro.campaigns import (
+        ArtifactStore,
+        campaign_records,
+        campaign_report,
+        campaign_tables,
+        records_to_campaign_csv,
+    )
+
+    spec = _campaign_spec(args)
+    store = ArtifactStore(_campaign_store_root(args))
+    # Aggregate the store once, render every requested output from it.
+    grouped = campaign_records(spec, store, strict=not args.partial)
+    # Artifacts first: a closed stdout (e.g. piping into head) must not
+    # prevent the requested files from being written.
+    written = []
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(campaign_report(spec, store, grouped=grouped))
+        written.append(out)
+    if args.csv:
+        written.extend(records_to_campaign_csv(spec, store, args.csv, grouped=grouped))
+    print(campaign_tables(spec, store, grouped=grouped))
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_campaign_diff(args) -> int:
+    from repro.campaigns import ArtifactStore, store_diff
+
+    diffs = store_diff(ArtifactStore(args.store_a), ArtifactStore(args.store_b))
+    if not diffs:
+        print("stores are bit-identical")
+        return 0
+    for line in diffs:
+        print(line)
+    return 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -318,6 +438,78 @@ def build_parser() -> argparse.ArgumentParser:
         "--suite", action="append", default=None, help="restrict to named suite(s)"
     )
     report.set_defaults(func=_cmd_report)
+
+    # ------------------------------------------------------------------
+    # campaigns
+    # ------------------------------------------------------------------
+    from repro.campaigns import list_campaigns
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="declarative, resumable, multiprocess experiment campaigns",
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    def add_campaign_args(parser, with_name=True):
+        if with_name:
+            parser.add_argument("name", choices=list_campaigns())
+            parser.add_argument(
+                "--store", type=str, default=None,
+                help="artifact store directory (default campaign_runs/<name>)",
+            )
+        parser.add_argument(
+            "--paper", action="store_true",
+            help="paper-scale grid (default is the quick CI grid)",
+        )
+
+    clist = campaign_sub.add_parser("list", help="list registered campaigns")
+    add_campaign_args(clist, with_name=False)
+    clist.set_defaults(func=_cmd_campaign_list)
+
+    for verb, help_text in (
+        ("run", "run a campaign (skips already-completed units)"),
+        ("resume", "resume an interrupted campaign (alias of run)"),
+    ):
+        crun = campaign_sub.add_parser(verb, help=help_text)
+        add_campaign_args(crun)
+        crun.add_argument(
+            "--workers", type=int, default=0,
+            help="process workers (0/1 = inline, >=2 = multiprocess)",
+        )
+        crun.add_argument(
+            "--max-units", type=int, default=None,
+            help="stop after N units (controlled interruption; store stays resumable)",
+        )
+        crun.add_argument(
+            "--start-method", choices=("fork", "spawn", "forkserver"), default=None,
+            help="multiprocessing start method (default: fork when available)",
+        )
+        crun.set_defaults(func=_cmd_campaign_run)
+
+    cstatus = campaign_sub.add_parser(
+        "status", help="show completed/pending units (exit 1 while incomplete)"
+    )
+    add_campaign_args(cstatus)
+    cstatus.set_defaults(func=_cmd_campaign_status)
+
+    creport = campaign_sub.add_parser(
+        "report", help="aggregate a campaign's artifacts into tables/markdown/CSV"
+    )
+    add_campaign_args(creport)
+    creport.add_argument("--out", type=str, default=None, help="markdown report path")
+    creport.add_argument("--csv", type=str, default=None, help="raw-records CSV base path")
+    creport.add_argument(
+        "--partial", action="store_true",
+        help="aggregate whatever completed instead of requiring a finished campaign",
+    )
+    creport.set_defaults(func=_cmd_campaign_report)
+
+    cdiff = campaign_sub.add_parser(
+        "diff", help="compare two artifact stores bit for bit (exit 1 on differences)"
+    )
+    cdiff.add_argument("store_a")
+    cdiff.add_argument("store_b")
+    cdiff.set_defaults(func=_cmd_campaign_diff)
     return parser
 
 

@@ -14,7 +14,10 @@ Equivalence contract (enforced by tests):
 
 - every trial consumes its own ``default_rng(hardware_seed)`` in exactly
   the order the sequential path does (programming draws, then op-amp
-  offset draws), so all random samples are **bit-identical** to
+  offset draws at each column size's first use, then per-operation
+  output-noise and sample-and-hold noise draws in schedule order —
+  fresh per gain-ranging attempt, exactly like the scalar reruns), so
+  all random samples are **bit-identical** to
   :func:`repro.analysis.accuracy.run_trials`;
 - the physics itself is the shared kernel of :mod:`repro.core.common`
   (the same functions the scalar path calls, evaluated per-slice through
@@ -24,9 +27,8 @@ Equivalence contract (enforced by tests):
 
 Configurations the batched engine cannot express (MNA routing,
 write-and-verify programming, quantized targets, stuck-at faults, exact
-parasitic extraction, sample-and-hold or output noise) are detected by
-:func:`make_batched_runner` returning ``None``; callers fall back to the
-sequential path.
+parasitic extraction) are detected by :func:`make_batched_runner`
+returning ``None``; callers fall back to the sequential path.
 """
 
 from __future__ import annotations
@@ -44,7 +46,6 @@ from repro.core.common import (
     inv_raw,
     mvm_raw,
     saturate,
-    snh_cascade,
     solve_slices,
 )
 from repro.core.original import OriginalAMCSolver
@@ -71,7 +72,13 @@ class TrialOutcome:
 
 
 def is_batchable_config(config: HardwareConfig) -> bool:
-    """True when the batched engine reproduces this configuration exactly."""
+    """True when the batched engine reproduces this configuration exactly.
+
+    Output-referred op-amp noise and sample-and-hold noise are covered:
+    the batched path draws them per trial, per operation, per ranging
+    attempt from each trial's own generator in schedule order — the
+    exact stream the scalar path consumes (see ``_NoiseDraws``).
+    """
     programming = config.programming
     return (
         not config.use_mna
@@ -79,8 +86,6 @@ def is_batchable_config(config: HardwareConfig) -> bool:
         and not programming.quantize
         and programming.faults.is_trivial
         and (config.parasitics.is_ideal or config.parasitics.fidelity == "first_order")
-        and config.opamp.output_noise_sigma_v == 0.0
-        and config.sample_hold.noise_sigma_v == 0.0
     )
 
 
@@ -209,6 +214,78 @@ class _ArrayBatch:
 _quantize_batch = quantize_voltages
 
 
+class _NoiseDraws:
+    """Per-trial fresh-noise draws in exact scalar stream order.
+
+    The scalar path draws output-referred op-amp noise after every
+    operation and sample-and-hold noise after every buffer transfer —
+    fresh on each gain-ranging attempt, from the trial's own generator.
+    These helpers replay that consumption for the *active* trial subset
+    only (rescaled trials redraw, settled trials' generators stay
+    untouched), which is what keeps the batched engine bit-identical to
+    per-trial scalar ranging loops.
+    """
+
+    def __init__(self, rngs, config: HardwareConfig):
+        self.rngs = rngs
+        self.output_sigma = config.opamp.output_noise_sigma_v
+        self.snh_sigma = config.sample_hold.noise_sigma_v
+        self.snh_gain = 1.0 + config.sample_hold.gain_error
+
+    def _rows(self, indices, sigma: float, size: int) -> np.ndarray:
+        out = np.empty((len(indices), size))
+        for j, t in enumerate(indices):
+            out[j] = self.rngs[t].normal(0.0, sigma, size=size)
+        return out
+
+    def output(self, indices, raw: np.ndarray) -> np.ndarray:
+        """Add per-operation output noise (scalar ``_add_output_noise``)."""
+        if self.output_sigma == 0.0:
+            return raw
+        return raw + self._rows(indices, self.output_sigma, raw.shape[1])
+
+    def snh_pair(self, indices, voltages: np.ndarray) -> np.ndarray:
+        """Two S&H transfers (output bank then input bank), with noise.
+
+        Noise-free this is exactly :func:`repro.core.common.snh_cascade`
+        (two successive gain products); with noise each transfer adds
+        its own fresh draw, like the two scalar ``SampleHold`` stages.
+        """
+        held = voltages * self.snh_gain
+        if self.snh_sigma > 0.0:
+            held = held + self._rows(indices, self.snh_sigma, held.shape[1])
+        held = held * self.snh_gain
+        if self.snh_sigma > 0.0:
+            held = held + self._rows(indices, self.snh_sigma, held.shape[1])
+        return held
+
+
+class _LazyOffsets:
+    """Offset columns drawn at first use, like the scalar schedule.
+
+    The scalar ``AMCOperations`` draws one offset column per distinct
+    size at that size's *first operation* and caches it for the rest of
+    the trial — and with per-operation noise enabled, noise draws from
+    the same generator interleave between those first uses. Drawing
+    lazily (size ``k`` at step 1, size ``m`` at step 2) therefore keeps
+    every trial's stream in scalar order whether or not noise is on.
+    The first ranging attempt covers all trials, so each size's draw
+    happens exactly once per trial.
+    """
+
+    def __init__(self, sigma: float, rngs):
+        self.sigma = sigma
+        self.rngs = rngs
+        self._by_size: dict[int, np.ndarray | None] = {}
+
+    def take(self, size: int, indices) -> np.ndarray | None:
+        if size not in self._by_size:
+            self._by_size[size] = draw_offsets_batch(self.sigma, [size], self.rngs)[
+                size
+            ]
+        return _take(self._by_size[size], indices)
+
+
 class _OpAccumulator:
     """Per-trial step telemetry (peaks, saturation flags, settle sums).
 
@@ -266,9 +343,8 @@ class _BatchedOriginalAMC:
         trials, n = bs.shape
         normalized, scale = _normalize_batch(matrices)
         array = _ArrayBatch(normalized, config, rngs)
-        offsets = draw_offsets_batch(
-            config.opamp.input_offset_sigma_v, [n], rngs
-        )[n]
+        offsets = _LazyOffsets(config.opamp.input_offset_sigma_v, rngs)
+        noise = _NoiseDraws(rngs, config)
         inv_settle = array.inv_settle()
 
         conv = config.converters
@@ -281,8 +357,16 @@ class _BatchedOriginalAMC:
             acc.begin(indices)
             sub = _ArrayView(array, indices)
             v_in = _quantize_batch(k[:, None] * bs[indices], conv.dac_bits, v_fs)
-            raw = inv_raw(
-                sub.effective, sub.load_row_sums, v_in, _take(offsets, indices), 1.0, a0
+            raw = noise.output(
+                indices,
+                inv_raw(
+                    sub.effective,
+                    sub.load_row_sums,
+                    v_in,
+                    offsets.take(n, indices),
+                    1.0,
+                    a0,
+                ),
             )
             out = acc.add_for(indices, raw, inv_settle[indices])
             peaks = np.max(np.abs(out), axis=1)
@@ -336,10 +420,11 @@ class _BatchedBlockAMC:
         arr4s = _ArrayBatch(a4s / schur_scale[:, None, None], config, rngs)
 
         k_size, m_size = split, n - split
-        # Offsets draw in first-use order: step 1 (size k), step 2 (size m).
-        offsets = draw_offsets_batch(
-            config.opamp.input_offset_sigma_v, [k_size, m_size], rngs
-        )
+        # Offsets draw lazily in first-use order — step 1 (size k),
+        # step 2 (size m) — so per-operation noise draws interleave at
+        # the same stream positions as the scalar schedule.
+        offsets = _LazyOffsets(config.opamp.input_offset_sigma_v, rngs)
+        noise = _NoiseDraws(rngs, config)
 
         settle1 = arr1.inv_settle()
         settle2 = arr3.mvm_settle()
@@ -349,7 +434,6 @@ class _BatchedBlockAMC:
         conv = config.converters
         v_fs = conv.v_fs
         v_sat = config.opamp.v_sat
-        snh_error = config.sample_hold.gain_error
         acc = _OpAccumulator(trials, v_sat)
         a0 = config.opamp.open_loop_gain
 
@@ -359,47 +443,64 @@ class _BatchedBlockAMC:
             g = k[:, None] * bs[indices, split:]
             v_f = _quantize_batch(f, conv.dac_bits, v_fs)
             v_g = _quantize_batch(g, conv.dac_bits, v_fs)
-            off_k = _take(offsets[k_size], indices)
-            off_m = _take(offsets[m_size], indices)
 
             def view(arr):
                 return _ArrayView(arr, indices)
 
             a1, a2, a3, a4s = view(arr1), view(arr2), view(arr3), view(arr4s)
+            # Stream order per trial matches the scalar schedule exactly:
+            # offsets(k), noise1, S&H x2, offsets(m), noise2, S&H x2, ...
+            off_k = offsets.take(k_size, indices)
             s1 = acc.add_for(
                 indices,
-                inv_raw(a1.effective, a1.load_row_sums, v_f, off_k, 1.0, a0),
+                noise.output(
+                    indices,
+                    inv_raw(a1.effective, a1.load_row_sums, v_f, off_k, 1.0, a0),
+                ),
                 settle1[indices],
             )
-            h1 = snh_cascade(s1, snh_error)
+            h1 = noise.snh_pair(indices, s1)
+            off_m = offsets.take(m_size, indices)
             s2 = acc.add_for(
                 indices,
-                mvm_raw(a3.effective, a3.load_row_sums, h1, off_m, a0),
+                noise.output(
+                    indices,
+                    mvm_raw(a3.effective, a3.load_row_sums, h1, off_m, a0),
+                ),
                 settle2[indices],
             )
-            h2 = snh_cascade(s2, snh_error)
+            h2 = noise.snh_pair(indices, s2)
             s3 = acc.add_for(
                 indices,
-                inv_raw(
-                    a4s.effective,
-                    a4s.load_row_sums,
-                    h2 - v_g,
-                    off_m,
-                    schur_input_scale[indices],
-                    a0,
+                noise.output(
+                    indices,
+                    inv_raw(
+                        a4s.effective,
+                        a4s.load_row_sums,
+                        h2 - v_g,
+                        off_m,
+                        schur_input_scale[indices],
+                        a0,
+                    ),
                 ),
                 settle3[indices],
             )
-            h3 = snh_cascade(s3, snh_error)
+            h3 = noise.snh_pair(indices, s3)
             s4 = acc.add_for(
                 indices,
-                mvm_raw(a2.effective, a2.load_row_sums, h3, off_k, a0),
+                noise.output(
+                    indices,
+                    mvm_raw(a2.effective, a2.load_row_sums, h3, off_k, a0),
+                ),
                 settle4[indices],
             )
-            h4 = snh_cascade(s4, snh_error)
+            h4 = noise.snh_pair(indices, s4)
             s5 = acc.add_for(
                 indices,
-                inv_raw(a1.effective, a1.load_row_sums, v_f + h4, off_k, 1.0, a0),
+                noise.output(
+                    indices,
+                    inv_raw(a1.effective, a1.load_row_sums, v_f + h4, off_k, 1.0, a0),
+                ),
                 settle1[indices],
             )
             peaks = np.max(

@@ -46,7 +46,7 @@ from repro.core.common import (
     solve_columns,
 )
 from repro.core.partition import PartitionSpec, build_macro_arrays, prepare_blocks
-from repro.core.solution import SolveResult
+from repro.core.solution import LeanSolveResult, SolveResult
 from repro.crossbar.mapping import normalize_matrix
 from repro.errors import ValidationError
 from repro.utils.rng import as_generator
@@ -110,7 +110,9 @@ class PreparedBlockAMC:
             },
         )
 
-    def solve_many(self, rhs_batch, rng=None) -> tuple[SolveResult, ...]:
+    def solve_many(
+        self, rhs_batch, rng=None, *, lean: bool = False
+    ) -> tuple[SolveResult, ...]:
         """Solve many right-hand sides with shared per-step factorizations.
 
         The programmed arrays, their effective matrices, and the
@@ -131,6 +133,14 @@ class PreparedBlockAMC:
         per-operation randomness cannot be shared across a batch (MNA
         routing, output or sample-and-hold noise) transparently fall
         back to that loop.
+
+        With ``lean=True`` the per-result payload is a
+        :class:`~repro.core.solution.LeanSolveResult`: the solution and
+        reference are the same bits, but the five per-step
+        :class:`~repro.amc.ops.OpResult` objects, their ideal outputs,
+        and the step-output metadata dicts are never constructed —
+        result assembly dominates service-side time at scale (see
+        ``BENCH_serving.json``).
         """
         rhs_list = [np.asarray(b, dtype=float) for b in rhs_batch]
         if not rhs_list:
@@ -144,7 +154,10 @@ class PreparedBlockAMC:
             or config.opamp.output_noise_sigma_v > 0.0
             or config.sample_hold.noise_sigma_v > 0.0
         ):
-            return tuple(self.solve(b, rng) for b in bs)
+            results = tuple(self.solve(b, rng) for b in bs)
+            if lean:
+                return tuple(LeanSolveResult.from_result(r) for r in results)
+            return results
 
         macro = self.macro
         arrays = macro.arrays
@@ -236,6 +249,24 @@ class PreparedBlockAMC:
         x_upper = -quantize(final["s5"], conv.adc_bits)
         x = np.concatenate([x_upper, x_lower], axis=1) / (final_k * self.scale)[:, None]
         references = solve_columns(self.matrix, bs, what="system matrix")
+
+        if lean:
+            # Same summation order as SolveResult.analog_time_s (left
+            # fold from 0 over steps 1..5) so the scalar is bit-identical.
+            analog_total = sum(
+                (settle[1], settle[2], settle[3], settle[4], settle[5])
+            )
+            return tuple(
+                LeanSolveResult(
+                    x=x[c],
+                    reference=references[c],
+                    solver="blockamc-1stage",
+                    saturated=bool(final_sat[c].any()),
+                    analog_time_s=float(analog_total),
+                    metadata={"input_scale": float(final_k[c])},
+                )
+                for c in range(batch)
+            )
 
         # Exact-arithmetic per-step references (Fig. 6a curves), batched.
         reference = reference_schedule(

@@ -1,4 +1,13 @@
-"""Solver result container shared by all solvers."""
+"""Solver result containers shared by all solvers.
+
+:class:`SolveResult` is the full-telemetry container (per-operation
+:class:`~repro.amc.ops.OpResult` tuples, step-output metadata).
+:class:`LeanSolveResult` is the serving-mode container: the same
+solution payload (``x``/``reference`` are bitwise identical to the full
+result's) with per-step telemetry reduced to the scalars the serving
+and campaign layers actually consume — constructing the five OpResults
+and their step-output dicts dominates service-side time at scale.
+"""
 
 from __future__ import annotations
 
@@ -63,3 +72,57 @@ class SolveResult:
     def saturated(self) -> bool:
         """True when any analog op clipped at the op-amp rails."""
         return any(op.saturated for op in self.operations)
+
+
+@dataclass(frozen=True)
+class LeanSolveResult:
+    """Serving-mode outcome of one solve: payload without step telemetry.
+
+    Carries exactly what :class:`repro.serve` responses and campaign
+    records read from a result — the solution, the digital reference,
+    and the scalar telemetry aggregates — while skipping the per-step
+    :class:`~repro.amc.ops.OpResult` construction. ``x``, ``reference``,
+    ``relative_error``, ``saturated``, and ``analog_time_s`` are
+    bit-identical to the corresponding full :class:`SolveResult` fields
+    for the same solve.
+    """
+
+    x: np.ndarray
+    reference: np.ndarray
+    solver: str
+    saturated: bool = False
+    analog_time_s: float = 0.0
+    metadata: dict = field(default_factory=dict)
+    #: Lean results carry no per-operation telemetry by design.
+    operations: tuple = ()
+
+    @classmethod
+    def from_result(cls, result: SolveResult) -> "LeanSolveResult":
+        """Reduce a full result (fallback for non-lean solve paths).
+
+        Only metadata keys the full result actually set are carried
+        over — no key ever appears with a ``None`` the full path would
+        never produce.
+        """
+        return cls(
+            x=result.x,
+            reference=result.reference,
+            solver=result.solver,
+            saturated=result.saturated,
+            analog_time_s=result.analog_time_s,
+            metadata={
+                key: result.metadata[key]
+                for key in ("input_scale",)
+                if key in result.metadata
+            },
+        )
+
+    @property
+    def size(self) -> int:
+        """Dimension of the solved system."""
+        return self.x.size
+
+    @property
+    def relative_error(self) -> float:
+        """The paper's Eq. 6 relative error vs. the digital reference."""
+        return paper_relative_error(self.reference, self.x)

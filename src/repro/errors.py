@@ -66,3 +66,7 @@ class ServiceOverloadedError(ServeError):
 
 class ServiceClosedError(ServeError):
     """The service has shut down and no longer accepts requests."""
+
+
+class CampaignError(ReproError):
+    """A campaign spec, artifact store, or runner invariant was violated."""

@@ -25,7 +25,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.solution import SolveResult
+from repro.core.solution import LeanSolveResult, SolveResult
 from repro.errors import ServeError
 from repro.serve.cache import PreparedEntry
 
@@ -33,7 +33,11 @@ __all__ = ["MicroBatcher", "execute_batch"]
 
 
 def execute_batch(
-    entry: PreparedEntry, bs: Sequence[np.ndarray], seeds: Sequence[int]
+    entry: PreparedEntry,
+    bs: Sequence[np.ndarray],
+    seeds: Sequence[int],
+    *,
+    lean: bool = False,
 ) -> list[SolveResult]:
     """Execute one batch of right-hand sides against a prepared entry.
 
@@ -44,17 +48,27 @@ def execute_batch(
     entries execute per request, each consuming its own
     ``default_rng(seed)`` so results do not depend on batch composition
     even when the configuration draws fresh noise per operation.
+
+    ``lean=True`` returns :class:`~repro.core.solution.LeanSolveResult`
+    payloads — identical ``x``/``reference``/``relative_error`` bits,
+    no per-step OpResult telemetry (whose construction dominates
+    service-side time at scale).
     """
     if len(bs) != len(seeds):
         raise ServeError(f"got {len(bs)} right-hand sides but {len(seeds)} seeds")
     if not bs:
         return []
     if entry.coalescible:
-        return list(entry.prepared.solve_many(list(bs), np.random.default_rng(0)))
-    return [
+        return list(
+            entry.prepared.solve_many(list(bs), np.random.default_rng(0), lean=lean)
+        )
+    results = [
         entry.prepared.solve(b, np.random.default_rng(seed))
         for b, seed in zip(bs, seeds)
     ]
+    if lean:
+        return [LeanSolveResult.from_result(result) for result in results]
+    return results
 
 
 class MicroBatcher:

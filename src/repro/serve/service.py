@@ -76,6 +76,12 @@ class ServiceConfig:
         ``"reject"`` raises :class:`ServiceOverloadedError` instead.
     cache_capacity:
         Prepared solvers retained per shard (LRU beyond that).
+    lean_results:
+        Serve :class:`~repro.core.solution.LeanSolveResult` payloads
+        (no per-step OpResult telemetry; same solution bits). Result
+        assembly dominates service-side time at scale, so lean mode is
+        the high-throughput setting; the default stays full-telemetry
+        for interactive use.
     default_solver, default_hardware, default_prep_seed:
         Applied to requests that leave the corresponding field unset.
     """
@@ -86,6 +92,7 @@ class ServiceConfig:
     queue_depth: int = 256
     backpressure: str = "block"
     cache_capacity: int = 32
+    lean_results: bool = False
     default_solver: str = "blockamc-1stage"
     default_hardware: HardwareConfig = field(
         default_factory=HardwareConfig.paper_variation
@@ -378,6 +385,7 @@ class SolverService:
                 entry,
                 [t.request.b for t in batch],
                 [t.request.seed for t in batch],
+                lean=self.config.lean_results,
             )
         except Exception as exc:
             now = time.perf_counter()
@@ -437,6 +445,10 @@ def run_sequential(
 
         entry = cache.get_or_prepare(key, factory)
         recorder.record_batch(1)
-        results.append(execute_batch(entry, [request.b], [request.seed])[0])
+        results.append(
+            execute_batch(
+                entry, [request.b], [request.seed], lean=config.lean_results
+            )[0]
+        )
         recorder.record_done(time.perf_counter() - start)
     return results, recorder.snapshot(cache.stats)

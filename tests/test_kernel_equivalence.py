@@ -122,6 +122,19 @@ def _config_variants():
         "snh_gain_error": HardwareConfig.paper_variation().with_(
             sample_hold=SampleHoldConfig(gain_error=0.01)
         ),
+        # Per-operation fresh-noise configurations: the batched engine
+        # draws output and S&H noise per trial, per op, per ranging
+        # attempt in exact scalar stream order (PR 4 coverage).
+        "output_noise": HardwareConfig.paper_variation().with_(
+            opamp=OpAmpConfig(output_noise_sigma_v=5e-4)
+        ),
+        "snh_noise": HardwareConfig.paper_variation().with_(
+            sample_hold=SampleHoldConfig(gain_error=0.005, noise_sigma_v=2e-4)
+        ),
+        "noisy_saturating": HardwareConfig.paper_interconnect().with_(
+            opamp=OpAmpConfig(output_noise_sigma_v=5e-4, v_sat=0.8),
+            sample_hold=SampleHoldConfig(gain_error=0.005, noise_sigma_v=2e-4),
+        ),
     }
 
 
@@ -379,6 +392,33 @@ class TestScalarVsTrialBatched:
             sizes,
             trials,
             seed=70,
+        )
+        _records_exactly_equal(seq, bat)
+
+    def test_noise_configs_run_batched_not_fallback(self):
+        """The noise configs exercise the batched engine, not the scalar
+        fallback — otherwise their equivalence tests would be vacuous."""
+        from repro.core.batched import is_batchable_config
+
+        for name in ("output_noise", "snh_noise", "noisy_saturating"):
+            config = CONFIGS[name]
+            assert is_batchable_config(config), name
+            assert make_batched_runner(OriginalAMCSolver(config)) is not None, name
+            assert make_batched_runner(BlockAMCSolver(config)) is not None, name
+
+    def test_noise_configs_bit_identical_under_ranging_reruns(self):
+        """Fresh noise redraws per ranging attempt, exactly like scalar."""
+        config = CONFIGS["noisy_saturating"]
+        factory = MATRIX_FAMILIES["graded"]
+        seq = run_trials(
+            {"orig": lambda: OriginalAMCSolver(config),
+             "block": lambda: BlockAMCSolver(config)},
+            factory, (10, 12), 3, seed=11,
+        )
+        bat = run_trials_batched(
+            {"orig": OriginalAMCSolver(config),
+             "block": BlockAMCSolver(config)},
+            factory, (10, 12), 3, seed=11,
         )
         _records_exactly_equal(seq, bat)
 

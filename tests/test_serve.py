@@ -453,3 +453,60 @@ class TestMetrics:
             mixed_traffic(4, unique_matrices=0)
         with pytest.raises(ValidationError):
             mixed_traffic(4, families=("nope",))
+
+
+class TestLeanResults:
+    """Lean serving mode: same solution bits, no per-step telemetry."""
+
+    def test_lean_solve_many_matches_full(self):
+        from repro.core.blockamc import BlockAMCSolver
+        from repro.core.solution import LeanSolveResult
+
+        matrix = wishart_matrix(14, rng=2)
+        rhs = [random_vector(14, rng=i) for i in range(5)]
+        prep = BlockAMCSolver(HardwareConfig.paper_variation()).prepare(matrix, rng=5)
+        full = prep.solve_many(rhs, np.random.default_rng(0))
+        lean = prep.solve_many(rhs, np.random.default_rng(0), lean=True)
+        for f, l in zip(full, lean):
+            assert isinstance(l, LeanSolveResult)
+            assert np.array_equal(f.x, l.x)
+            assert np.array_equal(f.reference, l.reference)
+            assert f.relative_error == l.relative_error
+            assert f.saturated == l.saturated
+            assert f.analog_time_s == l.analog_time_s
+            assert f.metadata["input_scale"] == l.metadata["input_scale"]
+            assert l.operations == ()
+
+    def test_lean_execute_batch_noncoalescible_fallback(self):
+        from repro.core.solution import LeanSolveResult
+
+        matrix = wishart_matrix(10, rng=1)
+        hardware = HardwareConfig.paper_variation()
+        key = PreparedKey(matrix_digest(matrix), hardware.cache_key(), "blockamc-2stage", 0)
+        entry = prepare_entry(key, matrix, hardware)
+        assert not entry.coalescible
+        bs = [random_vector(10, rng=i) for i in range(3)]
+        full = execute_batch(entry, bs, [7, 8, 9])
+        lean = execute_batch(entry, bs, [7, 8, 9], lean=True)
+        for f, l in zip(full, lean):
+            assert isinstance(l, LeanSolveResult)
+            assert np.array_equal(f.x, l.x)
+            assert f.saturated == l.saturated
+            assert f.analog_time_s == l.analog_time_s
+
+    def test_lean_service_bit_identical_to_full_reference(self):
+        requests = _requests(n=10, unique=2)
+        full, _ = run_sequential(requests, ServiceConfig(workers=1))
+        with SolverService(ServiceConfig(workers=2, lean_results=True)) as service:
+            lean = service.solve_all(requests)
+        for f, l in zip(full, lean):
+            assert _identical(f, l)
+
+    def test_lean_sequential_reference(self):
+        requests = _requests(n=6, unique=2)
+        config = ServiceConfig(workers=1, lean_results=True)
+        lean, _ = run_sequential(requests, config)
+        full, _ = run_sequential(requests, ServiceConfig(workers=1))
+        for f, l in zip(full, lean):
+            assert _identical(f, l)
+            assert l.operations == ()
