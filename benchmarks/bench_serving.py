@@ -40,6 +40,7 @@ import numpy as np
 from benchmarks.perf_harness import time_call
 from repro.analysis.reporting import format_table
 from repro.core.blockamc import BlockAMCSolver
+from repro.core.multistage import MultiStageSolver
 from repro.serve import ServiceConfig, SolverService, run_sequential
 from repro.workloads.traffic import mixed_traffic
 
@@ -63,6 +64,15 @@ QUICK_UNIQUE = 4
 #: for noisy CI machines.
 MIN_SPEEDUP_FULL = 5.0
 MIN_SPEEDUP_QUICK = 1.5
+
+#: Mixed one-/two-stage traffic (coalesced multi-stage solve_many vs the
+#: per-request prepare+solve loop).
+MULTISTAGE_REQUESTS_FULL = 64
+MULTISTAGE_REQUESTS_QUICK = 32
+MULTISTAGE_SIZES_FULL = (48, 64)
+MULTISTAGE_SIZES_QUICK = (24, 32)
+MIN_MULTISTAGE_SPEEDUP_FULL = 3.0
+MIN_MULTISTAGE_SPEEDUP_QUICK = 1.2
 
 
 def run_bench(quick: bool = False, out: Path | None = None) -> dict:
@@ -176,6 +186,63 @@ def run_bench(quick: bool = False, out: Path | None = None) -> dict:
     print()
     print(service_metrics.table(title="service metrics (equivalence run)"))
 
+    # ------------------------------------------------------------------
+    # 2-stage coalescing: mixed one-/two-stage traffic
+    # ------------------------------------------------------------------
+    ms_requests = mixed_traffic(
+        MULTISTAGE_REQUESTS_QUICK if quick else MULTISTAGE_REQUESTS_FULL,
+        unique_matrices=4,
+        sizes=MULTISTAGE_SIZES_QUICK if quick else MULTISTAGE_SIZES_FULL,
+        solvers=("blockamc-1stage", "blockamc-2stage"),
+        seed=44,
+    )
+    ms_reference, _ = run_sequential(ms_requests, config)
+    with SolverService(config) as svc:
+        ms_results = svc.solve_all(ms_requests)
+        ms_metrics = svc.metrics()
+    ms_identical = all(
+        np.array_equal(a.x, b.x) and a.relative_error == b.relative_error
+        for a, b in zip(ms_reference, ms_results)
+    )
+    print(
+        f"\nmulti-stage service vs sequential reference: "
+        f"bit-identical = {ms_identical}"
+    )
+    assert ms_identical, "multi-stage service diverged from the reference"
+
+    one_shot = {
+        "blockamc-1stage": BlockAMCSolver(hardware),
+        "blockamc-2stage": MultiStageSolver(hardware, stages=2),
+    }
+
+    def ms_sequential_loop():
+        return [
+            one_shot[r.solver].solve(r.matrix, r.b, rng=np.random.default_rng(r.seed))
+            for r in ms_requests
+        ]
+
+    def ms_service_run():
+        with SolverService(config) as svc:
+            return svc.solve_all(ms_requests)
+
+    ms_old_s = time_call(ms_sequential_loop, repeats=2)
+    ms_new_s = time_call(ms_service_run, repeats=3)
+    ms_speedup = ms_old_s / ms_new_s
+    ms_batches = ms_metrics.as_dict()["batch_size_histogram"]
+    print(
+        format_table(
+            ["path", "ms", "solve/s"],
+            [
+                ["per-request loop", ms_old_s * 1e3, len(ms_requests) / ms_old_s],
+                ["solver service", ms_new_s * 1e3, len(ms_requests) / ms_new_s],
+            ],
+            title=(
+                f"{len(ms_requests)}-request mixed 1-/2-stage traffic — "
+                f"{ms_speedup:.1f}x (coalesced batches: {ms_batches})"
+            ),
+        )
+    )
+
     payload = {
         "generated_by": "benchmarks/bench_serving.py",
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -202,6 +269,17 @@ def run_bench(quick: bool = False, out: Path | None = None) -> dict:
             "service_lean_s": small_lean_s,
             "lean_speedup_vs_full": round(small_lean_speedup, 3),
         },
+        "multistage_traffic": {
+            "requests": len(ms_requests),
+            "sizes": list(MULTISTAGE_SIZES_QUICK if quick else MULTISTAGE_SIZES_FULL),
+            "solvers": ["blockamc-1stage", "blockamc-2stage"],
+            "seed": 44,
+            "sequential_loop_s": ms_old_s,
+            "service_s": ms_new_s,
+            "speedup": round(ms_speedup, 2),
+            "bit_identical_to_reference": ms_identical,
+            "batch_size_histogram": ms_batches,
+        },
         "bit_identical_to_reference": bit_identical,
         "lean_bit_identical_to_reference": lean_identical,
         "service_metrics": service_metrics.as_dict(),
@@ -217,6 +295,11 @@ def run_bench(quick: bool = False, out: Path | None = None) -> dict:
     floor = MIN_SPEEDUP_QUICK if quick else MIN_SPEEDUP_FULL
     assert speedup >= floor, (
         f"serving speedup {speedup:.2f}x fell below the {floor}x floor"
+    )
+    ms_floor = MIN_MULTISTAGE_SPEEDUP_QUICK if quick else MIN_MULTISTAGE_SPEEDUP_FULL
+    assert ms_speedup >= ms_floor, (
+        f"multi-stage serving speedup {ms_speedup:.2f}x fell below "
+        f"the {ms_floor}x floor"
     )
     return payload
 

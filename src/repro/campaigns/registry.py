@@ -147,6 +147,20 @@ def _campaigns(quick: bool) -> dict[str, CampaignSpec]:
             seed=7,
             hardware="variation",
         ),
+        CampaignSpec(
+            name="serving-rhs-2stage",
+            title="Two-stage serving sweep — multi-stage prepared solvers "
+            "against the one-stage baseline, many right-hand sides per "
+            "cell through the coalesced multi-RHS path (lean results, "
+            "prepared-solver cache)",
+            mode="rhs",
+            solvers=("blockamc-1stage", "blockamc-2stage"),
+            families=("wishart", "toeplitz"),
+            sizes=(12, 16) if quick else (16, 32, 64),
+            trials=6 if quick else 24,
+            seed=11,
+            hardware="variation",
+        ),
     )
     return {spec.name: spec for spec in specs}
 

@@ -53,6 +53,216 @@ from repro.utils.rng import as_generator
 from repro.utils.validation import check_square_matrix, check_vector
 
 
+def has_per_operation_randomness(config: HardwareConfig) -> bool:
+    """True when a configuration draws fresh randomness per analog op.
+
+    MNA routing, op-amp output noise, and sample-and-hold noise all
+    consume the generator once per operation (and per gain-ranging
+    attempt), so a single batched pass cannot replay the sequential
+    stream. This is the **single** predicate behind every multi-RHS
+    batching decision: :meth:`PreparedBlockAMC.solve_many` and
+    :meth:`~repro.core.multistage.PreparedMultiStage.solve_many` fall
+    back to the sequential loop when it holds, and the serve layer
+    (:mod:`repro.serve.cache`) refuses to coalesce such entries — keep
+    the three sites in agreement by keeping them on this function.
+    """
+    return (
+        config.use_mna
+        or config.opamp.output_noise_sigma_v > 0.0
+        or config.sample_hold.noise_sigma_v > 0.0
+    )
+
+
+@dataclass(frozen=True)
+class BatchedOpSpec:
+    """One analog operation's telemetry, stacked over a batch.
+
+    The batched engines compute whole-batch outputs; result assembly
+    slices per-column :class:`~repro.amc.ops.OpResult` objects out of
+    these specs so a batched solve reports exactly the telemetry a
+    scalar solve would.
+    """
+
+    label: str
+    kind: str
+    outputs: np.ndarray  # (batch, rows)
+    ideal: np.ndarray  # (batch, rows)
+    settling_time_s: float
+    saturated: np.ndarray  # (batch,)
+    rows: int
+    cols: int
+    device_count: int
+
+    def op_result(self, c: int) -> OpResult:
+        """The column-``c`` slice as a scalar-shaped :class:`OpResult`."""
+        return OpResult(
+            kind=self.kind,
+            label=self.label,
+            output=self.outputs[c],
+            ideal_output=self.ideal[c],
+            settling_time_s=self.settling_time_s,
+            saturated=bool(self.saturated[c]),
+            rows=self.rows,
+            cols=self.cols,
+            opa_count=self.rows,
+            device_count=self.device_count,
+        )
+
+
+class BatchedFiveStep:
+    """The five-step schedule with matrix-valued intermediates.
+
+    Bound to one programmed :class:`~repro.amc.macro.BlockAMCMacro`,
+    this engine holds everything batch-invariant about the schedule —
+    effective matrices, the two INV-system factorizations (factor once,
+    per-column ``getrs``), the settling analysis, and the quasi-static
+    op-amp offsets (drawn through the macro's own offset cache in exact
+    scalar stream order) — and executes a whole ``(batch, n)`` block of
+    right-hand sides per :meth:`run` call, gain-ranging each column
+    independently. Every step goes through the shared kernel of
+    :mod:`repro.core.common`, so column ``c`` of a batch is bit-identical
+    to a scalar :meth:`BlockAMCMacro.solve` of the same vector.
+
+    Both multi-RHS consumers delegate here:
+    :meth:`PreparedBlockAMC.solve_many` and the multi-stage solver's
+    macro nodes (:mod:`repro.core.multistage`).
+    """
+
+    def __init__(self, macro: BlockAMCMacro, rng):
+        self.macro = macro
+        config = macro.config
+        arrays = macro.arrays
+        ops = macro.ops
+        par = config.parasitics
+        a1, a2, a3, a4s = arrays.a1, arrays.a2, arrays.a3, arrays.a4s
+        self.eff1 = a1.effective_matrix(par)
+        self.eff2 = a2.effective_matrix(par)
+        self.eff3 = a3.effective_matrix(par)
+        self.eff4 = a4s.effective_matrix(par)
+        self.load2, self.load3 = a2.load_row_sums(), a3.load_row_sums()
+        load1, load4 = a1.load_row_sums(), a4s.load_row_sums()
+        self.id1, self.id2 = ops._ideal_matrix(a1), ops._ideal_matrix(a2)
+        self.id3, self.id4 = ops._ideal_matrix(a3), ops._ideal_matrix(a4s)
+        # Offsets draw per column size on first use, exactly like the
+        # scalar schedule's step 1 (upper) then step 2 (lower).
+        self.off_k = ops._draw_offsets(arrays.upper_size, rng)
+        self.off_m = ops._draw_offsets(arrays.lower_size, rng)
+        self.split = arrays.upper_size
+        self.s_in = arrays.schur_input_scale
+        self.a0 = config.opamp.open_loop_gain
+        self.v_sat = config.opamp.v_sat
+        self.conv = config.converters
+        self.snh_error = config.sample_hold.gain_error
+        gbwp = config.opamp.gbwp_hz
+        self.settle = {
+            1: ops._inv_settle(self.eff1),
+            2: mvm_settling_time(
+                np.asarray(a3.g_pos) + np.asarray(a3.g_neg), a3.g_unit, gbwp
+            ),
+            3: ops._inv_settle(self.eff4),
+            4: mvm_settling_time(
+                np.asarray(a2.g_pos) + np.asarray(a2.g_neg), a2.g_unit, gbwp
+            ),
+        }
+        self.settle[5] = self.settle[1]
+        # One INV stage each for A1 (steps 1/5) and A4s (step 3): the
+        # finite-gain system is assembled and LU-factored once for the
+        # whole batch; back-substitution happens per column, so results
+        # stay bit-identical to per-RHS scalar solves.
+        self.loading1 = inv_loading(load1, 1.0)
+        self.loading4 = inv_loading(load4, self.s_in)
+        self.fact1 = FactoredSystem(inv_system(self.eff1, self.loading1, self.a0))
+        self.fact4 = FactoredSystem(inv_system(self.eff4, self.loading4, self.a0))
+
+    def digitize(self, voltages: np.ndarray) -> np.ndarray:
+        """ADC model (the shared shape-generic converter)."""
+        return quantize_voltages(voltages, self.conv.adc_bits, self.conv.v_fs)
+
+    def run(self, bs: np.ndarray, input_fraction: float):
+        """Execute the schedule for row-stacked ``bs``; gain-range per column.
+
+        Returns ``(final, final_k)`` from
+        :func:`repro.core.common.auto_range_many`: the accepted step
+        outputs/inputs (``s1``..``s5``, ``in1``..``in5``, ``f``, ``g``,
+        ``sat``) and the accepted per-column input scales.
+        """
+        v_fs = self.conv.v_fs
+        split = self.split
+        fact1, fact4 = self.fact1, self.fact4
+        loading1, loading4 = self.loading1, self.loading4
+        off_k, off_m = self.off_k, self.off_m
+        v_sat, a0, snh_error = self.v_sat, self.a0, self.snh_error
+
+        def inv_step(fact, loading, off, v_in, input_scale):
+            return saturate(fact.solve(inv_rhs(v_in, loading, off, input_scale)), v_sat)
+
+        def mvm_step(eff, load, off, v_in):
+            return saturate(mvm_raw(eff, load, v_in, off, a0), v_sat)
+
+        def quantize(v, bits):
+            # Shared shape-generic converter model (amc.interfaces).
+            return quantize_voltages(v, bits, v_fs)
+
+        def run_subset(k, indices):
+            f = k[:, None] * bs[indices, :split]
+            g = k[:, None] * bs[indices, split:]
+            v_f = quantize(f, self.conv.dac_bits)
+            v_g = quantize(g, self.conv.dac_bits)
+            s1, sat1 = inv_step(fact1, loading1, off_k, v_f, 1.0)
+            h1 = snh_cascade(s1, snh_error)
+            s2, sat2 = mvm_step(self.eff3, self.load3, off_m, h1)
+            h2 = snh_cascade(s2, snh_error)
+            s3, sat3 = inv_step(fact4, loading4, off_m, h2 - v_g, self.s_in)
+            h3 = snh_cascade(s3, snh_error)
+            s4, sat4 = mvm_step(self.eff2, self.load2, off_k, h3)
+            h4 = snh_cascade(s4, snh_error)
+            s5, sat5 = inv_step(fact1, loading1, off_k, v_f + h4, 1.0)
+            outs = np.concatenate([s1, s2, s3, s4, s5], axis=1)
+            peaks = np.max(np.abs(outs), axis=1)
+            payload = {
+                "s1": s1, "s2": s2, "s3": s3, "s4": s4, "s5": s5,
+                "in1": v_f, "in2": h1, "in3": h2 - v_g, "in4": h3,
+                "in5": v_f + h4, "f": f, "g": g,
+                "sat": np.stack([sat1, sat2, sat3, sat4, sat5], axis=1),
+            }
+            return peaks, payload
+
+        k0 = input_voltage_scale_many(bs, v_fs, input_fraction)
+        return auto_range_many(run_subset, k0, v_fs)
+
+    def step_specs(self, final: dict) -> tuple[BatchedOpSpec, ...]:
+        """Per-step batched telemetry for the accepted attempt.
+
+        Ideal (perfect-circuit) outputs are computed from the accepted
+        inputs, exactly as the scalar ops record them.
+        """
+        arrays = self.macro.arrays
+        a1, a2, a3, a4s = arrays.a1, arrays.a2, arrays.a3, arrays.a4s
+        sat = final["sat"]
+        steps = (
+            ("step1:INV(A1)", "inv", "s1", ideal_inv(self.id1, final["in1"]), 1, a1),
+            ("step2:MVM(A3)", "mvm", "s2", ideal_mvm(self.id3, final["in2"]), 2, a3),
+            ("step3:INV(A4s)", "inv", "s3",
+             ideal_inv(self.id4, final["in3"], self.s_in), 3, a4s),
+            ("step4:MVM(A2)", "mvm", "s4", ideal_mvm(self.id2, final["in4"]), 4, a2),
+            ("step5:INV(A1)", "inv", "s5", ideal_inv(self.id1, final["in5"]), 5, a1),
+        )
+        return tuple(
+            BatchedOpSpec(
+                label=label,
+                kind=kind,
+                outputs=final[out_key],
+                ideal=ideal,
+                settling_time_s=self.settle[num],
+                saturated=sat[:, num - 1],
+                rows=array.shape[0],
+                cols=array.shape[1],
+                device_count=array.device_count,
+            )
+            for label, kind, out_key, ideal, num, array in steps
+        )
+
+
 @dataclass(frozen=True)
 class PreparedBlockAMC:
     """A programmed one-stage solver bound to one matrix."""
@@ -149,104 +359,29 @@ class PreparedBlockAMC:
         bs = np.stack([check_vector(b, "b", size=n) for b in rhs_list])
         rng = as_generator(rng)
         config = self.macro.config
-        if (
-            config.use_mna
-            or config.opamp.output_noise_sigma_v > 0.0
-            or config.sample_hold.noise_sigma_v > 0.0
-        ):
+        if has_per_operation_randomness(config):
             results = tuple(self.solve(b, rng) for b in bs)
             if lean:
                 return tuple(LeanSolveResult.from_result(r) for r in results)
             return results
 
         macro = self.macro
-        arrays = macro.arrays
-        ops = macro.ops
-        split = self.split
-        par = config.parasitics
-        a1, a2, a3, a4s = arrays.a1, arrays.a2, arrays.a3, arrays.a4s
-        eff1 = a1.effective_matrix(par)
-        eff2 = a2.effective_matrix(par)
-        eff3 = a3.effective_matrix(par)
-        eff4 = a4s.effective_matrix(par)
-        load1, load2 = a1.load_row_sums(), a2.load_row_sums()
-        load3, load4 = a3.load_row_sums(), a4s.load_row_sums()
-        id1, id2 = ops._ideal_matrix(a1), ops._ideal_matrix(a2)
-        id3, id4 = ops._ideal_matrix(a3), ops._ideal_matrix(a4s)
-        k_sz, m_sz = arrays.upper_size, arrays.lower_size
-        off_k = ops._draw_offsets(k_sz, rng)
-        off_m = ops._draw_offsets(m_sz, rng)
-        s_in = arrays.schur_input_scale
-        a0 = config.opamp.open_loop_gain
-        v_sat = config.opamp.v_sat
-        conv = config.converters
-        v_fs = conv.v_fs
-        snh_error = config.sample_hold.gain_error
-        gbwp = config.opamp.gbwp_hz
-
-        settle = {
-            1: ops._inv_settle(eff1),
-            2: mvm_settling_time(
-                np.asarray(a3.g_pos) + np.asarray(a3.g_neg), a3.g_unit, gbwp
-            ),
-            3: ops._inv_settle(eff4),
-            4: mvm_settling_time(
-                np.asarray(a2.g_pos) + np.asarray(a2.g_neg), a2.g_unit, gbwp
-            ),
-        }
-        settle[5] = settle[1]
-
-        # One INV stage each for A1 (steps 1/5) and A4s (step 3): the
-        # finite-gain system is assembled and LU-factored once for the
-        # whole batch; back-substitution happens per column, so results
-        # stay bit-identical to per-RHS scalar solves.
-        loading1 = inv_loading(load1, 1.0)
-        loading4 = inv_loading(load4, s_in)
-        fact1 = FactoredSystem(inv_system(eff1, loading1, a0))
-        fact4 = FactoredSystem(inv_system(eff4, loading4, a0))
-
-        def inv_step(fact, loading, off, v_in, input_scale):
-            return saturate(fact.solve(inv_rhs(v_in, loading, off, input_scale)), v_sat)
-
-        def mvm_step(eff, load, off, v_in):
-            return saturate(mvm_raw(eff, load, v_in, off, a0), v_sat)
-
-        def quantize(v, bits):
-            # Shared shape-generic converter model (amc.interfaces).
-            return quantize_voltages(v, bits, v_fs)
-
         batch = bs.shape[0]
-
-        def run_subset(k, indices):
-            f = k[:, None] * bs[indices, :split]
-            g = k[:, None] * bs[indices, split:]
-            v_f = quantize(f, conv.dac_bits)
-            v_g = quantize(g, conv.dac_bits)
-            s1, sat1 = inv_step(fact1, loading1, off_k, v_f, 1.0)
-            h1 = snh_cascade(s1, snh_error)
-            s2, sat2 = mvm_step(eff3, load3, off_m, h1)
-            h2 = snh_cascade(s2, snh_error)
-            s3, sat3 = inv_step(fact4, loading4, off_m, h2 - v_g, s_in)
-            h3 = snh_cascade(s3, snh_error)
-            s4, sat4 = mvm_step(eff2, load2, off_k, h3)
-            h4 = snh_cascade(s4, snh_error)
-            s5, sat5 = inv_step(fact1, loading1, off_k, v_f + h4, 1.0)
-            outs = np.concatenate([s1, s2, s3, s4, s5], axis=1)
-            peaks = np.max(np.abs(outs), axis=1)
-            payload = {
-                "s1": s1, "s2": s2, "s3": s3, "s4": s4, "s5": s5,
-                "in1": v_f, "in2": h1, "in3": h2 - v_g, "in4": h3,
-                "in5": v_f + h4, "f": f, "g": g,
-                "sat": np.stack([sat1, sat2, sat3, sat4, sat5], axis=1),
-            }
-            return peaks, payload
-
-        k0 = input_voltage_scale_many(bs, v_fs, self.input_fraction)
-        final, final_k = auto_range_many(run_subset, k0, v_fs)
+        # The engine (effective matrices, INV factorizations, settling
+        # analysis) is batch-invariant: built on first use, cached for
+        # every later batch. Offsets come from the macro's quasi-static
+        # cache, so the cache changes no rng semantics. Stored outside
+        # the frozen dataclass's fields (pure derived state).
+        engine = getattr(self, "_engine", None)
+        if engine is None:
+            engine = BatchedFiveStep(macro, rng)
+            object.__setattr__(self, "_engine", engine)
+        final, final_k = engine.run(bs, self.input_fraction)
         final_sat = final["sat"]
+        settle = engine.settle
 
-        x_lower = quantize(final["s3"], conv.adc_bits)
-        x_upper = -quantize(final["s5"], conv.adc_bits)
+        x_lower = engine.digitize(final["s3"])
+        x_upper = -engine.digitize(final["s5"])
         x = np.concatenate([x_upper, x_lower], axis=1) / (final_k * self.scale)[:, None]
         references = solve_columns(self.matrix, bs, what="system matrix")
 
@@ -270,27 +405,14 @@ class PreparedBlockAMC:
 
         # Exact-arithmetic per-step references (Fig. 6a curves), batched.
         reference = reference_schedule(
-            id1, id2, id3, id4 / s_in, final["f"], final["g"]
+            engine.id1, engine.id2, engine.id3, engine.id4 / engine.s_in,
+            final["f"], final["g"],
         )
 
-        # Ideal (perfect-circuit) outputs per executed step, batched.
-        ideal1 = ideal_inv(id1, final["in1"])
-        ideal2 = ideal_mvm(id3, final["in2"])
-        ideal3 = ideal_inv(id4, final["in3"], s_in)
-        ideal4 = ideal_mvm(id2, final["in4"])
-        ideal5 = ideal_inv(id1, final["in5"])
-
-        # Per-step invariants, resolved once: OpResult construction runs
-        # batch x 5 times and dominates assembly time if the macro
-        # properties are recomputed per result.
-        step_specs = [
-            ("step1:INV(A1)", "inv", final["s1"], ideal1, settle[1], a1.shape, a1.device_count),
-            ("step2:MVM(A3)", "mvm", final["s2"], ideal2, settle[2], a3.shape, a3.device_count),
-            ("step3:INV(A4s)", "inv", final["s3"], ideal3, settle[3], a4s.shape, a4s.device_count),
-            ("step4:MVM(A2)", "mvm", final["s4"], ideal4, settle[4], a2.shape, a2.device_count),
-            ("step5:INV(A1)", "inv", final["s5"], ideal5, settle[5], a1.shape, a1.device_count),
-        ]
-        sat_rows = final_sat.tolist()
+        # Per-step invariants resolve once inside the specs: OpResult
+        # construction runs batch x 5 times and dominates assembly time
+        # if the macro properties are recomputed per result.
+        specs = engine.step_specs(final)
         metadata_common = {
             "scale": self.scale,
             "split": self.split,
@@ -304,23 +426,7 @@ class PreparedBlockAMC:
         }
         results = []
         for c in range(batch):
-            sat_row = sat_rows[c]
-            steps = tuple(
-                OpResult(
-                    kind=kind,
-                    label=label,
-                    output=outputs[c],
-                    ideal_output=ideal[c],
-                    settling_time_s=settle_s,
-                    saturated=sat_row[num],
-                    rows=shape[0],
-                    cols=shape[1],
-                    opa_count=shape[0],
-                    device_count=device_count,
-                )
-                for num, (label, kind, outputs, ideal, settle_s, shape, device_count)
-                in enumerate(step_specs)
-            )
+            steps = tuple(spec.op_result(c) for spec in specs)
             reference_steps = {name: rows[c] for name, rows in reference.items()}
             results.append(
                 SolveResult(

@@ -25,12 +25,32 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.amc.config import HardwareConfig
-from repro.amc.interfaces import ADC, DAC
+from repro.amc.interfaces import ADC, DAC, quantize_voltages
 from repro.amc.macro import BlockAMCMacro
 from repro.amc.ops import AMCOperations, OpResult
-from repro.core.common import DEFAULT_INPUT_FRACTION, auto_range, input_voltage_scale
+from repro.circuits.dynamics import mvm_settling_time
+from repro.core.blockamc import (
+    BatchedFiveStep,
+    BatchedOpSpec,
+    has_per_operation_randomness,
+)
+from repro.core.common import (
+    DEFAULT_INPUT_FRACTION,
+    FactoredSystem,
+    auto_range,
+    auto_range_many,
+    ideal_inv,
+    ideal_mvm,
+    input_voltage_scale,
+    input_voltage_scale_many,
+    inv_loading,
+    inv_rhs,
+    inv_system,
+    mvm_raw,
+    saturate,
+)
 from repro.core.partition import PartitionSpec, build_macro_arrays, prepare_blocks
-from repro.core.solution import SolveResult
+from repro.core.solution import LeanSolveResult, SolveResult
 from repro.crossbar.array import CrossbarArray
 from repro.crossbar.mapping import normalize_matrix
 from repro.errors import SolverError, ValidationError
@@ -50,6 +70,21 @@ class _Tally:
     device_count: int = 0
 
 
+@dataclass
+class _BatchTally:
+    """Batched counterpart of :class:`_Tally`.
+
+    Collects whole-batch :class:`~repro.core.blockamc.BatchedOpSpec`
+    telemetry in tree-execution order — the same order a scalar solve
+    appends its :class:`OpResult` objects — plus the per-solve
+    conversion counts (batch-invariant by construction).
+    """
+
+    specs: list[BatchedOpSpec] = field(default_factory=list)
+    dac_conversions: int = 0
+    adc_conversions: int = 0
+
+
 class _TiledMVM:
     """A (possibly rectangular) block tiled over terminal-size arrays.
 
@@ -67,6 +102,7 @@ class _TiledMVM:
         self.col_starts = list(range(0, self.cols, tile))
         self.arrays: dict[tuple[int, int], CrossbarArray] = {}
         self.skipped_tiles = 0
+        self._batch_tiles: list | None = None
         for ri, r0 in enumerate(self.row_starts):
             for ci, c0 in enumerate(self.col_starts):
                 sub = block[r0 : r0 + tile, c0 : c0 + tile]
@@ -139,6 +175,109 @@ class _TiledMVM:
         tally.adc_conversions += len(ops)
         return out / k
 
+    def apply_many(
+        self, v_rows: np.ndarray, fraction: float, tally: _BatchTally, rng
+    ) -> np.ndarray:
+        """Row-stacked :meth:`apply`: ``block @ v`` per row, ranged per row.
+
+        Each tile's MVM runs once for the whole batch through the
+        shared multi-RHS kernel (offsets drawn through the node's own
+        op-amp cache in scalar tile order), so row ``c`` is
+        bit-identical to a scalar :meth:`apply` of ``v_rows[c]``.
+        """
+        config = self.config
+        conv = config.converters
+        v_fs = conv.v_fs
+        a0 = config.opamp.open_loop_gain
+        v_sat = config.opamp.v_sat
+        gbwp = config.opamp.gbwp_hz
+        tile_cols = len(self.col_starts)
+        col_bounds = list(
+            zip(self.col_starts, self.col_starts[1:] + [self.cols])
+        )
+
+        if self._batch_tiles is None:
+            # Batch-invariant per-tile data (effective matrices, load
+            # sums, settling analysis), built once per node and reused
+            # by every batch — visited in the scalar loop's (ri, ci)
+            # order so first-use offset draws replay the scalar rng
+            # stream exactly (offsets come from the node's own
+            # quasi-static cache, shared with the scalar path).
+            row_bounds = list(
+                zip(self.row_starts, self.row_starts[1:] + [self.rows])
+            )
+            self._batch_tiles = [
+                (
+                    ri,
+                    ci,
+                    r0,
+                    r1,
+                    array,
+                    array.effective_matrix(config.parasitics),
+                    array.load_row_sums(),
+                    self.ops._draw_offsets(array.shape[0], rng),
+                    self.ops._ideal_matrix(array),
+                    mvm_settling_time(
+                        np.asarray(array.g_pos) + np.asarray(array.g_neg),
+                        array.g_unit,
+                        gbwp,
+                    ),
+                )
+                for ri, (r0, r1) in enumerate(row_bounds)
+                for ci in range(tile_cols)
+                # all-zero tiles have no array: partial product is zero
+                if (array := self.arrays.get((ri, ci))) is not None
+            ]
+        tiles = self._batch_tiles
+
+        def run_subset(k, indices):
+            chunks = [
+                quantize_voltages(
+                    k[:, None] * v_rows[indices, c0:c1], conv.dac_bits, v_fs
+                )
+                for c0, c1 in col_bounds
+            ]
+            out = np.zeros((indices.size, self.rows))
+            payload = {}
+            peaks = np.zeros(indices.size)
+            for ti, (ri, ci, r0, r1, array, eff, loads, offsets, _, _) in enumerate(
+                tiles
+            ):
+                raw = mvm_raw(eff, loads, chunks[ci], offsets, a0)
+                clipped, sat = saturate(raw, v_sat)
+                payload[f"tile{ti}"] = clipped
+                payload[f"tsat{ti}"] = sat
+                peaks = np.maximum(peaks, np.max(np.abs(clipped), axis=1))
+                # Each partial product is digitized before the digital
+                # sum (circuit sign removed digitally).
+                out[:, r0:r1] -= quantize_voltages(clipped, conv.adc_bits, v_fs)
+            for ci, chunk in enumerate(chunks):
+                payload[f"chunk{ci}"] = chunk
+            payload["out"] = out
+            return peaks, payload
+
+        k0 = input_voltage_scale_many(v_rows, v_fs, fraction)
+        final, final_k = auto_range_many(run_subset, k0, v_fs)
+        for ti, (ri, ci, r0, r1, array, eff, loads, offsets, ideal_m, settle) in (
+            enumerate(tiles)
+        ):
+            tally.specs.append(
+                BatchedOpSpec(
+                    label=f"tile-mvm[{ri},{ci}]",
+                    kind="mvm",
+                    outputs=final[f"tile{ti}"],
+                    ideal=ideal_mvm(ideal_m, final[f"chunk{ci}"]),
+                    settling_time_s=settle,
+                    saturated=final[f"tsat{ti}"],
+                    rows=array.shape[0],
+                    cols=array.shape[1],
+                    device_count=array.device_count,
+                )
+            )
+        tally.dac_conversions += tile_cols
+        tally.adc_conversions += len(tiles)
+        return final["out"] / final_k[:, None]
+
 
 class _MacroNode:
     """Terminal solver node: a one-stage BlockAMC macro for one block."""
@@ -158,6 +297,7 @@ class _MacroNode:
         self.split = blocks.split
         arrays = build_macro_arrays(blocks, config, rng)
         self.macro = BlockAMCMacro(arrays, config)
+        self._engine: BatchedFiveStep | None = None
 
     @property
     def device_count(self) -> int:
@@ -185,6 +325,29 @@ class _MacroNode:
         tally.adc_conversions += 2
         return result.solution / (k * self.scale)
 
+    def solve_many(
+        self, rhs_rows: np.ndarray, tally: _BatchTally, rng
+    ) -> np.ndarray:
+        """Row-stacked :meth:`solve` through the shared five-step engine.
+
+        One :class:`~repro.core.blockamc.BatchedFiveStep` is built per
+        node (offsets drawn through the macro's own cache in scalar
+        step order, factorizations and settling analysis shared), then
+        reused by every batch — including the two visits the glue
+        recursion pays this node per solve.
+        """
+        if self._engine is None:
+            self._engine = BatchedFiveStep(self.macro, rng)
+        engine = self._engine
+        final, final_k = engine.run(rhs_rows, self.fraction)
+        tally.specs.extend(engine.step_specs(final))
+        tally.dac_conversions += 2
+        tally.adc_conversions += 2
+        x_upper = -engine.digitize(final["s5"])
+        x_lower = engine.digitize(final["s3"])
+        solution = np.concatenate([x_upper, x_lower], axis=1)
+        return solution / (final_k * self.scale)[:, None]
+
 
 class _DirectInvNode:
     """Fallback terminal node for blocks too small to partition (n < 2)."""
@@ -197,6 +360,7 @@ class _DirectInvNode:
             normalized, config.programming, rng, g_unit=config.g_unit, pre_normalized=True
         )
         self.ops = AMCOperations(config)
+        self._batch_state: tuple | None = None
 
     def count_resources(self, tally: _Tally) -> None:
         tally.array_count += 1
@@ -217,6 +381,63 @@ class _DirectInvNode:
         tally.dac_conversions += 1
         tally.adc_conversions += 1
         return -adc.convert(op.output) / (k * self.scale)
+
+    def solve_many(
+        self, rhs_rows: np.ndarray, tally: _BatchTally, rng
+    ) -> np.ndarray:
+        """Row-stacked :meth:`solve`: one INV factorization, many columns.
+
+        The factored finite-gain system, ideal matrix, and settling
+        estimate are batch-invariant — built on first use, reused by
+        every later batch (offsets come from the node's quasi-static
+        cache, shared with the scalar path).
+        """
+        config = self.config
+        conv = config.converters
+        v_fs = conv.v_fs
+        rows, cols = self.array.shape
+        if self._batch_state is None:
+            effective = self.array.effective_matrix(config.parasitics)
+            loading = inv_loading(self.array.load_row_sums(), 1.0)
+            self._batch_state = (
+                self.ops._draw_offsets(rows, rng),
+                loading,
+                FactoredSystem(
+                    inv_system(effective, loading, config.opamp.open_loop_gain)
+                ),
+                self.ops._ideal_matrix(self.array),
+                self.ops._inv_settle(effective),
+            )
+        offsets, loading, fact, ideal_matrix, settle = self._batch_state
+
+        def run_subset(k, indices):
+            v_in = quantize_voltages(
+                k[:, None] * rhs_rows[indices], conv.dac_bits, v_fs
+            )
+            raw = fact.solve(inv_rhs(v_in, loading, offsets, 1.0))
+            clipped, sat = saturate(raw, config.opamp.v_sat)
+            peaks = np.max(np.abs(clipped), axis=1)
+            return peaks, {"out": clipped, "v_in": v_in, "sat": sat}
+
+        k0 = input_voltage_scale_many(rhs_rows, v_fs, self.fraction)
+        final, final_k = auto_range_many(run_subset, k0, v_fs)
+        tally.specs.append(
+            BatchedOpSpec(
+                label="direct-inv",
+                kind="inv",
+                outputs=final["out"],
+                ideal=ideal_inv(ideal_matrix, final["v_in"]),
+                settling_time_s=settle,
+                saturated=final["sat"],
+                rows=rows,
+                cols=cols,
+                device_count=self.array.device_count,
+            )
+        )
+        tally.dac_conversions += 1
+        tally.adc_conversions += 1
+        digitized = quantize_voltages(final["out"], conv.adc_bits, v_fs)
+        return -digitized / (final_k * self.scale)[:, None]
 
 
 class _DigitalGlueNode:
@@ -268,6 +489,28 @@ class _DigitalGlueNode:
         y = self.upper.solve(f - f_t, tally, rng)
         return np.concatenate([y, z])
 
+    def solve_many(
+        self, rhs_rows: np.ndarray, tally: _BatchTally, rng
+    ) -> np.ndarray:
+        """Row-stacked :meth:`solve`: the recursion stays matrix-valued.
+
+        The five-step glue schedule runs once with ``(batch, n)``
+        blocks flowing between child nodes — every digital combination
+        is element-wise (bitwise batch-stable) and every analog stage
+        delegates to the shared multi-RHS kernel, so row ``c`` is
+        bit-identical to a scalar :meth:`solve` of ``rhs_rows[c]``.
+        """
+        rhs_n = np.asarray(rhs_rows, dtype=float) / self.scale
+        f = rhs_n[:, : self.split]
+        g = rhs_n[:, self.split :]
+
+        y_t = self.upper.solve_many(f, tally, rng)
+        g_t = self.tiles_a3.apply_many(y_t, self.fraction, tally, rng)
+        z = self.lower.solve_many(g - g_t, tally, rng)
+        f_t = self.tiles_a2.apply_many(z, self.fraction, tally, rng)
+        y = self.upper.solve_many(f - f_t, tally, rng)
+        return np.concatenate([y, z], axis=1)
+
 
 def _build_node(block, depth_remaining, config, partition, fraction, rng):
     block = np.asarray(block, dtype=float)
@@ -312,22 +555,95 @@ class PreparedMultiStage:
             },
         )
 
-    def solve_many(self, rhs_batch, rng=None) -> tuple[SolveResult, ...]:
+    def solve_many(
+        self, rhs_batch, rng=None, *, lean: bool = False
+    ) -> tuple[SolveResult, ...]:
         """Solve a batch of right-hand sides on the programmed tree.
 
         Programming the whole solver tree — including every tile array's
         variation draw and parasitic extraction — happened once in
         :meth:`MultiStageSolver.prepare`; this method amortizes that
-        setup across the batch. The recursion itself runs per right-hand
-        side (its digital glue is inherently sequential), with the op-amp
-        offset draws shared batch-wide exactly as repeated
-        :meth:`solve` calls share them.
+        setup across the batch *and* runs the recursion matrix-valued:
+        ``(batch, n)`` blocks flow through the digital glue, every
+        macro node executes the five-step schedule once per batch
+        through :class:`~repro.core.blockamc.BatchedFiveStep` (factor
+        once, per-column ``getrs``), and tile MVMs run the shared
+        multi-RHS kernel. Results are **bit-identical** to a sequential
+        loop of :meth:`solve` calls — the same contract (and the same
+        transparent fallback rules) as
+        :meth:`~repro.core.blockamc.PreparedBlockAMC.solve_many`:
+        configurations whose per-operation randomness cannot be shared
+        across a batch (MNA routing, output or sample-and-hold noise)
+        fall back to that loop.
+
+        With ``lean=True`` the per-result payload is a
+        :class:`~repro.core.solution.LeanSolveResult` (same solution
+        bits, no per-operation OpResult construction).
         """
-        rhs_batch = list(rhs_batch)
-        if not rhs_batch:
+        rhs_list = [np.asarray(b, dtype=float) for b in rhs_batch]
+        if not rhs_list:
             raise ValidationError("rhs_batch must contain at least one vector")
+        n = self.matrix.shape[0]
+        bs = np.stack([check_vector(b, "b", size=n) for b in rhs_list])
         rng = as_generator(rng)
-        return tuple(self.solve(b, rng) for b in rhs_batch)
+        if has_per_operation_randomness(self.root.config):
+            results = tuple(self.solve(b, rng) for b in bs)
+            if lean:
+                return tuple(LeanSolveResult.from_result(r) for r in results)
+            return results
+
+        batch = bs.shape[0]
+        tally = _BatchTally()
+        x = self.root.solve_many(bs, tally, rng)
+        counts = _Tally()
+        self.root.count_resources(counts)
+        counts.dac_conversions = tally.dac_conversions
+        counts.adc_conversions = tally.adc_conversions
+        # Per-column exact references through the scalar path's call
+        # (np.linalg.solve) so reference bits match :meth:`solve`.
+        references = np.stack(
+            [np.linalg.solve(self.matrix, bs[c]) for c in range(batch)]
+        )
+        solver = f"blockamc-{self.stages}stage"
+        metadata_common = {
+            "stages": self.stages,
+            "macro_count": counts.macro_count,
+            "array_count": counts.array_count,
+            "device_count": counts.device_count,
+            "dac_conversions": counts.dac_conversions,
+            "adc_conversions": counts.adc_conversions,
+        }
+
+        if lean:
+            # Same left-fold summation order as SolveResult.analog_time_s.
+            analog_total = float(
+                sum(spec.settling_time_s for spec in tally.specs)
+            )
+            saturated = np.zeros(batch, dtype=bool)
+            for spec in tally.specs:
+                saturated |= spec.saturated
+            return tuple(
+                LeanSolveResult(
+                    x=x[c],
+                    reference=references[c],
+                    solver=solver,
+                    saturated=bool(saturated[c]),
+                    analog_time_s=analog_total,
+                    metadata={},
+                )
+                for c in range(batch)
+            )
+
+        return tuple(
+            SolveResult(
+                x=x[c],
+                reference=references[c],
+                solver=solver,
+                operations=tuple(spec.op_result(c) for spec in tally.specs),
+                metadata=dict(metadata_common),
+            )
+            for c in range(batch)
+        )
 
 
 class MultiStageSolver:

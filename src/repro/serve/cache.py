@@ -30,7 +30,7 @@ from typing import Callable
 import numpy as np
 
 from repro.amc.config import HardwareConfig
-from repro.core.blockamc import BlockAMCSolver
+from repro.core.blockamc import BlockAMCSolver, has_per_operation_randomness
 from repro.core.multistage import MultiStageSolver
 from repro.core.original import OriginalAMCSolver
 from repro.errors import ServeError
@@ -76,11 +76,11 @@ class PreparedEntry:
     """A cached programmed solver plus its execution traits.
 
     ``coalescible`` marks entries whose queued requests may be merged
-    into one multi-RHS ``solve_many`` call (one-stage BlockAMC without
-    per-operation noise or MNA routing — exactly the configurations
-    whose batched pipeline is bitwise invariant to batch composition).
-    Other solvers execute request by request against the same cached
-    programming.
+    into one multi-RHS ``solve_many`` call (one- and two-stage BlockAMC
+    without per-operation noise or MNA routing — exactly the
+    configurations whose batched pipelines are bitwise invariant to
+    batch composition). Other solvers execute request by request
+    against the same cached programming.
     """
 
     key: PreparedKey
@@ -90,13 +90,16 @@ class PreparedEntry:
     prepare_seconds: float
 
 
+#: Solver kinds with a batch-composition-invariant ``solve_many`` path
+#: (``PreparedBlockAMC`` and ``PreparedMultiStage`` respectively).
+_COALESCIBLE_SOLVERS = frozenset({"blockamc-1stage", "blockamc-2stage"})
+
+
 def _supports_coalescing(solver: str, config: HardwareConfig) -> bool:
-    if solver != "blockamc-1stage":
-        return False
-    return (
-        not config.use_mna
-        and config.opamp.output_noise_sigma_v == 0.0
-        and config.sample_hold.noise_sigma_v == 0.0
+    # The config predicate is shared with the solvers' own solve_many
+    # fallbacks, so "coalescible" and "actually batches" cannot drift.
+    return solver in _COALESCIBLE_SOLVERS and not has_per_operation_randomness(
+        config
     )
 
 

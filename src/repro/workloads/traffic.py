@@ -20,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ValidationError
+from repro.serve.cache import SOLVER_KINDS
 from repro.serve.requests import SolveRequest, matrix_digest
 from repro.utils.rng import RngStream
 from repro.workloads.matrices import random_vector, toeplitz_matrix, wishart_matrix
@@ -41,6 +42,7 @@ def mixed_traffic(
     unique_matrices: int = 6,
     sizes: tuple[int, ...] = (16, 24, 32),
     families: tuple[str, ...] = ("wishart", "toeplitz", "poisson"),
+    solvers: tuple[str | None, ...] = (None,),
     skew: float = 1.0,
     seed=0,
 ) -> list[SolveRequest]:
@@ -56,6 +58,15 @@ def mixed_traffic(
     sizes, families:
         The workload grid. Family names must be keys of
         :data:`TRAFFIC_FAMILIES`.
+    solvers:
+        Solver kinds cycled across the working set; every request for a
+        matrix inherits its solver, so same-key requests still coalesce
+        into one multi-RHS call per solver kind. ``None`` entries defer
+        to the service default. ``("blockamc-1stage",
+        "blockamc-2stage")`` produces the mixed one-/two-stage stream
+        the multi-stage serving bench drives. Solver assignment is pure
+        index arithmetic — it consumes no randomness, so the matrices
+        and right-hand sides of a trace are independent of the mix.
     skew:
         Popularity skew: matrix at popularity rank ``r`` is requested
         with weight ``(r + 1) ** -skew`` (0 = uniform; larger = hotter
@@ -71,10 +82,17 @@ def mixed_traffic(
         raise ValidationError(f"skew must be >= 0, got {skew}")
     if not sizes or not families:
         raise ValidationError("sizes and families must be non-empty")
+    if not solvers:
+        raise ValidationError("solvers must be non-empty")
     for family in families:
         if family not in TRAFFIC_FAMILIES:
             raise ValidationError(
                 f"unknown family {family!r}; available: {sorted(TRAFFIC_FAMILIES)}"
+            )
+    for solver in solvers:
+        if solver is not None and solver not in SOLVER_KINDS:
+            raise ValidationError(
+                f"unknown solver kind {solver!r}; available: {sorted(SOLVER_KINDS)}"
             )
 
     stream = RngStream(seed)
@@ -83,7 +101,9 @@ def mixed_traffic(
         family = families[index % len(families)]
         size = sizes[(index // len(families)) % len(sizes)]
         matrix = TRAFFIC_FAMILIES[family](size, stream.child())
-        working_set.append((matrix, matrix_digest(matrix)))
+        working_set.append(
+            (matrix, matrix_digest(matrix), solvers[index % len(solvers)])
+        )
 
     weights = (1.0 + np.arange(unique_matrices)) ** -skew
     weights /= weights.sum()
@@ -92,10 +112,12 @@ def mixed_traffic(
 
     requests = []
     for i, index in enumerate(choices):
-        matrix, digest = working_set[index]
+        matrix, digest, solver = working_set[index]
         b = random_vector(matrix.shape[0], stream.child())
         request_seed = int(stream.child().integers(0, 2**63 - 1))
         requests.append(
-            SolveRequest(matrix=matrix, b=b, seed=request_seed, digest=digest)
+            SolveRequest(
+                matrix=matrix, b=b, solver=solver, seed=request_seed, digest=digest
+            )
         )
     return requests

@@ -351,6 +351,48 @@ class TestCampaignDeterminism:
         for t, result in enumerate(results):
             assert arrays["relative_error"][0, t] == result.relative_error
 
+    def test_rhs_mode_two_stage_matches_direct_prepared_solve(self, tmp_path):
+        """Multi-stage rhs units drive the coalesced solve_many path."""
+        from repro.core.multistage import MultiStageSolver
+        from repro.workloads.matrices import random_vector
+
+        spec = CampaignSpec(
+            name="rhs-2stage-tiny",
+            mode="rhs",
+            solvers=("blockamc-2stage",),
+            families=("wishart",),
+            sizes=(12,),
+            trials=3,
+            seed=13,
+            hardware="variation",
+        )
+        (unit,) = expand(spec)
+        arrays, meta = execute_unit(spec, unit)
+        assert arrays["relative_error"].shape == (1, 3)
+        seq = np.random.SeedSequence(13, spawn_key=(0, 0, 0))
+        children = seq.spawn(4)
+        matrix = wishart_matrix(12, np.random.default_rng(children[0]))
+        bs = [
+            random_vector(12, np.random.default_rng(children[1 + t]))
+            for t in range(3)
+        ]
+        gen = np.random.default_rng(13)  # prepare_entry's single prep stream
+        prep = MultiStageSolver(HardwareConfig.paper_variation(), stages=2).prepare(
+            matrix, gen
+        )
+        prep.solve(np.ones(12), gen)  # the warm-up solve continues that stream
+        results = prep.solve_many(bs, np.random.default_rng(0), lean=True)
+        for t, result in enumerate(results):
+            assert arrays["relative_error"][0, t] == result.relative_error
+
+    def test_two_stage_rhs_campaign_registered(self):
+        spec = get_campaign("serving-rhs-2stage")
+        assert spec.mode == "rhs"
+        assert "blockamc-2stage" in spec.solvers
+        assert len(expand(spec)) == len(spec.variants) * len(spec.families) * len(
+            spec.sizes
+        )
+
     def test_worker_failure_propagates(self, tmp_path):
         """A unit that cannot execute fails the run, not silently."""
         bad = CampaignSpec(

@@ -144,6 +144,65 @@ class TestKrylov:
         assert result.iterations == 0
 
 
+class TestGmresHappyBreakdown:
+    """Regression: Arnoldi happy breakdown must terminate the cycle.
+
+    Before the fix, ``h[k+1, k] <= 1e-14`` only skipped the basis-vector
+    update: the loop kept orthogonalizing against a zero vector, the
+    rotated-residual estimate cascaded to an exact 0.0 that defeated the
+    tolerance check, and the triangular solve received a singular
+    (zero-column) system — ``numpy.linalg.LinAlgError`` on any system
+    whose Krylov space is exhausted before ``tol`` is reached.
+    """
+
+    def _low_degree_system(self, seed=0, n=12, distinct=(1.0, 3.0)):
+        """SPD matrix with ``len(distinct)`` eigenvalues: the minimal
+        polynomial degree — and the exact-termination iteration count —
+        equals ``len(distinct)``."""
+        rng = np.random.default_rng(seed)
+        q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+        values = np.array(
+            [distinct[i * len(distinct) // n] for i in range(n)]
+        )
+        return (q * values) @ q.T, random_vector(n, rng)
+
+    def test_converges_at_minimal_polynomial_degree(self):
+        a, b = self._low_degree_system(distinct=(1.0, 3.0))
+        result = gmres(a, b, tol=1e-13)
+        assert result.converged
+        assert result.iterations <= 2  # minimal polynomial degree
+
+    def test_three_eigenvalue_system(self):
+        a, b = self._low_degree_system(distinct=(1.0, 2.0, 5.0))
+        result = gmres(a, b, tol=1e-13)
+        assert result.converged
+        assert result.iterations <= 3
+
+    def test_unreachable_tolerance_terminates_without_crash(self):
+        """tol below rounding: every cycle hits the breakdown; the old
+        code raised LinAlgError from a singular triangular solve."""
+        a, b = self._low_degree_system()
+        result = gmres(a, b, tol=0.0, max_iter=40)
+        assert not result.converged
+        assert result.iterations == 40  # budget honoured, no crash
+        # The returned solution is still exact to rounding.
+        assert result.final_residual < 1e-12
+
+    def test_breakdown_solution_is_exact(self):
+        a, b = self._low_degree_system(seed=3)
+        result = gmres(a, b, tol=1e-13)
+        np.testing.assert_allclose(result.x, np.linalg.solve(a, b), rtol=1e-9)
+
+    def test_gmres_many_inherits_fix(self):
+        a, b = self._low_degree_system(seed=5)
+        from repro.core.digital import gmres_many
+
+        results = gmres_many(a, np.stack([b, 2.0 * b]), tol=0.0, max_iter=30)
+        for result in results:
+            assert result.iterations == 30
+            assert result.final_residual < 1e-12
+
+
 class TestCommonGuards:
     def test_zero_b_rejected(self):
         with pytest.raises(SolverError):

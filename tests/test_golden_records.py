@@ -37,9 +37,10 @@ import pytest
 from repro.amc.config import HardwareConfig
 from repro.analysis.accuracy import run_trials_batched
 from repro.core.blockamc import BlockAMCSolver
+from repro.core.multistage import MultiStageSolver
 from repro.core.original import OriginalAMCSolver
 from repro.serve.service import ServiceConfig, run_sequential
-from repro.workloads.matrices import wishart_matrix
+from repro.workloads.matrices import random_vector, wishart_matrix
 from repro.workloads.traffic import mixed_traffic
 
 GOLDEN_DIR = Path(__file__).parent / "goldens"
@@ -57,6 +58,12 @@ FIG7_SEED = 70
 #: repeated hot keys (cache hits), and multi-request coalescing.
 TRAFFIC_REQUESTS = 24
 TRAFFIC_SEED = 123
+
+#: Two-stage sweep: one prepared tree per size, a multi-RHS batch each
+#: (pins the matrix-valued recursion of ``PreparedMultiStage.solve_many``).
+TWOSTAGE_SIZES = (8, 11, 16)
+TWOSTAGE_RHS = 4
+TWOSTAGE_SEED = 35
 
 
 def _assert_float_match(actual: np.ndarray, golden: np.ndarray, label: str):
@@ -121,6 +128,51 @@ def _check_or_regen(payload: dict, path: Path, regen: bool):
             assert np.array_equal(actual, recorded), key
 
 
+def _twostage_payload() -> dict[str, np.ndarray]:
+    config = HardwareConfig.paper_variation()
+    solver = MultiStageSolver(config, stages=2)
+    lengths, xs, refs, rel, sat, times = [], [], [], [], [], []
+    for size in TWOSTAGE_SIZES:
+        matrix = wishart_matrix(size, rng=TWOSTAGE_SEED + size)
+        rhs = [random_vector(size, rng=100 * size + i) for i in range(TWOSTAGE_RHS)]
+        prepared = solver.prepare(matrix, rng=TWOSTAGE_SEED)
+        for result in prepared.solve_many(rhs, np.random.default_rng(9)):
+            lengths.append(result.x.size)
+            xs.append(result.x)
+            refs.append(result.reference)
+            rel.append(result.relative_error)
+            sat.append(result.saturated)
+            times.append(result.analog_time_s)
+    return {
+        "lengths": np.array(lengths),
+        "x": np.concatenate(xs),
+        "reference": np.concatenate(refs),
+        "relative_error": np.array(rel),
+        "saturated": np.array(sat),
+        "analog_time_s": np.array(times),
+    }
+
+
+def _serve_multistage_payload() -> dict[str, np.ndarray]:
+    """A coalesced mixed 1-/2-stage serve run through the canonical kernel."""
+    requests = mixed_traffic(
+        TRAFFIC_REQUESTS,
+        unique_matrices=4,
+        sizes=(12, 16),
+        solvers=("blockamc-1stage", "blockamc-2stage"),
+        seed=TRAFFIC_SEED + 1,
+    )
+    results, _ = run_sequential(requests, ServiceConfig())
+    return {
+        "solver": np.array([r.solver for r in results]),
+        "lengths": np.array([r.x.size for r in results]),
+        "x": np.concatenate([r.x for r in results]),
+        "reference": np.concatenate([r.reference for r in results]),
+        "relative_error": np.array([r.relative_error for r in results]),
+        "saturated": np.array([r.saturated for r in results]),
+    }
+
+
 class TestFig7Golden:
     def test_sweep_matches_golden(self, regen_goldens):
         _check_or_regen(
@@ -139,4 +191,25 @@ class TestServeTrafficGolden:
     def test_mixed_traffic_matches_golden(self, regen_goldens):
         _check_or_regen(
             _serve_payload(), GOLDEN_DIR / "serve_mixed_traffic.npz", regen_goldens
+        )
+
+
+class TestTwoStageGolden:
+    def test_sweep_matches_golden(self, regen_goldens):
+        _check_or_regen(
+            _twostage_payload(), GOLDEN_DIR / "twostage_sweep.npz", regen_goldens
+        )
+
+    def test_sweep_is_deterministic(self):
+        """The payload is a pure function of its seeds (golden soundness)."""
+        a = _twostage_payload()
+        b = _twostage_payload()
+        for key in a:
+            assert np.array_equal(a[key], b[key]), key
+
+    def test_coalesced_serve_matches_golden(self, regen_goldens):
+        _check_or_regen(
+            _serve_multistage_payload(),
+            GOLDEN_DIR / "serve_multistage_traffic.npz",
+            regen_goldens,
         )

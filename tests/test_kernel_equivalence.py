@@ -35,8 +35,16 @@ from repro.amc.config import (
     SampleHoldConfig,
 )
 from repro.analysis.accuracy import run_trials, run_trials_batched
+from repro.core import digital
 from repro.core.batched import make_batched_runner
 from repro.core.blockamc import BlockAMCSolver
+from repro.core.multistage import MultiStageSolver
+from repro.core.preconditioned import (
+    amc_block_preconditioner,
+    amc_preconditioner,
+    fgmres,
+    fgmres_many,
+)
 from repro.core.common import (
     DEFAULT_INPUT_FRACTION,
     MAX_RANGING_ATTEMPTS,
@@ -67,7 +75,7 @@ from repro.devices.variations import (
     NoVariation,
     RelativeGaussianVariation,
 )
-from repro.errors import SolverError, ValidationError
+from repro.errors import ConvergenceError, SolverError, ValidationError
 from repro.workloads.matrices import (
     diagonally_dominant_matrix,
     random_vector,
@@ -487,6 +495,329 @@ class TestScalarVsMultiRHS:
         swapped = prep.solve_many(list(reversed(rhs)), np.random.default_rng(0))
         for a, b in zip(reversed(swapped), full):
             _results_exactly_equal(a, b)
+
+
+# ----------------------------------------------------------------------
+# multi-RHS digital solvers: block == scalar, bit for bit
+# ----------------------------------------------------------------------
+
+
+#: (scalar, block) pairs plus a matrix family each converges on.
+DIGITAL_PAIRS = {
+    "jacobi": (digital.jacobi, digital.jacobi_many, "dominant", {}),
+    "gauss_seidel": (digital.gauss_seidel, digital.gauss_seidel_many, "dominant", {}),
+    "richardson": (
+        digital.richardson,
+        digital.richardson_many,
+        "wishart",
+        {"max_iter": 400},
+    ),
+    "cg": (
+        digital.conjugate_gradient,
+        digital.conjugate_gradient_many,
+        "wishart",
+        {},
+    ),
+    "gmres": (digital.gmres, digital.gmres_many, "dominant", {"restart": 5}),
+}
+
+
+def _digital_system(method: str, n: int, seed):
+    rng = np.random.default_rng(seed)
+    family = DIGITAL_PAIRS[method][2]
+    return MATRIX_FAMILIES[family](n, rng), rng
+
+
+def _iter_results_equal(scalar, block):
+    assert np.array_equal(scalar.x, block.x)
+    assert scalar.iterations == block.iterations
+    assert scalar.residuals == block.residuals
+    assert scalar.converged == block.converged
+    assert scalar.method == block.method
+
+
+class TestDigitalManyShapeStability:
+    """Every ``*_many`` digital solver equals the scalar loop bitwise."""
+
+    @pytest.mark.parametrize("method", sorted(DIGITAL_PAIRS))
+    @given(n=st.integers(2, 12), batch=st.integers(1, 5), seed=st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_batch_matches_scalar_bitwise(self, method, n, batch, seed):
+        scalar_fn, many_fn, _, kwargs = DIGITAL_PAIRS[method]
+        matrix, rng = _digital_system(method, n, seed)
+        bs = np.stack([random_vector(n, rng) for _ in range(batch)])
+        block = many_fn(matrix, bs, **kwargs)
+        for j in range(batch):
+            _iter_results_equal(scalar_fn(matrix, bs[j], **kwargs), block[j])
+
+    @pytest.mark.parametrize("method", sorted(DIGITAL_PAIRS))
+    @given(n=st.integers(2, 10), seed=st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_batch_composition_invariance(self, method, n, seed):
+        _, many_fn, _, kwargs = DIGITAL_PAIRS[method]
+        matrix, rng = _digital_system(method, n, seed)
+        bs = np.stack([random_vector(n, rng) for _ in range(4)])
+        full = many_fn(matrix, bs, **kwargs)
+        sub = many_fn(matrix, bs[[2, 0]], **kwargs)
+        _iter_results_equal(full[2], sub[0])
+        _iter_results_equal(full[0], sub[1])
+
+    @pytest.mark.parametrize("method", sorted(DIGITAL_PAIRS))
+    @given(n=st.integers(2, 10), batch=st.integers(1, 4), seed=st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_warm_start_block_handling(self, method, n, batch, seed):
+        """A ``(batch, n)`` x0 block equals per-column scalar warm starts;
+        a single ``(n,)`` x0 broadcasts to every column."""
+        scalar_fn, many_fn, _, kwargs = DIGITAL_PAIRS[method]
+        matrix, rng = _digital_system(method, n, seed)
+        bs = np.stack([random_vector(n, rng) for _ in range(batch)])
+        x0_block = 0.1 * np.stack([random_vector(n, rng) for _ in range(batch)])
+        block = many_fn(matrix, bs, x0=x0_block, **kwargs)
+        for j in range(batch):
+            _iter_results_equal(
+                scalar_fn(matrix, bs[j], x0=x0_block[j], **kwargs), block[j]
+            )
+        shared = x0_block[0]
+        broadcast = many_fn(matrix, bs, x0=shared, **kwargs)
+        for j in range(batch):
+            _iter_results_equal(
+                scalar_fn(matrix, bs[j], x0=shared, **kwargs), broadcast[j]
+            )
+
+    def test_block_validation(self):
+        matrix = diagonally_dominant_matrix(4, np.random.default_rng(0))
+        bs = np.ones((2, 4))
+        with pytest.raises(ValidationError):
+            digital.jacobi_many(matrix, np.ones(4))  # 1-D is not a block
+        with pytest.raises(ValidationError):
+            digital.jacobi_many(matrix, np.ones((0, 4)))
+        with pytest.raises(ValidationError):
+            digital.jacobi_many(matrix, np.ones((2, 5)))
+        with pytest.raises(ValidationError):
+            digital.jacobi_many(matrix, bs, x0=np.ones((3, 4)))
+        with pytest.raises(SolverError):
+            digital.jacobi_many(matrix, np.vstack([np.ones(4), np.zeros(4)]))
+
+    def test_converged_columns_stop_iterating(self):
+        """A column seeded with the exact solution converges immediately
+        while its neighbours keep iterating (the mask at work)."""
+        rng = np.random.default_rng(3)
+        matrix = MATRIX_FAMILIES["wishart"](8, rng)
+        bs = np.stack([random_vector(8, rng) for _ in range(3)])
+        x0 = np.zeros_like(bs)
+        x0[1] = np.linalg.solve(matrix, bs[1])
+        results = digital.conjugate_gradient_many(matrix, bs, x0=x0, tol=1e-9)
+        assert results[1].iterations == 0
+        assert results[0].iterations > 0 and results[2].iterations > 0
+
+    @pytest.mark.filterwarnings("ignore:overflow")
+    def test_divergent_column_raises_like_sequential_loop(self):
+        # Strongly non-dominant: Jacobi blows up -> ConvergenceError on
+        # non-finite, or converged=False within budget (same contract
+        # as the scalar solver, batch-wide).
+        matrix = np.array([[1.0, 10.0], [10.0, 1.0]])
+        bs = np.ones((2, 2))
+        try:
+            results = digital.jacobi_many(matrix, bs, max_iter=500)
+            assert not results[0].converged
+        except ConvergenceError:
+            pass
+
+
+class TestFgmresManyEquivalence:
+    """Lockstep FGMRES == a sequential loop of scalar FGMRES calls."""
+
+    @given(
+        n=st.integers(6, 14),
+        batch=st.integers(1, 4),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_block_amc_preconditioner_bit_identical(self, n, batch, seed):
+        config = CONFIGS["variation"]
+        rng = np.random.default_rng(seed)
+        matrix = wishart_matrix(n, rng)
+        bs = np.stack([random_vector(n, rng) for _ in range(batch)])
+        prepared = BlockAMCSolver(config).prepare(matrix, rng=5)
+        sequential = [
+            fgmres(matrix, bs[j], amc_preconditioner(prepared, rng=0),
+                   tol=1e-11, restart=6)
+            for j in range(batch)
+        ]
+        block = fgmres_many(
+            matrix, bs, amc_block_preconditioner(prepared, rng=0),
+            tol=1e-11, restart=6,
+        )
+        for s, m in zip(sequential, block):
+            _iter_results_equal(s, m)
+
+    def test_block_preconditioner_shape_enforced(self):
+        matrix = wishart_matrix(6, rng=0)
+        bs = np.stack([random_vector(6, rng=1)])
+        with pytest.raises(SolverError, match="block preconditioner"):
+            fgmres_many(matrix, bs, lambda rows: rows[:, :3])
+
+
+# ----------------------------------------------------------------------
+# end-to-end: multi-stage solve_many vs the sequential solve loop
+# ----------------------------------------------------------------------
+
+
+def _multistage_results_exactly_equal(s, b):
+    """Full multi-stage SolveResult comparison, bit-for-bit."""
+    assert np.array_equal(s.x, b.x)
+    assert np.array_equal(s.reference, b.reference)
+    assert s.relative_error == b.relative_error
+    assert s.saturated == b.saturated
+    assert s.analog_time_s == b.analog_time_s
+    assert s.solver == b.solver
+    assert s.metadata == b.metadata
+    assert len(s.operations) == len(b.operations)
+    for op_s, op_b in zip(s.operations, b.operations):
+        assert op_s.label == op_b.label and op_s.kind == op_b.kind
+        assert np.array_equal(op_s.output, op_b.output), op_s.label
+        assert np.array_equal(op_s.ideal_output, op_b.ideal_output), op_s.label
+        assert op_s.settling_time_s == op_b.settling_time_s
+        assert op_s.saturated == op_b.saturated
+        assert (op_s.rows, op_s.cols, op_s.opa_count, op_s.device_count) == (
+            op_b.rows, op_b.cols, op_b.opa_count, op_b.device_count
+        )
+
+
+#: Configurations the batched multi-stage recursion executes directly,
+#: plus the fresh-noise / MNA ones that must fall back transparently.
+MULTISTAGE_BATCHED_CONFIGS = [
+    "ideal", "variation", "interconnect", "coarse_quant",
+    "saturating", "snh_gain_error",
+]
+MULTISTAGE_FALLBACK_CONFIGS = ["output_noise", "snh_noise"]
+
+
+class TestScalarVsMultiStageMany:
+    def _compare(self, config, matrix, rhs_count, stages=2, prep_seed=5, solve_seed=9):
+        n = matrix.shape[0]
+        rhs = [random_vector(n, rng=i + 1) for i in range(rhs_count)]
+        sequential_prep = MultiStageSolver(config, stages=stages).prepare(
+            matrix, rng=prep_seed
+        )
+        gen = np.random.default_rng(solve_seed)
+        sequential = [sequential_prep.solve(b, gen) for b in rhs]
+        batched_prep = MultiStageSolver(config, stages=stages).prepare(
+            matrix, rng=prep_seed
+        )
+        batched = batched_prep.solve_many(rhs, np.random.default_rng(solve_seed))
+        for s, b in zip(sequential, batched):
+            _multistage_results_exactly_equal(s, b)
+        return batched
+
+    @pytest.mark.parametrize("config_name", MULTISTAGE_BATCHED_CONFIGS)
+    @pytest.mark.parametrize("family", sorted(MATRIX_FAMILIES))
+    def test_solve_many_bit_identical(self, config_name, family):
+        matrix = MATRIX_FAMILIES[family](16, np.random.default_rng(0))
+        self._compare(CONFIGS[config_name], matrix, rhs_count=4)
+
+    @pytest.mark.parametrize("config_name", MULTISTAGE_FALLBACK_CONFIGS)
+    def test_noise_configs_fall_back_bit_identical(self, config_name):
+        """Per-operation-noise configs transparently loop the scalar path
+        with the shared generator — still bit-identical to the loop."""
+        matrix = MATRIX_FAMILIES["wishart"](12, np.random.default_rng(2))
+        self._compare(CONFIGS[config_name], matrix, rhs_count=3)
+
+    def test_mna_config_falls_back_bit_identical(self):
+        config = HardwareConfig.paper_variation().with_(use_mna=True)
+        matrix = MATRIX_FAMILIES["dominant"](8, np.random.default_rng(4))
+        self._compare(config, matrix, rhs_count=2)
+
+    def test_non_power_of_two_and_deeper_recursion(self):
+        config = CONFIGS["variation"]
+        matrix = MATRIX_FAMILIES["dominant"](11, np.random.default_rng(6))
+        self._compare(config, matrix, rhs_count=3)
+        matrix3 = MATRIX_FAMILIES["wishart"](12, np.random.default_rng(7))
+        self._compare(config, matrix3, rhs_count=3, stages=3)
+
+    def test_direct_inv_fallback_nodes(self):
+        """Deep partitioning of a tiny system reaches the 1x1 direct-INV
+        terminal nodes in both the scalar and the batched recursion."""
+        config = CONFIGS["variation"]
+        matrix = MATRIX_FAMILIES["dominant"](4, np.random.default_rng(8))
+        self._compare(config, matrix, rhs_count=3, stages=3)
+
+    def test_lean_fallback_path(self):
+        """lean=True composes with the noise fallback loop."""
+        config = CONFIGS["output_noise"]
+        matrix = MATRIX_FAMILIES["wishart"](12, np.random.default_rng(5))
+        rhs = [random_vector(12, rng=i) for i in range(3)]
+        prep = MultiStageSolver(config, stages=2).prepare(matrix, rng=5)
+        full = prep.solve_many(rhs, np.random.default_rng(0))
+        prep2 = MultiStageSolver(config, stages=2).prepare(matrix, rng=5)
+        lean = prep2.solve_many(rhs, np.random.default_rng(0), lean=True)
+        for f, l in zip(full, lean):
+            assert np.array_equal(f.x, l.x)
+            assert f.saturated == l.saturated
+
+    def test_empty_batch_and_bad_stage_count(self):
+        prep = MultiStageSolver(CONFIGS["ideal"], stages=2).prepare(
+            MATRIX_FAMILIES["wishart"](8, np.random.default_rng(0)), rng=1
+        )
+        with pytest.raises(ValidationError, match="at least one"):
+            prep.solve_many([])
+        with pytest.raises(SolverError):
+            MultiStageSolver(stages=0)
+        assert MultiStageSolver(stages=2).name == "blockamc-2stage"
+
+    def test_ranging_rerun_columns_match(self):
+        """Ill-conditioned blocks rerun gain ranging per column."""
+        matrix = graded_matrix(14, 0.8, rng=6)
+        self._compare(CONFIGS["variation"], matrix, rhs_count=4)
+
+    def test_32_rhs_batch_bit_identical(self):
+        """The acceptance-criterion batch size, asserted exactly."""
+        matrix = MATRIX_FAMILIES["wishart"](16, np.random.default_rng(1))
+        batched = self._compare(CONFIGS["variation"], matrix, rhs_count=32)
+        assert len(batched) == 32
+
+    def test_batch_composition_invariance(self):
+        """A column's bits never depend on its batch neighbours."""
+        config = CONFIGS["variation"]
+        matrix = MATRIX_FAMILIES["wishart"](16, np.random.default_rng(3))
+        rhs = [random_vector(16, rng=i) for i in range(6)]
+        prep = MultiStageSolver(config, stages=2).prepare(matrix, rng=5)
+        full = prep.solve_many(rhs, np.random.default_rng(0))
+        prefix = prep.solve_many(rhs[:2], np.random.default_rng(0))
+        for a, b in zip(prefix, full[:2]):
+            _multistage_results_exactly_equal(a, b)
+        swapped = prep.solve_many(list(reversed(rhs)), np.random.default_rng(0))
+        for a, b in zip(reversed(swapped), full):
+            _multistage_results_exactly_equal(a, b)
+
+    def test_lean_mode_same_solution_bits(self):
+        config = CONFIGS["variation"]
+        matrix = MATRIX_FAMILIES["wishart"](16, np.random.default_rng(8))
+        rhs = [random_vector(16, rng=i) for i in range(5)]
+        prep = MultiStageSolver(config, stages=2).prepare(matrix, rng=5)
+        full = prep.solve_many(rhs, np.random.default_rng(0))
+        lean = prep.solve_many(rhs, np.random.default_rng(0), lean=True)
+        for f, l in zip(full, lean):
+            assert np.array_equal(f.x, l.x)
+            assert np.array_equal(f.reference, l.reference)
+            assert f.relative_error == l.relative_error
+            assert f.saturated == l.saturated
+            assert f.analog_time_s == l.analog_time_s
+            assert l.operations == ()
+            assert l.metadata == {}
+
+    def test_interleaved_scalar_and_batched_share_offsets(self):
+        """Quasi-static offsets drawn by either path are shared by the
+        other — exactly like repeated scalar solves on one tree."""
+        config = CONFIGS["variation"]
+        matrix = MATRIX_FAMILIES["wishart"](16, np.random.default_rng(9))
+        b = random_vector(16, rng=1)
+        prep = MultiStageSolver(config, stages=2).prepare(matrix, rng=5)
+        warm = prep.solve(b, np.random.default_rng(0))  # draws all offsets
+        (batched,) = prep.solve_many([b], np.random.default_rng(123))
+        again = prep.solve(b, np.random.default_rng(456))
+        assert np.array_equal(warm.x, batched.x)
+        assert np.array_equal(batched.x, again.x)
 
 
 # ----------------------------------------------------------------------

@@ -116,3 +116,66 @@ class TestAMCPreconditioner:
         preconditioner = amc_preconditioner(prepared, rng=np.random.default_rng(8))
         z = preconditioner(b)
         assert z.shape == b.shape
+
+
+class TestFgmresHappyBreakdown:
+    """Regression: a breakdown column must end its cycle (like gmres).
+
+    A degenerate preconditioner that collapses every residual onto one
+    direction exhausts the preconditioned Krylov space after two steps.
+    Before the fix the loop kept iterating with a zero basis vector —
+    and the *next* preconditioner application received that all-zero
+    vector, which an analog preconditioner (``prepared.solve``
+    validates its input) rejects outright, crashing the solve.
+    """
+
+    def _degenerate(self, n):
+        direction = np.ones(n)
+
+        def precondition(r):
+            r = np.asarray(r, dtype=float)
+            if not np.any(r):
+                raise AssertionError(
+                    "preconditioner received an all-zero vector "
+                    "(zero Krylov column leaked past the breakdown)"
+                )
+            if r.ndim == 2:  # block form (fgmres_many)
+                return np.tile(direction, (r.shape[0], 1))
+            return direction.copy()
+
+        return precondition
+
+    def test_scalar_breakdown_terminates_cycle(self):
+        rng = np.random.default_rng(1)
+        a = wishart_matrix(8, rng)
+        b = random_vector(8, rng)
+        result = fgmres(a, b, self._degenerate(8), tol=0.0, max_iter=12)
+        assert not result.converged
+        assert result.iterations == 12  # budget honoured, no crash
+
+    def test_block_breakdown_never_reaches_preconditioner(self):
+        from repro.core.preconditioned import fgmres_many
+
+        rng = np.random.default_rng(2)
+        a = wishart_matrix(8, rng)
+        bs = np.stack([random_vector(8, rng) for _ in range(3)])
+        results = fgmres_many(a, bs, self._degenerate(8), tol=0.0, max_iter=12)
+        for result in results:
+            assert not result.converged
+            assert result.iterations == 12
+
+    def test_analog_block_preconditioner_survives_breakdown(self):
+        """The original crash vector: an analog preconditioner rejects
+        all-zero inputs; post-fix the zero column never reaches it."""
+        from repro.core.preconditioned import amc_block_preconditioner, fgmres_many
+
+        rng = np.random.default_rng(3)
+        a = wishart_matrix(8, rng)
+        bs = np.stack([random_vector(8, rng) for _ in range(2)])
+        prepared = BlockAMCSolver(HardwareConfig.paper_variation()).prepare(a, rng=5)
+        results = fgmres_many(
+            a, bs, amc_block_preconditioner(prepared, rng=0), tol=0.0, max_iter=10
+        )
+        for result in results:
+            assert result.iterations == 10
+            assert result.final_residual < 1e-9  # solution exact to rounding

@@ -482,7 +482,7 @@ class TestLeanResults:
 
         matrix = wishart_matrix(10, rng=1)
         hardware = HardwareConfig.paper_variation()
-        key = PreparedKey(matrix_digest(matrix), hardware.cache_key(), "blockamc-2stage", 0)
+        key = PreparedKey(matrix_digest(matrix), hardware.cache_key(), "original-amc", 0)
         entry = prepare_entry(key, matrix, hardware)
         assert not entry.coalescible
         bs = [random_vector(10, rng=i) for i in range(3)]
@@ -510,3 +510,102 @@ class TestLeanResults:
         for f, l in zip(full, lean):
             assert _identical(f, l)
             assert l.operations == ()
+
+
+class TestMultiStageCoalescing:
+    """Two-stage prepared solvers coalesce like one-stage ones."""
+
+    @pytest.fixture(scope="class")
+    def entry(self):
+        matrix = wishart_matrix(16, rng=6)
+        config = HardwareConfig.paper_variation()
+        key = PreparedKey(
+            matrix_digest(matrix), config.cache_key(), "blockamc-2stage", 0
+        )
+        return prepare_entry(key, matrix, config)
+
+    def test_entry_is_coalescible(self, entry):
+        assert entry.coalescible
+
+    def test_noisy_two_stage_not_coalescible(self):
+        matrix = wishart_matrix(12, rng=6)
+        config = HardwareConfig.paper_variation()
+        noisy = config.with_(
+            opamp=config.opamp.__class__(output_noise_sigma_v=1e-4)
+        )
+        key = PreparedKey(
+            matrix_digest(matrix), noisy.cache_key(), "blockamc-2stage", 0
+        )
+        assert not prepare_entry(key, matrix, noisy).coalescible
+
+    def test_coalesced_equals_per_request(self, entry):
+        bs = [random_vector(16, rng=i) for i in range(6)]
+        seeds = list(range(6))
+        batch = execute_batch(entry, bs, seeds)
+        singles = [execute_batch(entry, [b], [s])[0] for b, s in zip(bs, seeds)]
+        for a, b in zip(batch, singles):
+            assert np.array_equal(a.x, b.x)
+            assert a.relative_error == b.relative_error
+
+    def test_batch_composition_invariance(self, entry):
+        bs = [random_vector(16, rng=i) for i in range(8)]
+        full = execute_batch(entry, bs, list(range(8)))
+        sub = execute_batch(entry, [bs[5], bs[1], bs[6]], [5, 1, 6])
+        for a, b in zip(sub, (full[5], full[1], full[6])):
+            assert np.array_equal(a.x, b.x)
+
+    def test_lean_two_stage_matches_full(self, entry):
+        from repro.core.solution import LeanSolveResult
+
+        bs = [random_vector(16, rng=i) for i in range(4)]
+        full = execute_batch(entry, bs, [0, 1, 2, 3])
+        lean = execute_batch(entry, bs, [0, 1, 2, 3], lean=True)
+        for f, l in zip(full, lean):
+            assert isinstance(l, LeanSolveResult)
+            assert np.array_equal(f.x, l.x)
+            assert f.relative_error == l.relative_error
+            assert f.saturated == l.saturated
+            assert f.analog_time_s == l.analog_time_s
+            assert l.operations == ()
+
+    def test_multistage_traffic_service_bit_identical(self):
+        """A mixed 1-/2-stage stream through the concurrent service is
+        bit-identical to the sequential reference executor."""
+        requests = mixed_traffic(
+            16,
+            unique_matrices=4,
+            sizes=(12, 16),
+            solvers=("blockamc-1stage", "blockamc-2stage"),
+            seed=21,
+        )
+        assert {r.solver for r in requests} == {
+            "blockamc-1stage", "blockamc-2stage"
+        }
+        reference, _ = run_sequential(requests, ServiceConfig(workers=1))
+        with SolverService(ServiceConfig(workers=2)) as service:
+            results = service.solve_all(requests)
+            metrics = service.metrics()
+        for a, b in zip(reference, results):
+            assert _identical(a, b)
+        assert metrics.requests_completed == len(requests)
+
+    def test_traffic_solver_mix_does_not_disturb_stream(self):
+        plain = mixed_traffic(8, unique_matrices=3, sizes=(8, 12), seed=5)
+        mixed = mixed_traffic(
+            8,
+            unique_matrices=3,
+            sizes=(8, 12),
+            solvers=("blockamc-1stage", "blockamc-2stage"),
+            seed=5,
+        )
+        for a, b in zip(plain, mixed):
+            assert a.digest == b.digest
+            assert np.array_equal(a.b, b.b)
+            assert a.seed == b.seed
+        assert all(r.solver is None for r in plain)
+
+    def test_traffic_rejects_unknown_solver(self):
+        with pytest.raises(ValidationError):
+            mixed_traffic(4, solvers=("warp-drive",))
+        with pytest.raises(ValidationError):
+            mixed_traffic(4, solvers=())
