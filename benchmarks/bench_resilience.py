@@ -1,0 +1,379 @@
+"""Resilience bench: the failure story, measured and asserted.
+
+Soaks the serving and campaign layers under deterministic injected
+faults (:mod:`repro.testing.chaos`) and records the two acceptance facts
+of the fault-tolerance work in ``BENCH_resilience.json``:
+
+1. **serving** — under a chaos plan injecting solve failures (>= 10% of
+   the stream), worker kills (>= 2 shard crashes), and a slow-call
+   storm, a mixed-traffic run completes with *no hung ticket*, every
+   failure a typed :class:`~repro.errors.ReproError` with a correct
+   ``retryable`` classification, and every success **bit-identical** to
+   the fault-free sequential reference — chaos may take answers away,
+   it must never change one. A second pass with ``fallback="digital"``
+   shows the degradation ladder turning those failures into exact
+   digital answers.
+2. **campaigns** — a campaign run through a SIGKILL + torn-write storm
+   (with bounded retry) converges to an artifact store bit-identical to
+   a fault-free run (:func:`repro.campaigns.stores_equal`), and a
+   subsequent resume recomputes nothing.
+
+Run:  python benchmarks/bench_resilience.py [--quick] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+for _path in (str(_ROOT), str(_ROOT / "src")):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.campaigns import (
+    ArtifactStore,
+    CampaignSpec,
+    RetryPolicy,
+    run_campaign,
+    stores_equal,
+)
+from repro.errors import ReproError, is_retryable
+from repro.serve import (
+    ResiliencePolicy,
+    ServiceConfig,
+    SolverService,
+    run_sequential,
+)
+from repro.testing import ChaosPlan, chaos_entry_transform, rhs_tag
+from repro.testing.chaos import CHAOS_ENV
+from repro.workloads.traffic import mixed_traffic
+
+#: Artifact path (repo root, like BENCH_serving.json).
+DEFAULT_ARTIFACT = _ROOT / "BENCH_resilience.json"
+
+FULL_REQUESTS = 64
+FULL_SIZES = (32, 48)
+QUICK_REQUESTS = 32
+QUICK_SIZES = (16, 24)
+
+#: Injected fault rates for the serving soak. The plan seed is scanned
+#: so the *realized* counts meet the acceptance floors on the actual
+#: request stream (>= 10% poisoned, >= 2 kills, a slow-call storm).
+FAIL_RATE = 0.15
+KILL_RATE = 0.08
+SLOW_RATE = 0.12
+SLOW_CALL_S = 0.03
+MIN_POISONED_FRACTION = 0.10
+MIN_KILLS = 2
+MIN_SLOW = 1
+
+
+def _find_plan(tags: list[str]) -> ChaosPlan:
+    """Scan plan seeds until the realized fault counts meet the floors."""
+    need_poisoned = max(2, math.ceil(MIN_POISONED_FRACTION * len(tags)))
+    for seed in range(5000):
+        plan = ChaosPlan(
+            seed=seed,
+            solve_failure_rate=FAIL_RATE,
+            worker_kill_rate=KILL_RATE,
+            slow_call_rate=SLOW_RATE,
+            slow_call_s=SLOW_CALL_S,
+        )
+        poisoned = sum(plan.decides("fail", FAIL_RATE, t) for t in tags)
+        kills = sum(plan.decides("kill", KILL_RATE, t) for t in tags)
+        slows = sum(plan.decides("slow", SLOW_RATE, t) for t in tags)
+        if (
+            poisoned >= need_poisoned
+            and kills >= MIN_KILLS
+            and slows >= MIN_SLOW
+            and poisoned < len(tags)
+        ):
+            return plan
+    raise AssertionError("no chaos seed met the fault floors in 5000 tries")
+
+
+def _soak(service: SolverService, requests, max_attempts: int):
+    """Submit everything; bounded client-side retry of retryable failures.
+
+    Returns per-request final outcomes ``(result | exception)``. Every
+    ticket is resolved with a timeout — a hang fails the bench loudly.
+    """
+    outcomes = [None] * len(requests)
+    pending = list(range(len(requests)))
+    for _ in range(max_attempts):
+        if not pending:
+            break
+        tickets = [(i, service.submit_request(requests[i])) for i in pending]
+        pending = []
+        for i, ticket in tickets:
+            exc = ticket.exception(timeout=300)  # no hung tickets, ever
+            if exc is None:
+                outcomes[i] = ticket.result()
+            elif is_retryable(exc):
+                outcomes[i] = exc
+                pending.append(i)
+            else:
+                outcomes[i] = exc
+    return outcomes
+
+
+def run_bench(quick: bool = False, out: Path | None = None) -> dict:
+    """Execute the soak and write the artifact; returns the payload."""
+    n_requests = QUICK_REQUESTS if quick else FULL_REQUESTS
+    sizes = QUICK_SIZES if quick else FULL_SIZES
+    requests = mixed_traffic(
+        n_requests, unique_matrices=4, sizes=sizes, seed=42
+    )
+    tags = [rhs_tag(r.b) for r in requests]
+    plan = _find_plan(tags)
+    poisoned = {
+        i for i, t in enumerate(tags) if plan.decides("fail", FAIL_RATE, t)
+    }
+    killed = {i for i, t in enumerate(tags) if plan.decides("kill", KILL_RATE, t)}
+    slowed = {i for i, t in enumerate(tags) if plan.decides("slow", SLOW_RATE, t)}
+    print(
+        f"workload: {n_requests} mixed requests, chaos seed {plan.seed} — "
+        f"{len(poisoned)} poisoned solves, {len(killed)} worker kills, "
+        f"{len(slowed)} slow calls ({SLOW_CALL_S * 1e3:.0f}ms storm)"
+    )
+
+    base = ServiceConfig(workers=2, max_batch_size=16, max_linger_s=0.002)
+    reference, _ = run_sequential(requests, base)
+
+    # ------------------------------------------------------------------
+    # serving soak: faults on, no fallback — losses allowed, lies aren't
+    # ------------------------------------------------------------------
+    chaos_config = ServiceConfig(
+        workers=base.workers,
+        max_batch_size=base.max_batch_size,
+        max_linger_s=base.max_linger_s,
+        resilience=ResiliencePolicy(
+            # Breakers off for the soak: with hot keys at a 15% poison
+            # rate they would trip by design and turn deterministic
+            # SolverErrors into time-dependent CircuitOpenErrors.
+            breaker_threshold=0,
+            # Enough restart budget for every injected kill.
+            max_shard_restarts=len(killed) + 1,
+        ),
+        entry_transform=chaos_entry_transform(plan),
+    )
+    soak_start = time.perf_counter()
+    with SolverService(chaos_config) as service:
+        outcomes = _soak(service, requests, max_attempts=len(killed) + 3)
+        metrics = service.metrics()
+    soak_s = time.perf_counter() - soak_start
+
+    hung = sum(1 for o in outcomes if o is None)
+    failures = {
+        i: o for i, o in enumerate(outcomes) if isinstance(o, BaseException)
+    }
+    successes = {
+        i: o for i, o in enumerate(outcomes) if not isinstance(o, BaseException)
+    }
+    all_typed = all(isinstance(o, ReproError) for o in failures.values())
+    successes_identical = all(
+        np.array_equal(r.x, reference[i].x)
+        and r.relative_error == reference[i].relative_error
+        for i, r in successes.items()
+    )
+    assert hung == 0, f"{hung} tickets never resolved"
+    assert all_typed, "an untyped failure escaped the service"
+    assert successes_identical, "a success diverged from the fault-free reference"
+    # With kills retried away, exactly the poisoned requests fail.
+    assert set(failures) == poisoned, (
+        f"failed set {sorted(failures)} != poisoned set {sorted(poisoned)}"
+    )
+    assert metrics.shard_crashes >= MIN_KILLS
+    assert metrics.retries >= 1
+
+    print(
+        format_table(
+            ["fact", "value"],
+            [
+                ["requests", str(n_requests)],
+                ["final failures (all injected)", str(len(failures))],
+                ["successes, bit-identical", f"{len(successes)}, True"],
+                ["hung tickets", "0"],
+                ["shard crashes survived", str(metrics.shard_crashes)],
+                ["isolation retries", str(metrics.retries)],
+                ["latency p99 under faults (ms)", f"{metrics.latency_p99_s * 1e3:.2f}"],
+            ],
+            title=f"serving soak under chaos — {soak_s * 1e3:.0f}ms wall",
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # degradation ladder: same poison, digital fallback answers it
+    # ------------------------------------------------------------------
+    degrade_plan = ChaosPlan(seed=plan.seed, solve_failure_rate=FAIL_RATE)
+    degrade_config = ServiceConfig(
+        workers=base.workers,
+        max_batch_size=base.max_batch_size,
+        max_linger_s=base.max_linger_s,
+        resilience=ResiliencePolicy(breaker_threshold=0, fallback="digital"),
+        entry_transform=chaos_entry_transform(degrade_plan),
+    )
+    with SolverService(degrade_config) as service:
+        degraded_results = service.solve_all(requests)
+        degrade_metrics = service.metrics()
+    degraded = [
+        i for i, r in enumerate(degraded_results)
+        if r.metadata.get("degraded", False)
+    ]
+    clean_identical = all(
+        np.array_equal(r.x, reference[i].x)
+        for i, r in enumerate(degraded_results)
+        if i not in poisoned
+    )
+    assert set(degraded) == poisoned, "fallback answered the wrong requests"
+    assert clean_identical, "fallback pass changed a clean request's bits"
+    assert degrade_metrics.requests_failed == 0
+    assert degrade_metrics.degraded == len(poisoned)
+    print(
+        f"degradation ladder: {len(degraded)}/{n_requests} requests answered "
+        f"by the digital fallback, 0 failures, clean requests bit-identical"
+    )
+
+    # ------------------------------------------------------------------
+    # campaign under SIGKILL + torn-write storm: same store, bit for bit
+    # ------------------------------------------------------------------
+    spec = CampaignSpec(
+        name="resilience-bench",
+        title="chaos campaign",
+        solvers=("original-amc", "blockamc-1stage"),
+        families=("wishart", "toeplitz"),
+        sizes=(6,) if quick else (6, 9),
+        trials=2,
+        seed=70,
+        hardware="variation",
+    )
+    with tempfile.TemporaryDirectory(prefix="bench-resilience-") as tmp:
+        tmp = Path(tmp)
+        run_campaign(spec, tmp / "ref", workers=0)
+
+        campaign_plan = ChaosPlan(
+            seed=7,
+            worker_kill_rate=1.0,
+            max_kills_per_unit=1,
+            torn_write_rate=0.5,
+            state_dir=str(tmp / "chaos"),
+        )
+        saved_env = os.environ.get(CHAOS_ENV)
+        os.environ[CHAOS_ENV] = campaign_plan.chaos_env()[CHAOS_ENV]
+        campaign_start = time.perf_counter()
+        try:
+            run = run_campaign(
+                spec,
+                tmp / "chaotic",
+                workers=2,
+                retry=RetryPolicy(
+                    max_attempts=10, backoff_s=0.01, max_backoff_s=0.05
+                ),
+            )
+        finally:
+            if saved_env is None:
+                os.environ.pop(CHAOS_ENV, None)
+            else:
+                os.environ[CHAOS_ENV] = saved_env
+        campaign_s = time.perf_counter() - campaign_start
+
+        worker_kills = campaign_plan.injected("kill")
+        torn_writes = campaign_plan.injected("torn")
+        store_identical = stores_equal(
+            ArtifactStore(tmp / "ref"), ArtifactStore(tmp / "chaotic")
+        )
+        assert run.finished and run.quarantined_units == 0
+        assert worker_kills >= MIN_KILLS
+        assert store_identical, "chaos campaign store diverged from fault-free run"
+
+        resumed = run_campaign(spec, tmp / "chaotic", workers=0)
+        zero_recompute = (
+            resumed.completed_units == 0
+            and resumed.skipped_units == resumed.total_units
+        )
+        assert zero_recompute, "resume after chaos recomputed finished units"
+
+    print(
+        f"campaign storm: {run.total_units} units through {worker_kills} "
+        f"SIGKILLs + {torn_writes} torn writes in {campaign_s * 1e3:.0f}ms — "
+        f"store bit-identical to fault-free run, resume recomputed nothing"
+    )
+
+    payload = {
+        "generated_by": "benchmarks/bench_resilience.py",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "mode": "quick" if quick else "full",
+        "serving": {
+            "requests": n_requests,
+            "sizes": list(sizes),
+            "chaos_seed": plan.seed,
+            "injected": {
+                "solve_failures": len(poisoned),
+                "solve_failure_fraction": round(len(poisoned) / n_requests, 3),
+                "worker_kills": len(killed),
+                "slow_calls": len(slowed),
+                "slow_call_s": SLOW_CALL_S,
+            },
+            "no_hung_tickets": hung == 0,
+            "all_failures_typed": all_typed,
+            "failures_exactly_injected": set(failures) == poisoned,
+            "successes_bit_identical_to_reference": successes_identical,
+            "shard_crashes": metrics.shard_crashes,
+            "isolation_retries": metrics.retries,
+            "latency_p99_under_faults_s": metrics.latency_p99_s,
+            "soak_wall_s": soak_s,
+            "degraded_fallback": {
+                "degraded_requests": len(degraded),
+                "failures": degrade_metrics.requests_failed,
+                "clean_requests_bit_identical": clean_identical,
+            },
+        },
+        "campaign": {
+            "units": run.total_units,
+            "worker_kills": worker_kills,
+            "torn_writes": torn_writes,
+            "store_bit_identical_to_fault_free": store_identical,
+            "resume_zero_recompute": zero_recompute,
+            "quarantined_units": run.quarantined_units,
+            "wall_s": campaign_s,
+        },
+        "detail": (
+            "mixed traffic through SolverService under a seeded chaos plan "
+            "(solve failures, WorkerKillChaos shard crashes, slow-call "
+            "storm) vs run_sequential; campaign through a SIGKILL + "
+            "torn-write storm with RetryPolicy vs a fault-free store"
+        ),
+    }
+    path = out or DEFAULT_ARTIFACT
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {path}")
+    return payload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help=f"CI-size run ({QUICK_REQUESTS} requests, sizes {QUICK_SIZES})",
+    )
+    parser.add_argument("--out", type=Path, default=None, help="artifact path")
+    args = parser.parse_args(argv)
+    run_bench(quick=args.quick, out=args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

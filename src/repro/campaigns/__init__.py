@@ -9,7 +9,11 @@ a re-run resumes exactly where it stopped, with completed units never
 recomputed. Unit seeds derive from unit position (``SeedSequence.spawn``
 style), so the finished store is **bit-identical** for any worker count,
 shard order, or resume history, and ``mode="trials"`` campaigns are
-bit-identical to the legacy single-process sweep loops.
+bit-identical to the legacy single-process sweep loops. With a
+:class:`RetryPolicy`, worker crashes re-dispatch their units and poison
+units are quarantined after bounded attempts instead of aborting the
+run — retried units recompute the same bits, so fault history never
+shows in the finished store.
 
 Entry points: ``repro campaign run/status/resume/report/diff`` on the
 CLI, :func:`get_campaign` for the registered figure/ablation specs,
@@ -28,6 +32,7 @@ from repro.campaigns.registry import get_campaign, list_campaigns
 from repro.campaigns.runner import (
     CampaignRun,
     CampaignStatus,
+    RetryPolicy,
     campaign_status,
     execute_unit,
     run_campaign,
@@ -50,6 +55,7 @@ __all__ = [
     "CampaignSpec",
     "CampaignStatus",
     "HardwareVariant",
+    "RetryPolicy",
     "WorkUnit",
     "apply_overrides",
     "campaign_records",

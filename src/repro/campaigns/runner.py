@@ -21,13 +21,28 @@ unit's randomness derives from its position alone, the finished store is
 bit-identical for any worker count, scheduling order, or kill/resume
 history (``benchmarks/bench_campaigns.py`` and the CI ``campaign-smoke``
 job verify this).
+
+Fault tolerance: pass a :class:`RetryPolicy` and worker crashes
+(``BrokenProcessPool`` — a SIGKILLed or segfaulted worker) re-dispatch
+the unfinished units on a fresh pool after a backoff, while units that
+keep *raising* are retried up to ``max_attempts`` and then quarantined
+(recorded in the store, surfaced by ``repro campaign status``, requeued
+with ``--requeue-quarantined``). Retried units recompute bit-identically
+— their seeds derive from unit position, not attempt count. Without a
+policy the first failure propagates, as before.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    as_completed,
+    wait,
+)
 from dataclasses import dataclass
 
 import numpy as np
@@ -36,7 +51,14 @@ from repro.campaigns.spec import CampaignSpec, WorkUnit, expand, unit_seed_seque
 from repro.campaigns.store import ArtifactStore
 from repro.errors import CampaignError
 
-__all__ = ["CampaignRun", "CampaignStatus", "campaign_status", "execute_unit", "run_campaign"]
+__all__ = [
+    "CampaignRun",
+    "CampaignStatus",
+    "RetryPolicy",
+    "campaign_status",
+    "execute_unit",
+    "run_campaign",
+]
 
 
 # ----------------------------------------------------------------------
@@ -168,6 +190,43 @@ def _execute_rhs_unit(spec, unit, hardware):
 
 
 @dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry-with-backoff for campaign unit failures.
+
+    ``max_attempts`` bounds how often one unit is dispatched before it
+    is quarantined; ``backoff(attempt)`` is the pause before re-dispatch
+    — ``backoff_s * backoff_multiplier**(attempt - 1)``, capped at
+    ``max_backoff_s``. Worker crashes (``BrokenProcessPool``) cannot be
+    attributed to a single unit, so a crash charges one attempt to every
+    unit that was unfinished in the broken pool's generation.
+    """
+
+    max_attempts: int = 3
+    backoff_s: float = 0.05
+    backoff_multiplier: float = 2.0
+    max_backoff_s: float = 2.0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise CampaignError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_s < 0.0:
+            raise CampaignError(f"backoff_s must be >= 0, got {self.backoff_s}")
+        if self.backoff_multiplier < 1.0:
+            raise CampaignError(
+                f"backoff_multiplier must be >= 1, got {self.backoff_multiplier}"
+            )
+        if self.max_backoff_s < 0.0:
+            raise CampaignError(f"max_backoff_s must be >= 0, got {self.max_backoff_s}")
+
+    def backoff(self, attempt: int) -> float:
+        """Pause (seconds) before dispatching attempt ``attempt + 1``."""
+        return min(
+            self.max_backoff_s,
+            self.backoff_s * self.backoff_multiplier ** max(0, attempt - 1),
+        )
+
+
+@dataclass(frozen=True)
 class CampaignRun:
     """Outcome of one :func:`run_campaign` invocation."""
 
@@ -176,6 +235,7 @@ class CampaignRun:
     completed_units: int
     remaining_units: int
     elapsed_s: float
+    quarantined_units: int = 0
 
     @property
     def finished(self) -> bool:
@@ -190,14 +250,19 @@ class CampaignStatus:
     total_units: int
     completed_units: int
     pending: tuple
+    quarantined: tuple = ()
 
     @property
     def finished(self) -> bool:
-        return not self.pending
+        return not self.pending and not self.quarantined
 
 
 def campaign_status(spec: CampaignSpec, store: ArtifactStore) -> CampaignStatus:
     """How much of ``spec`` the store has completed.
+
+    Quarantined units are reported separately from pending: the runner
+    will not reschedule them until the quarantine is cleared, but the
+    campaign is not finished while they exist.
 
     Raises :class:`CampaignError` when the store's manifest belongs to a
     different campaign (otherwise a scale or ``--store`` mix-up would
@@ -206,19 +271,54 @@ def campaign_status(spec: CampaignSpec, store: ArtifactStore) -> CampaignStatus:
     store.verify_manifest(spec)
     units = expand(spec)
     done = store.completed_keys()
-    pending = tuple(u for u in units if u.key not in done)
+    poisoned = store.quarantined_keys() - done
+    pending = tuple(u for u in units if u.key not in done and u.key not in poisoned)
+    quarantined = tuple(u for u in units if u.key in poisoned)
     return CampaignStatus(
         total_units=len(units),
-        completed_units=len(units) - len(pending),
+        completed_units=sum(1 for u in units if u.key in done),
         pending=pending,
+        quarantined=quarantined,
     )
 
 
 def _run_unit_to_store(spec: CampaignSpec, unit: WorkUnit, root: str) -> str:
-    """Worker entry point: execute one unit and persist its artifact."""
+    """Worker entry point: execute one unit and persist its artifact.
+
+    When a :class:`~repro.testing.chaos.ChaosPlan` is exported via the
+    ``REPRO_CHAOS`` environment variable, faults inject *here*: a
+    SIGKILL lands mid-unit (after compute, before commit — the retried
+    unit recomputes bit-identically from its position-derived seeds) and
+    a torn write leaves exactly the half-written state the store's
+    sidecar-last commit protocol must treat as incomplete.
+    """
+    chaos = _campaign_chaos()
     arrays, meta = execute_unit(spec, unit)
-    ArtifactStore(root).write_unit(unit.key, arrays, meta)
+    store = ArtifactStore(root)
+    if chaos is not None:
+        chaos.maybe_kill_worker(unit.key)
+        chaos.maybe_tear_write(store, unit.key, arrays)
+    store.write_unit(unit.key, arrays, meta)
     return unit.key
+
+
+def _campaign_chaos():
+    if not os.environ.get("REPRO_CHAOS"):
+        return None
+    from repro.testing.chaos import plan_from_env
+
+    return plan_from_env()
+
+
+def _quarantine_meta(unit: WorkUnit, attempts: int, error) -> dict:
+    return {
+        "key": unit.key,
+        "variant": unit.variant_label,
+        "family": unit.family,
+        "size": unit.size,
+        "attempts": attempts,
+        "error": "worker crash (BrokenProcessPool)" if error is None else repr(error),
+    }
 
 
 def _mp_context(start_method: str | None):
@@ -240,6 +340,38 @@ def _mp_context(start_method: str | None):
     return multiprocessing.get_context(start_method)
 
 
+def _run_pool_generation(
+    spec: CampaignSpec, root: str, units, workers: int, mp_context
+) -> tuple[list, bool]:
+    """Run one pool over ``units``; returns ``(failed, crashed)``.
+
+    ``failed`` holds ``(unit, exception)`` pairs for failures the pool
+    could attribute to a unit (the unit's own raise); ``crashed`` is
+    True when the pool broke (a worker died — SIGKILL, segfault), in
+    which case the unfinished units are unattributable and the caller
+    must consult the store to see what actually committed.
+    """
+    failed: list = []
+    crashed = False
+    try:
+        with ProcessPoolExecutor(max_workers=workers, mp_context=mp_context) as pool:
+            futures = {
+                pool.submit(_run_unit_to_store, spec, unit, root): unit
+                for unit in units
+            }
+            for future in as_completed(futures):
+                exc = future.exception()
+                if exc is None:
+                    continue
+                if isinstance(exc, BrokenExecutor):
+                    crashed = True
+                else:
+                    failed.append((futures[future], exc))
+    except BrokenExecutor:
+        crashed = True
+    return failed, crashed
+
+
 def run_campaign(
     spec: CampaignSpec,
     store_root,
@@ -248,6 +380,8 @@ def run_campaign(
     max_units: int | None = None,
     start_method: str | None = None,
     progress=None,
+    retry: RetryPolicy | None = None,
+    requeue_quarantined: bool = False,
 ) -> CampaignRun:
     """Run (or resume) a campaign against an artifact store.
 
@@ -272,6 +406,18 @@ def run_campaign(
     progress:
         Optional ``progress(unit, completed, total)`` callback invoked
         after each unit completes (inline and pooled).
+    retry:
+        ``None`` (default) propagates the first failure, exactly as
+        before. A :class:`RetryPolicy` makes the run fault-tolerant:
+        worker crashes (``BrokenProcessPool``) re-dispatch unfinished
+        units on a fresh pool after a backoff, unit-attributable
+        failures retry up to ``max_attempts``, and units still failing
+        then are quarantined in the store instead of aborting the
+        campaign. Retried units are bit-identical to first-try units —
+        their seeds derive from position, not attempt count.
+    requeue_quarantined:
+        Clear existing quarantine records first, putting those units
+        back in the schedule.
     """
     if workers < 0:
         raise CampaignError(f"workers must be >= 0, got {workers}")
@@ -279,23 +425,47 @@ def run_campaign(
         raise CampaignError(f"max_units must be >= 1, got {max_units}")
     store = ArtifactStore(store_root)
     store.write_manifest(spec)
+    if os.environ.get("REPRO_CHAOS"):
+        # Chaos kill decisions must never take down the campaign driver
+        # itself (inline runs execute units in this very process).
+        os.environ["REPRO_CHAOS_DRIVER_PID"] = str(os.getpid())
+    if requeue_quarantined:
+        store.clear_quarantine()
     units = expand(spec)
     done = store.completed_keys()
-    pending = [u for u in units if u.key not in done]
-    skipped = len(units) - len(pending)
+    poisoned = store.quarantined_keys() - done
+    pending = [u for u in units if u.key not in done and u.key not in poisoned]
+    skipped = len(units) - len(pending) - len(poisoned)
     budget = pending if max_units is None else pending[:max_units]
     start = time.perf_counter()
     completed = 0
+    quarantined = 0
 
     if len(budget) == 0:
         pass
     elif workers <= 1:
         for unit in budget:
-            _run_unit_to_store(spec, unit, str(store.root))
-            completed += 1
-            if progress is not None:
-                progress(unit, skipped + completed, len(units))
-    else:
+            attempt = 0
+            while True:
+                attempt += 1
+                try:
+                    _run_unit_to_store(spec, unit, str(store.root))
+                except Exception as exc:
+                    if retry is None:
+                        raise
+                    if attempt >= retry.max_attempts:
+                        store.quarantine_unit(
+                            unit.key, _quarantine_meta(unit, attempt, exc)
+                        )
+                        quarantined += 1
+                        break
+                    time.sleep(retry.backoff(attempt))
+                else:
+                    completed += 1
+                    if progress is not None:
+                        progress(unit, skipped + completed, len(units))
+                    break
+    elif retry is None:
         with ProcessPoolExecutor(
             max_workers=workers, mp_context=_mp_context(start_method)
         ) as pool:
@@ -311,11 +481,70 @@ def run_campaign(
                     completed += 1
                     if progress is not None:
                         progress(futures[future], skipped + completed, len(units))
+    else:
+        todo = {unit.key: unit for unit in budget}
+        attempts = {unit.key: 0 for unit in budget}
+        order = {unit.key: index for index, unit in enumerate(budget)}
+        crash_round = 0
+        while todo:
+            # Fewest-attempts first: fresh units are not starved behind a
+            # unit that keeps burning retries.
+            generation = sorted(
+                todo.values(), key=lambda u: (attempts[u.key], order[u.key])
+            )
+            failed, crashed = _run_pool_generation(
+                spec,
+                str(store.root),
+                generation,
+                workers,
+                _mp_context(start_method),
+            )
+            # A broken pool reports BrokenProcessPool even for units whose
+            # workers committed the artifact before dying — trust the
+            # store, not the futures.
+            committed = store.completed_keys()
+            for key in [k for k in todo if k in committed]:
+                unit = todo.pop(key)
+                completed += 1
+                if progress is not None:
+                    progress(unit, skipped + completed, len(units))
+            failed_keys = set()
+            for unit, exc in failed:
+                if unit.key not in todo:
+                    continue
+                failed_keys.add(unit.key)
+                attempts[unit.key] += 1
+                if attempts[unit.key] >= retry.max_attempts:
+                    todo.pop(unit.key)
+                    store.quarantine_unit(
+                        unit.key, _quarantine_meta(unit, attempts[unit.key], exc)
+                    )
+                    quarantined += 1
+            if crashed:
+                # Unattributable: charge one attempt to every unit that was
+                # unfinished in the broken generation (minus those already
+                # charged for their own raise).
+                for key in list(todo):
+                    if key in failed_keys:
+                        continue
+                    attempts[key] += 1
+                    if attempts[key] >= retry.max_attempts:
+                        unit = todo.pop(key)
+                        store.quarantine_unit(
+                            unit.key, _quarantine_meta(unit, attempts[key], None)
+                        )
+                        quarantined += 1
+            if todo and (failed or crashed):
+                crash_round += 1
+                time.sleep(retry.backoff(crash_round))
 
     return CampaignRun(
         total_units=len(units),
         skipped_units=skipped,
         completed_units=completed,
-        remaining_units=len(pending) - completed,
+        # Still-quarantined units count as remaining: the campaign is not
+        # finished while the store holds poison records.
+        remaining_units=len(pending) - completed + len(poisoned),
         elapsed_s=time.perf_counter() - start,
+        quarantined_units=quarantined,
     )

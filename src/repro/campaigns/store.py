@@ -5,6 +5,7 @@ Layout under the store root::
     manifest.json          # the spec (verbatim) + its digest
     units/<key>.npz        # result arrays of one completed unit
     units/<key>.json       # unit coordinates + runtime telemetry
+    quarantine/<key>.json  # units the runner gave up on (poison units)
 
 Writes are atomic (temp file + ``os.replace``) and the ``.json`` sidecar
 lands *last*, so a unit is "completed" iff its sidecar exists — a
@@ -134,6 +135,62 @@ class ArtifactStore:
         meta = json.loads(self._meta_path(key).read_text())
         return arrays, meta
 
+    # ------------------------------------------------------------------
+    # quarantine records
+    # ------------------------------------------------------------------
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / "quarantine"
+
+    def _quarantine_path(self, key: str) -> Path:
+        return self.quarantine_dir / f"{key}.json"
+
+    def quarantine_unit(self, key: str, meta: dict) -> None:
+        """Record that the runner gave up on ``key`` (a poison unit).
+
+        Quarantine is runner bookkeeping, not a result: quarantined
+        units are excluded from scheduling until
+        :meth:`clear_quarantine` (or ``--requeue-quarantined``), and
+        never from :func:`stores_equal` — two stores compare by their
+        *completed* units only.
+        """
+        self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+        _atomic_write_text(
+            self._quarantine_path(key),
+            json.dumps(meta, indent=2, sort_keys=True) + "\n",
+        )
+
+    def quarantined_keys(self) -> set[str]:
+        """Keys of every quarantined unit."""
+        if not self.quarantine_dir.exists():
+            return set()
+        return {path.stem for path in self.quarantine_dir.glob("*.json")}
+
+    def quarantined(self) -> dict[str, dict]:
+        """Quarantine records by key (attempt counts, last error)."""
+        if not self.quarantine_dir.exists():
+            return {}
+        return {
+            path.stem: json.loads(path.read_text())
+            for path in sorted(self.quarantine_dir.glob("*.json"))
+        }
+
+    def clear_quarantine(self, key: str | None = None) -> int:
+        """Requeue quarantined unit(s); returns how many records were dropped."""
+        if not self.quarantine_dir.exists():
+            return 0
+        if key is not None:
+            path = self._quarantine_path(key)
+            if not path.exists():
+                return 0
+            path.unlink()
+            return 1
+        cleared = 0
+        for path in list(self.quarantine_dir.glob("*.json")):
+            path.unlink()
+            cleared += 1
+        return cleared
+
 
 def _atomic_write_text(path: Path, text: str) -> None:
     fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
@@ -152,9 +209,9 @@ def store_diff(a: ArtifactStore, b: ArtifactStore) -> list[str]:
 
     Compares the campaign digest, the completed-unit key sets, every
     result array **bit for bit**, and the deterministic ``"unit"`` block
-    of each record's metadata. Runtime telemetry (wall time, pid) is
-    excluded — it legitimately differs between runs of the same
-    campaign.
+    of each record's metadata. Runtime telemetry (wall time, pid) and
+    quarantine records are excluded — both legitimately differ between
+    runs (and between a chaos run and a clean one) of the same campaign.
     """
     diffs: list[str] = []
     ma, mb = a.read_manifest(), b.read_manifest()

@@ -30,7 +30,13 @@ from repro.core.blockamc import BlockAMCSolver
 from repro.core.feasibility import assess_feasibility
 from repro.core.multistage import MultiStageSolver
 from repro.core.original import OriginalAMCSolver
-from repro.serve import SOLVER_KINDS, ServiceConfig, SolverService, run_sequential
+from repro.serve import (
+    SOLVER_KINDS,
+    ResiliencePolicy,
+    ServiceConfig,
+    SolverService,
+    run_sequential,
+)
 from repro.workloads.matrices import random_vector, wishart_matrix
 from repro.workloads.suites import get_suite, list_suites
 from repro.workloads.traffic import TRAFFIC_FAMILIES, mixed_traffic
@@ -136,6 +142,11 @@ def _cmd_solve(args) -> int:
 
 
 def _service_config(args) -> ServiceConfig:
+    resilience = ResiliencePolicy(
+        deadline_s=args.deadline_ms * 1e-3 if args.deadline_ms else None,
+        shed_latency_s=args.shed_ms * 1e-3 if args.shed_ms else None,
+        fallback=args.fallback,
+    )
     return ServiceConfig(
         workers=args.workers,
         max_batch_size=args.max_batch,
@@ -143,6 +154,7 @@ def _service_config(args) -> ServiceConfig:
         default_solver=args.solver,
         default_hardware=HARDWARE_FACTORIES[args.hardware](),
         cache_capacity=args.cache_capacity,
+        resilience=resilience,
     )
 
 
@@ -151,6 +163,7 @@ def _cmd_serve(args) -> int:
         args.requests,
         unique_matrices=args.unique_matrices,
         sizes=tuple(args.sizes),
+        deadline_s=args.deadline_ms * 1e-3 if args.deadline_ms else None,
         seed=args.seed,
     )
     config = _service_config(args)
@@ -260,10 +273,11 @@ def _cmd_campaign_list(args) -> int:
 
 
 def _cmd_campaign_run(args) -> int:
-    from repro.campaigns import run_campaign
+    from repro.campaigns import RetryPolicy, run_campaign
 
     spec = _campaign_spec(args)
     root = _campaign_store_root(args)
+    retry = RetryPolicy(max_attempts=args.max_attempts) if args.max_attempts else None
 
     def progress(unit, completed, total):
         print(f"  [{completed}/{total}] {unit.describe()}", flush=True)
@@ -275,6 +289,8 @@ def _cmd_campaign_run(args) -> int:
         max_units=args.max_units,
         start_method=args.start_method,
         progress=progress,
+        retry=retry,
+        requeue_quarantined=args.requeue_quarantined,
     )
     mode = "inline" if args.workers <= 1 else f"{args.workers} process workers"
     print(
@@ -282,6 +298,11 @@ def _cmd_campaign_run(args) -> int:
         f"{run.skipped_units} already complete, {run.remaining_units} remaining "
         f"({mode}, {run.elapsed_s:.2f}s) -> {root}"
     )
+    if run.quarantined_units:
+        print(
+            f"quarantined {run.quarantined_units} poison unit(s); inspect with "
+            "`repro campaign status`, requeue with --requeue-quarantined"
+        )
     if not run.finished:
         print("campaign incomplete; rerun `repro campaign run` (or `resume`) to finish")
     return 0
@@ -298,6 +319,8 @@ def _cmd_campaign_status(args) -> int:
     )
     for unit in status.pending:
         print(f"  pending: {unit.describe()}")
+    for unit in status.quarantined:
+        print(f"  quarantined: {unit.describe()}")
     return 0 if status.finished else 1
 
 
@@ -401,6 +424,21 @@ def build_parser() -> argparse.ArgumentParser:
             "--hardware", choices=sorted(HARDWARE_FACTORIES), default="variation"
         )
         parser.add_argument("--seed", type=int, default=0)
+        parser.add_argument(
+            "--deadline-ms", type=float, default=None,
+            help="per-request deadline (milliseconds); expired requests "
+            "fail fast with DeadlineExceededError",
+        )
+        parser.add_argument(
+            "--shed-ms", type=float, default=None,
+            help="shed load when the estimated queue latency exceeds this "
+            "(milliseconds); shed requests get OverloadedError",
+        )
+        parser.add_argument(
+            "--fallback", choices=("none", "digital"), default="none",
+            help="degradation ladder: answer analog solver failures with "
+            "the digital reference solve (tagged degraded)",
+        )
 
     serve = sub.add_parser(
         "serve",
@@ -483,6 +521,15 @@ def build_parser() -> argparse.ArgumentParser:
         crun.add_argument(
             "--start-method", choices=("fork", "spawn", "forkserver"), default=None,
             help="multiprocessing start method (default: fork when available)",
+        )
+        crun.add_argument(
+            "--max-attempts", type=int, default=None,
+            help="retry failed/crashed units up to N attempts, then quarantine "
+            "(default: first failure aborts the run)",
+        )
+        crun.add_argument(
+            "--requeue-quarantined", action="store_true",
+            help="clear quarantine records and retry poison units",
         )
         crun.set_defaults(func=_cmd_campaign_run)
 

@@ -3,13 +3,29 @@
 All library errors derive from :class:`ReproError` so callers can catch one
 base class. Subclasses mark the subsystem that raised them; each carries a
 human-readable message describing which constraint was violated.
+
+Every class also carries a ``retryable`` flag: ``True`` marks transient
+conditions where re-submitting the *same* request later may succeed
+(overload, deadline pressure, an open circuit breaker, a crashed
+worker); ``False`` marks deterministic failures that will recur until
+the request itself changes (bad arguments, a singular system, a
+non-convergent configuration). :func:`is_retryable` extends the
+classification to the stdlib faults the campaign runner retries
+(``BrokenProcessPool`` worker crashes).
 """
 
 from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class of every exception raised by this library."""
+    """Base class of every exception raised by this library.
+
+    ``retryable`` is a class-level classification: ``True`` when the
+    failure is transient and retrying the identical request can
+    succeed, ``False`` when it is deterministic for that request.
+    """
+
+    retryable = False
 
 
 class ValidationError(ReproError, ValueError):
@@ -60,8 +76,49 @@ class ServeError(ReproError):
     """The solver service could not accept or execute a request."""
 
 
-class ServiceOverloadedError(ServeError):
+class OverloadedError(ServeError):
+    """The service shed a request it could not absorb (transient — retry later).
+
+    ``retry_after_s`` is a hint: the submitter's estimated wait (from
+    backlog and recent per-request service time) when latency-aware
+    shedding refused the request, or ``None`` when no estimate applies.
+    """
+
+    retryable = True
+
+    def __init__(self, message: str, *, retry_after_s: float | None = None):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class ServiceOverloadedError(OverloadedError):
     """A bounded request queue was full under the ``reject`` backpressure policy."""
+
+
+class DeadlineExceededError(ServeError):
+    """A request's deadline expired before it could execute."""
+
+    retryable = True
+
+
+class CircuitOpenError(ServeError):
+    """The circuit breaker for this prepared solver is open (failing fast).
+
+    ``retry_after_s`` hints how long until the breaker admits a
+    half-open probe.
+    """
+
+    retryable = True
+
+    def __init__(self, message: str, *, retry_after_s: float | None = None):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class ShardFailedError(ServeError):
+    """A shard worker crashed while this request was queued or executing."""
+
+    retryable = True
 
 
 class ServiceClosedError(ServeError):
@@ -70,3 +127,18 @@ class ServiceClosedError(ServeError):
 
 class CampaignError(ReproError):
     """A campaign spec, artifact store, or runner invariant was violated."""
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """Whether re-submitting the request that raised ``exc`` may succeed.
+
+    Covers the library hierarchy via :attr:`ReproError.retryable` plus
+    the stdlib faults the campaign runner treats as transient: a
+    ``BrokenProcessPool`` / ``BrokenExecutor`` (worker crash — the unit
+    itself may be fine) and ``TimeoutError``.
+    """
+    from concurrent.futures import BrokenExecutor
+
+    if isinstance(exc, ReproError):
+        return exc.retryable
+    return isinstance(exc, (BrokenExecutor, TimeoutError))

@@ -9,12 +9,24 @@ sharded worker pool with bounded queues and backpressure
 (:class:`SolverService`), and service metrics (:class:`ServiceMetrics`).
 
 Entry points: :class:`SolverService` / :class:`ServiceConfig` for the
-concurrent service, :func:`run_sequential` for the bit-identical
-sequential reference, ``repro serve`` / ``repro submit`` on the CLI,
+concurrent service, :class:`ResiliencePolicy` for the failure-handling
+knobs (deadlines, shedding, breakers, the digital fallback ladder),
+:func:`run_sequential` for the bit-identical sequential reference,
+``repro serve`` / ``repro submit`` on the CLI,
 ``examples/solver_service.py`` for a demo, and
-``benchmarks/bench_serving.py`` for the throughput artifact.
+``benchmarks/bench_serving.py`` / ``benchmarks/bench_resilience.py``
+for the throughput and fault-tolerance artifacts.
 """
 
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    OverloadedError,
+    ServeError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+    ShardFailedError,
+)
 from repro.serve.batching import MicroBatcher, execute_batch
 from repro.serve.cache import (
     SOLVER_KINDS,
@@ -26,6 +38,12 @@ from repro.serve.cache import (
 )
 from repro.serve.metrics import MetricsRecorder, ServiceMetrics
 from repro.serve.requests import SolveRequest, matrix_digest
+from repro.serve.resilience import (
+    DEGRADABLE_ERRORS,
+    CircuitBreaker,
+    ResiliencePolicy,
+    digital_fallback,
+)
 from repro.serve.service import (
     ServiceConfig,
     SolveTicket,
@@ -34,18 +52,29 @@ from repro.serve.service import (
 )
 
 __all__ = [
+    "DEGRADABLE_ERRORS",
     "SOLVER_KINDS",
     "CacheStats",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "DeadlineExceededError",
     "MetricsRecorder",
     "MicroBatcher",
+    "OverloadedError",
     "PreparedEntry",
     "PreparedKey",
     "PreparedSolverCache",
+    "ResiliencePolicy",
+    "ServeError",
+    "ServiceClosedError",
     "ServiceConfig",
     "ServiceMetrics",
+    "ServiceOverloadedError",
+    "ShardFailedError",
     "SolveRequest",
     "SolveTicket",
     "SolverService",
+    "digital_fallback",
     "execute_batch",
     "matrix_digest",
     "prepare_entry",

@@ -234,6 +234,20 @@ class PreparedSolverCache:
         with self._lock:
             self.stats.hits += count
 
+    def invalidate(self, key: PreparedKey) -> bool:
+        """Drop one entry if resident; returns whether it was.
+
+        Used by the circuit breaker: tripping open evicts the (possibly
+        corrupt) programmed solver, so the half-open probe re-prepares
+        from scratch instead of re-trying the same broken macro.
+        Counts as an eviction; a later re-prepare is an ordinary miss.
+        """
+        with self._lock:
+            if self._entries.pop(key, None) is None:
+                return False
+            self.stats.evictions += 1
+            return True
+
     def keys(self) -> list[PreparedKey]:
         """Resident keys, least-recently-used first."""
         with self._lock:

@@ -32,11 +32,18 @@ class ServiceMetrics:
     requests_completed: int
     requests_failed: int
     requests_rejected: int
+    requests_shed: int
+    deadline_misses: int
+    retries: int
+    breaker_transitions: int
+    degraded: int
+    shard_crashes: int
     batches_executed: int
     batch_size_histogram: dict[int, int]
     mean_batch_size: float
     latency_p50_s: float
     latency_p95_s: float
+    latency_p99_s: float
     latency_mean_s: float
     latency_max_s: float
     throughput_rps: float
@@ -51,11 +58,18 @@ class ServiceMetrics:
             "requests_completed": self.requests_completed,
             "requests_failed": self.requests_failed,
             "requests_rejected": self.requests_rejected,
+            "requests_shed": self.requests_shed,
+            "deadline_misses": self.deadline_misses,
+            "retries": self.retries,
+            "breaker_transitions": self.breaker_transitions,
+            "degraded": self.degraded,
+            "shard_crashes": self.shard_crashes,
             "batches_executed": self.batches_executed,
             "batch_size_histogram": dict(sorted(self.batch_size_histogram.items())),
             "mean_batch_size": self.mean_batch_size,
             "latency_p50_s": self.latency_p50_s,
             "latency_p95_s": self.latency_p95_s,
+            "latency_p99_s": self.latency_p99_s,
             "latency_mean_s": self.latency_mean_s,
             "latency_max_s": self.latency_max_s,
             "throughput_rps": self.throughput_rps,
@@ -75,9 +89,16 @@ class ServiceMetrics:
             ["requests completed", f"{self.requests_completed}/{self.requests_submitted}"],
             ["requests failed", str(self.requests_failed)],
             ["requests rejected", str(self.requests_rejected)],
+            ["requests shed", str(self.requests_shed)],
+            ["deadline misses", str(self.deadline_misses)],
+            ["isolation retries", str(self.retries)],
+            ["breaker transitions", str(self.breaker_transitions)],
+            ["degraded (fallback)", str(self.degraded)],
+            ["shard crashes", str(self.shard_crashes)],
             ["throughput (solve/s)", f"{self.throughput_rps:.1f}"],
             ["latency p50 (ms)", f"{self.latency_p50_s * 1e3:.2f}"],
             ["latency p95 (ms)", f"{self.latency_p95_s * 1e3:.2f}"],
+            ["latency p99 (ms)", f"{self.latency_p99_s * 1e3:.2f}"],
             ["batches executed", str(self.batches_executed)],
             ["mean batch size", f"{self.mean_batch_size:.2f}"],
             ["batch-size histogram", histogram or "-"],
@@ -98,6 +119,12 @@ class MetricsRecorder:
     completed: int = 0
     failed: int = 0
     rejected: int = 0
+    shed: int = 0
+    deadline_misses: int = 0
+    retries: int = 0
+    breaker_transitions: int = 0
+    degraded: int = 0
+    shard_crashes: int = 0
     batch_sizes: Counter = field(default_factory=Counter)
     latencies: list = field(default_factory=list)
     prepare_s: float = 0.0
@@ -112,9 +139,39 @@ class MetricsRecorder:
                 self.first_submit_t = time.perf_counter()
 
     def record_rejected(self) -> None:
-        """Count one request refused by backpressure."""
+        """Count one request refused at submit (backpressure or open breaker)."""
         with self._lock:
             self.rejected += 1
+
+    def record_shed(self) -> None:
+        """Count one request refused by latency-aware load shedding."""
+        with self._lock:
+            self.shed += 1
+
+    def record_deadline_miss(self) -> None:
+        """Count one request whose deadline expired before execution."""
+        with self._lock:
+            self.deadline_misses += 1
+
+    def record_retry(self) -> None:
+        """Count one blast-radius re-execution of a failed batch's slice."""
+        with self._lock:
+            self.retries += 1
+
+    def record_breaker_transition(self) -> None:
+        """Count one circuit-breaker state change (trip, probe, close)."""
+        with self._lock:
+            self.breaker_transitions += 1
+
+    def record_degraded(self) -> None:
+        """Count one request answered by the digital fallback ladder."""
+        with self._lock:
+            self.degraded += 1
+
+    def record_shard_crash(self) -> None:
+        """Count one shard worker crash (caught by the last-resort handler)."""
+        with self._lock:
+            self.shard_crashes += 1
 
     def record_batch(self, size: int) -> None:
         """Count one executed batch of ``size`` requests."""
@@ -153,11 +210,18 @@ class MetricsRecorder:
                 requests_completed=self.completed,
                 requests_failed=self.failed,
                 requests_rejected=self.rejected,
+                requests_shed=self.shed,
+                deadline_misses=self.deadline_misses,
+                retries=self.retries,
+                breaker_transitions=self.breaker_transitions,
+                degraded=self.degraded,
+                shard_crashes=self.shard_crashes,
                 batches_executed=batches,
                 batch_size_histogram=sizes,
                 mean_batch_size=coalesced / batches if batches else 0.0,
                 latency_p50_s=float(np.quantile(latencies, 0.5)) if latencies.size else 0.0,
                 latency_p95_s=float(np.quantile(latencies, 0.95)) if latencies.size else 0.0,
+                latency_p99_s=float(np.quantile(latencies, 0.99)) if latencies.size else 0.0,
                 latency_mean_s=float(latencies.mean()) if latencies.size else 0.0,
                 latency_max_s=float(latencies.max()) if latencies.size else 0.0,
                 throughput_rps=self.completed / wall if wall > 0.0 else 0.0,

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.amc.config import HardwareConfig
+from repro.errors import ValidationError
 from repro.utils.validation import check_square_matrix, check_vector
 
 __all__ = ["SolveRequest", "matrix_digest"]
@@ -61,6 +62,12 @@ class SolveRequest:
         offsets) — the "seed policy" part of the cache key. Requests
         sharing (matrix, hardware, solver, prep_seed) share one
         programmed macro; ``None`` uses the service default.
+    deadline_s:
+        Per-request deadline in seconds, measured from submission. If
+        the request is still queued when it expires, it fails fast with
+        :class:`~repro.errors.DeadlineExceededError` instead of
+        occupying a batch slot. ``None`` defers to the service's
+        :class:`~repro.serve.resilience.ResiliencePolicy` default.
     digest:
         Precomputed :func:`matrix_digest` (skips re-hashing when the
         caller submits the same matrix many times).
@@ -72,6 +79,7 @@ class SolveRequest:
     hardware: HardwareConfig | None = None
     seed: int = 0
     prep_seed: int | None = None
+    deadline_s: float | None = None
     digest: str = field(default="")
 
     def __post_init__(self):
@@ -79,6 +87,8 @@ class SolveRequest:
         b = check_vector(self.b, "b", size=matrix.shape[0])
         object.__setattr__(self, "matrix", matrix)
         object.__setattr__(self, "b", b)
+        if self.deadline_s is not None and not self.deadline_s > 0.0:
+            raise ValidationError(f"deadline_s must be > 0, got {self.deadline_s}")
         if not self.digest:
             object.__setattr__(self, "digest", matrix_digest(matrix))
 

@@ -14,11 +14,37 @@ them at engine speed:
   submitters when a shard is saturated, ``reject`` raises
   :class:`~repro.errors.ServiceOverloadedError` immediately.
 
+Failure story (knobs on :class:`~repro.serve.resilience.ResiliencePolicy`):
+
+- per-request **deadlines** propagate submit → queue → batch; expired
+  tickets fail fast with :class:`~repro.errors.DeadlineExceededError`
+  instead of occupying a batch slot;
+- latency-aware **load shedding** refuses submits whose estimated wait
+  (shard backlog x recent per-request service time) exceeds the
+  threshold, with a retry-after hint
+  (:class:`~repro.errors.OverloadedError`);
+- a per-:class:`~repro.serve.cache.PreparedKey` **circuit breaker**
+  stops a key whose preparation or solves keep failing from dragging
+  down its shard (tripping invalidates the cached entry, so the
+  half-open probe re-prepares);
+- **blast-radius isolation**: a failed coalesced batch is bisected and
+  re-executed so only the culprit request fails; re-execution restarts
+  from each request's own seed through the same canonical kernel, so
+  surviving results stay bit-identical to the sequential reference;
+- an opt-in **degradation ladder** (``fallback="digital"``) answers
+  analog failures with the digital reference solve, tagged
+  ``degraded=True``;
+- the worker loop is **crash-proof**: a last-resort handler fails
+  in-flight tickets with :class:`~repro.errors.ShardFailedError` and
+  restarts the loop, up to ``max_shard_restarts`` times, after which
+  the shard is marked dead and submits to it fail fast.
+
 Determinism: every execution goes through the canonical kernel
 (:func:`repro.serve.batching.execute_batch`) against entries whose
 random draws were fixed at preparation time, so results are bit-identical
 to :func:`run_sequential` over the same requests — regardless of worker
-count, queue timing, or how batches happened to form.
+count, queue timing, how batches happened to form, or how many faulted
+batches were bisected along the way.
 
 The service is in-process by design (the engines are NumPy-bound and
 release the GIL inside BLAS); a network front-end can wrap
@@ -32,10 +58,19 @@ import threading
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.amc.config import HardwareConfig
 from repro.core.solution import SolveResult
-from repro.errors import ServeError, ServiceClosedError, ServiceOverloadedError
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    OverloadedError,
+    ServeError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+    ShardFailedError,
+)
 from repro.serve.batching import MicroBatcher, execute_batch
 from repro.serve.cache import (
     SOLVER_KINDS,
@@ -46,6 +81,12 @@ from repro.serve.cache import (
 )
 from repro.serve.metrics import MetricsRecorder, ServiceMetrics
 from repro.serve.requests import SolveRequest
+from repro.serve.resilience import (
+    DEGRADABLE_ERRORS,
+    CircuitBreaker,
+    ResiliencePolicy,
+    digital_fallback,
+)
 
 __all__ = ["ServiceConfig", "SolveTicket", "SolverService", "run_sequential"]
 
@@ -82,6 +123,17 @@ class ServiceConfig:
         assembly dominates service-side time at scale, so lean mode is
         the high-throughput setting; the default stays full-telemetry
         for interactive use.
+    resilience:
+        The failure-handling policy
+        (:class:`~repro.serve.resilience.ResiliencePolicy`): deadlines,
+        load shedding, circuit breakers, the digital fallback ladder,
+        and the shard-restart budget.
+    entry_transform:
+        Optional hook applied to every freshly prepared
+        :class:`~repro.serve.cache.PreparedEntry` before it enters the
+        shard cache. This is the fault-injection seam
+        (:func:`repro.testing.chaos.chaos_entry_transform` wraps the
+        prepared solver); production configs leave it ``None``.
     default_solver, default_hardware, default_prep_seed:
         Applied to requests that leave the corresponding field unset.
     """
@@ -93,6 +145,8 @@ class ServiceConfig:
     backpressure: str = "block"
     cache_capacity: int = 32
     lean_results: bool = False
+    resilience: ResiliencePolicy = field(default_factory=ResiliencePolicy)
+    entry_transform: Callable | None = None
     default_solver: str = "blockamc-1stage"
     default_hardware: HardwareConfig = field(
         default_factory=HardwareConfig.paper_variation
@@ -114,6 +168,12 @@ class ServiceConfig:
             )
         if self.cache_capacity < 1:
             raise ServeError(f"cache_capacity must be >= 1, got {self.cache_capacity}")
+        if not isinstance(self.resilience, ResiliencePolicy):
+            raise ServeError(
+                f"resilience must be a ResiliencePolicy, got {self.resilience!r}"
+            )
+        if self.entry_transform is not None and not callable(self.entry_transform):
+            raise ServeError("entry_transform must be callable or None")
         if self.default_solver not in SOLVER_KINDS:
             raise ServeError(
                 f"unknown default_solver {self.default_solver!r}; "
@@ -136,11 +196,22 @@ def _resolve(request: SolveRequest, config: ServiceConfig) -> tuple[PreparedKey,
 class SolveTicket:
     """Handle to one submitted request (a thin Future wrapper)."""
 
-    def __init__(self, request: SolveRequest, key: PreparedKey, hardware: HardwareConfig):
+    def __init__(
+        self,
+        request: SolveRequest,
+        key: PreparedKey,
+        hardware: HardwareConfig,
+        deadline_s: float | None = None,
+    ):
         self.request = request
         self.key = key
         self.hardware = hardware
         self.submitted_at = time.perf_counter()
+        #: Effective deadline (request override or policy default).
+        self.deadline_s = deadline_s
+        self.deadline_at = (
+            None if deadline_s is None else self.submitted_at + deadline_s
+        )
         self._future: Future = Future()
 
     def result(self, timeout: float | None = None) -> SolveResult:
@@ -157,7 +228,7 @@ class SolveTicket:
 
 
 class _Shard:
-    """One worker's queue, cache, and batcher."""
+    """One worker's queue, cache, batcher, and failure-domain state."""
 
     def __init__(self, index: int, config: ServiceConfig):
         self.index = index
@@ -165,6 +236,21 @@ class _Shard:
         self.cache = PreparedSolverCache(config.cache_capacity)
         self.batcher = MicroBatcher(config.max_batch_size)
         self.thread: threading.Thread | None = None
+        #: Circuit breakers by PreparedKey (created lazily by the worker).
+        self.breakers: dict[PreparedKey, CircuitBreaker] = {}
+        self.breaker_lock = threading.Lock()
+        #: Tickets of the batch currently executing (crash-rescue list).
+        self.inflight: list[SolveTicket] = []
+        #: EWMA of per-request service time; drives load-shedding estimates.
+        self.service_ewma_s = 0.0
+        #: Worker-loop crash count (bounded by max_shard_restarts).
+        self.restarts = 0
+        #: Set (under the submit lock) when the shard stops serving.
+        self.dead = False
+
+    def backlog(self) -> int:
+        """Approximate in-flight request count (queue + batcher + executing)."""
+        return self.queue.qsize() + len(self.batcher) + len(self.inflight)
 
 
 class SolverService:
@@ -185,11 +271,12 @@ class SolverService:
         # Serializes the closed-check against queue puts: close() flips
         # the flag under this lock, so once close() returns no submit can
         # slip a ticket into a queue its worker has already abandoned.
+        # The dead flag of a crashed-out shard follows the same protocol.
         self._submit_lock = threading.Lock()
         self._shards = [_Shard(i, self.config) for i in range(self.config.workers)]
         for shard in self._shards:
             shard.thread = threading.Thread(
-                target=self._worker_loop,
+                target=self._worker_main,
                 args=(shard,),
                 name=f"repro-serve-{shard.index}",
                 daemon=True,
@@ -203,21 +290,55 @@ class SolverService:
         """Build a :class:`SolveRequest` and submit it.
 
         Keyword arguments pass through to :class:`SolveRequest`
-        (``solver``, ``hardware``, ``seed``, ``prep_seed``, ``digest``).
+        (``solver``, ``hardware``, ``seed``, ``prep_seed``,
+        ``deadline_s``, ``digest``).
         """
         return self.submit_request(SolveRequest(matrix=matrix, b=b, **kwargs))
 
     def submit_request(self, request: SolveRequest) -> SolveTicket:
         """Queue one request; returns immediately with a ticket.
 
-        Raises :class:`ServiceClosedError` after :meth:`close`, and
+        Raises :class:`ServiceClosedError` after :meth:`close`;
         :class:`ServiceOverloadedError` when the owning shard's queue is
         full under the ``reject`` backpressure policy (under ``block``
-        the call stalls until the shard drains).
+        the call stalls until the shard drains);
+        :class:`~repro.errors.OverloadedError` when latency-aware
+        shedding refuses the request (with a retry-after hint);
+        :class:`~repro.errors.CircuitOpenError` when the request's
+        prepared solver is failing fast; and
+        :class:`~repro.errors.ShardFailedError` when the owning shard
+        has crashed out of its restart budget.
         """
+        policy = self.config.resilience
         key, hardware = _resolve(request, self.config)
-        ticket = SolveTicket(request, key, hardware)
+        deadline_s = (
+            request.deadline_s if request.deadline_s is not None else policy.deadline_s
+        )
+        ticket = SolveTicket(request, key, hardware, deadline_s=deadline_s)
         shard = self._shards[key.shard(len(self._shards))]
+        if shard.dead:
+            raise ShardFailedError(
+                f"shard {shard.index} is dead (crashed {shard.restarts} times); "
+                "request refused"
+            )
+        with shard.breaker_lock:
+            breaker = shard.breakers.get(key)
+        if breaker is not None and breaker.is_open():
+            self._metrics.record_rejected()
+            raise CircuitOpenError(
+                f"circuit breaker open for prepared solver {key.solver!r} "
+                f"on matrix {key.matrix_digest[:12]}",
+                retry_after_s=breaker.retry_after_s(),
+            )
+        if policy.shed_latency_s is not None:
+            estimate = shard.backlog() * shard.service_ewma_s
+            if estimate > policy.shed_latency_s:
+                self._metrics.record_shed()
+                raise OverloadedError(
+                    f"shard {shard.index} estimated wait {estimate:.3f}s exceeds "
+                    f"shed threshold {policy.shed_latency_s:.3f}s",
+                    retry_after_s=estimate,
+                )
         while True:
             with self._submit_lock:
                 if self._closed.is_set():
@@ -250,13 +371,36 @@ class SolverService:
                     shard.thread.join()
                 self._fail_pending(shard)
             break
+        if shard.dead:
+            # The worker may have crashed out between our put and its
+            # final drain; wait it out and rescue stranded tickets.
+            if shard.thread is not None:
+                shard.thread.join()
+            self._fail_pending(
+                shard, ShardFailedError(f"shard {shard.index} died before execution")
+            )
         self._metrics.record_submit()
         return ticket
 
     def solve_all(self, requests) -> list[SolveResult]:
-        """Submit every request, then gather results in request order."""
-        tickets = [self.submit_request(r) for r in requests]
-        return [t.result() for t in tickets]
+        """Submit every request, then gather results in request order.
+
+        If a submit fails partway (backpressure rejection, load
+        shedding, an open breaker, a dead shard), the already-submitted
+        tickets are waited out before the error re-raises, so no ticket
+        leaks mid-flight; their individual outcomes are discarded.
+        Callers who need partial results should submit and gather
+        tickets themselves.
+        """
+        tickets: list[SolveTicket] = []
+        try:
+            for request in requests:
+                tickets.append(self.submit_request(request))
+        except BaseException:
+            for ticket in tickets:
+                ticket.exception()
+            raise
+        return [ticket.result() for ticket in tickets]
 
     # ------------------------------------------------------------------
     # introspection
@@ -299,6 +443,40 @@ class SolverService:
     # ------------------------------------------------------------------
     # worker internals
     # ------------------------------------------------------------------
+    def _worker_main(self, shard: _Shard) -> None:
+        """Crash-proof wrapper: restart the loop, bounded; then die loudly.
+
+        Any exception escaping :meth:`_worker_loop` — including
+        ``BaseException``s that bypass the per-batch ``except Exception``
+        handlers — fails the in-flight batch with
+        :class:`~repro.errors.ShardFailedError` and re-enters the loop
+        on this same thread (so :meth:`close` can still join it). After
+        ``max_shard_restarts`` crashes the shard is marked dead: its
+        pending tickets fail, and submits to it fail fast.
+        """
+        while True:
+            try:
+                self._worker_loop(shard)
+                return
+            except BaseException:
+                self._metrics.record_shard_crash()
+                error = ShardFailedError(
+                    f"shard {shard.index} worker crashed while this request "
+                    "was in flight"
+                )
+                inflight, shard.inflight = shard.inflight, []
+                for ticket in inflight:
+                    self._fail_ticket(ticket, error)
+                shard.restarts += 1
+                if (
+                    self._closed.is_set()
+                    or shard.restarts > self.config.resilience.max_shard_restarts
+                ):
+                    with self._submit_lock:
+                        shard.dead = True
+                    self._fail_pending(shard, error)
+                    return
+
     def _worker_loop(self, shard: _Shard) -> None:
         batcher = shard.batcher
         while True:
@@ -320,7 +498,19 @@ class SolverService:
                     continue
             self._drain_queue(shard)
             key = batcher.next_key()
-            entry = self._entry_for(shard, key)
+            breaker = self._breaker_for(shard, key)
+            if breaker is not None and not breaker.allow():
+                self._fail_key_group(
+                    shard,
+                    key,
+                    CircuitOpenError(
+                        f"circuit breaker open for prepared solver {key.solver!r} "
+                        f"on matrix {key.matrix_digest[:12]}",
+                        retry_after_s=breaker.retry_after_s(),
+                    ),
+                )
+                continue
+            entry = self._entry_for(shard, key, breaker)
             if entry is None:
                 continue
             if (
@@ -329,10 +519,10 @@ class SolverService:
                 and batcher.pending_for(key) < self.config.max_batch_size
             ):
                 self._linger(shard, key)
-            batch = batcher.take(key)
+            batch = self._expire(batcher.take(key))
             if batch:
                 shard.cache.credit_hits(len(batch) - 1)
-                self._execute(entry, batch)
+                self._execute(shard, entry, batch, breaker)
 
     def _drain_queue(self, shard: _Shard) -> None:
         # The batcher backlog is bounded like the queue: once the worker
@@ -361,25 +551,82 @@ class SolverService:
             except queue.Empty:
                 return
 
-    def _entry_for(self, shard: _Shard, key: PreparedKey):
+    def _breaker_for(self, shard: _Shard, key: PreparedKey) -> CircuitBreaker | None:
+        """The key's circuit breaker, created lazily (None when disabled)."""
+        policy = self.config.resilience
+        if policy.breaker_threshold < 1:
+            return None
+        with shard.breaker_lock:
+            breaker = shard.breakers.get(key)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    policy.breaker_threshold,
+                    policy.breaker_reset_s,
+                    on_transition=self._metrics.record_breaker_transition,
+                )
+                shard.breakers[key] = breaker
+            return breaker
+
+    def _record_key_failure(
+        self, shard: _Shard, key: PreparedKey, breaker: CircuitBreaker | None
+    ) -> None:
+        """Count one failure against the key's breaker; trip → drop the entry.
+
+        Invalidating on trip makes the eventual half-open probe
+        re-prepare from scratch instead of re-trying a possibly corrupt
+        programmed macro.
+        """
+        if breaker is not None and breaker.record_failure():
+            shard.cache.invalidate(key)
+
+    def _entry_for(
+        self, shard: _Shard, key: PreparedKey, breaker: CircuitBreaker | None = None
+    ):
         head = shard.batcher.peek(key)
 
         def factory():
             entry = prepare_entry(key, head.request.matrix, head.hardware)
             self._metrics.record_prepare(entry.prepare_seconds)
+            if self.config.entry_transform is not None:
+                entry = self.config.entry_transform(entry)
             return entry
 
         try:
             return shard.cache.get_or_prepare(key, factory)
         except Exception as exc:  # fail the whole group, keep the worker alive
-            now = time.perf_counter()
-            for ticket in shard.batcher.take(key):
-                ticket._future.set_exception(exc)
-                self._metrics.record_done(now - ticket.submitted_at, failed=True)
+            self._record_key_failure(shard, key, breaker)
+            self._fail_key_group(shard, key, exc)
             return None
 
-    def _execute(self, entry, batch: list[SolveTicket]) -> None:
+    def _expire(self, batch: list[SolveTicket]) -> list[SolveTicket]:
+        """Fail tickets whose deadline passed; return the live remainder."""
+        live = []
+        now = time.perf_counter()
+        for ticket in batch:
+            if ticket.deadline_at is not None and now >= ticket.deadline_at:
+                self._metrics.record_deadline_miss()
+                self._fail_ticket(
+                    ticket,
+                    DeadlineExceededError(
+                        f"deadline of {ticket.deadline_s:.3f}s expired "
+                        "before the request reached execution"
+                    ),
+                    now,
+                )
+            else:
+                live.append(ticket)
+        return live
+
+    def _execute(
+        self,
+        shard: _Shard,
+        entry,
+        batch: list[SolveTicket],
+        breaker: CircuitBreaker | None = None,
+    ) -> None:
+        shard.inflight = batch
         self._metrics.record_batch(len(batch))
+        start = time.perf_counter()
         try:
             results = execute_batch(
                 entry,
@@ -387,22 +634,131 @@ class SolverService:
                 [t.request.seed for t in batch],
                 lean=self.config.lean_results,
             )
-        except Exception as exc:
+        except Exception:
+            self._isolate(shard, entry, batch, breaker)
+        else:
             now = time.perf_counter()
-            for ticket in batch:
-                ticket._future.set_exception(exc)
-                self._metrics.record_done(now - ticket.submitted_at, failed=True)
-            return
-        now = time.perf_counter()
-        for ticket, result in zip(batch, results):
-            ticket._future.set_result(result)
-            self._metrics.record_done(now - ticket.submitted_at)
+            for ticket, result in zip(batch, results):
+                self._finish_ticket(ticket, result, now)
+            if breaker is not None:
+                breaker.record_success()
+        # Normal-path bookkeeping only: on a worker crash (BaseException)
+        # the inflight list must survive for _worker_main's rescue.
+        per_request = (time.perf_counter() - start) / len(batch)
+        shard.service_ewma_s = (
+            per_request
+            if shard.service_ewma_s == 0.0
+            else 0.8 * shard.service_ewma_s + 0.2 * per_request
+        )
+        shard.inflight = []
 
-    def _fail_pending(self, shard: _Shard) -> None:
-        error = ServiceClosedError("service aborted before this request executed")
+    def _isolate(
+        self,
+        shard: _Shard,
+        entry,
+        tickets: list[SolveTicket],
+        breaker: CircuitBreaker | None,
+    ) -> None:
+        """Bisect a failed batch so only the culprit request(s) fail.
+
+        Every re-execution restarts from each request's own seed through
+        the same canonical kernel, so surviving results are bit-identical
+        to the sequential reference by construction — isolation can
+        never perturb a success, only rescue it.
+        """
+        if len(tickets) == 1:
+            ticket = tickets[0]
+            self._metrics.record_retry()
+            try:
+                result = execute_batch(
+                    entry,
+                    [ticket.request.b],
+                    [ticket.request.seed],
+                    lean=self.config.lean_results,
+                )[0]
+            except Exception as exc:
+                self._degrade_or_fail(shard, entry, ticket, exc, breaker)
+            else:
+                self._finish_ticket(ticket, result)
+                if breaker is not None:
+                    breaker.record_success()
+            return
+        mid = len(tickets) // 2
+        for half in (tickets[:mid], tickets[mid:]):
+            self._metrics.record_retry()
+            try:
+                results = execute_batch(
+                    entry,
+                    [t.request.b for t in half],
+                    [t.request.seed for t in half],
+                    lean=self.config.lean_results,
+                )
+            except Exception:
+                self._isolate(shard, entry, half, breaker)
+            else:
+                now = time.perf_counter()
+                for ticket, result in zip(half, results):
+                    self._finish_ticket(ticket, result, now)
+                if breaker is not None:
+                    breaker.record_success()
+
+    def _degrade_or_fail(
+        self,
+        shard: _Shard,
+        entry,
+        ticket: SolveTicket,
+        exc: Exception,
+        breaker: CircuitBreaker | None,
+    ) -> None:
+        """Bottom of the ladder: digital fallback if allowed, else fail."""
+        self._record_key_failure(shard, entry.key, breaker)
+        policy = self.config.resilience
+        if policy.fallback == "digital" and isinstance(exc, DEGRADABLE_ERRORS):
+            try:
+                result = digital_fallback(
+                    ticket.request, lean=self.config.lean_results
+                )
+            except Exception as fallback_exc:
+                self._fail_ticket(ticket, fallback_exc)
+                return
+            self._metrics.record_degraded()
+            self._finish_ticket(ticket, result)
+            return
+        self._fail_ticket(ticket, exc)
+
+    def _fail_key_group(self, shard: _Shard, key: PreparedKey, error) -> None:
+        """Fail every ticket pending for ``key`` with ``error``."""
         while True:
-            # Unbounded drain: after abort no submits can add work, so
-            # this terminates; every stranded ticket must resolve.
+            group = shard.batcher.take(key)
+            if not group:
+                return
+            now = time.perf_counter()
+            for ticket in group:
+                self._fail_ticket(ticket, error, now)
+
+    def _finish_ticket(self, ticket: SolveTicket, result, now=None) -> None:
+        if ticket._future.done():
+            return
+        ticket._future.set_result(result)
+        self._metrics.record_done(
+            (now if now is not None else time.perf_counter()) - ticket.submitted_at
+        )
+
+    def _fail_ticket(self, ticket: SolveTicket, error, now=None) -> None:
+        if ticket._future.done():
+            return
+        ticket._future.set_exception(error)
+        self._metrics.record_done(
+            (now if now is not None else time.perf_counter()) - ticket.submitted_at,
+            failed=True,
+        )
+
+    def _fail_pending(self, shard: _Shard, error=None) -> None:
+        if error is None:
+            error = ServiceClosedError("service aborted before this request executed")
+        while True:
+            # Unbounded drain: after abort/death no submits can add work,
+            # so this terminates; every stranded ticket must resolve.
             try:
                 shard.batcher.add(shard.queue.get_nowait())
             except queue.Empty:
@@ -412,8 +768,7 @@ class SolverService:
                 return
             now = time.perf_counter()
             for ticket in pending:
-                ticket._future.set_exception(error)
-                self._metrics.record_done(now - ticket.submitted_at, failed=True)
+                self._fail_ticket(ticket, error, now)
 
 
 def run_sequential(
@@ -423,9 +778,11 @@ def run_sequential(
 
     Runs the requests one at a time, in order, through the *same*
     prepared-solver cache and canonical execution kernel the service
-    uses — no queues, no threads, no coalescing. Service results are
-    bit-identical to this reference for any scheduling outcome, which is
-    what the service tests and ``benchmarks/bench_serving.py`` assert.
+    uses — no queues, no threads, no coalescing, and no resilience
+    machinery (deadlines, breakers, and fallbacks are service policies,
+    not part of the solve semantics). Service results are bit-identical
+    to this reference for any scheduling outcome, which is what the
+    service tests and ``benchmarks/bench_serving.py`` assert.
     Returns ``(results, metrics)``; the metrics cover cache behaviour
     and throughput of the loop itself.
     """

@@ -1,0 +1,27 @@
+"""``repro.testing`` — deterministic fault injection for the serving and
+campaign layers.
+
+The chaos harness (:mod:`repro.testing.chaos`) is how this repo *proves*
+its failure story instead of asserting it: every fault decision is a
+pure hash of ``(plan seed, fault kind, content tag)``, so an injected
+failure reproduces bit-exactly across runs, processes, and bisection
+re-executions — which is what lets ``benchmarks/bench_resilience.py``
+assert that surviving results under faults are bit-identical to the
+fault-free reference.
+"""
+
+from repro.testing.chaos import (
+    ChaosPlan,
+    WorkerKillChaos,
+    chaos_entry_transform,
+    plan_from_env,
+    rhs_tag,
+)
+
+__all__ = [
+    "ChaosPlan",
+    "WorkerKillChaos",
+    "chaos_entry_transform",
+    "plan_from_env",
+    "rhs_tag",
+]

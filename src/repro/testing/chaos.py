@@ -1,0 +1,304 @@
+"""Deterministic, seeded fault injection for serving and campaigns.
+
+A :class:`ChaosPlan` decides every fault as a pure function of
+``sha256(plan seed | fault kind | content tag)`` — no RNG state, no
+wall-clock — so a chaos run is exactly reproducible: the same right-hand
+side is poisoned in every run, in every process, and in every bisection
+re-execution of a failed batch. That purity is what turns chaos from a
+flake generator into a proof harness: the resilience bench can assert
+that everything the service *did* answer under faults is bit-identical
+to the fault-free reference.
+
+Injection seams:
+
+- **Serving**: :func:`chaos_entry_transform` plugs into
+  ``ServiceConfig.entry_transform`` and wraps each freshly prepared
+  solver. Per right-hand side it can sleep (slow-call storms), raise
+  :class:`~repro.errors.SolverError` (solve failures — exercises batch
+  bisection, breakers, and the digital fallback), or raise
+  :class:`WorkerKillChaos` — a ``BaseException`` that sails past the
+  per-batch ``except Exception`` handlers and exercises the service's
+  last-resort crash handler, like a real bug would.
+- **Campaigns**: :func:`plan_from_env` reads a plan from the
+  ``REPRO_CHAOS`` environment variable (the driver exports it; pool
+  workers inherit it). Inside the worker entry point the plan can
+  ``SIGKILL`` the worker process mid-unit (after compute, before
+  commit) or tear an artifact write (a truncated ``.npz`` with no
+  sidecar — exactly the torn state the store's commit protocol must
+  shrug off).
+
+Kills and torn writes are **budgeted** through marker files in
+``state_dir`` (multiprocess-safe via exclusive create), so a chaos
+campaign converges: each unit is killed/torn at most its budget, after
+which retries run clean and the finished store is bit-identical to a
+fault-free run. The driver process never kills itself —
+``run_campaign`` exports ``REPRO_CHAOS_DRIVER_PID`` and the kill hook
+skips that pid.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import signal
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import CampaignError, SolverError, ValidationError
+
+__all__ = [
+    "CHAOS_ENV",
+    "ChaosPlan",
+    "WorkerKillChaos",
+    "chaos_entry_transform",
+    "plan_from_env",
+    "rhs_tag",
+]
+
+#: Environment variable carrying a JSON-encoded :class:`ChaosPlan`.
+CHAOS_ENV = "REPRO_CHAOS"
+
+#: Environment variable naming the campaign driver's pid (never killed).
+CHAOS_DRIVER_ENV = "REPRO_CHAOS_DRIVER_PID"
+
+
+class WorkerKillChaos(BaseException):
+    """Simulated sudden worker death inside a serve shard.
+
+    Deliberately a ``BaseException``: the service's per-batch ``except
+    Exception`` handlers must *not* see it, so it reaches the
+    last-resort crash handler in ``_worker_main`` — the code path a
+    genuine interpreter-level fault would take.
+    """
+
+
+def rhs_tag(b: np.ndarray) -> str:
+    """Content tag of one right-hand side (shape + bytes, short SHA-256).
+
+    Fault decisions key on this tag, so "which request is poisoned" is a
+    property of the request's *content* — stable across batching
+    composition, bisection re-execution, worker count, and process
+    boundaries.
+    """
+    a = np.ascontiguousarray(b, dtype=float)
+    h = hashlib.sha256()
+    h.update(str(a.shape).encode())
+    h.update(a.tobytes())
+    return h.hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """One deterministic fault-injection schedule.
+
+    Parameters
+    ----------
+    seed:
+        Root of every fault decision; two runs with equal plans inject
+        identical faults.
+    solve_failure_rate:
+        Fraction of right-hand sides whose solve raises
+        :class:`~repro.errors.SolverError` (serving seam).
+    slow_call_rate, slow_call_s:
+        Fraction of right-hand sides whose solve first sleeps
+        ``slow_call_s`` (latency storms — drives deadline/shedding
+        behaviour without failing anything).
+    worker_kill_rate:
+        Serving: fraction of right-hand sides that raise
+        :class:`WorkerKillChaos` (once per tag). Campaigns: fraction of
+        units whose worker SIGKILLs itself mid-unit (budgeted by
+        ``max_kills_per_unit`` through ``state_dir``).
+    max_kills_per_unit:
+        Kill budget per campaign unit; after the budget is consumed the
+        unit's retries run clean (so chaos campaigns converge).
+    torn_write_rate:
+        Fraction of campaign units whose first artifact write is torn: a
+        truncated ``.npz`` lands with no sidecar, then
+        :class:`~repro.errors.CampaignError` raises (budget 1 per unit).
+    state_dir:
+        Directory for the multiprocess kill/tear budget markers.
+        Required for campaign kills and torn writes.
+    """
+
+    seed: int = 0
+    solve_failure_rate: float = 0.0
+    slow_call_rate: float = 0.0
+    slow_call_s: float = 0.0
+    worker_kill_rate: float = 0.0
+    max_kills_per_unit: int = 1
+    torn_write_rate: float = 0.0
+    state_dir: str | None = None
+
+    def __post_init__(self):
+        for name in ("solve_failure_rate", "slow_call_rate", "worker_kill_rate", "torn_write_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValidationError(f"{name} must be in [0, 1], got {rate}")
+        if self.slow_call_s < 0.0:
+            raise ValidationError(f"slow_call_s must be >= 0, got {self.slow_call_s}")
+        if self.max_kills_per_unit < 0:
+            raise ValidationError(
+                f"max_kills_per_unit must be >= 0, got {self.max_kills_per_unit}"
+            )
+
+    # ------------------------------------------------------------------
+    # deterministic decisions
+    # ------------------------------------------------------------------
+    def fraction(self, kind: str, tag: str) -> float:
+        """Uniform-in-[0,1) decision value for one (fault kind, tag) pair.
+
+        A pure function — no state, no clock — so every process and
+        every re-execution sees the same verdict.
+        """
+        digest = hashlib.sha256(f"{self.seed}|{kind}|{tag}".encode()).digest()
+        return int.from_bytes(digest[:8], "big") / 2**64
+
+    def decides(self, kind: str, rate: float, tag: str) -> bool:
+        """Whether the plan injects fault ``kind`` for ``tag`` at ``rate``."""
+        return rate > 0.0 and self.fraction(kind, tag) < rate
+
+    # ------------------------------------------------------------------
+    # env round-trip (driver -> pool workers)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    def chaos_env(self) -> dict[str, str]:
+        """Environment entries that activate this plan in worker processes."""
+        return {CHAOS_ENV: json.dumps(self.to_dict())}
+
+    # ------------------------------------------------------------------
+    # campaign-side faults (called from the worker entry point)
+    # ------------------------------------------------------------------
+    def _budget_dir(self) -> Path:
+        if self.state_dir is None:
+            raise CampaignError(
+                "chaos kills/torn writes need a state_dir to budget against "
+                "(unbounded faults would never let a campaign converge)"
+            )
+        root = Path(self.state_dir)
+        root.mkdir(parents=True, exist_ok=True)
+        return root
+
+    def _consume_budget(self, kind: str, tag: str, budget: int) -> bool:
+        """Claim one fault slot for (kind, tag); False once exhausted.
+
+        Marker files with exclusive create make this safe across
+        concurrently faulting worker processes.
+        """
+        if budget <= 0:
+            return False
+        root = self._budget_dir()
+        for index in range(budget):
+            try:
+                with open(root / f"{kind}-{tag}.{index}", "x"):
+                    return True
+            except FileExistsError:
+                continue
+        return False
+
+    def injected(self, kind: str) -> int:
+        """How many ``kind`` faults actually fired (marker count)."""
+        if self.state_dir is None or not Path(self.state_dir).exists():
+            return 0
+        return sum(1 for _ in Path(self.state_dir).glob(f"{kind}-*"))
+
+    def maybe_kill_worker(self, tag: str) -> None:
+        """SIGKILL this worker process, if the plan says so (budgeted).
+
+        Never kills the campaign driver (its pid is exported via
+        ``REPRO_CHAOS_DRIVER_PID``), so inline runs survive their own
+        chaos.
+        """
+        if not self.decides("kill", self.worker_kill_rate, tag):
+            return
+        if os.environ.get(CHAOS_DRIVER_ENV) == str(os.getpid()):
+            return
+        if not self._consume_budget("kill", tag, self.max_kills_per_unit):
+            return
+        os.kill(os.getpid(), signal.SIGKILL)
+
+    def maybe_tear_write(self, store, tag: str, arrays: dict) -> None:
+        """Tear the unit's artifact write, if the plan says so (once).
+
+        Leaves exactly the state a mid-write crash would: a truncated
+        ``.npz`` at the final path and **no** sidecar — the store's
+        sidecar-last commit protocol must treat the unit as incomplete.
+        """
+        if not self.decides("torn", self.torn_write_rate, tag):
+            return
+        if not self._consume_budget("torn", tag, 1):
+            return
+        store.units_dir.mkdir(parents=True, exist_ok=True)
+        (store.units_dir / f"{tag}.npz").write_bytes(b"PK\x03\x04chaos-torn")
+        raise CampaignError(f"chaos: torn artifact write for unit {tag}")
+
+
+# ----------------------------------------------------------------------
+# serving seam
+# ----------------------------------------------------------------------
+
+
+class _ChaosPrepared:
+    """Wraps a prepared solver, injecting faults per right-hand side."""
+
+    def __init__(self, plan: ChaosPlan, inner):
+        self._plan = plan
+        self._inner = inner
+        #: Tags already killed once; a wrapper kills each tag at most
+        #: once so a restarted shard is not re-killed forever.
+        self._killed: set[str] = set()
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def _inject(self, bs) -> None:
+        plan = self._plan
+        for b in bs:
+            tag = rhs_tag(b)
+            if plan.decides("slow", plan.slow_call_rate, tag):
+                time.sleep(plan.slow_call_s)
+            if (
+                plan.decides("kill", plan.worker_kill_rate, tag)
+                and tag not in self._killed
+            ):
+                self._killed.add(tag)
+                raise WorkerKillChaos(f"chaos: simulated worker death on rhs {tag}")
+            if plan.decides("fail", plan.solve_failure_rate, tag):
+                raise SolverError(f"chaos: injected solve failure on rhs {tag}")
+
+    def solve(self, b, rng, **kwargs):
+        self._inject([b])
+        return self._inner.solve(b, rng, **kwargs)
+
+    def solve_many(self, bs, rng, **kwargs):
+        self._inject(bs)
+        return self._inner.solve_many(bs, rng, **kwargs)
+
+
+def chaos_entry_transform(plan: ChaosPlan):
+    """``ServiceConfig.entry_transform`` hook wrapping prepared solvers.
+
+    Applied after preparation and warm-up, so cache identity and the
+    entry's fixed random draws are untouched — chaos only intercepts
+    the solve calls.
+    """
+
+    def transform(entry):
+        return dataclasses.replace(entry, prepared=_ChaosPrepared(plan, entry.prepared))
+
+    return transform
+
+
+def plan_from_env(environ=None) -> ChaosPlan | None:
+    """The :class:`ChaosPlan` exported via ``REPRO_CHAOS``, if any."""
+    environ = os.environ if environ is None else environ
+    payload = environ.get(CHAOS_ENV)
+    if not payload:
+        return None
+    return ChaosPlan(**json.loads(payload))

@@ -44,6 +44,7 @@ def mixed_traffic(
     families: tuple[str, ...] = ("wishart", "toeplitz", "poisson"),
     solvers: tuple[str | None, ...] = (None,),
     skew: float = 1.0,
+    deadline_s: float | None = None,
     seed=0,
 ) -> list[SolveRequest]:
     """Generate a deterministic stream of mixed solve requests.
@@ -71,6 +72,11 @@ def mixed_traffic(
         Popularity skew: matrix at popularity rank ``r`` is requested
         with weight ``(r + 1) ** -skew`` (0 = uniform; larger = hotter
         head, longer tail of cold matrices).
+    deadline_s:
+        Optional per-request deadline stamped on every request. A pure
+        field assignment — it consumes no randomness, so a deadlined
+        trace holds the same matrices, right-hand sides, and seeds as
+        the plain trace (results stay comparable bit for bit).
     seed:
         Root seed; the full stream is a pure function of it.
     """
@@ -117,7 +123,12 @@ def mixed_traffic(
         request_seed = int(stream.child().integers(0, 2**63 - 1))
         requests.append(
             SolveRequest(
-                matrix=matrix, b=b, solver=solver, seed=request_seed, digest=digest
+                matrix=matrix,
+                b=b,
+                solver=solver,
+                seed=request_seed,
+                deadline_s=deadline_s,
+                digest=digest,
             )
         )
     return requests

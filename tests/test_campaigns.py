@@ -24,6 +24,7 @@ import signal
 import subprocess
 import sys
 import time
+from concurrent.futures import BrokenExecutor
 from pathlib import Path
 
 import numpy as np
@@ -35,6 +36,7 @@ from repro.campaigns import (
     ArtifactStore,
     CampaignSpec,
     HardwareVariant,
+    RetryPolicy,
     apply_overrides,
     campaign_records,
     campaign_report,
@@ -54,6 +56,8 @@ from repro.core.blockamc import BlockAMCSolver
 from repro.core.original import OriginalAMCSolver
 from repro.devices.variations import GaussianVariation, RelativeGaussianVariation
 from repro.errors import CampaignError
+from repro.testing import ChaosPlan
+from repro.testing.chaos import CHAOS_ENV
 from repro.workloads.matrices import toeplitz_matrix, wishart_matrix
 
 #: A tiny spec most tests share: 2 families x 2 sizes = 4 units, fast.
@@ -539,3 +543,192 @@ class TestCampaignCli:
         store_b.write_unit("u", {"x": np.zeros(2)}, {"unit": {}})
         assert main(["campaign", "diff", str(store_a.root), str(store_b.root)]) == 1
         assert "differs" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# retry, quarantine, and chaos
+# ----------------------------------------------------------------------
+
+#: A hardware override that fails at unit execution (negative DAC bits),
+#: while the spec itself constructs and expands fine — a poison unit.
+_BAD = HardwareVariant("bad-bits", {"converters.dac_bits": -4})
+
+
+def _poison_spec(name, variants):
+    return CampaignSpec(
+        name=name,
+        solvers=("blockamc-1stage",),
+        families=("wishart",),
+        sizes=(6,),
+        trials=1,
+        seed=0,
+        hardware="variation",
+        variants=variants,
+    )
+
+
+class TestRetryPolicy:
+    def test_backoff_schedule(self):
+        policy = RetryPolicy(
+            max_attempts=5, backoff_s=0.1, backoff_multiplier=2.0, max_backoff_s=0.3
+        )
+        assert policy.backoff(1) == pytest.approx(0.1)
+        assert policy.backoff(2) == pytest.approx(0.2)
+        assert policy.backoff(3) == pytest.approx(0.3)  # capped
+        assert policy.backoff(10) == pytest.approx(0.3)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"backoff_s": -1.0},
+            {"backoff_multiplier": 0.5},
+            {"max_backoff_s": -0.1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(CampaignError):
+            RetryPolicy(**kwargs)
+
+
+class TestQuarantine:
+    def test_poison_unit_quarantined_instead_of_aborting(self, tmp_path):
+        spec = _poison_spec("poison", (_BAD,))
+        retry = RetryPolicy(max_attempts=2, backoff_s=0.0)
+        run = run_campaign(spec, tmp_path, workers=0, retry=retry)
+        assert run.quarantined_units == 1
+        assert run.completed_units == 0
+        assert not run.finished  # quarantined units keep the campaign open
+        store = ArtifactStore(tmp_path)
+        (record,) = store.quarantined().values()
+        assert record["attempts"] == 2
+        assert record["variant"] == "bad-bits"
+        assert "error" in record
+        status = campaign_status(spec, store)
+        assert len(status.quarantined) == 1
+        assert status.quarantined[0].variant_label == "bad-bits"
+        assert not status.pending  # quarantined is not pending
+        assert not status.finished
+
+    def test_rerun_skips_quarantined_units(self, tmp_path):
+        spec = _poison_spec("poison", (_BAD,))
+        retry = RetryPolicy(max_attempts=1, backoff_s=0.0)
+        run_campaign(spec, tmp_path, workers=0, retry=retry)
+        again = run_campaign(spec, tmp_path, workers=0, retry=retry)
+        # Nothing attempted: the poison unit stays parked in quarantine.
+        assert again.quarantined_units == 0
+        assert again.completed_units == 0
+        assert not again.finished
+
+    def test_requeue_quarantined_retries_again(self, tmp_path):
+        spec = _poison_spec("poison", (_BAD,))
+        retry = RetryPolicy(max_attempts=1, backoff_s=0.0)
+        run_campaign(spec, tmp_path, workers=0, retry=retry)
+        again = run_campaign(
+            spec, tmp_path, workers=0, retry=retry, requeue_quarantined=True
+        )
+        # Re-attempted (still poison), re-quarantined.
+        assert again.quarantined_units == 1
+
+    def test_mixed_good_and_poison_units(self, tmp_path):
+        spec = _poison_spec("mixed", (HardwareVariant("ok", {}), _BAD))
+        retry = RetryPolicy(max_attempts=2, backoff_s=0.0)
+        run = run_campaign(spec, tmp_path, workers=0, retry=retry)
+        assert run.completed_units == 1
+        assert run.quarantined_units == 1
+        store = ArtifactStore(tmp_path)
+        assert len(store.completed_keys()) == 1
+        assert len(store.quarantined_keys()) == 1
+
+    def test_quarantine_excluded_from_store_equality(self, tmp_path):
+        spec = _poison_spec("mixed", (HardwareVariant("ok", {}), _BAD))
+        retry = RetryPolicy(max_attempts=1, backoff_s=0.0)
+        run_campaign(spec, tmp_path / "a", workers=0, retry=retry)
+        run_campaign(spec, tmp_path / "b", workers=0, retry=retry)
+        store_a = ArtifactStore(tmp_path / "a")
+        store_b = ArtifactStore(tmp_path / "b")
+        assert stores_equal(store_a, store_b)
+        # Quarantine records are runner bookkeeping, not results.
+        store_b.clear_quarantine()
+        assert stores_equal(store_a, store_b)
+
+    def test_without_retry_first_failure_still_propagates(self, tmp_path):
+        spec = _poison_spec("poison", (_BAD,))
+        with pytest.raises(Exception):
+            run_campaign(spec, tmp_path, workers=0)
+        assert ArtifactStore(tmp_path).quarantined_keys() == set()
+
+
+class TestPoolCrashRetryResume:
+    """SIGKILLed pool workers: retry to convergence, resume with zero
+    recompute, and bit-identical artifacts (the chaos acceptance test)."""
+
+    def test_kill_without_retry_breaks_the_run(self, tmp_path, monkeypatch):
+        plan = ChaosPlan(
+            seed=1, worker_kill_rate=1.0, state_dir=str(tmp_path / "chaos")
+        )
+        monkeypatch.setenv(CHAOS_ENV, plan.chaos_env()[CHAOS_ENV])
+        with pytest.raises(BrokenExecutor):
+            run_campaign(TINY, tmp_path / "store", workers=2)
+
+    def test_sigkill_storm_retries_to_bitidentical_store(
+        self, tmp_path, monkeypatch
+    ):
+        reference = tmp_path / "ref"
+        run_campaign(TINY, reference, workers=0)
+
+        plan = ChaosPlan(
+            seed=1, worker_kill_rate=1.0, state_dir=str(tmp_path / "chaos")
+        )
+        monkeypatch.setenv(CHAOS_ENV, plan.chaos_env()[CHAOS_ENV])
+        chaotic = tmp_path / "chaotic"
+        run = run_campaign(
+            TINY,
+            chaotic,
+            workers=2,
+            retry=RetryPolicy(max_attempts=10, backoff_s=0.01, max_backoff_s=0.05),
+        )
+        assert run.finished
+        assert run.quarantined_units == 0
+        assert run.completed_units == run.total_units
+        # Every unit's worker really was SIGKILLed once before committing.
+        assert plan.injected("kill") == run.total_units >= 2
+
+        # Fault history never shows in the artifacts.
+        assert stores_equal(ArtifactStore(reference), ArtifactStore(chaotic))
+
+        # Resume after the chaos run: zero recompute.
+        monkeypatch.delenv(CHAOS_ENV)
+        resumed = run_campaign(TINY, chaotic, workers=0)
+        assert resumed.completed_units == 0
+        assert resumed.skipped_units == resumed.total_units
+
+    def test_torn_writes_retry_to_bitidentical_store(self, tmp_path, monkeypatch):
+        reference = tmp_path / "ref"
+        run_campaign(TINY, reference, workers=0)
+
+        plan = ChaosPlan(
+            seed=2, torn_write_rate=1.0, state_dir=str(tmp_path / "chaos")
+        )
+        monkeypatch.setenv(CHAOS_ENV, plan.chaos_env()[CHAOS_ENV])
+        chaotic = tmp_path / "chaotic"
+        run = run_campaign(
+            TINY,
+            chaotic,
+            workers=0,
+            retry=RetryPolicy(max_attempts=3, backoff_s=0.0),
+        )
+        assert run.finished and run.quarantined_units == 0
+        assert plan.injected("torn") == run.total_units
+        assert stores_equal(ArtifactStore(reference), ArtifactStore(chaotic))
+
+    def test_inline_chaos_never_kills_the_driver(self, tmp_path, monkeypatch):
+        plan = ChaosPlan(
+            seed=3, worker_kill_rate=1.0, state_dir=str(tmp_path / "chaos")
+        )
+        monkeypatch.setenv(CHAOS_ENV, plan.chaos_env()[CHAOS_ENV])
+        # Inline execution happens in this very process; the driver-pid
+        # guard must skip every kill or this test dies with the run.
+        run = run_campaign(TINY, tmp_path / "store", workers=0)
+        assert run.finished
+        assert plan.injected("kill") == 0

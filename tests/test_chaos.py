@@ -1,0 +1,258 @@
+"""Tests for the deterministic chaos harness (``repro.testing.chaos``).
+
+What makes chaos a proof harness rather than a flake generator:
+
+- fault decisions are **pure** hashes of (plan seed, fault kind, content
+  tag) — identical across runs, processes, and bisection re-executions;
+- plans round-trip through the ``REPRO_CHAOS`` environment variable, so
+  pool workers inherit exactly the driver's plan;
+- campaign kills and torn writes are **budgeted** through marker files,
+  so a chaos campaign converges to a store bit-identical to a fault-free
+  run;
+- the driver process never kills itself;
+- a torn write leaves exactly the state a mid-write crash would — a
+  truncated ``.npz`` with no sidecar — and the store's sidecar-last
+  commit protocol treats it as incomplete.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.campaigns import ArtifactStore
+from repro.errors import CampaignError, SolverError, ValidationError
+from repro.serve import PreparedKey, ServiceConfig, matrix_digest, prepare_entry
+from repro.testing import (
+    ChaosPlan,
+    WorkerKillChaos,
+    chaos_entry_transform,
+    plan_from_env,
+    rhs_tag,
+)
+from repro.testing.chaos import CHAOS_DRIVER_ENV, CHAOS_ENV
+from repro.workloads.matrices import random_vector, wishart_matrix
+
+
+class TestPlanValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"solve_failure_rate": -0.1},
+            {"solve_failure_rate": 1.1},
+            {"slow_call_rate": 2.0},
+            {"worker_kill_rate": -1.0},
+            {"torn_write_rate": 1.5},
+            {"slow_call_s": -0.5},
+            {"max_kills_per_unit": -1},
+        ],
+    )
+    def test_rejects_bad_rates(self, kwargs):
+        with pytest.raises(ValidationError):
+            ChaosPlan(**kwargs)
+
+
+class TestDeterminism:
+    def test_decisions_are_pure(self):
+        plan = ChaosPlan(seed=7)
+        for tag in ("aaaa", "bbbb", "cccc"):
+            assert plan.fraction("fail", tag) == plan.fraction("fail", tag)
+            assert 0.0 <= plan.fraction("fail", tag) < 1.0
+        # Different kinds and seeds decide independently.
+        assert plan.fraction("fail", "aaaa") != plan.fraction("kill", "aaaa")
+        other = ChaosPlan(seed=8)
+        assert plan.fraction("fail", "aaaa") != other.fraction("fail", "aaaa")
+
+    def test_zero_rate_never_fires(self):
+        plan = ChaosPlan(seed=0)
+        assert not any(
+            plan.decides("fail", 0.0, f"tag{i}") for i in range(100)
+        )
+
+    def test_rate_one_always_fires(self):
+        plan = ChaosPlan(seed=0)
+        assert all(plan.decides("fail", 1.0, f"tag{i}") for i in range(100))
+
+    def test_rates_hit_roughly_expected_fraction(self):
+        plan = ChaosPlan(seed=3)
+        tags = [f"tag{i}" for i in range(2000)]
+        hit = sum(plan.decides("fail", 0.25, t) for t in tags)
+        assert 0.15 * len(tags) < hit < 0.35 * len(tags)
+
+    def test_rhs_tag_is_content_addressed(self):
+        b = random_vector(12, rng=0)
+        assert rhs_tag(b) == rhs_tag(b.copy())
+        assert rhs_tag(b) != rhs_tag(random_vector(12, rng=1))
+        assert rhs_tag(b) != rhs_tag(b.reshape(12, 1) if False else b + 1.0)
+        assert len(rhs_tag(b)) == 16
+
+
+class TestEnvRoundTrip:
+    def test_round_trip(self):
+        plan = ChaosPlan(
+            seed=5,
+            solve_failure_rate=0.1,
+            slow_call_rate=0.2,
+            slow_call_s=0.01,
+            worker_kill_rate=0.3,
+            max_kills_per_unit=2,
+            torn_write_rate=0.4,
+            state_dir="/tmp/chaos-state",
+        )
+        env = plan.chaos_env()
+        assert set(env) == {CHAOS_ENV}
+        assert plan_from_env(env) == plan
+
+    def test_absent_or_empty_means_no_plan(self):
+        assert plan_from_env({}) is None
+        assert plan_from_env({CHAOS_ENV: ""}) is None
+
+
+class TestBudgets:
+    def test_markers_bound_fault_count(self, tmp_path):
+        plan = ChaosPlan(seed=0, state_dir=str(tmp_path))
+        assert plan._consume_budget("kill", "unit-a", 2)
+        assert plan._consume_budget("kill", "unit-a", 2)
+        assert not plan._consume_budget("kill", "unit-a", 2)
+        assert plan._consume_budget("kill", "unit-b", 2)
+        assert plan.injected("kill") == 3
+        assert plan.injected("torn") == 0
+
+    def test_zero_budget_never_fires(self, tmp_path):
+        plan = ChaosPlan(seed=0, state_dir=str(tmp_path))
+        assert not plan._consume_budget("kill", "unit-a", 0)
+        assert plan.injected("kill") == 0
+
+    def test_budget_requires_state_dir(self, monkeypatch):
+        # run_campaign exports the driver pid into os.environ for the
+        # life of the process; clear it so the kill hook reaches the
+        # budget check instead of the driver guard.
+        monkeypatch.delenv(CHAOS_DRIVER_ENV, raising=False)
+        plan = ChaosPlan(seed=0, worker_kill_rate=1.0)
+        with pytest.raises(CampaignError):
+            plan.maybe_kill_worker("unit-a")
+
+    def test_injected_without_state_dir_is_zero(self):
+        assert ChaosPlan(seed=0).injected("kill") == 0
+
+
+class TestKillGuards:
+    def test_driver_pid_is_never_killed(self, tmp_path, monkeypatch):
+        plan = ChaosPlan(seed=0, worker_kill_rate=1.0, state_dir=str(tmp_path))
+        monkeypatch.setenv(CHAOS_DRIVER_ENV, str(os.getpid()))
+        # Would SIGKILL this very test process if the guard failed.
+        plan.maybe_kill_worker("unit-a")
+        assert plan.injected("kill") == 0  # skipped before consuming budget
+
+    def test_zero_rate_skips_before_budget_dir(self):
+        # No state_dir needed when the rate never fires.
+        ChaosPlan(seed=0).maybe_kill_worker("unit-a")
+
+
+class TestTornWrites:
+    def test_torn_write_leaves_uncommitted_state(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        plan = ChaosPlan(
+            seed=0, torn_write_rate=1.0, state_dir=str(tmp_path / "chaos")
+        )
+        arrays = {"x": np.arange(3.0)}
+        with pytest.raises(CampaignError):
+            plan.maybe_tear_write(store, "unit-a", arrays)
+        # Truncated npz at the final path, no sidecar: not committed.
+        assert (store.units_dir / "unit-a.npz").exists()
+        assert not store.has("unit-a")
+        assert store.completed_keys() == set()
+        assert plan.injected("torn") == 1
+
+        # The budget is 1: the retry writes clean, right over the wreck.
+        plan.maybe_tear_write(store, "unit-a", arrays)  # no raise
+        store.write_unit("unit-a", arrays, {"ok": True})
+        assert store.has("unit-a")
+        assert plan.injected("torn") == 1
+
+
+class TestServingSeam:
+    def _entry(self, matrix):
+        config = ServiceConfig()
+        key = PreparedKey(
+            matrix_digest(matrix),
+            config.default_hardware.cache_key(),
+            config.default_solver,
+            config.default_prep_seed,
+        )
+        return prepare_entry(key, matrix, config.default_hardware)
+
+    def test_wrapper_preserves_clean_solves_bitwise(self):
+        matrix = wishart_matrix(10, rng=0)
+        b = random_vector(10, rng=1)
+        plan = ChaosPlan(seed=0, solve_failure_rate=0.0)
+        entry = self._entry(matrix)
+        wrapped = chaos_entry_transform(plan)(entry)
+        clean = entry.prepared.solve(b, np.random.default_rng(5))
+        chaotic = wrapped.prepared.solve(b, np.random.default_rng(5))
+        assert np.array_equal(clean.x, chaotic.x)
+        assert clean.relative_error == chaotic.relative_error
+        # Entry identity (key, coalescible flag) is untouched.
+        assert wrapped.key == entry.key
+        assert wrapped.coalescible == entry.coalescible
+
+    def test_fail_decision_keys_on_rhs_content(self):
+        matrix = wishart_matrix(10, rng=0)
+        plan = ChaosPlan(seed=0, solve_failure_rate=0.5)
+        wrapped = chaos_entry_transform(plan)(self._entry(matrix))
+        bs = [random_vector(10, rng=i) for i in range(30)]
+        doomed = [
+            b for b in bs
+            if plan.decides("fail", plan.solve_failure_rate, rhs_tag(b))
+        ]
+        assert doomed and len(doomed) < len(bs)
+        for b in bs:
+            should_fail = plan.decides(
+                "fail", plan.solve_failure_rate, rhs_tag(b)
+            )
+            if should_fail:
+                with pytest.raises(SolverError):
+                    wrapped.prepared.solve(b, np.random.default_rng(0))
+            else:
+                wrapped.prepared.solve(b, np.random.default_rng(0))
+
+    def test_solve_many_raises_on_any_poisoned_rhs(self):
+        matrix = wishart_matrix(10, rng=0)
+        plan = ChaosPlan(seed=0, solve_failure_rate=1.0)
+        wrapped = chaos_entry_transform(plan)(self._entry(matrix))
+        with pytest.raises(SolverError):
+            wrapped.prepared.solve_many(
+                [random_vector(10, rng=1)], np.random.default_rng(0)
+            )
+
+    def test_kill_fires_once_per_tag_per_wrapper(self):
+        matrix = wishart_matrix(10, rng=0)
+        b = random_vector(10, rng=2)
+        plan = ChaosPlan(seed=0, worker_kill_rate=1.0)
+        wrapped = chaos_entry_transform(plan)(self._entry(matrix))
+        with pytest.raises(WorkerKillChaos):
+            wrapped.prepared.solve(b, np.random.default_rng(0))
+        # Second attempt on the same wrapper runs clean — a restarted
+        # shard must not be killed forever.
+        wrapped.prepared.solve(b, np.random.default_rng(0))
+
+    def test_kill_is_base_exception(self):
+        assert issubclass(WorkerKillChaos, BaseException)
+        assert not issubclass(WorkerKillChaos, Exception)
+
+    def test_slow_calls_delay_without_failing(self):
+        matrix = wishart_matrix(10, rng=0)
+        b = random_vector(10, rng=3)
+        plan = ChaosPlan(seed=0, slow_call_rate=1.0, slow_call_s=0.02)
+        entry = self._entry(matrix)
+        wrapped = chaos_entry_transform(plan)(entry)
+        import time as _time
+
+        t0 = _time.perf_counter()
+        chaotic = wrapped.prepared.solve(b, np.random.default_rng(5))
+        elapsed = _time.perf_counter() - t0
+        assert elapsed >= 0.02
+        clean = entry.prepared.solve(b, np.random.default_rng(5))
+        assert np.array_equal(clean.x, chaotic.x)

@@ -1,4 +1,8 @@
-"""The exception hierarchy contract: everything derives from ReproError."""
+"""The exception hierarchy contract: everything derives from ReproError,
+and every class carries a ``retryable`` classification."""
+
+from concurrent.futures import BrokenExecutor
+from concurrent.futures.process import BrokenProcessPool
 
 import pytest
 
@@ -17,7 +21,24 @@ ALL_ERRORS = [
     errors.SolverError,
     errors.ScheduleError,
     errors.CostModelError,
+    errors.ServeError,
+    errors.OverloadedError,
+    errors.ServiceOverloadedError,
+    errors.DeadlineExceededError,
+    errors.CircuitOpenError,
+    errors.ShardFailedError,
+    errors.ServiceClosedError,
+    errors.CampaignError,
 ]
+
+#: Transient failures: re-submitting the same request later may succeed.
+RETRYABLE = {
+    errors.OverloadedError,
+    errors.ServiceOverloadedError,
+    errors.DeadlineExceededError,
+    errors.CircuitOpenError,
+    errors.ShardFailedError,
+}
 
 
 @pytest.mark.parametrize("exc", ALL_ERRORS)
@@ -38,6 +59,31 @@ def test_singular_circuit_error_is_circuit_error():
     assert issubclass(errors.SingularCircuitError, errors.CircuitError)
 
 
+def test_queue_rejection_is_an_overload():
+    """Catching OverloadedError must cover backpressure rejections too."""
+    assert issubclass(errors.ServiceOverloadedError, errors.OverloadedError)
+
+
 def test_catching_base_class():
     with pytest.raises(errors.ReproError):
         raise errors.SolverError("boom")
+
+
+@pytest.mark.parametrize("exc", ALL_ERRORS)
+def test_retryable_classification(exc):
+    assert exc.retryable is (exc in RETRYABLE)
+    assert errors.is_retryable(exc("boom")) is (exc in RETRYABLE)
+
+
+def test_retry_after_hints():
+    assert errors.OverloadedError("full").retry_after_s is None
+    assert errors.OverloadedError("full", retry_after_s=1.5).retry_after_s == 1.5
+    assert errors.CircuitOpenError("open", retry_after_s=0.2).retry_after_s == 0.2
+
+
+def test_is_retryable_covers_stdlib_faults():
+    assert errors.is_retryable(BrokenProcessPool())
+    assert errors.is_retryable(BrokenExecutor())
+    assert errors.is_retryable(TimeoutError())
+    assert not errors.is_retryable(ValueError("nope"))
+    assert not errors.is_retryable(RuntimeError("nope"))
