@@ -245,16 +245,52 @@ class CampaignRun:
 
 @dataclass(frozen=True)
 class CampaignStatus:
-    """Completion state of a store against a spec."""
+    """Completion state of a store against a spec.
+
+    ``completed_elapsed_s`` sums the per-unit compute time recorded in
+    the completed units' runtime sidecars — it is aggregate *compute*
+    time, not wall time (a multiprocess run overlaps units), which makes
+    the derived rate and ETA scheduling-independent: they describe the
+    workload, and dividing the ETA by the worker count estimates the
+    wall clock of a resume.
+    """
 
     total_units: int
     completed_units: int
     pending: tuple
     quarantined: tuple = ()
+    completed_elapsed_s: float = 0.0
 
     @property
     def finished(self) -> bool:
         return not self.pending and not self.quarantined
+
+    @property
+    def progress_percent(self) -> float:
+        """Completed fraction of the campaign, in percent."""
+        if self.total_units == 0:
+            return 100.0
+        return 100.0 * self.completed_units / self.total_units
+
+    @property
+    def units_per_s(self) -> float:
+        """Completed units per second of compute (0 until data exists)."""
+        if self.completed_elapsed_s <= 0.0:
+            return 0.0
+        return self.completed_units / self.completed_elapsed_s
+
+    @property
+    def eta_s(self) -> float | None:
+        """Estimated compute seconds to finish the remaining units.
+
+        Remaining (pending + quarantined) units × the mean completed
+        unit time; ``None`` until at least one unit completed (no basis
+        for an estimate).
+        """
+        if self.completed_units == 0 or self.completed_elapsed_s <= 0.0:
+            return None
+        remaining = len(self.pending) + len(self.quarantined)
+        return remaining * (self.completed_elapsed_s / self.completed_units)
 
 
 def campaign_status(spec: CampaignSpec, store: ArtifactStore) -> CampaignStatus:
@@ -263,6 +299,11 @@ def campaign_status(spec: CampaignSpec, store: ArtifactStore) -> CampaignStatus:
     Quarantined units are reported separately from pending: the runner
     will not reschedule them until the quarantine is cleared, but the
     campaign is not finished while they exist.
+
+    A pure store rescan — no runner state: progress, rate, and ETA all
+    derive from the completed units' sidecars
+    (:meth:`~repro.campaigns.store.ArtifactStore.read_meta`, which never
+    loads the array payloads).
 
     Raises :class:`CampaignError` when the store's manifest belongs to a
     different campaign (otherwise a scale or ``--store`` mix-up would
@@ -274,11 +315,18 @@ def campaign_status(spec: CampaignSpec, store: ArtifactStore) -> CampaignStatus:
     poisoned = store.quarantined_keys() - done
     pending = tuple(u for u in units if u.key not in done and u.key not in poisoned)
     quarantined = tuple(u for u in units if u.key in poisoned)
+    elapsed = 0.0
+    for unit in units:
+        if unit.key in done:
+            meta = store.read_meta(unit.key)
+            if meta is not None:
+                elapsed += float(meta.get("runtime", {}).get("elapsed_s", 0.0))
     return CampaignStatus(
         total_units=len(units),
         completed_units=sum(1 for u in units if u.key in done),
         pending=pending,
         quarantined=quarantined,
+        completed_elapsed_s=elapsed,
     )
 
 

@@ -135,6 +135,17 @@ class ArtifactStore:
         meta = json.loads(self._meta_path(key).read_text())
         return arrays, meta
 
+    def read_meta(self, key: str) -> dict | None:
+        """One completed unit's JSON sidecar alone (no array load).
+
+        Cheap by design: status/ETA scans read every completed unit's
+        runtime telemetry without touching the (much larger) ``.npz``
+        payloads. Returns ``None`` for units that are not completed.
+        """
+        if not self.has(key):
+            return None
+        return json.loads(self._meta_path(key).read_text())
+
     # ------------------------------------------------------------------
     # quarantine records
     # ------------------------------------------------------------------

@@ -22,6 +22,7 @@ import sys
 import numpy as np
 
 from repro.amc.config import HardwareConfig
+from repro.errors import ReproError
 from repro.analysis.accuracy import accuracy_sweep, run_trials_batched
 from repro.analysis.costmodel import ARCHITECTURES, savings_vs_original, solver_cost_breakdown
 from repro.analysis.export import records_to_csv, sweep_to_csv
@@ -39,7 +40,7 @@ from repro.serve import (
 )
 from repro.workloads.matrices import random_vector, wishart_matrix
 from repro.workloads.suites import get_suite, list_suites
-from repro.workloads.traffic import TRAFFIC_FAMILIES, mixed_traffic
+from repro.workloads.traffic import TRAFFIC_FAMILIES, drive_network, mixed_traffic
 
 #: One matrix-family table for the whole surface: `repro check`,
 #: `repro submit`, and traffic generation stay in sync by construction.
@@ -158,7 +159,22 @@ def _service_config(args) -> ServiceConfig:
     )
 
 
+def _print_typed_error(exc: ReproError) -> None:
+    """Report a service refusal as its typed error class, not a traceback.
+
+    ``repro submit --deadline-ms 1`` prints ``DeadlineExceededError``,
+    a shed request prints ``OverloadedError`` with the server's
+    retry-after hint — the wire taxonomy, surfaced verbatim.
+    """
+    print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+    retry_after = getattr(exc, "retry_after_s", None)
+    if retry_after is not None:
+        print(f"retry after: {retry_after:.3f}s", file=sys.stderr)
+
+
 def _cmd_serve(args) -> int:
+    if args.port is not None:
+        return _cmd_serve_net(args)
     requests = mixed_traffic(
         args.requests,
         unique_matrices=args.unique_matrices,
@@ -188,16 +204,93 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_serve_net(args) -> int:
+    """`repro serve --port N`: TCP front-end over process workers."""
+    import time
+
+    from repro.serve.net import NetClient, NetServer, NetServerConfig, QuotaPolicy
+
+    quota = (
+        QuotaPolicy(rate_per_s=args.quota_rps, burst=args.quota_burst)
+        if args.quota_rps is not None
+        else None
+    )
+    config = NetServerConfig(
+        host=args.host, port=args.port, service=_service_config(args), quota=quota
+    )
+    with NetServer(config) as server:
+        host, port = server.address
+        print(
+            f"listening on {host}:{port} "
+            f"({config.service.workers} process workers"
+            + (f", quota {quota.rate_per_s:g} req/s" if quota else "")
+            + ")"
+        )
+        if args.requests < 1:
+            # Serve until interrupted (the operational mode). SIGTERM —
+            # what process supervisors send — shuts down as gracefully
+            # as Ctrl-C.
+            import signal
+
+            def _interrupt(signum, frame):
+                raise KeyboardInterrupt
+
+            try:
+                signal.signal(signal.SIGTERM, _interrupt)
+            except (ValueError, OSError):  # pragma: no cover - non-main thread
+                pass
+            try:
+                while True:
+                    time.sleep(1.0)
+            except KeyboardInterrupt:
+                print("\nshutting down")
+                return 0
+        # Drive a loopback workload through the wire (the demo mode).
+        requests = mixed_traffic(
+            args.requests,
+            unique_matrices=args.unique_matrices,
+            sizes=tuple(args.sizes),
+            deadline_s=args.deadline_ms * 1e-3 if args.deadline_ms else None,
+            seed=args.seed,
+        )
+        with NetClient(host, port) as client:
+            outcomes = drive_network(client, requests, max_rounds=3)
+            metrics = client.metrics()
+        failures = [o for o in outcomes if isinstance(o, Exception)]
+        print(
+            f"{len(outcomes) - len(failures)}/{len(outcomes)} requests ok "
+            f"over the wire ({len(failures)} typed failures)"
+        )
+        print(metrics.table(title="service metrics (over the wire)"))
+        if args.check:
+            reference, _ = run_sequential(requests, config.service)
+            identical = all(
+                isinstance(outcome, Exception) or np.array_equal(ref.x, outcome.x)
+                for ref, outcome in zip(reference, outcomes)
+            )
+            print(f"bit-identical to sequential reference: {identical}")
+            if not identical or failures:
+                return 1
+    return 0
+
+
 def _cmd_submit(args) -> int:
     matrix = MATRIX_FAMILIES[args.family](args.size, np.random.default_rng(args.seed))
-    config = _service_config(args)
-    with SolverService(config) as service:
-        tickets = [
-            service.submit(matrix, random_vector(args.size, rng=args.seed + 1 + i), seed=i)
-            for i in range(args.rhs)
-        ]
-        results = [ticket.result() for ticket in tickets]
-        metrics = service.metrics()
+    rhs = [random_vector(args.size, rng=args.seed + 1 + i) for i in range(args.rhs)]
+    try:
+        if args.connect is not None:
+            results, metrics = _submit_over_wire(args, matrix, rhs)
+        else:
+            config = _service_config(args)
+            with SolverService(config) as service:
+                tickets = [
+                    service.submit(matrix, b, seed=i) for i, b in enumerate(rhs)
+                ]
+                results = [ticket.result() for ticket in tickets]
+                metrics = service.metrics()
+    except ReproError as exc:
+        _print_typed_error(exc)
+        return 1
     errors = [result.relative_error for result in results]
     print(f"solver:            {results[0].solver}")
     print(f"matrix:            {args.family} {args.size}x{args.size}")
@@ -206,6 +299,32 @@ def _cmd_submit(args) -> int:
     print(f"worst rel. error:  {float(np.max(errors)):.3e}")
     print(metrics.table(title="service metrics"))
     return 0
+
+
+def _submit_over_wire(args, matrix, rhs):
+    """Submit the right-hand sides to a running ``repro serve --port`` server."""
+    from repro.errors import ValidationError
+    from repro.serve.net import NetClient
+
+    host, _, port_text = args.connect.rpartition(":")
+    if not host or not port_text.isdigit():
+        raise ValidationError(
+            f"--connect expects HOST:PORT, got {args.connect!r}"
+        )
+    deadline_ms = args.deadline_ms if args.deadline_ms else None
+    with NetClient(host, int(port_text), tenant=args.tenant) as client:
+        tickets = [
+            client.submit(
+                matrix,
+                b,
+                solver=args.solver,
+                seed=i,
+                deadline_s=deadline_ms * 1e-3 if deadline_ms else None,
+            )
+            for i, b in enumerate(rhs)
+        ]
+        results = [ticket.result(client.timeout_s) for ticket in tickets]
+        return results, client.metrics()
 
 
 def _cmd_report(args) -> int:
@@ -317,6 +436,12 @@ def _cmd_campaign_status(args) -> int:
         f"campaign {spec.name} [{spec.digest()[:12]}]: "
         f"{status.completed_units}/{status.total_units} units complete"
     )
+    progress = f"progress: {status.progress_percent:.1f}%"
+    if status.units_per_s > 0.0:
+        progress += f", {status.units_per_s:.2f} units/s"
+    if status.eta_s is not None:
+        progress += f", eta {status.eta_s:.1f}s compute"
+    print(progress)
     for unit in status.pending:
         print(f"  pending: {unit.describe()}")
     for unit in status.quarantined:
@@ -454,6 +579,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--check", action="store_true",
         help="also run the sequential reference and verify bit-identical results",
     )
+    serve.add_argument(
+        "--port", type=int, default=None,
+        help="serve over TCP with process workers (0 = ephemeral port); "
+        "with --requests 0, serve until interrupted",
+    )
+    serve.add_argument(
+        "--host", type=str, default="127.0.0.1",
+        help="bind address for --port mode",
+    )
+    serve.add_argument(
+        "--quota-rps", type=float, default=None,
+        help="per-tenant token-bucket rate (requests/second; --port mode)",
+    )
+    serve.add_argument(
+        "--quota-burst", type=float, default=8.0,
+        help="per-tenant token-bucket burst size (--port mode)",
+    )
     add_service_args(serve)
     serve.set_defaults(func=_cmd_serve)
 
@@ -463,6 +605,15 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--size", type=int, default=32)
     submit.add_argument("--family", choices=sorted(MATRIX_FAMILIES), default="wishart")
     submit.add_argument("--rhs", type=int, default=8, help="right-hand sides to submit")
+    submit.add_argument(
+        "--connect", type=str, default=None, metavar="HOST:PORT",
+        help="submit over TCP to a running `repro serve --port` server "
+        "instead of an in-process service",
+    )
+    submit.add_argument(
+        "--tenant", type=str, default=None,
+        help="tenant name for per-tenant quotas (--connect mode)",
+    )
     add_service_args(submit)
     submit.set_defaults(func=_cmd_submit)
 

@@ -125,8 +125,86 @@ class ServiceClosedError(ServeError):
     """The service has shut down and no longer accepts requests."""
 
 
+class QuotaExceededError(OverloadedError):
+    """A tenant's token-bucket quota is exhausted (retry after the hint)."""
+
+
+class UnknownDigestError(ServeError):
+    """A digest-only network request named a matrix the server has not seen.
+
+    Retryable by re-submitting **with the matrix payload attached** —
+    the network client does this transparently. A server worker restart
+    empties its matrix table, so digest-only traffic can hit this at any
+    time; it is a cache-coherency signal, not a failure of the request.
+    """
+
+    retryable = True
+
+
+class WireProtocolError(ServeError):
+    """A network frame violated the ``repro.serve.net`` wire protocol."""
+
+
 class CampaignError(ReproError):
     """A campaign spec, artifact store, or runner invariant was violated."""
+
+
+def _wire_codes() -> dict[str, type]:
+    """Class-name → class table of every :class:`ReproError` subclass.
+
+    Computed on demand (not at import) so late-defined subclasses —
+    including ones defined outside this module — decode as themselves
+    rather than as :class:`ReproError`.
+    """
+    codes: dict[str, type] = {"ReproError": ReproError}
+    pending = [ReproError]
+    while pending:
+        for cls in pending.pop().__subclasses__():
+            if cls.__name__ not in codes:
+                codes[cls.__name__] = cls
+                pending.append(cls)
+    return codes
+
+
+def error_to_wire(exc: BaseException) -> dict:
+    """Encode an exception as the wire-protocol error payload.
+
+    The payload is plain JSON data: the class name as ``code`` (any
+    non-library exception encodes as ``ServeError`` — the wire never
+    leaks arbitrary exception types), the message, the ``retryable``
+    classification, and the retry-after hint in milliseconds when the
+    error carries one (load shedding, quotas, open breakers).
+    """
+    code = type(exc).__name__ if isinstance(exc, ReproError) else "ServeError"
+    retry_after_s = getattr(exc, "retry_after_s", None)
+    return {
+        "code": code,
+        "message": str(exc),
+        "retryable": is_retryable(exc),
+        "retry_after_ms": None if retry_after_s is None else retry_after_s * 1e3,
+    }
+
+
+def error_from_wire(payload: dict) -> ReproError:
+    """Reconstruct the typed exception from a wire error payload.
+
+    An unknown ``code`` decodes as :class:`ServeError` (a newer server
+    may grow error classes an older client lacks); the retry-after hint
+    survives the round-trip for classes that accept one.
+    """
+    cls = _wire_codes().get(payload.get("code", ""), ServeError)
+    if not isinstance(cls, type) or not issubclass(cls, ReproError):
+        cls = ServeError
+    message = payload.get("message", "")
+    retry_after_ms = payload.get("retry_after_ms")
+    try:
+        if retry_after_ms is not None:
+            return cls(message, retry_after_s=retry_after_ms * 1e-3)
+        return cls(message)
+    except TypeError:
+        # The class takes no retry_after_s keyword (or no plain-message
+        # constructor); degrade to the closest constructible form.
+        return ServeError(message)
 
 
 def is_retryable(exc: BaseException) -> bool:

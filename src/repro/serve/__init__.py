@@ -12,20 +12,26 @@ Entry points: :class:`SolverService` / :class:`ServiceConfig` for the
 concurrent service, :class:`ResiliencePolicy` for the failure-handling
 knobs (deadlines, shedding, breakers, the digital fallback ladder),
 :func:`run_sequential` for the bit-identical sequential reference,
+:mod:`repro.serve.net` for the TCP front-end with process-based workers
+(same request semantics, identical bits, over the wire),
 ``repro serve`` / ``repro submit`` on the CLI,
 ``examples/solver_service.py`` for a demo, and
-``benchmarks/bench_serving.py`` / ``benchmarks/bench_resilience.py``
-for the throughput and fault-tolerance artifacts.
+``benchmarks/bench_serving.py`` / ``benchmarks/bench_resilience.py`` /
+``benchmarks/bench_net_serving.py`` for the throughput and
+fault-tolerance artifacts.
 """
 
 from repro.errors import (
     CircuitOpenError,
     DeadlineExceededError,
     OverloadedError,
+    QuotaExceededError,
     ServeError,
     ServiceClosedError,
     ServiceOverloadedError,
     ShardFailedError,
+    UnknownDigestError,
+    WireProtocolError,
 )
 from repro.serve.batching import MicroBatcher, execute_batch
 from repro.serve.cache import (
@@ -64,6 +70,7 @@ __all__ = [
     "PreparedEntry",
     "PreparedKey",
     "PreparedSolverCache",
+    "QuotaExceededError",
     "ResiliencePolicy",
     "ServeError",
     "ServiceClosedError",
@@ -74,6 +81,8 @@ __all__ = [
     "SolveRequest",
     "SolveTicket",
     "SolverService",
+    "UnknownDigestError",
+    "WireProtocolError",
     "digital_fallback",
     "execute_batch",
     "matrix_digest",

@@ -11,6 +11,7 @@ artifact in this repo).
 
 from __future__ import annotations
 
+import json
 import threading
 import time
 from collections import Counter
@@ -79,6 +80,59 @@ class ServiceMetrics:
         for name, value in self.cache.as_dict().items():
             out[f"cache_{name}"] = value
         return out
+
+    def as_json(self) -> str:
+        """JSON encoding of :meth:`as_dict` (histogram keys stringified).
+
+        This is the canonical serialized form: the network metrics
+        response, the bench artifacts, and the status CLI all consume
+        it instead of reaching into recorder internals.
+        """
+        data = self.as_dict()
+        data["batch_size_histogram"] = {
+            str(size): count for size, count in data["batch_size_histogram"].items()
+        }
+        return json.dumps(data)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServiceMetrics":
+        """Rebuild a snapshot from its :meth:`as_dict`/:meth:`as_json` form."""
+        return cls(
+            requests_submitted=data["requests_submitted"],
+            requests_completed=data["requests_completed"],
+            requests_failed=data["requests_failed"],
+            requests_rejected=data["requests_rejected"],
+            requests_shed=data["requests_shed"],
+            deadline_misses=data["deadline_misses"],
+            retries=data["retries"],
+            breaker_transitions=data["breaker_transitions"],
+            degraded=data["degraded"],
+            shard_crashes=data["shard_crashes"],
+            batches_executed=data["batches_executed"],
+            batch_size_histogram={
+                int(size): count
+                for size, count in data["batch_size_histogram"].items()
+            },
+            mean_batch_size=data["mean_batch_size"],
+            latency_p50_s=data["latency_p50_s"],
+            latency_p95_s=data["latency_p95_s"],
+            latency_p99_s=data["latency_p99_s"],
+            latency_mean_s=data["latency_mean_s"],
+            latency_max_s=data["latency_max_s"],
+            throughput_rps=data["throughput_rps"],
+            wall_s=data["wall_s"],
+            cache=CacheStats(
+                hits=data["cache_hits"],
+                misses=data["cache_misses"],
+                evictions=data["cache_evictions"],
+            ),
+            prepare_s=data["prepare_s"],
+        )
+
+    @classmethod
+    def from_json(cls, payload: str) -> "ServiceMetrics":
+        """Rebuild a snapshot from its :meth:`as_json` string."""
+        return cls.from_dict(json.loads(payload))
 
     def table(self, title: str = "solver service metrics") -> str:
         """ASCII table of the headline numbers."""

@@ -1,0 +1,114 @@
+"""Per-tenant token-bucket quotas for the network front-end.
+
+Each tenant owns one token bucket: capacity ``burst`` tokens, refilled
+continuously at ``rate_per_s``. A solve request costs one token; when a
+tenant's bucket is dry the front-end answers with a typed
+:class:`~repro.errors.QuotaExceededError` carrying a ``retry_after_s``
+hint — the time until one token accrues — instead of queueing work the
+tenant is not entitled to. Quotas are enforced *before* shedding and
+backpressure checks, so one chatty tenant exhausts its own budget, not
+the shared queue depth.
+
+The clock is injectable for deterministic tests; production uses
+``time.monotonic``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.errors import QuotaExceededError, ValidationError
+
+__all__ = ["QuotaPolicy", "TenantQuotas", "TokenBucket"]
+
+#: Tenant bucket used when a request carries no tenant id.
+ANONYMOUS_TENANT = "anonymous"
+
+
+@dataclass(frozen=True)
+class QuotaPolicy:
+    """Per-tenant rate limit: sustained ``rate_per_s``, burst ``burst``."""
+
+    rate_per_s: float
+    burst: float
+
+    def __post_init__(self):
+        if not self.rate_per_s > 0.0:
+            raise ValidationError(f"rate_per_s must be > 0, got {self.rate_per_s}")
+        if not self.burst >= 1.0:
+            raise ValidationError(f"burst must be >= 1, got {self.burst}")
+
+
+class TokenBucket:
+    """One tenant's bucket. ``try_acquire`` returns the retry-after hint.
+
+    Returns ``0.0`` when a token was taken, else the seconds until the
+    bucket will hold one token at the sustained rate. Not thread-safe on
+    its own — :class:`TenantQuotas` serializes access.
+    """
+
+    def __init__(self, policy: QuotaPolicy, clock=time.monotonic):
+        self.policy = policy
+        self._clock = clock
+        self._tokens = float(policy.burst)
+        self._last = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - self._last)
+        self._last = now
+        self._tokens = min(
+            float(self.policy.burst), self._tokens + elapsed * self.policy.rate_per_s
+        )
+
+    def try_acquire(self, cost: float = 1.0) -> float:
+        """Take ``cost`` tokens if available; else return seconds to wait."""
+        self._refill()
+        if self._tokens >= cost:
+            self._tokens -= cost
+            return 0.0
+        return (cost - self._tokens) / self.policy.rate_per_s
+
+    @property
+    def tokens(self) -> float:
+        """Current token balance (after a refill) — for tests/telemetry."""
+        self._refill()
+        return self._tokens
+
+
+class TenantQuotas:
+    """Thread-safe map of tenant id → :class:`TokenBucket`.
+
+    Buckets are created on first sight of a tenant (full burst), so new
+    tenants start with their full burst allowance.
+    """
+
+    def __init__(self, policy: QuotaPolicy, clock=time.monotonic):
+        self.policy = policy
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    def acquire(self, tenant: str | None) -> None:
+        """Charge one token to ``tenant`` or raise :class:`QuotaExceededError`."""
+        name = tenant or ANONYMOUS_TENANT
+        with self._lock:
+            bucket = self._buckets.get(name)
+            if bucket is None:
+                bucket = self._buckets[name] = TokenBucket(self.policy, self._clock)
+            retry_after = bucket.try_acquire()
+        if retry_after > 0.0:
+            raise QuotaExceededError(
+                f"tenant {name!r} exceeded {self.policy.rate_per_s:g}/s "
+                f"(burst {self.policy.burst:g})",
+                retry_after_s=retry_after,
+            )
+
+    def tokens(self, tenant: str | None) -> float:
+        """Current balance for ``tenant`` (burst if never seen)."""
+        name = tenant or ANONYMOUS_TENANT
+        with self._lock:
+            bucket = self._buckets.get(name)
+            return float(self.policy.burst) if bucket is None else bucket.tokens

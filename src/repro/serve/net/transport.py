@@ -1,0 +1,156 @@
+"""Shared-memory result transport between service workers and the front-end.
+
+A process worker answers a coalesced batch with a ``(2, batch, n)``
+float64 block — solution rows stacked over digital-reference rows. At
+production sizes that block is megabytes per batch; round-tripping it
+through a ``multiprocessing.Queue`` would pickle-copy it twice (worker →
+pipe → parent). Instead the worker publishes the block **once** into a
+:class:`multiprocessing.shared_memory.SharedMemory` segment and ships a
+tiny :class:`BlockRef` descriptor (name + shape) over the queue; the
+front-end maps the same physical pages and copies each row straight
+into its response frame.
+
+Bit-identity is preserved by construction: the segment holds the
+worker's raw float64 bytes — no serialization, rounding, or re-encoding
+touches them between ``execute_batch`` and the wire (see DESIGN.md).
+
+Lifecycle: the **consumer owns the segment**. :func:`publish_block`
+unregisters the segment from the worker's resource tracker and closes
+the worker-side mapping, so the front-end's :class:`AttachedBlock`
+releases the pages (``close`` + ``unlink``) once every row of the batch
+is consumed — or immediately, via :meth:`AttachedBlock.release`, when
+the owning worker dies mid-batch. A worker SIGKILLed between publish
+and descriptor delivery leaks its segment until interpreter exit, where
+the (fork-shared) resource tracker reaps it.
+
+Hosts without POSIX shared memory fall back to carrying the block bytes
+inline in the :class:`BlockRef` (one pickle copy — correct, just
+slower); ``ref.inline`` tells which path was taken.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.errors import ServeError
+
+__all__ = ["AttachedBlock", "BlockRef", "publish_block"]
+
+
+@dataclass(frozen=True)
+class BlockRef:
+    """Descriptor of one published result block (queue-sized, picklable)."""
+
+    #: Shared-memory segment name, or ``None`` for the inline fallback.
+    name: str | None
+    #: Rows in the block (requests of the batch).
+    batch: int
+    #: System size: each row region is ``(2, n)`` — solution, reference.
+    n: int
+    #: Inline payload when shared memory was unavailable.
+    payload: bytes | None = None
+
+    @property
+    def inline(self) -> bool:
+        """True when the block bytes travelled in the descriptor itself."""
+        return self.name is None
+
+
+def publish_block(xs: np.ndarray, references: np.ndarray) -> BlockRef:
+    """Publish one batch's solution/reference rows; returns the descriptor.
+
+    ``xs`` and ``references`` are ``(batch, n)`` float64 arrays (a lone
+    ``(n,)`` pair is treated as a batch of one). Called in the worker
+    process; the returned :class:`BlockRef` is what crosses the queue.
+    """
+    xs = np.atleast_2d(np.asarray(xs, dtype=float))
+    references = np.atleast_2d(np.asarray(references, dtype=float))
+    if xs.shape != references.shape:
+        raise ServeError(
+            f"solution block {xs.shape} and reference block "
+            f"{references.shape} disagree"
+        )
+    block = np.stack([xs, references])  # (2, batch, n), C-contiguous
+    try:
+        shm = shared_memory.SharedMemory(create=True, size=max(1, block.nbytes))
+    except OSError:
+        return BlockRef(
+            name=None, batch=xs.shape[0], n=xs.shape[1], payload=block.tobytes()
+        )
+    try:
+        view = np.ndarray(block.shape, dtype=float, buffer=shm.buf)
+        view[:] = block
+        del view
+    except BaseException:
+        shm.close()
+        shm.unlink()
+        raise
+    # Hand ownership to the consumer: without this, the worker-side
+    # tracker registration would flag (or reap) the segment when this
+    # process exits, racing the front-end's read.
+    try:
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+    shm.close()
+    return BlockRef(name=shm.name, batch=xs.shape[0], n=xs.shape[1])
+
+
+class AttachedBlock:
+    """Front-end view of one published block; releases after the last row.
+
+    ``row(i)`` returns independent ``(x, reference)`` copies, so the
+    response encoder never holds a view into pages about to be
+    unlinked. Thread-confined to the owning shard's pump thread — no
+    internal locking.
+    """
+
+    def __init__(self, ref: BlockRef):
+        self.ref = ref
+        self._remaining = ref.batch
+        if ref.inline:
+            self._shm = None
+            self._block = np.frombuffer(ref.payload, dtype=float).reshape(
+                2, ref.batch, ref.n
+            )
+        else:
+            self._shm = shared_memory.SharedMemory(name=ref.name)
+            self._block = np.ndarray(
+                (2, ref.batch, ref.n), dtype=float, buffer=self._shm.buf
+            )
+
+    @property
+    def released(self) -> bool:
+        """True once the segment has been unmapped and unlinked."""
+        return self._block is None
+
+    def row(self, index: int) -> tuple[np.ndarray, np.ndarray]:
+        """Copy out row ``index`` and consume one reference count."""
+        if self._block is None:
+            raise ServeError("result block already released")
+        if not 0 <= index < self.ref.batch:
+            raise ServeError(
+                f"row {index} out of range for batch of {self.ref.batch}"
+            )
+        x = np.array(self._block[0, index], dtype=float)
+        reference = np.array(self._block[1, index], dtype=float)
+        self._remaining -= 1
+        if self._remaining <= 0:
+            self.release()
+        return x, reference
+
+    def release(self) -> None:
+        """Unmap and unlink the segment (idempotent; also the crash path)."""
+        if self._block is None:
+            return
+        self._block = None
+        if self._shm is not None:
+            self._shm.close()
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - double-release race
+                pass
+            self._shm = None

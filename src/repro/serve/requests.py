@@ -68,6 +68,10 @@ class SolveRequest:
         :class:`~repro.errors.DeadlineExceededError` instead of
         occupying a batch slot. ``None`` defers to the service's
         :class:`~repro.serve.resilience.ResiliencePolicy` default.
+    tenant:
+        Tenant identity for per-tenant quota accounting at the network
+        tier (:mod:`repro.serve.net`); the in-process service ignores
+        it. ``None`` means the anonymous tenant.
     digest:
         Precomputed :func:`matrix_digest` (skips re-hashing when the
         caller submits the same matrix many times).
@@ -80,6 +84,7 @@ class SolveRequest:
     seed: int = 0
     prep_seed: int | None = None
     deadline_s: float | None = None
+    tenant: str | None = None
     digest: str = field(default="")
 
     def __post_init__(self):

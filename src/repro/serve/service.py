@@ -46,9 +46,13 @@ to :func:`run_sequential` over the same requests — regardless of worker
 count, queue timing, how batches happened to form, or how many faulted
 batches were bisected along the way.
 
-The service is in-process by design (the engines are NumPy-bound and
-release the GIL inside BLAS); a network front-end can wrap
-:meth:`SolverService.submit` without touching the scheduling core.
+This class is the **in-process, thread-sharded** tier (the engines are
+NumPy-bound and release the GIL inside BLAS). The network tier —
+:mod:`repro.serve.net` — serves the same requests over TCP through
+**process-based** workers that escape the GIL entirely, reusing this
+module's building blocks (:func:`resolve_request`, the prepared cache,
+the micro-batcher, and :func:`~repro.serve.batching.execute_batch`), so
+both tiers answer with identical bits.
 """
 
 from __future__ import annotations
@@ -88,7 +92,13 @@ from repro.serve.resilience import (
     digital_fallback,
 )
 
-__all__ = ["ServiceConfig", "SolveTicket", "SolverService", "run_sequential"]
+__all__ = [
+    "ServiceConfig",
+    "SolveTicket",
+    "SolverService",
+    "resolve_request",
+    "run_sequential",
+]
 
 #: Idle-poll period of the worker loops (shutdown latency bound).
 _POLL_S = 0.02
@@ -181,8 +191,15 @@ class ServiceConfig:
             )
 
 
-def _resolve(request: SolveRequest, config: ServiceConfig) -> tuple[PreparedKey, HardwareConfig]:
-    """Apply service defaults and derive the request's cache identity."""
+def resolve_request(
+    request: SolveRequest, config: ServiceConfig
+) -> tuple[PreparedKey, HardwareConfig]:
+    """Apply service defaults and derive the request's cache identity.
+
+    Shared by the thread service, the sequential reference, and the
+    ``repro.serve.net`` process workers, so "which prepared macro
+    answers this request" is one definition across every serving tier.
+    """
     hardware = request.hardware if request.hardware is not None else config.default_hardware
     solver = request.solver if request.solver is not None else config.default_solver
     if solver not in SOLVER_KINDS:
@@ -191,6 +208,10 @@ def _resolve(request: SolveRequest, config: ServiceConfig) -> tuple[PreparedKey,
         request.prep_seed if request.prep_seed is not None else config.default_prep_seed
     )
     return PreparedKey(request.digest, hardware.cache_key(), solver, prep_seed), hardware
+
+
+#: Backward-compatible private alias (pre-net internal name).
+_resolve = resolve_request
 
 
 class SolveTicket:

@@ -73,7 +73,10 @@ class WorkerKillChaos(BaseException):
     Deliberately a ``BaseException``: the service's per-batch ``except
     Exception`` handlers must *not* see it, so it reaches the
     last-resort crash handler in ``_worker_main`` — the code path a
-    genuine interpreter-level fault would take.
+    genuine interpreter-level fault would take. Carries the triggering
+    rhs ``tag`` so the process-tier workers (:mod:`repro.serve.net`),
+    which lose in-memory kill state when they are actually SIGKILLed,
+    can budget kills through the plan's ``state_dir`` markers.
     """
 
 
@@ -268,7 +271,9 @@ class _ChaosPrepared:
                 and tag not in self._killed
             ):
                 self._killed.add(tag)
-                raise WorkerKillChaos(f"chaos: simulated worker death on rhs {tag}")
+                chaos = WorkerKillChaos(f"chaos: simulated worker death on rhs {tag}")
+                chaos.tag = tag
+                raise chaos
             if plan.decides("fail", plan.solve_failure_rate, tag):
                 raise SolverError(f"chaos: injected solve failure on rhs {tag}")
 

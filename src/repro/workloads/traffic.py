@@ -17,16 +17,18 @@ results between the concurrent service and the sequential reference.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
-from repro.errors import ValidationError
+from repro.errors import ValidationError, is_retryable
 from repro.serve.cache import SOLVER_KINDS
 from repro.serve.requests import SolveRequest, matrix_digest
 from repro.utils.rng import RngStream
 from repro.workloads.matrices import random_vector, toeplitz_matrix, wishart_matrix
 from repro.workloads.pde import poisson_1d
 
-__all__ = ["TRAFFIC_FAMILIES", "mixed_traffic"]
+__all__ = ["TRAFFIC_FAMILIES", "drive_network", "mixed_traffic"]
 
 #: Matrix families available to traffic generation.
 TRAFFIC_FAMILIES = {
@@ -132,3 +134,53 @@ def mixed_traffic(
             )
         )
     return requests
+
+
+def drive_network(
+    client,
+    requests,
+    *,
+    max_rounds: int = 1,
+    backoff_s: float = 0.05,
+    timeout_s: float | None = None,
+) -> list:
+    """Drive a request stream through a network client, fully pipelined.
+
+    Submits every request before gathering any response (the wire
+    protocol matches responses by id, so the stream stays in flight),
+    then re-submits **retryable** failures — shed load, expired
+    deadlines, crashed workers — for up to ``max_rounds`` total rounds,
+    sleeping ``backoff_s`` between rounds. This is the canonical client
+    loop of the net serving bench and the CI smoke: deterministic
+    requests in, an outcome per request out.
+
+    ``client`` is anything with ``submit_request(request) -> ticket``
+    (a :class:`~repro.serve.net.client.NetClient`). Returns one outcome
+    per request, aligned with the input order: a
+    :class:`~repro.core.solution.LeanSolveResult` on success, or the
+    typed exception of the *last* round on persistent failure — never a
+    bare traceback, never a missing slot.
+    """
+    if max_rounds < 1:
+        raise ValidationError(f"max_rounds must be >= 1, got {max_rounds}")
+    if backoff_s < 0.0:
+        raise ValidationError(f"backoff_s must be >= 0, got {backoff_s}")
+    outcomes: list = [None] * len(requests)
+    pending = list(range(len(requests)))
+    for round_index in range(max_rounds):
+        if not pending:
+            break
+        tickets = [(i, client.submit_request(requests[i])) for i in pending]
+        retry = []
+        for i, ticket in tickets:
+            exc = ticket.exception(timeout_s)
+            if exc is None:
+                outcomes[i] = ticket.result(0)
+            else:
+                outcomes[i] = exc
+                if is_retryable(exc) and round_index + 1 < max_rounds:
+                    retry.append(i)
+        pending = retry
+        if pending and backoff_s > 0.0:
+            time.sleep(backoff_s)
+    return outcomes

@@ -210,6 +210,17 @@ class TestArtifactStore:
         with pytest.raises(CampaignError, match="no completed unit"):
             ArtifactStore(tmp_path).load_unit("missing")
 
+    def test_read_meta_skips_arrays(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        meta = {"unit": {"key": "abc"}, "runtime": {"elapsed_s": 2.5}}
+        store.write_unit("abc", {"x": np.ones(3)}, meta)
+        assert store.read_meta("abc") == meta
+        assert store.read_meta("missing") is None
+        # an orphaned npz (sidecar never landed) is not completed
+        store.write_unit("orphan", {"x": np.ones(3)}, {"unit": {}})
+        (store.units_dir / "orphan.json").unlink()
+        assert store.read_meta("orphan") is None
+
     def test_manifest_pins_spec_digest(self, tmp_path):
         store = ArtifactStore(tmp_path)
         store.write_manifest(TINY)
@@ -312,6 +323,29 @@ class TestCampaignDeterminism:
         assert resumed.skipped_units == 1  # no recomputation
         assert resumed.completed_units == 3
         assert stores_equal(ArtifactStore(reference), ArtifactStore(resumable))
+
+    def test_status_progress_rate_and_eta(self, tmp_path):
+        """Progress/rate/ETA derive from the completed units' sidecars."""
+        partial = run_campaign(TINY, tmp_path, workers=0, max_units=2)
+        assert partial.completed_units == 2
+        status = campaign_status(TINY, ArtifactStore(tmp_path))
+        assert status.progress_percent == pytest.approx(50.0)
+        assert status.completed_elapsed_s > 0.0
+        assert status.units_per_s > 0.0
+        # ETA = remaining units x mean completed unit time.
+        mean_unit_s = status.completed_elapsed_s / status.completed_units
+        assert status.eta_s == pytest.approx(2 * mean_unit_s)
+
+        run_campaign(TINY, tmp_path, workers=0)
+        done = campaign_status(TINY, ArtifactStore(tmp_path))
+        assert done.progress_percent == pytest.approx(100.0)
+        assert done.eta_s == pytest.approx(0.0)
+
+    def test_status_estimates_before_any_unit_completed(self, tmp_path):
+        status = campaign_status(TINY, ArtifactStore(tmp_path))
+        assert status.progress_percent == 0.0
+        assert status.units_per_s == 0.0
+        assert status.eta_s is None  # no basis for an estimate yet
 
     def test_rerun_of_finished_campaign_is_noop(self, tmp_path):
         run_campaign(TINY, tmp_path, workers=0)

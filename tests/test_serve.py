@@ -30,10 +30,13 @@ from repro.errors import (
 )
 from repro.serve import (
     SOLVER_KINDS,
+    CacheStats,
+    MetricsRecorder,
     MicroBatcher,
     PreparedKey,
     PreparedSolverCache,
     ServiceConfig,
+    ServiceMetrics,
     SolveRequest,
     SolverService,
     execute_batch,
@@ -453,6 +456,109 @@ class TestMetrics:
             mixed_traffic(4, unique_matrices=0)
         with pytest.raises(ValidationError):
             mixed_traffic(4, families=("nope",))
+
+    def test_json_round_trip(self):
+        requests = _requests(n=6, unique=2)
+        config = ServiceConfig(workers=1, max_batch_size=4)
+        with SolverService(config) as service:
+            service.solve_all(requests)
+            metrics = service.metrics()
+        rebuilt = ServiceMetrics.from_json(metrics.as_json())
+        assert rebuilt == metrics
+
+
+class TestMetricsRecorderConcurrency:
+    """The recorder's counters stay exact when many threads hammer it.
+
+    Every service tier — thread shards, pump threads of the process
+    pool, the asyncio front-end — records into one shared
+    :class:`MetricsRecorder`; a lost update would silently corrupt the
+    bench artifacts. Threads record a known per-bucket mix, and the
+    final snapshot must account for every event exactly. Snapshots
+    taken *during* the storm must also be internally consistent:
+    resolved requests never exceed submitted ones.
+    """
+
+    THREADS = 8
+    PER_THREAD = 250  # multiple of 5 so each bucket count is exact
+
+    def _hammer(self, recorder, index):
+        for i in range(self.PER_THREAD):
+            recorder.record_submit()
+            bucket = (index + i) % 5
+            if bucket == 0:
+                recorder.record_shed()
+            elif bucket == 1:
+                recorder.record_deadline_miss()
+                recorder.record_done(0.002, failed=True)
+            elif bucket == 2:
+                recorder.record_done(0.003, failed=True)
+            else:
+                recorder.record_done(0.001)
+            recorder.record_batch(1 + bucket)
+            recorder.record_prepare(0.001)
+            recorder.record_retry()
+
+    def test_concurrent_recording_is_exact(self):
+        recorder = MetricsRecorder()
+        with ThreadPoolExecutor(max_workers=self.THREADS) as pool:
+            list(pool.map(lambda i: self._hammer(recorder, i), range(self.THREADS)))
+        metrics = recorder.snapshot(CacheStats())
+        total = self.THREADS * self.PER_THREAD
+        per_bucket = total // 5
+        assert metrics.requests_submitted == total
+        assert metrics.requests_shed == per_bucket
+        assert metrics.deadline_misses == per_bucket
+        assert metrics.requests_failed == 2 * per_bucket
+        assert metrics.requests_completed == 2 * per_bucket
+        resolved = (
+            metrics.requests_completed
+            + metrics.requests_failed
+            + metrics.requests_shed
+        )
+        assert resolved == metrics.requests_submitted
+        assert metrics.retries == total
+        assert sum(metrics.batch_size_histogram.values()) == total
+        assert metrics.batch_size_histogram == {
+            size: per_bucket for size in range(1, 6)
+        }
+        assert metrics.prepare_s == pytest.approx(total * 0.001)
+        assert len(recorder.latencies) == 4 * per_bucket
+
+    def test_snapshots_during_storm_stay_consistent(self):
+        recorder = MetricsRecorder()
+        stop = threading.Event()
+        snapshots = []
+
+        def observe():
+            while not stop.is_set():
+                snapshots.append(recorder.snapshot(CacheStats()))
+
+        observer = threading.Thread(target=observe)
+        observer.start()
+        try:
+            with ThreadPoolExecutor(max_workers=self.THREADS) as pool:
+                list(
+                    pool.map(
+                        lambda i: self._hammer(recorder, i), range(self.THREADS)
+                    )
+                )
+        finally:
+            stop.set()
+            observer.join()
+        assert snapshots
+        for metrics in snapshots:
+            # Each thread submits before it resolves, so no snapshot may
+            # ever show more resolved requests than submitted ones.
+            resolved = (
+                metrics.requests_completed
+                + metrics.requests_failed
+                + metrics.requests_shed
+            )
+            assert resolved <= metrics.requests_submitted
+            # A deadline miss precedes its failed completion; at most
+            # one can be in flight per thread at any instant.
+            assert metrics.deadline_misses <= metrics.requests_failed + self.THREADS
 
 
 class TestLeanResults:
