@@ -27,10 +27,14 @@ from repro.amc.config import HardwareConfig
 from repro.analysis.accuracy import accuracy_sweep, run_trials, run_trials_batched
 from repro.analysis.reporting import format_table
 from repro.circuits.generators import build_mvm_circuit
+from repro.circuits.mna import assemble_mna
 from repro.core.blockamc import BlockAMCSolver
 from repro.core.multistage import MultiStageSolver
 from repro.core.original import OriginalAMCSolver
-from repro.crossbar.parasitics import exact_effective_matrix
+from repro.crossbar.parasitics import (
+    exact_effective_matrix,
+    exact_effective_matrix_batch,
+)
 from repro.workloads.matrices import random_vector, wishart_matrix
 
 #: Tier-1-scale sweep shape (the CI-friendly Fig. 7 configuration).
@@ -47,6 +51,14 @@ MIN_ASSEMBLY_SPEEDUP = 1.25
 #: The ISSUE-5 acceptance floor: a >= 32-RHS multi-stage batch must beat
 #: the sequential solve loop by at least 3x (measured ~20x at merge).
 MIN_MULTISTAGE_SPEEDUP = 3.0
+#: The ISSUE-8 acceptance floor: columnar build+assemble must beat the
+#: cell-by-cell object pipeline by at least 5x (measured ~7x at merge).
+MIN_COLUMNAR_SPEEDUP = 5.0
+#: The batched exact extractor's win is amortization of the block
+#: assembly; the per-trial LAPACK sweep dominates and cannot be stacked
+#: without changing bits, so the honest floor is modest (measured ~1.4x
+#: at 16x16; parity at 64x64).
+MIN_BATCHED_EXACT_SPEEDUP = 1.05
 
 _report = PerfReport()
 
@@ -278,6 +290,112 @@ def test_netlist_assembly(report):
         ),
     )
     assert speedup >= MIN_ASSEMBLY_SPEEDUP
+
+
+def test_netlist_assembly_columnar(report):
+    """Columnar struct-of-arrays pipeline vs the cell-by-cell reference.
+
+    Times the full netlist-to-MNA pipeline (build + assemble): the
+    reference path appends ~100k element objects and stamps them one by
+    one; the columnar path interns node arrays, appends contiguous
+    value columns, and bulk-stamps whole runs. The assembled systems
+    must be **byte-identical** — same node order, same branch order,
+    same sparse structure, same floats — so the speedup can never come
+    from assembling a different (even reordered) system.
+    """
+    n = 128 if not paper_scale() else 256
+    rng = np.random.default_rng(11)
+    g_pos = rng.uniform(1e-6, 1e-4, size=(n, n))
+    g_neg = rng.uniform(1e-6, 1e-4, size=(n, n))
+    v_in = rng.uniform(-1.0, 1.0, size=n)
+
+    def reference():
+        circuit, _ = build_mvm_circuit(
+            g_pos, g_neg, v_in, 1e-4, r_wire=1.0, bulk=False
+        )
+        return assemble_mna(circuit)
+
+    def columnar():
+        circuit, _ = build_mvm_circuit(
+            g_pos, g_neg, v_in, 1e-4, r_wire=1.0, columnar=True
+        )
+        return assemble_mna(circuit)
+
+    ref_sys = reference()
+    col_sys = columnar()
+    assert col_sys.node_index == ref_sys.node_index
+    assert col_sys.branch_index == ref_sys.branch_index
+    assert col_sys.dense == ref_sys.dense
+    if ref_sys.dense:
+        assert col_sys.matrix.tobytes() == ref_sys.matrix.tobytes()
+    else:
+        assert col_sys.matrix.data.tobytes() == ref_sys.matrix.data.tobytes()
+        assert col_sys.matrix.indices.tobytes() == ref_sys.matrix.indices.tobytes()
+        assert col_sys.matrix.indptr.tobytes() == ref_sys.matrix.indptr.tobytes()
+
+    old_s = time_call(reference, repeats=2)
+    new_s = time_call(columnar, repeats=3)
+    speedup = _report.add(
+        f"netlist_assembly_columnar_{n}x{n}",
+        old_s,
+        new_s,
+        detail=(
+            f"MVM ladder build+assemble at {n}x{n}: cell-by-cell objects "
+            "vs ColumnarCircuit bulk stamping (byte-identical MNA system)"
+        ),
+    )
+    report(
+        "perf_netlist_columnar",
+        format_table(
+            ["path", "ms"],
+            [["object pipeline", old_s * 1e3], ["columnar pipeline", new_s * 1e3]],
+            title=f"columnar MVM build+assemble {n}x{n} — {speedup:.1f}x",
+        ),
+    )
+    assert speedup >= MIN_COLUMNAR_SPEEDUP
+
+
+def test_exact_parasitics_batched(report):
+    """Batched exact extraction vs the per-trial scalar loop, 64 trials.
+
+    The batched engine amortizes Schur block assembly and input
+    validation across the stack; the back-substitution sweep stays
+    per-trial LAPACK (stacking it would change low-order bits).
+    Bit-identity per trial is asserted, not approximate closeness.
+    """
+    trials, n = 64, 16
+    rng = np.random.default_rng(13)
+    g = rng.uniform(0.0, 1e-4, size=(trials, n, n))
+    r_wire = 1.0
+
+    def scalar_loop():
+        return np.stack([exact_effective_matrix(g[t], r_wire) for t in range(trials)])
+
+    def batched():
+        return exact_effective_matrix_batch(g, r_wire)
+
+    assert np.array_equal(scalar_loop(), batched())
+
+    old_s = time_call(scalar_loop, repeats=3)
+    new_s = time_call(batched, repeats=5)
+    speedup = _report.add(
+        f"exact_parasitics_batched_{trials}trials",
+        old_s,
+        new_s,
+        detail=(
+            f"{trials} stacked {n}x{n} exact extractions: per-trial scalar "
+            "loop vs batched Schur assembly (bit-identical per trial)"
+        ),
+    )
+    report(
+        "perf_exact_batched",
+        format_table(
+            ["path", "ms"],
+            [["scalar loop", old_s * 1e3], ["batched engine", new_s * 1e3]],
+            title=f"batched exact parasitics {trials}x{n}x{n} — {speedup:.2f}x",
+        ),
+    )
+    assert speedup >= MIN_BATCHED_EXACT_SPEEDUP
 
 
 def test_write_artifact():

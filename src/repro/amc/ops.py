@@ -263,6 +263,7 @@ class AMCOperations:
                 else 0.0,
                 opamp_gain=None if math.isinf(gain) else gain,
                 offsets=offsets,
+                columnar=True,
             )
 
         assembled, outputs = self._cached_assembly(array, ("mvm", id(offsets)), build)
@@ -369,6 +370,7 @@ class AMCOperations:
                 else 0.0,
                 opamp_gain=None if math.isinf(gain) else gain,
                 offsets=offsets,
+                columnar=True,
             )
 
         assembled, outputs = self._cached_assembly(

@@ -7,6 +7,8 @@ exactly:
 
 - :mod:`repro.circuits.elements` — resistors, sources, VCVS, op-amps;
 - :mod:`repro.circuits.netlist` — the :class:`Circuit` container;
+- :mod:`repro.circuits.columnar` — the struct-of-arrays
+  :class:`ColumnarCircuit` container with bulk MNA stamping;
 - :mod:`repro.circuits.mna` — assembly and the dense/sparse DC solver;
 - :mod:`repro.circuits.generators` — netlist builders for the paper's MVM
   and INV crossbar topologies (Fig. 1), including wire resistance;
@@ -33,6 +35,7 @@ from repro.circuits.elements import (
     VCVS,
     VoltageSource,
 )
+from repro.circuits.columnar import ColumnarCircuit
 from repro.circuits.generators import build_inv_circuit, build_mvm_circuit
 from repro.circuits.mna import (
     AssembledMNA,
@@ -52,6 +55,7 @@ __all__ = [
     "ACSolution",
     "AssembledMNA",
     "Circuit",
+    "ColumnarCircuit",
     "CurrentSource",
     "DCSolution",
     "IdealOpAmp",

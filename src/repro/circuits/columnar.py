@@ -1,0 +1,502 @@
+"""Columnar (struct-of-arrays) circuit representation.
+
+:class:`ColumnarCircuit` is the bulk counterpart of
+:class:`repro.circuits.netlist.Circuit`: instead of one frozen dataclass
+per element it keeps contiguous NumPy columns per element *kind* —
+node-index arrays and value arrays — so a 100k-element crossbar ladder
+costs a handful of array appends rather than 100k object constructions.
+MNA stamping is equally bulk: every run of homogeneous elements expands
+into its COO entries with vectorized index arithmetic.
+
+Equivalence contract (enforced by ``tests/test_kernel_equivalence.py``):
+a :class:`ColumnarCircuit` holding the same netlist as a
+:class:`Circuit` assembles a **bit-identical**
+:class:`~repro.circuits.mna.AssembledMNA` — same node and branch
+ordering, same matrix bytes, same right-hand-side machinery. Two design
+rules make that possible:
+
+- node names intern to integer ids on first use (ground spellings
+  canonicalize to id ``-1`` at the door — the container invariant the
+  object netlist enforces through ``canonical_node``), and assembly maps
+  intern ids onto the same sorted-name ordering ``Circuit`` uses;
+- elements append in *runs* (one bulk call = one run), and stamping
+  emits each run's COO entries in element-major order — exactly the
+  per-element entry sequence of the reference assembler — so duplicate
+  accumulation order (and therefore every low bit of ``np.add.at`` /
+  ``csc_matrix`` duplicate summation) is preserved.
+
+What stays object-based: the scalar :class:`Circuit` remains the
+container for hand-built netlists, element introspection, and AC /
+transient analysis; :class:`ColumnarCircuit` covers the generator hot
+path (DC MNA assembly of machine-built ladders) where element identity
+is never inspected.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.elements import (
+    Capacitor,
+    CurrentSource,
+    IdealOpAmp,
+    Inductor,
+    Resistor,
+    VCVS,
+    VoltageSource,
+)
+from repro.circuits.netlist import Circuit, _GROUND_SET
+from repro.errors import CircuitError
+
+__all__ = ["ColumnarCircuit", "assemble_columnar_mna"]
+
+#: Element-kind tags (aligned with the auto-name prefixes of ``Circuit``).
+_RESISTOR = "R"
+_CAPACITOR = "C"
+_INDUCTOR = "L"
+_VSOURCE = "V"
+_ISOURCE = "I"
+_VCVS = "E"
+_OPAMP = "U"
+
+#: Kinds that introduce an MNA branch unknown, and kinds that appear in
+#: the right-hand side. Branch indices are assigned in run order, which
+#: matches element order for identically-ordered netlists.
+_BRANCH_KINDS = frozenset((_VSOURCE, _VCVS, _OPAMP, _INDUCTOR))
+_NAMED_KINDS = _BRANCH_KINDS | {_ISOURCE}
+
+
+class ColumnarCircuit:
+    """A netlist stored as contiguous per-kind arrays (no element objects).
+
+    Nodes are referred to by name (interned on first use, ground
+    canonicalized to ``"0"``) or directly by the integer ids
+    :meth:`node_ids` returns — generators use id arithmetic to wire
+    whole ladders without per-cell string work. Elements land through
+    bulk appenders only; names are required for voltage-defined elements
+    and sources (they key ``branch_index`` / source overrides) and
+    optional elsewhere.
+    """
+
+    def __init__(self, title: str = ""):
+        self.title = title
+        self._node_names: list[str] = []
+        self._node_ids: dict[str, int] = {g: -1 for g in _GROUND_SET}
+        self._names: set[str] = set()
+        self._runs: list[tuple[str, int, int]] = []
+        self._columns: dict[str, dict[str, list[np.ndarray]]] = {}
+        self._kind_names: dict[str, list[str | None]] = {}
+        self._kind_counts: dict[str, int] = {}
+        self._total = 0
+
+    # ------------------------------------------------------------------
+    # nodes
+    # ------------------------------------------------------------------
+    def node_ids(self, names) -> np.ndarray:
+        """Intern node names; returns their integer ids (ground is ``-1``).
+
+        Interning is idempotent — asking for a known name returns its
+        existing id — so callers can hold id arrays and wire connectivity
+        with pure integer arithmetic.
+        """
+        ids = self._node_ids
+        intern = self._node_names
+        missing = [name for name in names if name not in ids]
+        if missing:
+            fresh = list(dict.fromkeys(missing))  # dedupe, order-preserving
+            for name in fresh:
+                if not isinstance(name, str) or not name:
+                    raise CircuitError(
+                        f"node names must be non-empty strings, got {name!r}"
+                    )
+            base = len(intern)
+            ids.update(zip(fresh, range(base, base + len(fresh))))
+            intern.extend(fresh)
+            if len(fresh) == len(names):
+                # Every name was new and unique: ids are sequential.
+                return np.arange(base, base + len(fresh), dtype=np.intp)
+        return np.fromiter(
+            map(ids.__getitem__, names), dtype=np.intp, count=len(names)
+        )
+
+    def _as_ids(self, nodes) -> np.ndarray:
+        """Accept node names or pre-interned id arrays."""
+        if isinstance(nodes, np.ndarray) and nodes.dtype.kind in "iu":
+            ids = nodes.astype(np.intp, copy=False)
+            if ids.size and (ids.min() < -1 or ids.max() >= len(self._node_names)):
+                raise CircuitError("node id out of range")
+            return ids
+        return self.node_ids(list(nodes))
+
+    def nodes(self) -> list[str]:
+        """Sorted list of all node names (excluding ground)."""
+        return sorted(self._node_names)
+
+    def __len__(self) -> int:
+        return self._total
+
+    # ------------------------------------------------------------------
+    # bulk appenders
+    # ------------------------------------------------------------------
+    def _append(self, kind: str, names, count: int, **columns) -> None:
+        if names is None:
+            if kind in _NAMED_KINDS:
+                raise CircuitError(
+                    f"elements of kind {kind!r} require explicit names"
+                )
+            name_list: list[str | None] = [None] * count
+        else:
+            name_list = list(names)
+            if len(name_list) != count:
+                raise CircuitError("bulk argument lengths differ")
+            fresh = set(name_list)
+            if len(fresh) != count:
+                seen: set[str] = set()
+                for name in name_list:
+                    if name in seen:
+                        raise CircuitError(f"duplicate element name {name!r}")
+                    seen.add(name)
+            clash = fresh & self._names
+            if clash:
+                raise CircuitError(f"duplicate element name {sorted(clash)[0]!r}")
+            self._names |= fresh
+        store = self._columns.setdefault(kind, {})
+        for field, values in columns.items():
+            store.setdefault(field, []).append(values)
+        self._kind_names.setdefault(kind, []).extend(name_list)
+        start = self._kind_counts.get(kind, 0)
+        self._kind_counts[kind] = start + count
+        self._runs.append((kind, start, start + count))
+        self._total += count
+
+    def _two_terminal(
+        self, kind: str, a, b, values, names, field: str, positive: bool
+    ) -> None:
+        a = self._as_ids(a)
+        b = self._as_ids(b)
+        values = np.asarray(values, dtype=float)
+        if not a.shape == b.shape == values.shape or values.ndim != 1:
+            raise CircuitError("bulk argument lengths differ")
+        if positive and not np.all(values > 0.0):
+            bad = float(values[values <= 0.0][0])
+            raise CircuitError(f"{field} must be > 0, got {bad}")
+        self._append(kind, names, values.size, a=a, b=b, value=values)
+
+    def resistors(self, a, b, resistances, names=None) -> None:
+        """Bulk-append resistors (node names or id arrays)."""
+        self._two_terminal(_RESISTOR, a, b, resistances, names, "resistance", True)
+
+    def conductors(self, a, b, conductances, names=None) -> None:
+        """Bulk-append resistors specified by conductance (siemens).
+
+        Stored as resistances (``1/g``) exactly like the object netlist,
+        so the stamped conductance is the same double reciprocal.
+        """
+        conductances = np.asarray(conductances, dtype=float)
+        if conductances.ndim != 1:
+            raise CircuitError("conductances must be a 1-D sequence")
+        if not np.all(conductances > 0.0):
+            bad = float(conductances[conductances <= 0.0][0])
+            raise CircuitError(f"conductance must be > 0, got {bad}")
+        self._two_terminal(
+            _RESISTOR, a, b, 1.0 / conductances, names, "resistance", True
+        )
+
+    def capacitors(self, a, b, capacitances, names=None) -> None:
+        """Bulk-append capacitors (open at DC; kept for netlist parity)."""
+        self._two_terminal(_CAPACITOR, a, b, capacitances, names, "capacitance", True)
+
+    def inductors(self, a, b, inductances, names) -> None:
+        """Bulk-append inductors (0 V branches at DC)."""
+        self._two_terminal(_INDUCTOR, a, b, inductances, names, "inductance", True)
+
+    def vsources(self, plus, minus, values, names) -> None:
+        """Bulk-append independent voltage sources."""
+        self._two_terminal(_VSOURCE, plus, minus, values, names, "value", False)
+
+    def isources(self, plus, minus, values, names) -> None:
+        """Bulk-append independent current sources."""
+        self._two_terminal(_ISOURCE, plus, minus, values, names, "value", False)
+
+    def opamps(self, inverting, noninverting, output, names) -> None:
+        """Bulk-append ideal (nullor) op-amps."""
+        inv = self._as_ids(inverting)
+        noninv = self._as_ids(noninverting)
+        out = self._as_ids(output)
+        if not inv.shape == noninv.shape == out.shape or inv.ndim != 1:
+            raise CircuitError("bulk argument lengths differ")
+        self._append(
+            _OPAMP, names, inv.size, inverting=inv, noninverting=noninv, output=out
+        )
+
+    def vcvs(self, out_plus, out_minus, ctrl_plus, ctrl_minus, gains, names) -> None:
+        """Bulk-append voltage-controlled voltage sources."""
+        op = self._as_ids(out_plus)
+        om = self._as_ids(out_minus)
+        cp = self._as_ids(ctrl_plus)
+        cn = self._as_ids(ctrl_minus)
+        gains = np.asarray(gains)
+        if np.iscomplexobj(gains):
+            raise CircuitError(
+                "ColumnarCircuit VCVS gains must be real; use Circuit + solve_ac "
+                "for AC analysis"
+            )
+        gains = gains.astype(float, copy=False)
+        if (
+            not op.shape == om.shape == cp.shape == cn.shape == gains.shape
+            or gains.ndim != 1
+        ):
+            raise CircuitError("bulk argument lengths differ")
+        self._append(
+            _VCVS,
+            names,
+            gains.size,
+            out_plus=op,
+            out_minus=om,
+            ctrl_plus=cp,
+            ctrl_minus=cn,
+            gain=gains,
+        )
+
+    # ------------------------------------------------------------------
+    # conversion and assembly support
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_circuit(cls, circuit: Circuit) -> "ColumnarCircuit":
+        """Columnar copy of an object netlist, element order preserved.
+
+        Every element becomes its own single-element run, so the COO
+        entry sequence (and with it every accumulated low bit) matches
+        the reference assembler exactly.
+        """
+        columnar = cls(circuit.title)
+        for e in circuit.elements:
+            if isinstance(e, Resistor):
+                columnar.resistors([e.a], [e.b], [e.resistance], [e.name])
+            elif isinstance(e, Capacitor):
+                columnar.capacitors([e.a], [e.b], [e.capacitance], [e.name])
+            elif isinstance(e, Inductor):
+                columnar.inductors([e.a], [e.b], [e.inductance], [e.name])
+            elif isinstance(e, VoltageSource):
+                columnar.vsources([e.plus], [e.minus], [e.value], [e.name])
+            elif isinstance(e, CurrentSource):
+                columnar.isources([e.plus], [e.minus], [e.value], [e.name])
+            elif isinstance(e, VCVS):
+                columnar.vcvs(
+                    [e.out_plus],
+                    [e.out_minus],
+                    [e.ctrl_plus],
+                    [e.ctrl_minus],
+                    [e.gain],
+                    [e.name],
+                )
+            elif isinstance(e, IdealOpAmp):
+                columnar.opamps(
+                    [e.inverting], [e.noninverting], [e.output], [e.name]
+                )
+            else:  # pragma: no cover - union is closed
+                raise CircuitError(f"unknown element type {type(e).__name__}")
+        return columnar
+
+    def _kind_arrays(self, kind: str) -> dict[str, np.ndarray]:
+        store = self._columns.get(kind, {})
+        return {
+            field: np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
+            for field, chunks in store.items()
+        }
+
+    def _sorted_nodes(self) -> tuple[list[str], np.ndarray]:
+        """``(sorted node names, intern-id -> sorted-row lookup)``.
+
+        The lookup's trailing slot holds -1, so indexing it with a ground
+        id (-1 wraps to the last slot) keeps ground as -1. NumPy's
+        lexicographic string sort matches Python's ``sorted``, so the
+        row ordering is exactly the object netlist's ``nodes()`` order.
+        """
+        n = len(self._node_names)
+        if n == 0:
+            return [], np.full(1, -1, dtype=np.intp)
+        names_arr = np.array(self._node_names)
+        order = np.argsort(names_arr, kind="stable")
+        lookup = np.empty(n + 1, dtype=np.intp)
+        lookup[order] = np.arange(n, dtype=np.intp)
+        lookup[n] = -1
+        return names_arr[order].tolist(), lookup
+
+    def resistor_stamp(
+        self, node_index: dict[str, int]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(idx_a, idx_b, conductance)`` over all resistors.
+
+        The hook :class:`~repro.circuits.mna.DCSolution` uses for
+        vectorized resistor power (the object netlist derives the same
+        arrays by iterating elements). ``node_index`` must be this
+        circuit's own assembly index — i.e. sorted node order, the only
+        index :func:`assemble_columnar_mna` ever produces.
+        """
+        arrays = self._kind_arrays(_RESISTOR)
+        if not arrays:
+            empty = np.empty(0, dtype=np.intp)
+            return empty, empty.copy(), np.empty(0)
+        _, lookup = self._sorted_nodes()
+        if len(node_index) != len(self._node_names):  # pragma: no cover
+            raise CircuitError("node_index does not match this circuit")
+        return lookup[arrays["a"]], lookup[arrays["b"]], 1.0 / arrays["value"]
+
+    def assemble(self):
+        """Stamp this netlist into an :class:`~repro.circuits.mna.AssembledMNA`."""
+        return assemble_columnar_mna(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ColumnarCircuit({self.title!r}, {self._total} elements, "
+            f"{len(self._node_names)} nodes)"
+        )
+
+
+def assemble_columnar_mna(circuit: ColumnarCircuit):
+    """Bulk MNA stamping of a :class:`ColumnarCircuit`.
+
+    Produces the same :class:`~repro.circuits.mna.AssembledMNA` the
+    reference per-element assembler builds for an identically-ordered
+    object netlist — bit-identical matrix included, because every run
+    expands its COO entries in element-major order and ground (-1)
+    entries are masked out *after* expansion, preserving the duplicate
+    accumulation sequence.
+    """
+    from repro.circuits.mna import AssembledMNA, _build_matrix
+
+    if len(circuit) == 0:
+        raise CircuitError("cannot solve an empty circuit")
+
+    sorted_names, lookup = circuit._sorted_nodes()
+    node_index = dict(zip(sorted_names, range(len(sorted_names))))
+    n_nodes = len(node_index)
+
+    arrays = {kind: circuit._kind_arrays(kind) for kind in circuit._kind_counts}
+    names = circuit._kind_names
+
+    # Branch unknowns in run (== element) order across the branch kinds.
+    branch_index: dict[str, int] = {}
+    branch_of_run: dict[int, np.ndarray] = {}
+    next_branch = 0
+    for run_id, (kind, start, stop) in enumerate(circuit._runs):
+        if kind in _BRANCH_KINDS:
+            count = stop - start
+            branch_of_run[run_id] = np.arange(
+                next_branch, next_branch + count, dtype=np.intp
+            )
+            for offset, name in enumerate(names[kind][start:stop]):
+                branch_index[name] = next_branch + offset
+            next_branch += count
+    n_branches = next_branch
+    size = n_nodes + n_branches
+    if size == 0:
+        raise CircuitError("circuit has no unknowns (everything grounded?)")
+
+    rows_parts: list[np.ndarray] = []
+    cols_parts: list[np.ndarray] = []
+    data_parts: list[np.ndarray] = []
+    source_rows: dict[str, list[tuple[int, float]]] = {}
+    base_values: dict[str, float] = {}
+
+    def emit(rows: np.ndarray, cols: np.ndarray, data: np.ndarray) -> None:
+        """Append entries element-major, dropping ground rows/columns."""
+        rows = rows.ravel()
+        cols = cols.ravel()
+        keep = (rows >= 0) & (cols >= 0)
+        rows_parts.append(rows[keep])
+        cols_parts.append(cols[keep])
+        data_parts.append(data.ravel()[keep])
+
+    for run_id, (kind, start, stop) in enumerate(circuit._runs):
+        cols_of = arrays[kind]
+        sl = slice(start, stop)
+        if kind == _RESISTOR:
+            a = lookup[cols_of["a"][sl]]
+            b = lookup[cols_of["b"][sl]]
+            g = 1.0 / cols_of["value"][sl]
+            emit(
+                np.stack([a, b, a, b], axis=1),
+                np.stack([a, b, b, a], axis=1),
+                np.stack([g, g, -g, -g], axis=1),
+            )
+        elif kind == _CAPACITOR:
+            continue  # open circuit at DC
+        elif kind == _INDUCTOR:
+            a = lookup[cols_of["a"][sl]]
+            b = lookup[cols_of["b"][sl]]
+            k = n_nodes + branch_of_run[run_id]
+            ones = np.ones(a.size)
+            emit(
+                np.stack([a, b, k, k], axis=1),
+                np.stack([k, k, a, b], axis=1),
+                np.stack([ones, -ones, ones, -ones], axis=1),
+            )
+        elif kind == _ISOURCE:
+            plus = lookup[cols_of["a"][sl]]
+            minus = lookup[cols_of["b"][sl]]
+            values = cols_of["value"][sl]
+            for offset, name in enumerate(names[kind][sl]):
+                entries = []
+                if plus[offset] >= 0:
+                    entries.append((int(plus[offset]), 1.0))
+                if minus[offset] >= 0:
+                    entries.append((int(minus[offset]), -1.0))
+                source_rows[name] = entries
+                base_values[name] = float(values[offset])
+        elif kind == _VSOURCE:
+            plus = lookup[cols_of["a"][sl]]
+            minus = lookup[cols_of["b"][sl]]
+            k = n_nodes + branch_of_run[run_id]
+            values = cols_of["value"][sl]
+            ones = np.ones(plus.size)
+            emit(
+                np.stack([plus, minus, k, k], axis=1),
+                np.stack([k, k, plus, minus], axis=1),
+                np.stack([ones, -ones, ones, -ones], axis=1),
+            )
+            for offset, name in enumerate(names[kind][sl]):
+                source_rows[name] = [(int(k[offset]), 1.0)]
+                base_values[name] = float(values[offset])
+        elif kind == _VCVS:
+            op = lookup[cols_of["out_plus"][sl]]
+            om = lookup[cols_of["out_minus"][sl]]
+            cp = lookup[cols_of["ctrl_plus"][sl]]
+            cn = lookup[cols_of["ctrl_minus"][sl]]
+            gain = cols_of["gain"][sl]
+            k = n_nodes + branch_of_run[run_id]
+            ones = np.ones(op.size)
+            emit(
+                np.stack([op, om, k, k, k, k], axis=1),
+                np.stack([k, k, op, om, cp, cn], axis=1),
+                np.stack([ones, -ones, ones, -ones, -gain, gain], axis=1),
+            )
+        elif kind == _OPAMP:
+            inv = lookup[cols_of["inverting"][sl]]
+            noninv = lookup[cols_of["noninverting"][sl]]
+            out = lookup[cols_of["output"][sl]]
+            k = n_nodes + branch_of_run[run_id]
+            ones = np.ones(out.size)
+            emit(
+                np.stack([out, k, k], axis=1),
+                np.stack([k, noninv, inv], axis=1),
+                np.stack([ones, ones, -ones], axis=1),
+            )
+        else:  # pragma: no cover - kind set is closed
+            raise CircuitError(f"unknown element kind {kind!r}")
+
+    rows_idx = np.concatenate(rows_parts) if rows_parts else np.empty(0, np.intp)
+    cols_idx = np.concatenate(cols_parts) if cols_parts else np.empty(0, np.intp)
+    data = np.concatenate(data_parts) if data_parts else np.empty(0)
+    matrix, dense = _build_matrix(rows_idx, cols_idx, data, size)
+
+    return AssembledMNA(
+        circuit=circuit,
+        node_index=node_index,
+        branch_index=branch_index,
+        matrix=matrix,
+        dense=dense,
+        source_rows=source_rows,
+        base_values=base_values,
+    )

@@ -16,6 +16,7 @@ from functools import lru_cache
 
 import numpy as np
 
+from repro.circuits.columnar import ColumnarCircuit
 from repro.circuits.netlist import Circuit
 from repro.errors import CircuitError
 from repro.utils.validation import check_matrix, check_positive, check_vector
@@ -166,6 +167,68 @@ def _add_array_loop(
                 )
 
 
+def _add_array_columnar(
+    circuit: ColumnarCircuit,
+    g: np.ndarray,
+    prefix: str,
+    bl_drive_ids: np.ndarray,
+    wl_collect_ids: np.ndarray,
+    r_wire: float,
+) -> None:
+    """Columnar counterpart of :func:`_add_array`: pure index arithmetic.
+
+    Ladder connectivity is expressed directly on interned node-id
+    arrays — the drive column is prepended and the grid shifted by one —
+    so no per-cell Python work happens at all. Runs land in the same
+    order as the bulk object path (BL ladder, WL ladder, cells) and each
+    run's internal order matches element order there, so the assembled
+    matrix is bit-identical.
+    """
+    rows, cols = g.shape
+    ii, jj = np.nonzero(g > 0.0)
+    values = g[ii, jj]
+    if r_wire == 0.0:
+        circuit.conductors(bl_drive_ids[jj], wl_collect_ids[ii], values)
+        return
+
+    names = _array_strings(prefix, rows, cols)
+    b_ids = circuit.node_ids(names["b_nodes"])  # column-major (j, i)
+    w_ids = circuit.node_ids(names["w_nodes"])  # row-major (i, j)
+    b_grid = b_ids.reshape(cols, rows)
+    w_grid = w_ids.reshape(rows, cols)
+    segments = np.full(rows * cols, r_wire)
+    # Column (BL) ladder: drive node -> b_0 -> b_1 -> ... per column.
+    circuit.resistors(
+        np.concatenate([bl_drive_ids[:, None], b_grid[:, :-1]], axis=1).ravel(),
+        b_ids,
+        segments,
+    )
+    # Row (WL) ladder: collect node -> w_0 -> w_1 -> ... per row.
+    circuit.resistors(
+        np.concatenate([wl_collect_ids[:, None], w_grid[:, :-1]], axis=1).ravel(),
+        w_ids,
+        segments,
+    )
+    circuit.conductors(b_grid[jj, ii], w_grid[ii, jj], values)
+
+
+def _offset_ids(
+    circuit: ColumnarCircuit, offsets: np.ndarray | None, rows: int
+) -> np.ndarray:
+    """Columnar counterpart of :func:`_offset_nodes` (ids, ground = -1)."""
+    if offsets is None:
+        return np.full(rows, -1, dtype=np.intp)
+    offsets = check_vector(offsets, "offsets", size=rows)
+    ids = circuit.node_ids([f"vos_{i}" for i in range(rows)])
+    circuit.vsources(
+        ids,
+        np.full(rows, -1, dtype=np.intp),
+        offsets,
+        [f"Vos_{i}" for i in range(rows)],
+    )
+    return ids
+
+
 def _offset_nodes(
     circuit: Circuit, offsets: np.ndarray | None, rows: int, bulk: bool = True
 ) -> list[str]:
@@ -196,7 +259,8 @@ def build_mvm_circuit(
     opamp_gain: float | None = None,
     offsets: np.ndarray | None = None,
     bulk: bool = True,
-) -> tuple[Circuit, list[str]]:
+    columnar: bool = False,
+) -> tuple[Circuit | ColumnarCircuit, list[str]]:
     """Build the MVM circuit of Fig. 1(a) with a dual array pair.
 
     The positive array's BLs are driven with ``v_in`` and the negative
@@ -222,6 +286,11 @@ def build_mvm_circuit(
         cell-by-cell path (``False``) produces an element-for-element
         identical netlist and exists as the equivalence/timing
         reference.
+    columnar:
+        Build a struct-of-arrays :class:`ColumnarCircuit` instead of an
+        object netlist (``bulk`` is then irrelevant). The assembled MNA
+        system is bit-identical to the object path's; assembly is an
+        order of magnitude faster for large ladders.
 
     Returns
     -------
@@ -235,6 +304,11 @@ def build_mvm_circuit(
     rows, cols = g_pos.shape
     v_in = check_vector(v_in, "v_in", size=cols)
     check_positive(g_feedback, "g_feedback")
+
+    if columnar:
+        return _build_mvm_columnar(
+            g_pos, g_neg, v_in, g_feedback, r_wire, opamp_gain, offsets
+        )
 
     circuit = Circuit("mvm")
     pos_drivers = [f"drv_p_{j}" for j in range(cols)]
@@ -265,6 +339,59 @@ def build_mvm_circuit(
     return circuit, out_nodes
 
 
+def _build_mvm_columnar(
+    g_pos: np.ndarray,
+    g_neg: np.ndarray,
+    v_in: np.ndarray,
+    g_feedback: float,
+    r_wire: float,
+    opamp_gain: float | None,
+    offsets: np.ndarray | None,
+) -> tuple[ColumnarCircuit, list[str]]:
+    """Columnar MVM build (validated arguments; see :func:`build_mvm_circuit`).
+
+    Homogeneous element groups land as single bulk runs (all drivers,
+    all amplifiers, all feedback conductors, then each array). Grouping
+    the per-row amplifier/feedback pair — interleaved in the object
+    path — is safe for bit-identity because the two kinds stamp disjoint
+    matrix cells and the branch/source orderings are unchanged.
+    """
+    rows, cols = g_pos.shape
+    circuit = ColumnarCircuit("mvm")
+    ground = np.full(2 * cols, -1, dtype=np.intp)
+    pos_ids = circuit.node_ids([f"drv_p_{j}" for j in range(cols)])
+    neg_ids = circuit.node_ids([f"drv_n_{j}" for j in range(cols)])
+    # Interleaved (Vp_j, Vn_j) per column, matching the object path.
+    circuit.vsources(
+        np.stack([pos_ids, neg_ids], axis=1).ravel(),
+        ground,
+        np.stack([v_in, -v_in], axis=1).ravel(),
+        [name for j in range(cols) for name in (f"Vp_{j}", f"Vn_{j}")],
+    )
+
+    sum_ids = circuit.node_ids([f"sum_{i}" for i in range(rows)])
+    out_nodes = [f"out_{i}" for i in range(rows)]
+    out_ids = circuit.node_ids(out_nodes)
+    noninv_ids = _offset_ids(circuit, offsets, rows)
+    amp_names = [f"A_{i}" for i in range(rows)]
+    if opamp_gain is None:
+        circuit.opamps(sum_ids, noninv_ids, out_ids, amp_names)
+    else:
+        circuit.vcvs(
+            out_ids,
+            np.full(rows, -1, dtype=np.intp),
+            noninv_ids,
+            sum_ids,
+            np.full(rows, float(opamp_gain)),
+            amp_names,
+        )
+    circuit.conductors(out_ids, sum_ids, np.full(rows, float(g_feedback)))
+
+    _add_array_columnar(circuit, g_pos, "p", pos_ids, sum_ids, r_wire)
+    _add_array_columnar(circuit, g_neg, "n", neg_ids, sum_ids, r_wire)
+    return circuit, out_nodes
+
+
 def build_inv_circuit(
     g_pos: np.ndarray,
     g_neg: np.ndarray,
@@ -275,7 +402,8 @@ def build_inv_circuit(
     opamp_gain: float | None = None,
     offsets: np.ndarray | None = None,
     bulk: bool = True,
-) -> tuple[Circuit, list[str]]:
+    columnar: bool = False,
+) -> tuple[Circuit | ColumnarCircuit, list[str]]:
     """Build the INV circuit of Fig. 1(b) with a dual array pair.
 
     Input voltages are conveyed through conductances ``g_input`` onto the
@@ -298,6 +426,11 @@ def build_inv_circuit(
     v_in = check_vector(v_in, "v_in", size=rows)
     check_positive(g_input, "g_input")
 
+    if columnar:
+        return _build_inv_columnar(
+            g_pos, g_neg, v_in, g_input, r_wire, opamp_gain, offsets
+        )
+
     circuit = Circuit("inv")
     sum_nodes = [f"sum_{i}" for i in range(rows)]
     out_nodes = [f"out_{i}" for i in range(rows)]
@@ -316,4 +449,67 @@ def build_inv_circuit(
     add_array = _add_array if bulk else _add_array_loop
     add_array(circuit, g_pos, "p", out_nodes, sum_nodes, r_wire)
     add_array(circuit, g_neg, "n", ninv_nodes, sum_nodes, r_wire)
+    return circuit, out_nodes
+
+
+def _build_inv_columnar(
+    g_pos: np.ndarray,
+    g_neg: np.ndarray,
+    v_in: np.ndarray,
+    g_input: float,
+    r_wire: float,
+    opamp_gain: float | None,
+    offsets: np.ndarray | None,
+) -> tuple[ColumnarCircuit, list[str]]:
+    """Columnar INV build (validated arguments; see :func:`build_inv_circuit`).
+
+    The per-row input source / input conductor / amplifier triple
+    *interleaves* two branch kinds (V and U), so — unlike the MVM build —
+    the rows append as per-row runs to keep the branch ordering (and with
+    it the assembled system) bit-identical to the object path. The row
+    count is small next to the arrays, which still land as bulk runs.
+    """
+    rows, cols = g_pos.shape
+    circuit = ColumnarCircuit("inv")
+    ground1 = np.full(1, -1, dtype=np.intp)
+    sum_ids = circuit.node_ids([f"sum_{i}" for i in range(rows)])
+    out_nodes = [f"out_{i}" for i in range(rows)]
+    out_ids = circuit.node_ids(out_nodes)
+    noninv_ids = _offset_ids(circuit, offsets, rows)
+    in_ids = circuit.node_ids([f"in_{i}" for i in range(rows)])
+    g_in = np.full(1, float(g_input))
+    gain1 = None if opamp_gain is None else np.full(1, float(opamp_gain))
+    for i in range(rows):
+        circuit.vsources(in_ids[i : i + 1], ground1, v_in[i : i + 1], [f"Vin_{i}"])
+        circuit.conductors(in_ids[i : i + 1], sum_ids[i : i + 1], g_in)
+        if gain1 is None:
+            circuit.opamps(
+                sum_ids[i : i + 1],
+                noninv_ids[i : i + 1],
+                out_ids[i : i + 1],
+                [f"A_{i}"],
+            )
+        else:
+            circuit.vcvs(
+                out_ids[i : i + 1],
+                ground1,
+                noninv_ids[i : i + 1],
+                sum_ids[i : i + 1],
+                gain1,
+                [f"A_{i}"],
+            )
+
+    # Negative array BLs are driven by inverted op-amp outputs.
+    ninv_ids = circuit.node_ids([f"ninv_{j}" for j in range(cols)])
+    circuit.vcvs(
+        ninv_ids,
+        np.full(cols, -1, dtype=np.intp),
+        np.full(cols, -1, dtype=np.intp),
+        out_ids,
+        np.ones(cols),
+        [f"Einv_{j}" for j in range(cols)],
+    )
+
+    _add_array_columnar(circuit, g_pos, "p", out_ids, sum_ids, r_wire)
+    _add_array_columnar(circuit, g_neg, "n", ninv_ids, sum_ids, r_wire)
     return circuit, out_nodes

@@ -116,6 +116,9 @@ class DCSolution:
     @cached_property
     def _resistor_stamp(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Precomputed ``(idx_a, idx_b, conductance)`` arrays over resistors."""
+        stamp = getattr(self.circuit, "resistor_stamp", None)
+        if stamp is not None:  # columnar circuits hand these arrays over directly
+            return stamp(self.node_index)
         resistors = [e for e in self.circuit.elements if isinstance(e, Resistor)]
         idx_a = self.node_indices([e.a for e in resistors])
         idx_b = self.node_indices([e.b for e in resistors])
@@ -138,6 +141,26 @@ class DCSolution:
 
 def _index_nodes(circuit: Circuit) -> dict[str, int]:
     return {node: k for k, node in enumerate(circuit.nodes())}
+
+
+def _build_matrix(rows, cols, data, size: int):
+    """Accumulate COO entries into the MNA matrix.
+
+    Returns ``(matrix, dense)``: a dense ndarray below
+    :data:`DENSE_THRESHOLD` (``np.add.at`` sums duplicates in entry
+    order), else a ``csc_matrix``. Shared by the per-element assembler
+    and the columnar bulk assembler so both produce byte-identical
+    matrices for identical entry sequences.
+    """
+    if size <= DENSE_THRESHOLD:
+        matrix = np.zeros((size, size))
+        np.add.at(
+            matrix,
+            (np.asarray(rows, dtype=np.intp), np.asarray(cols, dtype=np.intp)),
+            np.asarray(data),
+        )
+        return matrix, True
+    return csc_matrix((data, (rows, cols)), shape=(size, size)), False
 
 
 class AssembledMNA:
@@ -265,14 +288,22 @@ class AssembledMNA:
         return [self._solution(values[:, k].copy()) for k in range(len(batches))]
 
 
-def assemble_mna(circuit: Circuit) -> AssembledMNA:
+def assemble_mna(circuit) -> AssembledMNA:
     """Stamp ``circuit`` into an :class:`AssembledMNA` (no solve yet).
+
+    Accepts an object netlist (:class:`~repro.circuits.netlist.Circuit`,
+    stamped element by element below) or a columnar one
+    (:class:`~repro.circuits.columnar.ColumnarCircuit`, which assembles
+    itself with bulk array stamping).
 
     Raises
     ------
     CircuitError
         If the circuit is empty or has no unknowns.
     """
+    assemble = getattr(circuit, "assemble", None)
+    if assemble is not None:
+        return assemble()
     if len(circuit) == 0:
         raise CircuitError("cannot solve an empty circuit")
 
@@ -368,17 +399,7 @@ def assemble_mna(circuit: Circuit) -> AssembledMNA:
         else:  # pragma: no cover - union is closed
             raise CircuitError(f"unknown element type {type(element).__name__}")
 
-    if size <= DENSE_THRESHOLD:
-        matrix = np.zeros((size, size))
-        np.add.at(
-            matrix,
-            (np.asarray(rows, dtype=np.intp), np.asarray(cols, dtype=np.intp)),
-            np.asarray(data),
-        )
-        dense = True
-    else:
-        matrix = csc_matrix((data, (rows, cols)), shape=(size, size))
-        dense = False
+    matrix, dense = _build_matrix(rows, cols, data, size)
 
     return AssembledMNA(
         circuit=circuit,

@@ -7,6 +7,8 @@ arbitrary strings; ``"0"`` (also accepted: ``"gnd"``) is ground.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from repro.circuits.elements import (
     Capacitor,
     CurrentSource,
@@ -27,6 +29,36 @@ _GROUND_SET = frozenset(GROUND_NAMES)
 def canonical_node(node: str) -> str:
     """Map all accepted ground spellings to ``"0"``."""
     return "0" if node in GROUND_NAMES else node
+
+
+#: Terminal-node field names per element type, used to canonicalize
+#: pre-built elements passed to :meth:`Circuit.add`.
+_NODE_FIELDS: dict[type, tuple[str, ...]] = {
+    Resistor: ("a", "b"),
+    Capacitor: ("a", "b"),
+    Inductor: ("a", "b"),
+    VoltageSource: ("plus", "minus"),
+    CurrentSource: ("plus", "minus"),
+    VCVS: ("out_plus", "out_minus", "ctrl_plus", "ctrl_minus"),
+    IdealOpAmp: ("inverting", "noninverting", "output"),
+}
+
+
+def _canonicalize_element(element: Element) -> Element:
+    """Return ``element`` with every ground-alias terminal mapped to ``"0"``.
+
+    Elements whose terminals are already canonical are returned as-is
+    (no copy); only an element naming ``"gnd"``/``"GND"`` is rebuilt.
+    """
+    fields = _NODE_FIELDS.get(type(element))
+    if fields is None:  # pragma: no cover - union is closed
+        raise CircuitError(f"unknown element type {type(element).__name__}")
+    changes = {
+        field: "0"
+        for field in fields
+        if getattr(element, field) in _GROUND_SET and getattr(element, field) != "0"
+    }
+    return replace(element, **changes) if changes else element
 
 
 class Circuit:
@@ -69,17 +101,41 @@ class Circuit:
     # ------------------------------------------------------------------
     # element builders
     # ------------------------------------------------------------------
-    def _register(self, name: str | None, prefix: str) -> str:
+    def _reserve(self, name: str | None, prefix: str) -> tuple[str, bool]:
+        """Pick (but do not register) the name a new element will get.
+
+        Registration is two-phase — reserve, construct, :meth:`_commit` —
+        so a builder whose element fails validation leaves the circuit
+        untouched: the name stays available for a retry and the auto-name
+        counter does not advance.
+        """
         if name is None:
-            self._counter += 1
-            name = f"{prefix}{self._counter}"
+            candidate = f"{prefix}{self._counter + 1}"
+            if candidate in self._names:
+                raise CircuitError(f"duplicate element name {candidate!r}")
+            return candidate, True
         if name in self._names:
             raise CircuitError(f"duplicate element name {name!r}")
-        self._names.add(name)
-        return name
+        return name, False
+
+    def _commit(self, element: Element, auto: bool) -> Element:
+        """Register a successfully constructed element."""
+        self._names.add(element.name)
+        if auto:
+            self._counter += 1
+        self._elements.append(element)
+        return element
 
     def add(self, element: Element) -> Element:
-        """Add a pre-built element (its name must be unique)."""
+        """Add a pre-built element (its name must be unique).
+
+        Terminal nodes are canonicalized (``"gnd"``/``"GND"`` map to
+        ``"0"``) exactly as the builders do, so a pre-built element can
+        never smuggle an un-mapped ground spelling past MNA assembly —
+        which would silently treat ground as a floating node. Returns the
+        (possibly rebuilt) canonical element.
+        """
+        element = _canonicalize_element(element)
         if element.name in self._names:
             raise CircuitError(f"duplicate element name {element.name!r}")
         self._names.add(element.name)
@@ -88,11 +144,10 @@ class Circuit:
 
     def resistor(self, a: str, b: str, resistance: float, name: str | None = None) -> Resistor:
         """Add a resistor between nodes ``a`` and ``b``."""
-        element = Resistor(
-            self._register(name, "R"), canonical_node(a), canonical_node(b), resistance
+        name, auto = self._reserve(name, "R")
+        return self._commit(
+            Resistor(name, canonical_node(a), canonical_node(b), resistance), auto
         )
-        self._elements.append(element)
-        return element
 
     # ------------------------------------------------------------------
     # bulk builders
@@ -206,19 +261,17 @@ class Circuit:
 
     def capacitor(self, a: str, b: str, capacitance: float, name: str | None = None) -> Capacitor:
         """Add a capacitor between nodes ``a`` and ``b``."""
-        element = Capacitor(
-            self._register(name, "C"), canonical_node(a), canonical_node(b), capacitance
+        name, auto = self._reserve(name, "C")
+        return self._commit(
+            Capacitor(name, canonical_node(a), canonical_node(b), capacitance), auto
         )
-        self._elements.append(element)
-        return element
 
     def inductor(self, a: str, b: str, inductance: float, name: str | None = None) -> Inductor:
         """Add an inductor between nodes ``a`` and ``b``."""
-        element = Inductor(
-            self._register(name, "L"), canonical_node(a), canonical_node(b), inductance
+        name, auto = self._reserve(name, "L")
+        return self._commit(
+            Inductor(name, canonical_node(a), canonical_node(b), inductance), auto
         )
-        self._elements.append(element)
-        return element
 
     def conductor(self, a: str, b: str, conductance: float, name: str | None = None) -> Resistor:
         """Add a resistor specified by conductance (siemens)."""
@@ -228,19 +281,19 @@ class Circuit:
 
     def vsource(self, plus: str, minus: str, value: float, name: str | None = None) -> VoltageSource:
         """Add an independent voltage source."""
-        element = VoltageSource(
-            self._register(name, "V"), canonical_node(plus), canonical_node(minus), float(value)
+        name, auto = self._reserve(name, "V")
+        return self._commit(
+            VoltageSource(name, canonical_node(plus), canonical_node(minus), float(value)),
+            auto,
         )
-        self._elements.append(element)
-        return element
 
     def isource(self, plus: str, minus: str, value: float, name: str | None = None) -> CurrentSource:
         """Add an independent current source (pushes current minus -> plus externally)."""
-        element = CurrentSource(
-            self._register(name, "I"), canonical_node(plus), canonical_node(minus), float(value)
+        name, auto = self._reserve(name, "I")
+        return self._commit(
+            CurrentSource(name, canonical_node(plus), canonical_node(minus), float(value)),
+            auto,
         )
-        self._elements.append(element)
-        return element
 
     def vcvs(
         self,
@@ -252,16 +305,18 @@ class Circuit:
         name: str | None = None,
     ) -> VCVS:
         """Add a voltage-controlled voltage source."""
-        element = VCVS(
-            self._register(name, "E"),
-            canonical_node(out_plus),
-            canonical_node(out_minus),
-            canonical_node(ctrl_plus),
-            canonical_node(ctrl_minus),
-            gain if isinstance(gain, complex) else float(gain),
+        name, auto = self._reserve(name, "E")
+        return self._commit(
+            VCVS(
+                name,
+                canonical_node(out_plus),
+                canonical_node(out_minus),
+                canonical_node(ctrl_plus),
+                canonical_node(ctrl_minus),
+                gain if isinstance(gain, complex) else float(gain),
+            ),
+            auto,
         )
-        self._elements.append(element)
-        return element
 
     def opamp(
         self,
@@ -277,14 +332,16 @@ class Circuit:
         the equivalent VCVS ``v(out) = gain * (v(noninv) - v(inv))``.
         """
         if gain is None:
-            element = IdealOpAmp(
-                self._register(name, "U"),
-                canonical_node(inverting),
-                canonical_node(noninverting),
-                canonical_node(output),
+            name, auto = self._reserve(name, "U")
+            return self._commit(
+                IdealOpAmp(
+                    name,
+                    canonical_node(inverting),
+                    canonical_node(noninverting),
+                    canonical_node(output),
+                ),
+                auto,
             )
-            self._elements.append(element)
-            return element
         return self.vcvs(output, "0", noninverting, inverting, gain, name)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

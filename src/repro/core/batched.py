@@ -25,10 +25,14 @@ Equivalence contract (enforced by tests):
   **bit-identical** to the sequential path — not merely close
   (``tests/test_kernel_equivalence.py`` asserts exact equality).
 
+All three parasitic fidelities are supported: ideal and first-order
+models are shape-generic, and exact extraction routes through
+:func:`repro.crossbar.parasitics.exact_effective_matrix_batch`, whose
+per-trial results are bit-identical to the scalar Schur engine.
 Configurations the batched engine cannot express (MNA routing,
-write-and-verify programming, quantized targets, stuck-at faults, exact
-parasitic extraction) are detected by :func:`make_batched_runner`
-returning ``None``; callers fall back to the sequential path.
+write-and-verify programming, quantized targets, stuck-at faults) are
+detected by :func:`make_batched_runner` returning ``None``; callers
+fall back to the sequential path.
 """
 
 from __future__ import annotations
@@ -49,7 +53,10 @@ from repro.core.common import (
     solve_slices,
 )
 from repro.core.original import OriginalAMCSolver
-from repro.crossbar.parasitics import first_order_effective_matrix
+from repro.crossbar.parasitics import (
+    exact_effective_matrix_batch,
+    first_order_effective_matrix,
+)
 from repro.devices.variations import GaussianVariation, RelativeGaussianVariation
 from repro.errors import PartitionError, ValidationError
 
@@ -85,7 +92,6 @@ def is_batchable_config(config: HardwareConfig) -> bool:
         and not programming.use_write_verify
         and not programming.quantize
         and programming.faults.is_trivial
-        and (config.parasitics.is_ideal or config.parasitics.fidelity == "first_order")
     )
 
 
@@ -177,14 +183,18 @@ class _ArrayBatch:
         parasitics = config.parasitics
         if parasitics.is_ideal:
             eff_pos, eff_neg = g_pos, g_neg
-        else:  # first_order (checked by is_batchable_config); the scalar
-            # model is shape-generic over a leading trials axis.
+        elif parasitics.fidelity == "first_order":
+            # The scalar model is shape-generic over a leading trials axis.
             eff_pos = first_order_effective_matrix(
                 g_pos, parasitics.r_wire, parasitics.alpha
             )
             eff_neg = first_order_effective_matrix(
                 g_neg, parasitics.r_wire, parasitics.alpha
             )
+        else:  # exact: batched Schur, bit-identical per trial to the
+            # scalar engine (positive array first, like CrossbarArray).
+            eff_pos = exact_effective_matrix_batch(g_pos, parasitics.r_wire)
+            eff_neg = exact_effective_matrix_batch(g_neg, parasitics.r_wire)
         self.effective = (eff_pos - eff_neg) / g_unit  # (T, r, c)
         g_total = g_pos + g_neg
         self.load_row_sums = g_total.sum(axis=2) / g_unit  # (T, r)

@@ -1,0 +1,193 @@
+"""Unit tests for the columnar (struct-of-arrays) netlist container.
+
+The bit-identity contract against the object netlist lives in
+``tests/test_kernel_equivalence.py``; this file covers the container's
+own behavior — interning, validation, and the assembly entry points.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits.columnar import ColumnarCircuit, assemble_columnar_mna
+from repro.circuits.mna import assemble_mna, solve_dc
+from repro.circuits.netlist import GROUND_NAMES, Circuit
+from repro.errors import CircuitError
+
+
+class TestNodeInterning:
+    def test_ground_aliases_intern_to_minus_one(self):
+        c = ColumnarCircuit()
+        ids = c.node_ids(list(GROUND_NAMES))
+        assert ids.tolist() == [-1, -1, -1]
+        assert c.nodes() == []
+
+    def test_interning_is_idempotent(self):
+        c = ColumnarCircuit()
+        first = c.node_ids(["a", "b", "a"])
+        again = c.node_ids(["a", "b", "a"])
+        assert first.tolist() == again.tolist() == [0, 1, 0]
+
+    def test_mixed_known_and_fresh_names(self):
+        c = ColumnarCircuit()
+        c.node_ids(["a"])
+        ids = c.node_ids(["b", "a", "gnd", "c"])
+        assert ids.tolist() == [1, 0, -1, 2]
+
+    def test_id_arrays_pass_through(self):
+        c = ColumnarCircuit()
+        ids = c.node_ids(["a", "b"])
+        c.resistors(ids, np.full(2, -1, dtype=np.intp), [1.0, 2.0])
+        assert len(c) == 2
+
+    def test_out_of_range_id_rejected(self):
+        c = ColumnarCircuit()
+        c.node_ids(["a"])
+        with pytest.raises(CircuitError, match="out of range"):
+            c.resistors(
+                np.array([5], dtype=np.intp), np.array([-1], dtype=np.intp), [1.0]
+            )
+
+    def test_empty_node_name_rejected(self):
+        c = ColumnarCircuit()
+        with pytest.raises(CircuitError, match="non-empty"):
+            c.node_ids([""])
+
+    def test_nodes_sorted_excluding_ground(self):
+        c = ColumnarCircuit()
+        c.resistors(["b", "a"], ["gnd", "b"], [1.0, 1.0])
+        assert c.nodes() == ["a", "b"]
+
+
+class TestBulkAppenders:
+    def test_nonpositive_resistance_rejected(self):
+        c = ColumnarCircuit()
+        with pytest.raises(CircuitError, match="resistance"):
+            c.resistors(["a"], ["0"], [0.0])
+
+    def test_nonpositive_conductance_rejected(self):
+        c = ColumnarCircuit()
+        with pytest.raises(CircuitError, match="conductance"):
+            c.conductors(["a"], ["0"], [-1.0])
+
+    def test_conductors_store_double_reciprocal(self):
+        """Same resistance representation as ``Circuit.conductor``."""
+        g = 3.0e-5
+        obj = Circuit()
+        obj.conductor("a", "0", g, name="G1")
+        col = ColumnarCircuit()
+        col.conductors(["a"], ["0"], [g], ["G1"])
+        stamped = col._kind_arrays("R")["value"][0]
+        assert stamped == obj.elements[0].resistance
+
+    def test_length_mismatch_rejected(self):
+        c = ColumnarCircuit()
+        with pytest.raises(CircuitError, match="lengths"):
+            c.resistors(["a", "b"], ["0"], [1.0, 1.0])
+
+    def test_names_length_mismatch_rejected(self):
+        c = ColumnarCircuit()
+        with pytest.raises(CircuitError, match="lengths"):
+            c.resistors(["a"], ["0"], [1.0], ["R1", "R2"])
+
+    def test_duplicate_names_within_run_rejected(self):
+        c = ColumnarCircuit()
+        with pytest.raises(CircuitError, match="duplicate"):
+            c.resistors(["a", "b"], ["0", "0"], [1.0, 1.0], ["R1", "R1"])
+
+    def test_duplicate_name_across_runs_rejected(self):
+        c = ColumnarCircuit()
+        c.resistors(["a"], ["0"], [1.0], ["R1"])
+        with pytest.raises(CircuitError, match="duplicate"):
+            c.vsources(["a"], ["0"], [1.0], ["R1"])
+
+    @pytest.mark.parametrize("kind", ["vsources", "isources", "inductors"])
+    def test_branch_and_source_kinds_require_names(self, kind):
+        c = ColumnarCircuit()
+        with pytest.raises(TypeError):
+            getattr(c, kind)(["a"], ["0"], [1.0])
+
+    def test_unnamed_resistors_allowed(self):
+        c = ColumnarCircuit()
+        c.resistors(["a"], ["0"], [1.0])
+        assert len(c) == 1
+
+    def test_opamp_length_mismatch_rejected(self):
+        c = ColumnarCircuit()
+        with pytest.raises(CircuitError, match="lengths"):
+            c.opamps(["i1"], ["0", "0"], ["o1"], ["U1"])
+
+    def test_vcvs_complex_gain_rejected(self):
+        c = ColumnarCircuit()
+        with pytest.raises(CircuitError, match="real"):
+            c.vcvs(["o"], ["0"], ["x"], ["y"], [1.0 + 2.0j], ["E1"])
+
+    def test_vcvs_length_mismatch_rejected(self):
+        c = ColumnarCircuit()
+        with pytest.raises(CircuitError, match="lengths"):
+            c.vcvs(["o"], ["0"], ["x"], ["y"], [1.0, 2.0], ["E1", "E2"])
+
+
+class TestAssembly:
+    @staticmethod
+    def _reference_pair():
+        obj = Circuit("ref")
+        obj.vsource("in", "0", 2.0, name="V1")
+        obj.resistor("in", "mid", 10.0, name="R1")
+        obj.resistor("mid", "0", 10.0, name="R2")
+        obj.isource("0", "mid", 0.01, name="I1")
+        obj.capacitor("mid", "0", 1e-12, name="C1")
+        obj.inductor("mid", "tap", 1e-9, name="L1")
+        obj.resistor("tap", "0", 5.0, name="R3")
+        obj.vcvs("amp", "0", "mid", "0", 4.0, name="E1")
+        obj.resistor("amp", "0", 100.0, name="R4")
+        obj.opamp("fb", "0", "buf", name="U1")
+        obj.resistor("buf", "fb", 1.0, name="R5")
+        obj.resistor("fb", "mid", 1.0, name="R6")
+        return obj, ColumnarCircuit.from_circuit(obj)
+
+    def test_from_circuit_assembles_identical_system(self):
+        obj, col = self._reference_pair()
+        ref = assemble_mna(obj)
+        new = assemble_columnar_mna(col)
+        assert new.node_index == ref.node_index
+        assert new.branch_index == ref.branch_index
+        assert new.dense == ref.dense
+        assert np.array_equal(new.matrix, ref.matrix)
+        assert new._source_rows == ref._source_rows
+        assert new._base_values == ref._base_values
+
+    def test_solve_dc_matches_object_path(self):
+        obj, col = self._reference_pair()
+        ref = solve_dc(obj)
+        new = solve_dc(col)
+        for node in obj.nodes():
+            assert new.voltage(node) == ref.voltage(node)
+        for name in ("V1", "E1", "U1", "L1"):
+            assert new.current(name) == ref.current(name)
+
+    def test_resistor_stamp_matches_reference(self):
+        obj, col = self._reference_pair()
+        ref = solve_dc(obj)
+        new = solve_dc(col)
+        assert np.array_equal(new.resistor_power(), ref.resistor_power())
+
+    def test_empty_circuit_rejected(self):
+        with pytest.raises(CircuitError, match="empty"):
+            assemble_columnar_mna(ColumnarCircuit())
+
+    def test_all_grounded_rejected(self):
+        c = ColumnarCircuit()
+        c.resistors(["gnd"], ["0"], [1.0])
+        with pytest.raises(CircuitError, match="unknowns"):
+            assemble_columnar_mna(c)
+
+    def test_assemble_method_delegates(self):
+        _, col = self._reference_pair()
+        direct = assemble_columnar_mna(col)
+        via_method = assemble_mna(col)
+        assert np.array_equal(direct.matrix, via_method.matrix)
+
+    def test_resistor_stamp_empty_circuit(self):
+        c = ColumnarCircuit()
+        idx_a, idx_b, g = c.resistor_stamp({})
+        assert idx_a.size == idx_b.size == g.size == 0

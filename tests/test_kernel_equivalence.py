@@ -35,6 +35,10 @@ from repro.amc.config import (
     SampleHoldConfig,
 )
 from repro.analysis.accuracy import run_trials, run_trials_batched
+from repro.circuits.columnar import ColumnarCircuit
+from repro.circuits.generators import build_inv_circuit, build_mvm_circuit
+from repro.circuits.mna import assemble_mna, solve_dc
+from repro.circuits.netlist import Circuit
 from repro.core import digital
 from repro.core.batched import make_batched_runner
 from repro.core.blockamc import BlockAMCSolver
@@ -68,7 +72,12 @@ from repro.core.common import (
     solve_slices,
 )
 from repro.core.original import OriginalAMCSolver
+from repro.crossbar import parasitics as parasitics_module
 from repro.crossbar.array import ProgrammingConfig
+from repro.crossbar.parasitics import (
+    exact_effective_matrix,
+    exact_effective_matrix_batch,
+)
 from repro.devices.variations import (
     GaussianVariation,
     LognormalVariation,
@@ -115,6 +124,9 @@ def _config_variants():
         "ideal_mapping": HardwareConfig.paper_ideal_mapping(),
         "variation": HardwareConfig.paper_variation(),
         "interconnect": HardwareConfig.paper_interconnect(),
+        # Exact parasitic extraction routes through the batched Schur
+        # engine (exact_effective_matrix_batch), bit-identical per trial.
+        "exact_parasitics": HardwareConfig.paper_interconnect(fidelity="exact"),
         "abs_gaussian": HardwareConfig.paper_variation().with_(
             programming=ProgrammingConfig(variation=GaussianVariation(2e-6))
         ),
@@ -414,6 +426,18 @@ class TestScalarVsTrialBatched:
             assert make_batched_runner(OriginalAMCSolver(config)) is not None, name
             assert make_batched_runner(BlockAMCSolver(config)) is not None, name
 
+    def test_exact_parasitics_config_runs_batched_not_fallback(self):
+        """Exact extraction is batchable (ISSUE-8) — its equivalence
+        tests above must exercise the batched engine, not the scalar
+        fallback."""
+        from repro.core.batched import is_batchable_config
+
+        config = CONFIGS["exact_parasitics"]
+        assert config.parasitics.fidelity == "exact"
+        assert is_batchable_config(config)
+        assert make_batched_runner(OriginalAMCSolver(config)) is not None
+        assert make_batched_runner(BlockAMCSolver(config)) is not None
+
     def test_noise_configs_bit_identical_under_ranging_reruns(self):
         """Fresh noise redraws per ranging attempt, exactly like scalar."""
         config = CONFIGS["noisy_saturating"]
@@ -687,8 +711,8 @@ def _multistage_results_exactly_equal(s, b):
 #: Configurations the batched multi-stage recursion executes directly,
 #: plus the fresh-noise / MNA ones that must fall back transparently.
 MULTISTAGE_BATCHED_CONFIGS = [
-    "ideal", "variation", "interconnect", "coarse_quant",
-    "saturating", "snh_gain_error",
+    "ideal", "variation", "interconnect", "exact_parasitics",
+    "coarse_quant", "saturating", "snh_gain_error",
 ]
 MULTISTAGE_FALLBACK_CONFIGS = ["output_noise", "snh_noise"]
 
@@ -1032,3 +1056,311 @@ class TestMarginDriftGuard:
                 f"{module.__name__} re-states the ranging margin; use "
                 "repro.core.common.ranging_rescale instead"
             )
+
+
+# ----------------------------------------------------------------------
+# columnar netlist vs object netlist: bit-identical AssembledMNA systems
+# ----------------------------------------------------------------------
+
+
+def _assert_identical_systems(reference, columnar):
+    """Bitwise comparison of two assembled MNA systems."""
+    ref = assemble_mna(reference)
+    new = assemble_mna(columnar)
+    assert isinstance(columnar, ColumnarCircuit)
+    assert new.node_index == ref.node_index
+    assert new.branch_index == ref.branch_index
+    assert new.dense == ref.dense
+    if ref.dense:
+        assert new.matrix.tobytes() == ref.matrix.tobytes()
+    else:
+        assert new.matrix.data.tobytes() == ref.matrix.data.tobytes()
+        assert new.matrix.indices.tobytes() == ref.matrix.indices.tobytes()
+        assert new.matrix.indptr.tobytes() == ref.matrix.indptr.tobytes()
+    assert new._source_rows == ref._source_rows
+    assert new._base_values == ref._base_values
+    return ref, new
+
+
+#: Node pool for the property test: ground under every accepted spelling
+#: plus a handful of regular nodes, so drawn elements hit the interning
+#: and canonicalization paths in arbitrary mixtures.
+_NODE_POOL = ("0", "gnd", "GND", "n1", "n2", "n3", "n4")
+
+_ELEMENT_KINDS = ("R", "C", "L", "V", "I", "E", "U")
+
+
+@st.composite
+def _netlists(draw):
+    count = draw(st.integers(min_value=1, max_value=12))
+    specs = []
+    for i in range(count):
+        kind = draw(st.sampled_from(_ELEMENT_KINDS))
+        nodes = [
+            draw(st.sampled_from(_NODE_POOL))
+            for _ in range(4 if kind == "E" else 3 if kind == "U" else 2)
+        ]
+        value = draw(
+            st.floats(min_value=0.1, max_value=10.0, allow_nan=False)
+        )
+        specs.append((kind, nodes, value))
+    return specs
+
+
+def _build_object_netlist(specs) -> Circuit:
+    circuit = Circuit()
+    for i, (kind, nodes, value) in enumerate(specs):
+        name = f"X{i}"
+        if kind == "R":
+            circuit.resistor(nodes[0], nodes[1], value, name)
+        elif kind == "C":
+            circuit.capacitor(nodes[0], nodes[1], value, name)
+        elif kind == "L":
+            circuit.inductor(nodes[0], nodes[1], value, name)
+        elif kind == "V":
+            circuit.vsource(nodes[0], nodes[1], value, name)
+        elif kind == "I":
+            circuit.isource(nodes[0], nodes[1], value, name)
+        elif kind == "E":
+            circuit.vcvs(nodes[0], nodes[1], nodes[2], nodes[3], value, name)
+        else:
+            circuit.opamp(nodes[0], nodes[1], nodes[2], name=name)
+    return circuit
+
+
+class TestColumnarVsObjectNetlist:
+    @settings(max_examples=60, deadline=None)
+    @given(specs=_netlists())
+    def test_random_netlists_assemble_identically(self, specs):
+        reference = _build_object_netlist(specs)
+        columnar = ColumnarCircuit.from_circuit(reference)
+        assert columnar.nodes() == reference.nodes()
+        try:
+            ref = assemble_mna(reference)
+        except (ValidationError, Exception) as exc:
+            # Netlists with no unknowns raise in both representations.
+            with pytest.raises(type(exc)):
+                assemble_mna(columnar)
+            return
+        _assert_identical_systems(reference, columnar)
+
+    def test_multi_element_runs_match_per_element_stamping(self):
+        """A bulk run's element-major COO emission equals per-element
+        stamping — the ordering rule that keeps duplicate accumulation
+        (and therefore every low bit) identical."""
+        reference = Circuit()
+        reference.resistors(
+            ["a", "a", "b"], ["b", "0", "c"], [1.0, 2.0, 3.0],
+            ["R0", "R1", "R2"],
+        )
+        reference.vsources(["a", "c"], ["0", "0"], [1.0, -2.0], ["V0", "V1"])
+        reference.conductors(["b"], ["c"], [0.25], ["G0"])
+
+        columnar = ColumnarCircuit()
+        columnar.resistors(
+            ["a", "a", "b"], ["b", "0", "c"], [1.0, 2.0, 3.0],
+            ["R0", "R1", "R2"],
+        )
+        columnar.vsources(["a", "c"], ["0", "0"], [1.0, -2.0], ["V0", "V1"])
+        columnar.conductors(["b"], ["c"], [0.25], ["G0"])
+        _assert_identical_systems(reference, columnar)
+
+    MVM_KWARGS = {
+        "plain": {},
+        "ladder": {"r_wire": 1.0},
+        "finite_gain": {"opamp_gain": 2e4},
+        "offsets": {"offsets": True},
+        "everything": {"r_wire": 0.5, "opamp_gain": 1e5, "offsets": True},
+    }
+
+    @staticmethod
+    def _mvm_args(rows, cols, sparse=False):
+        rng = np.random.default_rng(17)
+        g_pos = rng.uniform(1e-6, 1e-4, size=(rows, cols))
+        g_neg = rng.uniform(1e-6, 1e-4, size=(rows, cols))
+        if sparse:
+            g_pos[rng.random((rows, cols)) < 0.4] = 0.0
+            g_neg[rng.random((rows, cols)) < 0.4] = 0.0
+        v_in = rng.uniform(-1.0, 1.0, size=cols)
+        return g_pos, g_neg, v_in
+
+    def _resolve(self, kwargs, rows):
+        kwargs = dict(kwargs)
+        if kwargs.pop("offsets", False):
+            kwargs["offsets"] = np.linspace(-1e-3, 1e-3, rows)
+        return kwargs
+
+    @pytest.mark.parametrize("case", sorted(MVM_KWARGS))
+    def test_mvm_generator_columnar_path(self, case):
+        rows, cols = 5, 4
+        g_pos, g_neg, v_in = self._mvm_args(rows, cols, sparse=True)
+        kwargs = self._resolve(self.MVM_KWARGS[case], rows)
+        ref_c, ref_out = build_mvm_circuit(g_pos, g_neg, v_in, 1e-4, **kwargs)
+        col_c, col_out = build_mvm_circuit(
+            g_pos, g_neg, v_in, 1e-4, columnar=True, **kwargs
+        )
+        assert col_out == ref_out
+        _assert_identical_systems(ref_c, col_c)
+        ref_sol = solve_dc(ref_c)
+        col_sol = solve_dc(col_c)
+        assert np.array_equal(
+            col_sol.voltages(col_out), ref_sol.voltages(ref_out)
+        )
+        assert np.array_equal(
+            col_sol.resistor_power(), ref_sol.resistor_power()
+        )
+
+    @pytest.mark.parametrize("case", sorted(MVM_KWARGS))
+    def test_inv_generator_columnar_path(self, case):
+        n = 5
+        g_pos, g_neg, v_in = self._mvm_args(n, n)
+        kwargs = self._resolve(self.MVM_KWARGS[case], n)
+        ref_c, ref_out = build_inv_circuit(g_pos, g_neg, v_in, 1e-4, **kwargs)
+        col_c, col_out = build_inv_circuit(
+            g_pos, g_neg, v_in, 1e-4, columnar=True, **kwargs
+        )
+        assert col_out == ref_out
+        _assert_identical_systems(ref_c, col_c)
+        ref_sol = solve_dc(ref_c)
+        col_sol = solve_dc(col_c)
+        assert np.array_equal(
+            col_sol.voltages(col_out), ref_sol.voltages(ref_out)
+        )
+
+    def test_columnar_enforces_object_netlist_invariants(self):
+        """The columnar container rejects exactly what the object
+        netlist rejects — so equivalence can never be voided by one
+        representation accepting a netlist the other refuses."""
+        from repro.errors import CircuitError
+
+        col = ColumnarCircuit()
+        obj = Circuit()
+        cases = [
+            (lambda c: c.resistors(["a"], ["0"], [0.0], ["R1"]),),
+            (lambda c: c.conductors(["a"], ["0"], [-1.0], ["G1"]),),
+            (lambda c: c.resistors(["a", "b"], ["0"], [1.0], ["R1"]),),
+            (lambda c: c.resistors([""], ["0"], [1.0], ["R1"]),),
+            (lambda c: c.resistors(["a", "b"], ["0", "0"], [1.0, 1.0], ["R1", "R1"]),),
+        ]
+        for (call,) in cases:
+            with pytest.raises(CircuitError):
+                call(col)
+            with pytest.raises(CircuitError):
+                call(obj)
+        # Columnar-only guard rails: ids out of range, unnamed branch
+        # kinds, complex gains (AC is object-netlist territory).
+        with pytest.raises(CircuitError, match="out of range"):
+            col.resistors(
+                np.array([9], dtype=np.intp), np.array([-1], dtype=np.intp), [1.0]
+            )
+        with pytest.raises(CircuitError, match="names"):
+            col._append("V", None, 1, a=np.zeros(1, np.intp))
+        with pytest.raises(CircuitError, match="real"):
+            col.vcvs(["o"], ["0"], ["x"], ["y"], [1j], ["E1"])
+        with pytest.raises(CircuitError, match="empty"):
+            assemble_mna(ColumnarCircuit())
+        grounded = ColumnarCircuit()
+        grounded.resistors(["gnd"], ["GND"], [1.0])
+        with pytest.raises(CircuitError, match="unknowns"):
+            assemble_mna(grounded)
+        # Duplicate-name collision across runs, like the object netlist.
+        col2 = ColumnarCircuit()
+        col2.vsources(["a"], ["0"], [1.0], ["V1"])
+        with pytest.raises(CircuitError, match="duplicate"):
+            col2.isources(["a"], ["0"], [1.0], ["V1"])
+
+    def test_mvm_ladder_sparse_system_identical(self):
+        """A ladder big enough to assemble sparse (csc path, not dense)."""
+        rows = cols = 24
+        g_pos, g_neg, v_in = self._mvm_args(rows, cols)
+        ref_c, _ = build_mvm_circuit(g_pos, g_neg, v_in, 1e-4, r_wire=1.0)
+        col_c, _ = build_mvm_circuit(
+            g_pos, g_neg, v_in, 1e-4, r_wire=1.0, columnar=True
+        )
+        ref, new = _assert_identical_systems(ref_c, col_c)
+        assert not ref.dense
+
+
+# ----------------------------------------------------------------------
+# batched exact parasitics vs the scalar Schur engine
+# ----------------------------------------------------------------------
+
+
+class TestExactParasiticsBatchVsScalar:
+    """``exact_effective_matrix_batch`` must be bit-identical per trial
+    to ``exact_effective_matrix`` — same Schur assembly per element,
+    same per-trial LAPACK sweep, same fallbacks."""
+
+    @staticmethod
+    def _stack(trials, rows, cols, seed, zero_frac=0.0):
+        rng = np.random.default_rng(seed)
+        g = rng.uniform(0.0, 1e-4, size=(trials, rows, cols))
+        if zero_frac:
+            g[rng.random(g.shape) < zero_frac] = 0.0
+        return g
+
+    @staticmethod
+    def _assert_bit_identical(g, r_wire):
+        batch = exact_effective_matrix_batch(g, r_wire)
+        for t in range(g.shape[0]):
+            scalar = exact_effective_matrix(g[t], r_wire)
+            assert batch[t].tobytes() == scalar.tobytes(), f"trial {t}"
+        return batch
+
+    @pytest.mark.parametrize(
+        "shape", [(5, 8, 8), (4, 6, 10), (4, 10, 6), (3, 7, 1), (3, 1, 7), (2, 1, 1)]
+    )
+    def test_bit_identical_across_shapes(self, shape):
+        self._assert_bit_identical(self._stack(*shape, seed=3), r_wire=1.0)
+
+    @pytest.mark.parametrize("r_wire", [0.5, 2.0])
+    def test_bit_identical_across_wire_resistance(self, r_wire):
+        self._assert_bit_identical(self._stack(4, 6, 6, seed=5), r_wire)
+
+    def test_zero_cells(self):
+        self._assert_bit_identical(
+            self._stack(4, 6, 6, seed=7, zero_frac=0.5), r_wire=1.0
+        )
+
+    def test_r_wire_zero_returns_copy(self):
+        g = self._stack(3, 4, 4, seed=9)
+        out = exact_effective_matrix_batch(g, 0.0)
+        assert np.array_equal(out, g)
+        assert out is not g
+
+    def test_underflow_trials_reroute_to_lu_bit_identically(self):
+        """A mixed stack: normal trials take the batched Schur path,
+        extreme-chain trials reroute per trial to sparse LU exactly like
+        the scalar auto-dispatch (including rows > cols orientation)."""
+        g = self._stack(3, 40, 20, seed=11)
+        g[1] = 1e9  # log-scan underflow: the scalar engine returns None
+        self._assert_bit_identical(g, r_wire=1.0)
+
+    def test_memory_limit_dispatches_to_scalar_loop(self, monkeypatch):
+        """Over-budget shapes must match the scalar engine under the
+        same budget (which then auto-dispatches to sparse LU)."""
+        g = self._stack(3, 8, 8, seed=13)
+        monkeypatch.setattr(parasitics_module, "_SCHUR_MEMORY_LIMIT_BYTES", 64)
+        self._assert_bit_identical(g, 1.0)
+
+    def test_chunking_does_not_change_bits(self, monkeypatch):
+        g = self._stack(7, 6, 6, seed=15)
+        reference = exact_effective_matrix_batch(g, 1.0)
+        monkeypatch.setattr(parasitics_module, "_SCHUR_BATCH_CHUNK_BYTES", 1)
+        chunked = exact_effective_matrix_batch(g, 1.0)
+        assert chunked.tobytes() == reference.tobytes()
+
+    def test_validation(self):
+        good = self._stack(2, 4, 4, seed=17)
+        with pytest.raises(ValidationError, match="3-D"):
+            exact_effective_matrix_batch(good[0], 1.0)
+        with pytest.raises(ValidationError, match="non-empty"):
+            exact_effective_matrix_batch(np.empty((0, 4, 4)), 1.0)
+        with pytest.raises(ValidationError, match="non-finite"):
+            bad = good.copy()
+            bad[0, 0, 0] = np.nan
+            exact_effective_matrix_batch(bad, 1.0)
+        with pytest.raises(ValueError, match="non-negative"):
+            exact_effective_matrix_batch(-good, 1.0)
+        with pytest.raises(ValueError, match="r_wire"):
+            exact_effective_matrix_batch(good, -1.0)

@@ -13,6 +13,8 @@ implementation alive; these tests pin the new paths to those references:
 - ``PreparedBlockAMC.solve_many`` vs. a sequential ``solve`` loop.
 """
 
+from dataclasses import replace
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -371,12 +373,17 @@ class TestBatchedSweep:
 
     def test_unbatchable_configs_detected(self):
         assert is_batchable_config(HardwareConfig.paper_variation())
+        # Exact parasitic extraction is batchable since the batched Schur
+        # engine (exact_effective_matrix_batch) landed.
+        assert is_batchable_config(HardwareConfig.paper_interconnect(fidelity="exact"))
         assert not is_batchable_config(
             HardwareConfig.paper_variation().with_(use_mna=True)
         )
-        assert not is_batchable_config(
-            HardwareConfig.paper_interconnect(fidelity="exact")
-        )
+        base = HardwareConfig.paper_variation()
+        write_verify = replace(base.programming, use_write_verify=True)
+        assert not is_batchable_config(base.with_(programming=write_verify))
+        quantized = replace(base.programming, quantize=True)
+        assert not is_batchable_config(base.with_(programming=quantized))
 
 
 class TestSolveMany:
