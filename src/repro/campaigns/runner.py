@@ -50,6 +50,7 @@ import numpy as np
 from repro.campaigns.spec import CampaignSpec, WorkUnit, expand, unit_seed_sequence
 from repro.campaigns.store import ArtifactStore
 from repro.errors import CampaignError
+from repro.obs import tracer as obs
 
 __all__ = [
     "CampaignRun",
@@ -330,7 +331,9 @@ def campaign_status(spec: CampaignSpec, store: ArtifactStore) -> CampaignStatus:
     )
 
 
-def _run_unit_to_store(spec: CampaignSpec, unit: WorkUnit, root: str) -> str:
+def _run_unit_to_store(
+    spec: CampaignSpec, unit: WorkUnit, root: str, trace: dict | None = None
+) -> str:
     """Worker entry point: execute one unit and persist its artifact.
 
     When a :class:`~repro.testing.chaos.ChaosPlan` is exported via the
@@ -339,14 +342,34 @@ def _run_unit_to_store(spec: CampaignSpec, unit: WorkUnit, root: str) -> str:
     unit recomputes bit-identically from its position-derived seeds) and
     a torn write leaves exactly the half-written state the store's
     sidecar-last commit protocol must treat as incomplete.
+
+    ``REPRO_TRACE_DIR`` enables a ``campaign.unit`` span per unit
+    (parented under the driver's ``campaign.run`` via ``trace``), the
+    same env-propagation path chaos uses; span seeds never touch the
+    unit's position-derived randomness, so records stay bit-identical.
     """
+    tracer = obs.configure_from_env()
     chaos = _campaign_chaos()
-    arrays, meta = execute_unit(spec, unit)
-    store = ArtifactStore(root)
-    if chaos is not None:
-        chaos.maybe_kill_worker(unit.key)
-        chaos.maybe_tear_write(store, unit.key, arrays)
-    store.write_unit(unit.key, arrays, meta)
+    span = obs.NOOP_SPAN
+    if tracer.enabled:
+        span = tracer.start_span(
+            "campaign.unit",
+            trace=trace,
+            attributes={
+                "key": unit.key,
+                "variant": unit.variant_label,
+                "family": unit.family,
+                "size": unit.size,
+                "mode": spec.mode,
+            },
+        )
+    with span:
+        arrays, meta = execute_unit(spec, unit)
+        store = ArtifactStore(root)
+        if chaos is not None:
+            chaos.maybe_kill_worker(unit.key)
+            chaos.maybe_tear_write(store, unit.key, arrays)
+        store.write_unit(unit.key, arrays, meta)
     return unit.key
 
 
@@ -389,7 +412,7 @@ def _mp_context(start_method: str | None):
 
 
 def _run_pool_generation(
-    spec: CampaignSpec, root: str, units, workers: int, mp_context
+    spec: CampaignSpec, root: str, units, workers: int, mp_context, trace=None
 ) -> tuple[list, bool]:
     """Run one pool over ``units``; returns ``(failed, crashed)``.
 
@@ -404,7 +427,7 @@ def _run_pool_generation(
     try:
         with ProcessPoolExecutor(max_workers=workers, mp_context=mp_context) as pool:
             futures = {
-                pool.submit(_run_unit_to_store, spec, unit, root): unit
+                pool.submit(_run_unit_to_store, spec, unit, root, trace): unit
                 for unit in units
             }
             for future in as_completed(futures):
@@ -489,6 +512,21 @@ def run_campaign(
     completed = 0
     quarantined = 0
 
+    tracer = obs.configure_from_env()
+    run_span = obs.NOOP_SPAN
+    if tracer.enabled:
+        run_span = tracer.start_span(
+            "campaign.run",
+            attributes={
+                "name": spec.name,
+                "digest": spec.digest()[:12],
+                "units": len(units),
+                "pending": len(budget),
+                "workers": workers,
+            },
+        )
+    run_trace = run_span.context() if run_span.enabled else None
+
     if len(budget) == 0:
         pass
     elif workers <= 1:
@@ -497,7 +535,7 @@ def run_campaign(
             while True:
                 attempt += 1
                 try:
-                    _run_unit_to_store(spec, unit, str(store.root))
+                    _run_unit_to_store(spec, unit, str(store.root), run_trace)
                 except Exception as exc:
                     if retry is None:
                         raise
@@ -518,7 +556,9 @@ def run_campaign(
             max_workers=workers, mp_context=_mp_context(start_method)
         ) as pool:
             futures = {
-                pool.submit(_run_unit_to_store, spec, unit, str(store.root)): unit
+                pool.submit(
+                    _run_unit_to_store, spec, unit, str(store.root), run_trace
+                ): unit
                 for unit in budget
             }
             outstanding = set(futures)
@@ -546,6 +586,7 @@ def run_campaign(
                 generation,
                 workers,
                 _mp_context(start_method),
+                run_trace,
             )
             # A broken pool reports BrokenProcessPool even for units whose
             # workers committed the artifact before dying — trust the
@@ -586,6 +627,8 @@ def run_campaign(
                 crash_round += 1
                 time.sleep(retry.backoff(crash_round))
 
+    run_span.set(completed=completed, quarantined=quarantined)
+    run_span.end()
     return CampaignRun(
         total_units=len(units),
         skipped_units=skipped,

@@ -156,6 +156,7 @@ def _service_config(args) -> ServiceConfig:
         default_hardware=HARDWARE_FACTORIES[args.hardware](),
         cache_capacity=args.cache_capacity,
         resilience=resilience,
+        trace_dir=args.trace_dir,
     )
 
 
@@ -291,6 +292,10 @@ def _cmd_submit(args) -> int:
     except ReproError as exc:
         _print_typed_error(exc)
         return 1
+    if args.metrics_json:
+        # Machine-readable mode: exactly one JSON document on stdout.
+        print(metrics.as_json())
+        return 0
     errors = [result.relative_error for result in results]
     print(f"solver:            {results[0].solver}")
     print(f"matrix:            {args.family} {args.size}x{args.size}")
@@ -392,8 +397,15 @@ def _cmd_campaign_list(args) -> int:
 
 
 def _cmd_campaign_run(args) -> int:
-    from repro.campaigns import RetryPolicy, run_campaign
+    import os
 
+    from repro.campaigns import RetryPolicy, run_campaign
+    from repro.obs import tracer as obs_tracer
+
+    if args.trace_dir is not None:
+        # Environment propagation (like REPRO_CHAOS): the driver and
+        # every pool worker pick it up via configure_from_env().
+        os.environ[obs_tracer.TRACE_ENV] = args.trace_dir
     spec = _campaign_spec(args)
     root = _campaign_store_root(args)
     retry = RetryPolicy(max_attempts=args.max_attempts) if args.max_attempts else None
@@ -428,10 +440,30 @@ def _cmd_campaign_run(args) -> int:
 
 
 def _cmd_campaign_status(args) -> int:
+    import json
+
     from repro.campaigns import ArtifactStore, campaign_status
 
     spec = _campaign_spec(args)
     status = campaign_status(spec, ArtifactStore(_campaign_store_root(args)))
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "name": spec.name,
+                    "digest": spec.digest(),
+                    "total_units": status.total_units,
+                    "completed_units": status.completed_units,
+                    "pending": [unit.key for unit in status.pending],
+                    "quarantined": [unit.key for unit in status.quarantined],
+                    "progress_percent": status.progress_percent,
+                    "units_per_s": status.units_per_s,
+                    "eta_s": status.eta_s,
+                    "finished": status.finished,
+                }
+            )
+        )
+        return 0 if status.finished else 1
     print(
         f"campaign {spec.name} [{spec.digest()[:12]}]: "
         f"{status.completed_units}/{status.total_units} units complete"
@@ -477,6 +509,31 @@ def _cmd_campaign_report(args) -> int:
     print(campaign_tables(spec, store, grouped=grouped))
     for path in written:
         print(f"wrote {path}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# tracing
+# ----------------------------------------------------------------------
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs import report as obs_report
+
+    if args.trace_command == "export":
+        count = obs_report.export_spans(args.dir, args.out)
+        print(f"wrote {count} spans -> {args.out}")
+        return 0 if count else 1
+    spans = obs_report.read_spans(args.dir)
+    if not spans:
+        print(f"no spans found under {args.dir}", file=sys.stderr)
+        return 1
+    if args.trace_command == "summary":
+        print(obs_report.format_summary(spans))
+    else:  # slowest
+        for root in obs_report.slowest_traces(spans, limit=args.limit):
+            print(obs_report.render_tree(root))
+            print()
     return 0
 
 
@@ -564,6 +621,11 @@ def build_parser() -> argparse.ArgumentParser:
             help="degradation ladder: answer analog solver failures with "
             "the digital reference solve (tagged degraded)",
         )
+        parser.add_argument(
+            "--trace-dir", type=str, default=None,
+            help="enable repro.obs tracing; spans land as JSONL under this "
+            "directory (inspect with `repro trace summary DIR`)",
+        )
 
     serve = sub.add_parser(
         "serve",
@@ -613,6 +675,11 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument(
         "--tenant", type=str, default=None,
         help="tenant name for per-tenant quotas (--connect mode)",
+    )
+    submit.add_argument(
+        "--metrics-json", action="store_true",
+        help="print the service metrics snapshot as one JSON document "
+        "instead of the human-readable summary",
     )
     add_service_args(submit)
     submit.set_defaults(func=_cmd_submit)
@@ -682,12 +749,21 @@ def build_parser() -> argparse.ArgumentParser:
             "--requeue-quarantined", action="store_true",
             help="clear quarantine records and retry poison units",
         )
+        crun.add_argument(
+            "--trace-dir", type=str, default=None,
+            help="enable repro.obs tracing (exports REPRO_TRACE_DIR so "
+            "pool workers trace their units too)",
+        )
         crun.set_defaults(func=_cmd_campaign_run)
 
     cstatus = campaign_sub.add_parser(
         "status", help="show completed/pending units (exit 1 while incomplete)"
     )
     add_campaign_args(cstatus)
+    cstatus.add_argument(
+        "--json", action="store_true",
+        help="print the status as one JSON document (same exit code)",
+    )
     cstatus.set_defaults(func=_cmd_campaign_status)
 
     creport = campaign_sub.add_parser(
@@ -708,6 +784,38 @@ def build_parser() -> argparse.ArgumentParser:
     cdiff.add_argument("store_a")
     cdiff.add_argument("store_b")
     cdiff.set_defaults(func=_cmd_campaign_diff)
+
+    # ------------------------------------------------------------------
+    # tracing
+    # ------------------------------------------------------------------
+    trace = sub.add_parser(
+        "trace", help="inspect repro.obs span dumps (from --trace-dir runs)"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    tsummary = trace_sub.add_parser(
+        "summary", help="per-span-name latency table for a trace directory"
+    )
+    tsummary.add_argument("dir", help="trace directory (or one JSONL dump)")
+    tsummary.set_defaults(func=_cmd_trace)
+
+    tslowest = trace_sub.add_parser(
+        "slowest", help="render the slowest trace trees with critical paths"
+    )
+    tslowest.add_argument("dir", help="trace directory (or one JSONL dump)")
+    tslowest.add_argument(
+        "--limit", type=int, default=5, help="how many traces to render"
+    )
+    tslowest.set_defaults(func=_cmd_trace)
+
+    texport = trace_sub.add_parser(
+        "export", help="merge per-process span files into one sorted JSONL"
+    )
+    texport.add_argument("dir", help="trace directory (or one JSONL dump)")
+    texport.add_argument(
+        "--out", type=str, default="trace_export.jsonl", help="output JSONL path"
+    )
+    texport.set_defaults(func=_cmd_trace)
     return parser
 
 

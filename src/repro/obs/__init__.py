@@ -1,0 +1,77 @@
+"""``repro.obs``: zero-perturbation tracing and telemetry.
+
+End-to-end request tracing for the serving stack — client → TCP
+front-end → shard worker → batch → kernel — plus per-unit spans in
+campaigns, with one hard guarantee: **tracing never changes solve
+results**. Span ids come from ``os.urandom`` (no NumPy RNG stream is
+touched), no solver code path branches on whether tracing is enabled,
+and when disabled every hot path pays exactly one attribute lookup
+against a no-op singleton. ``tests/test_obs.py`` asserts bit-identity
+traced vs. untraced against the repo's golden records.
+
+Quickstart::
+
+    from repro.obs import tracer as obs
+
+    obs.configure(trace_dir="trace_out")
+    with obs.start_span("my.operation", attributes={"size": 64}):
+        ...
+    # spans land in trace_out/spans-<pid>.jsonl as they finish
+
+    from repro.obs import report
+    roots = report.build_trees(report.read_spans("trace_out"))
+    print(report.render_tree(roots[0]))
+
+Serving integration: ``ServiceConfig(trace_dir=...)`` (or ``repro serve
+--trace-dir``) enables capture in the thread tier and in every network
+worker process; ``REPRO_TRACE_DIR`` enables it in campaign workers.
+``repro trace summary|slowest|export`` renders the dumps.
+"""
+
+from repro.obs.report import (
+    SpanNode,
+    build_trees,
+    critical_path,
+    export_spans,
+    format_summary,
+    read_spans,
+    render_tree,
+    slowest_traces,
+    summarize,
+)
+from repro.obs.tracer import (
+    DISABLED_TRACER,
+    NOOP_SPAN,
+    TRACE_ENV,
+    Span,
+    Tracer,
+    active,
+    configure,
+    configure_from_env,
+    disable,
+    record_span,
+    start_span,
+)
+
+__all__ = [
+    "DISABLED_TRACER",
+    "NOOP_SPAN",
+    "Span",
+    "SpanNode",
+    "TRACE_ENV",
+    "Tracer",
+    "active",
+    "build_trees",
+    "configure",
+    "configure_from_env",
+    "critical_path",
+    "disable",
+    "export_spans",
+    "format_summary",
+    "read_spans",
+    "record_span",
+    "render_tree",
+    "slowest_traces",
+    "start_span",
+    "summarize",
+]

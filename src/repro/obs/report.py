@@ -1,0 +1,245 @@
+"""Reading exported traces back: span trees, summaries, critical paths.
+
+Everything here consumes the JSONL records
+:class:`~repro.obs.tracer.Tracer` writes — one file per process under a
+trace directory, or a single exported file — and never imports the
+serving stack, so ``repro trace`` works on dumps copied off any host.
+
+Robustness: a SIGKILLed process can leave a torn final line in its
+``spans-<pid>.jsonl``; :func:`read_spans` skips unparseable lines
+instead of failing the whole report. Spans whose parent never finished
+(it died with the process) are *promoted to roots*, so a partially
+traced request still renders as a tree instead of vanishing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.analysis.reporting import format_table
+
+__all__ = [
+    "SpanNode",
+    "build_trees",
+    "critical_path",
+    "export_spans",
+    "format_summary",
+    "read_spans",
+    "render_tree",
+    "slowest_traces",
+    "summarize",
+]
+
+
+def read_spans(path: str | os.PathLike) -> list[dict]:
+    """Load span records from a JSONL file or a trace directory.
+
+    A directory reads every ``*.jsonl`` inside (sorted by name, so
+    output is deterministic); torn or corrupt lines — the tail a
+    SIGKILLed worker left mid-write — are skipped silently.
+    """
+    path = Path(path)
+    files = sorted(path.glob("*.jsonl")) if path.is_dir() else [path]
+    records: list[dict] = []
+    for file in files:
+        try:
+            text = file.read_text(encoding="utf-8")
+        except OSError:
+            continue
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict) and "span_id" in record:
+                records.append(record)
+    records.sort(key=lambda r: (r.get("trace_id") or "", r.get("start_s", 0.0)))
+    return records
+
+
+class SpanNode:
+    """One span record plus its resolved children (a tree vertex)."""
+
+    __slots__ = ("record", "children")
+
+    def __init__(self, record: dict):
+        self.record = record
+        self.children: list[SpanNode] = []
+
+    @property
+    def name(self) -> str:
+        return self.record.get("name", "?")
+
+    @property
+    def trace_id(self):
+        return self.record.get("trace_id")
+
+    @property
+    def span_id(self):
+        return self.record.get("span_id")
+
+    @property
+    def start_s(self) -> float:
+        return float(self.record.get("start_s", 0.0))
+
+    @property
+    def end_s(self) -> float:
+        return float(self.record.get("end_s", self.start_s))
+
+    @property
+    def duration_s(self) -> float:
+        return float(self.record.get("duration_s", 0.0))
+
+    @property
+    def status(self) -> str:
+        return self.record.get("status", "ok")
+
+    def walk(self):
+        """Yield this node and every descendant, depth first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+def build_trees(spans: list[dict]) -> list[SpanNode]:
+    """Link records into trees; returns roots sorted by start time.
+
+    A span whose ``parent_id`` has no record (the parent never finished
+    — e.g. it died with a SIGKILLed worker) becomes a root itself, so
+    surviving work is never hidden by a lost ancestor.
+    """
+    nodes = {r["span_id"]: SpanNode(r) for r in spans}
+    roots: list[SpanNode] = []
+    for node in nodes.values():
+        parent = nodes.get(node.record.get("parent_id"))
+        if parent is not None and parent is not node:
+            parent.children.append(node)
+        else:
+            roots.append(node)
+    for node in nodes.values():
+        node.children.sort(key=lambda n: n.start_s)
+    roots.sort(key=lambda n: n.start_s)
+    return roots
+
+
+def summarize(spans: list[dict]) -> dict[str, dict]:
+    """Per-span-name stats: count, errors, total/mean/max duration."""
+    stats: dict[str, dict] = {}
+    for record in spans:
+        entry = stats.setdefault(
+            record.get("name", "?"),
+            {"count": 0, "errors": 0, "total_s": 0.0, "max_s": 0.0},
+        )
+        duration = float(record.get("duration_s", 0.0))
+        entry["count"] += 1
+        entry["total_s"] += duration
+        entry["max_s"] = max(entry["max_s"], duration)
+        if record.get("status") not in ("ok", "degraded"):
+            entry["errors"] += 1
+    for entry in stats.values():
+        entry["mean_s"] = entry["total_s"] / entry["count"]
+    return stats
+
+
+def format_summary(spans: list[dict], title: str = "trace summary") -> str:
+    """ASCII table of :func:`summarize`, slowest mean first."""
+    stats = summarize(spans)
+    traces = {r.get("trace_id") for r in spans}
+    rows = [
+        [
+            name,
+            str(entry["count"]),
+            str(entry["errors"]),
+            f"{entry['mean_s'] * 1e3:.3f}",
+            f"{entry['max_s'] * 1e3:.3f}",
+            f"{entry['total_s'] * 1e3:.3f}",
+        ]
+        for name, entry in sorted(
+            stats.items(), key=lambda item: -item[1]["total_s"]
+        )
+    ]
+    return format_table(
+        ["span", "count", "errors", "mean ms", "max ms", "total ms"],
+        rows,
+        title=f"{title} — {len(spans)} spans, {len(traces)} traces",
+    )
+
+
+def slowest_traces(spans: list[dict], limit: int = 5) -> list[SpanNode]:
+    """Root spans ordered by duration, longest first."""
+    roots = build_trees(spans)
+    roots.sort(key=lambda n: -n.duration_s)
+    return roots[:limit]
+
+
+def critical_path(root: SpanNode) -> list[SpanNode]:
+    """The chain of spans that determined when ``root`` finished.
+
+    At each level, the child that ended last dominates the finish time;
+    following it to a leaf yields the path optimization should attack.
+    """
+    path = [root]
+    node = root
+    while node.children:
+        node = max(node.children, key=lambda child: child.end_s)
+        path.append(node)
+    return path
+
+
+def render_tree(root: SpanNode, *, mark_critical: bool = True) -> str:
+    """Indented one-span-per-line rendering of a trace tree."""
+    critical = set()
+    if mark_critical:
+        critical = {id(node) for node in critical_path(root)}
+    origin = root.start_s
+    lines: list[str] = []
+
+    def visit(node: SpanNode, depth: int) -> None:
+        attrs = node.record.get("attributes") or {}
+        badges = []
+        if node.status != "ok":
+            badges.append(f"[{node.status}]")
+        if id(node) in critical and mark_critical:
+            badges.append("*")
+        detail = " ".join(
+            f"{key}={attrs[key]}"
+            for key in ("size", "batch", "solver", "digest", "analog_time_s")
+            if key in attrs
+        )
+        error = node.record.get("error")
+        lines.append(
+            "  " * depth
+            + f"{node.name}  {node.duration_s * 1e3:.3f} ms"
+            + f"  (+{(node.start_s - origin) * 1e3:.3f} ms)"
+            + (f"  {' '.join(badges)}" if badges else "")
+            + (f"  {detail}" if detail else "")
+            + (f"  !{error}" if error else "")
+        )
+        for child in node.children:
+            visit(child, depth + 1)
+
+    visit(root, 0)
+    short = (root.trace_id or "?")[:16]
+    header = f"trace {short}  ({root.duration_s * 1e3:.3f} ms, * = critical path)"
+    return "\n".join([header] + lines)
+
+
+def export_spans(src: str | os.PathLike, out: str | os.PathLike) -> int:
+    """Merge a trace directory (or file) into one sorted JSONL file.
+
+    Returns the number of spans written. Sorting is by
+    ``(trace_id, start_s)``, so one request's spans are contiguous in
+    the merged dump regardless of which process wrote them.
+    """
+    records = read_spans(src)
+    out = Path(out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with open(out, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record) + "\n")
+    return len(records)

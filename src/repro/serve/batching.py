@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.core.solution import LeanSolveResult, SolveResult
 from repro.errors import ServeError
+from repro.obs import tracer as obs
 from repro.serve.cache import PreparedEntry
 
 __all__ = ["MicroBatcher", "execute_batch"]
@@ -53,11 +54,38 @@ def execute_batch(
     payloads — identical ``x``/``reference``/``relative_error`` bits,
     no per-step OpResult telemetry (whose construction dominates
     service-side time at scale).
+
+    When tracing (:mod:`repro.obs`) is enabled, every call emits a
+    ``serve.kernel`` span carrying the batch size and the summed
+    ``analog_time_s`` of its results — latency attribution bottoms out
+    at the paper's per-operation analog timing. Tracing observes only:
+    the solve path and its random draws are identical either way.
     """
     if len(bs) != len(seeds):
         raise ServeError(f"got {len(bs)} right-hand sides but {len(seeds)} seeds")
     if not bs:
         return []
+    tracer = obs.active()
+    if not tracer.enabled:
+        return _execute(entry, bs, seeds, lean)
+    with tracer.start_span(
+        "serve.kernel",
+        attributes={
+            "batch": len(bs),
+            "solver": entry.key.solver,
+            "digest": entry.key.matrix_digest[:12],
+            "coalescible": entry.coalescible,
+            "lean": lean,
+        },
+    ) as span:
+        results = _execute(entry, bs, seeds, lean)
+        span.set(
+            analog_time_s=float(sum(r.analog_time_s for r in results))
+        )
+        return results
+
+
+def _execute(entry, bs, seeds, lean):
     if entry.coalescible:
         return list(
             entry.prepared.solve_many(list(bs), np.random.default_rng(0), lean=lean)

@@ -51,6 +51,10 @@ class ServiceMetrics:
     wall_s: float
     cache: CacheStats
     prepare_s: float
+    #: Per-stage latency breakdown fed from tracing spans (``repro.obs``):
+    #: stage name → ``{count, total_s, mean_s, p95_s, max_s}``. Empty
+    #: when tracing is disabled — stages are observed, never synthesized.
+    stages: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         """Flat, JSON-serializable view (cache counters inlined)."""
@@ -76,6 +80,7 @@ class ServiceMetrics:
             "throughput_rps": self.throughput_rps,
             "wall_s": self.wall_s,
             "prepare_s": self.prepare_s,
+            "stages": {name: dict(stats) for name, stats in sorted(self.stages.items())},
         }
         for name, value in self.cache.as_dict().items():
             out[f"cache_{name}"] = value
@@ -127,6 +132,10 @@ class ServiceMetrics:
                 evictions=data["cache_evictions"],
             ),
             prepare_s=data["prepare_s"],
+            # .get: payloads predating the tracing stages survive round-trip.
+            stages={
+                name: dict(stats) for name, stats in data.get("stages", {}).items()
+            },
         )
 
     @classmethod
@@ -153,6 +162,9 @@ class ServiceMetrics:
             ["latency p50 (ms)", f"{self.latency_p50_s * 1e3:.2f}"],
             ["latency p95 (ms)", f"{self.latency_p95_s * 1e3:.2f}"],
             ["latency p99 (ms)", f"{self.latency_p99_s * 1e3:.2f}"],
+            ["latency mean (ms)", f"{self.latency_mean_s * 1e3:.2f}"],
+            ["latency max (ms)", f"{self.latency_max_s * 1e3:.2f}"],
+            ["wall clock (s)", f"{self.wall_s:.3f}"],
             ["batches executed", str(self.batches_executed)],
             ["mean batch size", f"{self.mean_batch_size:.2f}"],
             ["batch-size histogram", histogram or "-"],
@@ -161,6 +173,14 @@ class ServiceMetrics:
              f"{self.cache.hits}/{self.cache.misses}/{self.cache.evictions}"],
             ["prepare time (s)", f"{self.prepare_s:.3f}"],
         ]
+        for name, stats in sorted(self.stages.items()):
+            rows.append(
+                [
+                    f"stage {name} (ms)",
+                    f"mean {stats['mean_s'] * 1e3:.2f}, p95 {stats['p95_s'] * 1e3:.2f}"
+                    f", n={stats['count']}",
+                ]
+            )
         return format_table(["metric", "value"], rows, title=title)
 
 
@@ -184,6 +204,8 @@ class MetricsRecorder:
     prepare_s: float = 0.0
     first_submit_t: float | None = None
     last_done_t: float | None = None
+    #: Stage name → per-occurrence durations (fed by the tracing hook).
+    stage_s: dict = field(default_factory=dict)
 
     def record_submit(self) -> None:
         """Count one accepted request (stamps the throughput window start)."""
@@ -237,6 +259,16 @@ class MetricsRecorder:
         with self._lock:
             self.prepare_s += seconds
 
+    def record_stage(self, stage: str, seconds: float) -> None:
+        """Accumulate one per-stage duration (queue, prepare, execute, ...).
+
+        Fed by the :mod:`repro.obs` span-finish hook the service
+        registers when tracing is enabled; with tracing off no stage
+        data exists and the snapshot's ``stages`` stays empty.
+        """
+        with self._lock:
+            self.stage_s.setdefault(stage, []).append(seconds)
+
     def record_done(self, latency_s: float, *, failed: bool = False) -> None:
         """Count one finished request and its submit-to-done latency."""
         with self._lock:
@@ -259,6 +291,16 @@ class MetricsRecorder:
                 if self.first_submit_t is not None and self.last_done_t is not None
                 else 0.0
             )
+            stages = {}
+            for stage, values in sorted(self.stage_s.items()):
+                arr = np.asarray(values, dtype=float)
+                stages[stage] = {
+                    "count": int(arr.size),
+                    "total_s": float(arr.sum()),
+                    "mean_s": float(arr.mean()),
+                    "p95_s": float(np.quantile(arr, 0.95)),
+                    "max_s": float(arr.max()),
+                }
             return ServiceMetrics(
                 requests_submitted=self.submitted,
                 requests_completed=self.completed,
@@ -282,4 +324,5 @@ class MetricsRecorder:
                 wall_s=wall,
                 cache=cache,
                 prepare_s=self.prepare_s,
+                stages=stages,
             )

@@ -34,6 +34,7 @@ from repro.errors import (
     UnknownDigestError,
     error_from_wire,
 )
+from repro.obs import tracer as obs
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.net.protocol import (
     STATUS_UNKNOWN_DIGEST,
@@ -56,6 +57,8 @@ class NetTicket:
         self.status: str | None = None
         #: Per-request server telemetry (result responses only).
         self.telemetry: dict = {}
+        #: Client-side request span (NOOP when tracing is disabled).
+        self.span = obs.NOOP_SPAN
         self._future: Future = Future()
 
     def result(self, timeout: float | None = None) -> LeanSolveResult:
@@ -130,6 +133,16 @@ class NetClient:
     def submit_request(self, request: SolveRequest) -> NetTicket:
         """Send one request; returns immediately with a ticket."""
         ticket = NetTicket(request)
+        tracer = obs.active()
+        if tracer.enabled:
+            ticket.span = tracer.start_span(
+                "client.request",
+                attributes={
+                    "digest": request.digest[:12],
+                    "seed": request.seed,
+                    "n": request.size,
+                },
+            )
         header = {
             "type": "solve",
             "n": request.size,
@@ -142,10 +155,16 @@ class NetClient:
                 None if request.deadline_s is None else request.deadline_s * 1e3
             ),
         }
+        if ticket.span.enabled:
+            # Free-form header field: old servers ignore it, tracing
+            # servers parent their request span under ours.
+            header["trace"] = ticket.span.context()
         call = _Call("solve", ticket=ticket, header=header, matrix=request.matrix)
         with self._state_lock:
             if self._closed:
-                raise ServiceClosedError("client is closed")
+                error = ServiceClosedError("client is closed")
+                ticket.span.fail(error)
+                raise error
             request_id = next(self._ids)
             header["id"] = request_id
             send_matrix = request.digest not in self._known_digests
@@ -263,6 +282,7 @@ class NetClient:
         for call in calls.values():
             if call.ticket is not None:
                 if not call.ticket._future.done():
+                    call.ticket.span.fail(error)
                     call.ticket._future.set_exception(error)
             elif not call.future.done():
                 call.future.set_exception(error)
@@ -306,6 +326,7 @@ class NetClient:
             analog_time_s=float(telemetry.get("analog_time_s", 0.0)),
             metadata=dict(telemetry.get("metadata", {})),
         )
+        ticket.span.end(status=ticket.status or "ok")
         ticket._future.set_result(result)
 
     def _finish_error(self, request_id: int, call: _Call, header: dict) -> None:
@@ -336,4 +357,5 @@ class NetClient:
                 f"server repeatedly lost the matrix for digest "
                 f"{ticket.request.digest[:12]}: {error}"
             )
+        ticket.span.fail(error)
         ticket._future.set_exception(error)

@@ -18,9 +18,13 @@ Message vocabulary (requests → responses):
 
 - ``solve`` — blobs ``[b]`` or ``[b, matrix]``; fields ``solver``,
   ``seed``, ``prep_seed``, ``deadline_ms``, ``tenant``, ``digest``,
-  ``n``.  Answered by ``result`` (status ``ok``/``degraded``, blobs
-  ``[x, reference]``, per-request telemetry) or ``error`` (typed status
-  + :func:`repro.errors.error_to_wire` payload).
+  ``n``, and optionally ``trace`` (a :meth:`repro.obs.Span.context`
+  dict — ``{"trace_id", "span_id"}`` — that parents the server-side
+  request span under the client's; servers without tracing ignore it,
+  old clients simply omit it).  Answered by ``result`` (status
+  ``ok``/``degraded``, blobs ``[x, reference]``, per-request telemetry)
+  or ``error`` (typed status + :func:`repro.errors.error_to_wire`
+  payload).
 - ``metrics`` — answered by a ``metrics`` response whose ``metrics``
   field is :meth:`repro.serve.metrics.ServiceMetrics.as_json` data.
 - ``ping`` — answered by ``pong`` (liveness / protocol smoke).

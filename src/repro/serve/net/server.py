@@ -40,6 +40,7 @@ from repro.errors import (
     WireProtocolError,
     error_to_wire,
 )
+from repro.obs import tracer as obs
 from repro.serve.metrics import MetricsRecorder
 from repro.serve.net.protocol import (
     STATUS_FAILED,
@@ -108,6 +109,10 @@ class NetServer:
         """Spawn the worker pool and the event-loop thread; bind the port."""
         if self._thread is not None:
             raise ServeError("server already started")
+        if self.config.service.trace_dir is not None:
+            # Front-end spans; each worker process configures its own
+            # tracer against the same directory after the fork.
+            obs.configure(trace_dir=self.config.service.trace_dir)
         self._pool = ProcessWorkerPool(self.config.service, self.recorder)
         self._thread = threading.Thread(
             target=self._run_loop, name="repro-net-server", daemon=True
@@ -258,8 +263,22 @@ class NetServer:
     def _dispatch_solve(self, header: dict, blobs, out_q: asyncio.Queue) -> None:
         request_id = header.get("id")
         loop = self._loop
+        span = obs.NOOP_SPAN
         try:
             digest, b, matrix = self._parse_solve(header, blobs)
+            tracer = obs.active()
+            if tracer.enabled:
+                # header["trace"] (when the client traces too) parents
+                # this span under the client-side request span.
+                span = tracer.start_span(
+                    "server.request",
+                    trace=header.get("trace"),
+                    attributes={
+                        "digest": digest[:12],
+                        "seed": int(header.get("seed", 0)),
+                        "n": header.get("n"),
+                    },
+                )
             if self._quotas is not None:
                 self._charge_quota(header.get("tenant"))
             policy = self.config.service.resilience
@@ -279,6 +298,15 @@ class NetServer:
             server_id = self._next_id
 
             def callback(outcome: WorkOutcome) -> None:
+                if outcome.ok:
+                    span.end(status=outcome.status)
+                else:
+                    message = (outcome.error or {}).get("message", "")
+                    span.end(
+                        status="error",
+                        error=f"{outcome.status}: {message}" if message
+                        else outcome.status,
+                    )
                 frame = self._outcome_frame(request_id, outcome)
                 try:
                     loop.call_soon_threadsafe(out_q.put_nowait, frame)
@@ -297,8 +325,10 @@ class NetServer:
                     time.time() + deadline_s if deadline_s is not None else None
                 ),
                 callback=callback,
+                trace=span.context() if span.enabled else None,
             )
         except Exception as exc:
+            span.fail(exc)
             self._record_refusal(exc)
             out_q.put_nowait(self._error_frame(request_id, exc))
 

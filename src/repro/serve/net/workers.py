@@ -65,6 +65,7 @@ from repro.errors import (
     UnknownDigestError,
     error_to_wire,
 )
+from repro.obs import tracer as obs
 from repro.serve.batching import MicroBatcher, execute_batch
 from repro.serve.cache import PreparedKey, PreparedSolverCache, prepare_entry
 from repro.serve.metrics import MetricsRecorder
@@ -125,6 +126,9 @@ class WorkItem:
     seed: int = 0
     #: Absolute wall-clock (``time.time()``) expiry, or ``None``.
     deadline_at: float | None = None
+    #: Propagated trace context (:meth:`repro.obs.Span.context` of the
+    #: server-side span), or ``None``; stitches the cross-process tree.
+    trace: dict | None = None
 
 
 @dataclass(frozen=True)
@@ -179,12 +183,15 @@ class WorkOutcome:
 class _Job:
     """A :class:`WorkItem` resolved to its cache identity (batcher item)."""
 
-    __slots__ = ("item", "key", "hardware")
+    __slots__ = ("item", "key", "hardware", "span", "admitted_at")
 
     def __init__(self, item: WorkItem, key: PreparedKey, hardware):
         self.item = item
         self.key = key
         self.hardware = hardware
+        #: Worker-side request span (NOOP when tracing is disabled).
+        self.span = obs.NOOP_SPAN
+        self.admitted_at = 0.0
 
 
 class _RequestView:
@@ -233,6 +240,9 @@ class _WorkerState:
 
 def _worker_main(config: ServiceConfig, request_q, response_q) -> None:
     """Entry point of one worker process (module-level for picklability)."""
+    if config.trace_dir is not None:
+        # Fresh tracer in the child: own lock, own spans-<pid>.jsonl.
+        obs.configure(trace_dir=config.trace_dir)
     state = _WorkerState(config)
     while True:
         if not len(state.batcher):
@@ -286,7 +296,22 @@ def _admit(state: _WorkerState, item: WorkItem, response_q) -> None:
     except Exception as exc:
         _respond_failure(state, response_q, item, exc)
         return
-    state.batcher.add(_Job(item, key, hardware))
+    job = _Job(item, key, hardware)
+    tracer = obs.active()
+    if tracer.enabled:
+        # item.trace stitches this span under the server-side request
+        # span even though we are in a different process.
+        job.span = tracer.start_span(
+            "shard.request",
+            trace=item.trace,
+            attributes={
+                "digest": item.digest[:12],
+                "seed": item.seed,
+                "pid": os.getpid(),
+            },
+        )
+        job.admitted_at = time.perf_counter()
+    state.batcher.add(job)
 
 
 def _serve_key(state: _WorkerState, key: PreparedKey, request_q, response_q) -> None:
@@ -320,9 +345,52 @@ def _serve_key(state: _WorkerState, key: PreparedKey, request_q, response_q) -> 
     state.cache.credit_hits(len(batch) - 1)
     state.counters["batch_sizes"].append(len(batch))
     start = time.perf_counter()
+    tracer = obs.active()
+    batch_span = obs.NOOP_SPAN
+    if tracer.enabled:
+        for job in batch:
+            # Retroactive: admit → execution-start gap, no extra clock
+            # reads on the untraced path.
+            tracer.record_span(
+                "shard.queue",
+                parent=job.span,
+                start_s=job.admitted_at,
+                end_s=start,
+            )
+        batch_span = tracer.start_span(
+            "shard.batch",
+            attributes={
+                "size": len(batch),
+                "solver": key.solver,
+                "pid": os.getpid(),
+                "members": [job.span.span_id for job in batch],
+            },
+            start_s=start,
+        )
     finished: list[tuple[_Job, object, str]] = []
-    _execute(state, entry, batch, breaker, finished)
+    if tracer.enabled:
+        with tracer.use_span(batch_span):
+            _execute(state, entry, batch, breaker, finished)
+    else:
+        _execute(state, entry, batch, breaker, finished)
     per_request = (time.perf_counter() - start) / len(batch)
+    if tracer.enabled:
+        solved = time.perf_counter()
+        for job, result, status in finished:
+            if status:
+                tracer.record_span(
+                    "shard.solve",
+                    parent=job.span,
+                    start_s=start,
+                    end_s=solved,
+                    attributes={
+                        "batch_span": batch_span.span_id,
+                        "analog_time_s": float(
+                            getattr(result, "analog_time_s", 0.0)
+                        ),
+                    },
+                )
+        batch_span.end()
     _publish(state, finished, response_q, per_request)
 
 
@@ -403,14 +471,11 @@ def _expire(state: _WorkerState, batch: list[_Job], response_q) -> list[_Job]:
     now = time.time()
     for job in batch:
         if job.item.deadline_at is not None and now >= job.item.deadline_at:
-            _respond_failure(
-                state,
-                response_q,
-                job.item,
-                DeadlineExceededError(
-                    "deadline expired before the request reached execution"
-                ),
+            error = DeadlineExceededError(
+                "deadline expired before the request reached execution"
             )
+            job.span.fail(error)
+            _respond_failure(state, response_q, job.item, error)
         else:
             live.append(job)
     return live
@@ -517,6 +582,7 @@ def _publish(state, finished: list, response_q, per_request_s: float) -> None:
             np.stack([result.reference for _, result, _ in successes]),
         )
         for row, (job, result, status) in enumerate(successes):
+            job.span.end(status="ok" if status == STATUS_OK else "degraded")
             response_q.put(
                 WorkDone(
                     id=job.item.id,
@@ -530,6 +596,7 @@ def _publish(state, finished: list, response_q, per_request_s: float) -> None:
             )
             counters = {}
     for job, exc in failures:
+        job.span.fail(exc)
         response_q.put(
             WorkFailed(
                 id=job.item.id,
@@ -577,6 +644,7 @@ def _fail_key_group(state: _WorkerState, key: PreparedKey, response_q, exc) -> N
         if not group:
             return
         for job in group:
+            job.span.fail(exc)
             _respond_failure(state, response_q, job.item, exc)
 
 
@@ -757,6 +825,7 @@ class ProcessWorkerPool:
         seed: int,
         deadline_at: float | None,
         callback: Callable[[WorkOutcome], None],
+        trace: dict | None = None,
     ) -> None:
         """Hand one request to its shard; ``callback`` fires exactly once.
 
@@ -804,6 +873,7 @@ class ProcessWorkerPool:
                     prep_seed=prep_seed,
                     seed=seed,
                     deadline_at=deadline_at,
+                    trace=trace,
                 )
             )
         self.recorder.record_submit()

@@ -57,6 +57,7 @@ both tiers answer with identical bits.
 
 from __future__ import annotations
 
+import os
 import queue
 import threading
 import time
@@ -75,6 +76,7 @@ from repro.errors import (
     ServiceOverloadedError,
     ShardFailedError,
 )
+from repro.obs import tracer as obs
 from repro.serve.batching import MicroBatcher, execute_batch
 from repro.serve.cache import (
     SOLVER_KINDS,
@@ -102,6 +104,27 @@ __all__ = [
 
 #: Idle-poll period of the worker loops (shutdown latency bound).
 _POLL_S = 0.02
+
+#: Lifecycle span name → metrics stage name: these spans feed the
+#: per-stage latency breakdown in :class:`ServiceMetrics`.
+_STAGE_SPANS = {
+    "serve.queue": "queue",
+    "serve.prepare": "prepare",
+    "serve.execute": "execute",
+    "serve.assemble": "assemble",
+    "serve.kernel": "kernel",
+}
+
+
+def _stage_metrics_hook(recorder: MetricsRecorder):
+    """Span-finish hook feeding stage durations into the recorder."""
+
+    def hook(record: dict) -> None:
+        stage = _STAGE_SPANS.get(record["name"])
+        if stage is not None:
+            recorder.record_stage(stage, record["duration_s"])
+
+    return hook
 
 
 @dataclass(frozen=True)
@@ -144,6 +167,13 @@ class ServiceConfig:
         shard cache. This is the fault-injection seam
         (:func:`repro.testing.chaos.chaos_entry_transform` wraps the
         prepared solver); production configs leave it ``None``.
+    trace_dir:
+        Enables :mod:`repro.obs` tracing with spans exported to this
+        directory. Process-global (the service configures the module
+        tracer), inherited by ``repro.serve.net`` worker processes via
+        this very config. ``None`` (default) leaves tracing untouched —
+        hot paths pay one attribute lookup. Tracing never perturbs
+        results: solves are bit-identical either way.
     default_solver, default_hardware, default_prep_seed:
         Applied to requests that leave the corresponding field unset.
     """
@@ -157,6 +187,7 @@ class ServiceConfig:
     lean_results: bool = False
     resilience: ResiliencePolicy = field(default_factory=ResiliencePolicy)
     entry_transform: Callable | None = None
+    trace_dir: str | None = None
     default_solver: str = "blockamc-1stage"
     default_hardware: HardwareConfig = field(
         default_factory=HardwareConfig.paper_variation
@@ -184,6 +215,12 @@ class ServiceConfig:
             )
         if self.entry_transform is not None and not callable(self.entry_transform):
             raise ServeError("entry_transform must be callable or None")
+        if self.trace_dir is not None and not isinstance(
+            self.trace_dir, (str, os.PathLike)
+        ):
+            raise ServeError(
+                f"trace_dir must be a path or None, got {self.trace_dir!r}"
+            )
         if self.default_solver not in SOLVER_KINDS:
             raise ServeError(
                 f"unknown default_solver {self.default_solver!r}; "
@@ -233,6 +270,8 @@ class SolveTicket:
         self.deadline_at = (
             None if deadline_s is None else self.submitted_at + deadline_s
         )
+        #: Root tracing span of this request (no-op when tracing is off).
+        self.span = obs.NOOP_SPAN
         self._future: Future = Future()
 
     def result(self, timeout: float | None = None) -> SolveResult:
@@ -287,6 +326,14 @@ class SolverService:
     def __init__(self, config: ServiceConfig | None = None):
         self.config = config or ServiceConfig()
         self._metrics = MetricsRecorder()
+        if self.config.trace_dir is not None:
+            obs.configure(trace_dir=self.config.trace_dir)
+        # With tracing on, finished stage spans feed the per-stage
+        # latency breakdown in ServiceMetrics (removed again at close).
+        self._obs_hook = None
+        if obs.active().enabled:
+            self._obs_hook = _stage_metrics_hook(self._metrics)
+            obs.active().add_finish_hook(self._obs_hook)
         self._closed = threading.Event()
         self._abort = threading.Event()
         # Serializes the closed-check against queue puts: close() flips
@@ -360,22 +407,43 @@ class SolverService:
                     f"shed threshold {policy.shed_latency_s:.3f}s",
                     retry_after_s=estimate,
                 )
+        tracer = obs.active()
+        if tracer.enabled:
+            # Root of this request's span tree; lifecycle stages (queue
+            # wait, prepare, execute, assemble) attach as children. The
+            # span is backdated to the ticket's submit stamp so queue
+            # wait is measured from the caller's perspective.
+            ticket.span = tracer.start_span(
+                "serve.request",
+                attributes={
+                    "digest": request.digest[:12],
+                    "solver": key.solver,
+                    "seed": request.seed,
+                    "shard": shard.index,
+                    "n": request.size,
+                },
+                start_s=ticket.submitted_at,
+            )
         while True:
             with self._submit_lock:
                 if self._closed.is_set():
-                    raise ServiceClosedError(
+                    error = ServiceClosedError(
                         "service is closed; no further requests accepted"
                     )
+                    ticket.span.fail(error)
+                    raise error
                 try:
                     shard.queue.put_nowait(ticket)
                     break
                 except queue.Full:
                     if self.config.backpressure == "reject":
                         self._metrics.record_rejected()
-                        raise ServiceOverloadedError(
+                        error = ServiceOverloadedError(
                             f"shard {shard.index} queue is full "
                             f"({self.config.queue_depth} requests pending)"
-                        ) from None
+                        )
+                        ticket.span.fail(error)
+                        raise error from None
             # ``block`` policy: wait on the queue itself, outside the
             # lock, so the submitter wakes the moment the worker drains
             # a slot and close()/other shards' submitters stay live; the
@@ -454,6 +522,9 @@ class SolverService:
         for shard in self._shards:
             if shard.thread is not None:
                 shard.thread.join()
+        if self._obs_hook is not None:
+            obs.active().remove_finish_hook(self._obs_hook)
+            self._obs_hook = None
 
     def __enter__(self) -> "SolverService":
         return self
@@ -610,6 +681,21 @@ class SolverService:
             self._metrics.record_prepare(entry.prepare_seconds)
             if self.config.entry_transform is not None:
                 entry = self.config.entry_transform(entry)
+            tracer = obs.active()
+            if tracer.enabled:
+                # Retroactive: bounds come from the measured prepare time,
+                # so the untraced path performs no extra timing calls.
+                now = time.perf_counter()
+                tracer.record_span(
+                    "serve.prepare",
+                    parent=head.span,
+                    start_s=now - entry.prepare_seconds,
+                    end_s=now,
+                    attributes={
+                        "solver": key.solver,
+                        "digest": key.matrix_digest[:12],
+                    },
+                )
             return entry
 
         try:
@@ -648,21 +734,79 @@ class SolverService:
         shard.inflight = batch
         self._metrics.record_batch(len(batch))
         start = time.perf_counter()
-        try:
-            results = execute_batch(
-                entry,
-                [t.request.b for t in batch],
-                [t.request.seed for t in batch],
-                lean=self.config.lean_results,
+        tracer = obs.active()
+        batch_span = obs.NOOP_SPAN
+        if tracer.enabled:
+            # Queue-wait stages are retroactive (submit stamp → now), so
+            # the untraced submit path stays untouched; the batch span
+            # links its member requests by span id.
+            for ticket in batch:
+                tracer.record_span(
+                    "serve.queue",
+                    parent=ticket.span,
+                    start_s=ticket.submitted_at,
+                    end_s=start,
+                )
+            batch_span = tracer.start_span(
+                "serve.batch",
+                attributes={
+                    "size": len(batch),
+                    "solver": entry.key.solver,
+                    "shard": shard.index,
+                    "coalescible": entry.coalescible,
+                    "members": [t.span.span_id for t in batch],
+                },
+                start_s=start,
             )
-        except Exception:
+        try:
+            if tracer.enabled:
+                # Activation (not a `with Span`): the kernel span nests
+                # under the batch, which ends later, after assembly.
+                with tracer.use_span(batch_span):
+                    results = execute_batch(
+                        entry,
+                        [t.request.b for t in batch],
+                        [t.request.seed for t in batch],
+                        lean=self.config.lean_results,
+                    )
+            else:
+                results = execute_batch(
+                    entry,
+                    [t.request.b for t in batch],
+                    [t.request.seed for t in batch],
+                    lean=self.config.lean_results,
+                )
+        except Exception as exc:
+            batch_span.fail(exc)
             self._isolate(shard, entry, batch, breaker)
         else:
+            solved = time.perf_counter()
             now = time.perf_counter()
             for ticket, result in zip(batch, results):
                 self._finish_ticket(ticket, result, now)
             if breaker is not None:
                 breaker.record_success()
+            if tracer.enabled:
+                for ticket, result in zip(batch, results):
+                    tracer.record_span(
+                        "serve.execute",
+                        parent=ticket.span,
+                        start_s=start,
+                        end_s=solved,
+                        attributes={
+                            "batch_span": batch_span.span_id,
+                            "analog_time_s": float(
+                                getattr(result, "analog_time_s", 0.0)
+                            ),
+                        },
+                    )
+                tracer.record_span(
+                    "serve.assemble",
+                    parent=batch_span,
+                    start_s=solved,
+                    end_s=time.perf_counter(),
+                )
+                batch_span.end()
         # Normal-path bookkeeping only: on a worker crash (BaseException)
         # the inflight list must survive for _worker_main's rescue.
         per_request = (time.perf_counter() - start) / len(batch)
@@ -761,6 +905,7 @@ class SolverService:
         if ticket._future.done():
             return
         ticket._future.set_result(result)
+        ticket.span.end()
         self._metrics.record_done(
             (now if now is not None else time.perf_counter()) - ticket.submitted_at
         )
@@ -769,6 +914,7 @@ class SolverService:
         if ticket._future.done():
             return
         ticket._future.set_exception(error)
+        ticket.span.fail(error)
         self._metrics.record_done(
             (now if now is not None else time.perf_counter()) - ticket.submitted_at,
             failed=True,

@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -93,3 +95,76 @@ class TestServeCommands:
     def test_submit_rejects_unknown_solver(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["submit", "--solver", "nope"])
+
+    def test_submit_metrics_json(self, capsys):
+        assert main([
+            "submit", "--size", "12", "--rhs", "3", "--hardware", "ideal",
+            "--metrics-json",
+        ]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["requests_completed"] == 3
+        assert data["requests_failed"] == 0
+        assert "latency_mean_s" in data
+        assert "stages" in data
+
+
+class TestObservabilityCommands:
+    @pytest.fixture(autouse=True)
+    def _clean_tracer(self):
+        # `serve --trace-dir` configures the process-wide tracer; don't
+        # leak it into later tests.
+        yield
+        from repro.obs import tracer as obs
+
+        obs.disable()
+
+    def test_serve_trace_dir_and_trace_commands(self, tmp_path, capsys):
+        trace_dir = tmp_path / "trace"
+        assert main([
+            "serve", "--requests", "8", "--unique-matrices", "2",
+            "--sizes", "8", "12", "--workers", "2", "--check",
+            "--trace-dir", str(trace_dir),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "bit-identical to sequential reference: True" in out
+        assert "stage queue (ms)" in out  # spans fed the metrics table
+
+        assert main(["trace", "summary", str(trace_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "serve.request" in out
+        assert "serve.kernel" in out
+
+        assert main(["trace", "slowest", str(trace_dir), "--limit", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "trace " in out
+        assert "*" in out  # critical-path marks
+
+        export = tmp_path / "merged.jsonl"
+        assert main(["trace", "export", str(trace_dir), "--out", str(export)]) == 0
+        lines = export.read_text().splitlines()
+        assert lines
+        assert all(json.loads(line)["span_id"] for line in lines)
+
+    def test_trace_summary_empty_dir(self, tmp_path, capsys):
+        assert main(["trace", "summary", str(tmp_path)]) == 1
+        assert "no spans" in capsys.readouterr().err
+
+    def test_campaign_status_json(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert main([
+            "campaign", "run", "fig7-variation", "--store", str(store),
+            "--workers", "0", "--max-units", "1",
+        ]) == 0  # controlled interruption (--max-units) is not an error
+        capsys.readouterr()
+        code = main([
+            "campaign", "status", "fig7-variation", "--store", str(store), "--json",
+        ])
+        assert code == 1  # unfinished
+        status = json.loads(capsys.readouterr().out)
+        assert status["name"] == "fig7-variation"
+        assert status["completed_units"] == 1
+        assert status["finished"] is False
+        assert isinstance(status["pending"], list)
+        assert status["total_units"] == status["completed_units"] + len(
+            status["pending"]
+        ) + len(status["quarantined"])
