@@ -171,11 +171,16 @@ class AMCOperations:
         return cached
 
     def _add_output_noise(self, raw: np.ndarray, rng) -> np.ndarray:
-        """Per-operation output-referred noise (fresh sample each op)."""
+        """Per-operation output-referred noise (fresh sample each op).
+
+        Draws are always float64 (identical generator stream across
+        precision tiers); the sum is cast back to the operating dtype.
+        """
         sigma = self.config.opamp.output_noise_sigma_v
         if sigma == 0.0:
             return raw
-        return raw + as_generator(rng).normal(0.0, sigma, size=raw.shape)
+        noisy = raw + as_generator(rng).normal(0.0, sigma, size=raw.shape)
+        return noisy.astype(raw.dtype, copy=False)
 
     # ------------------------------------------------------------------
     # MVM
@@ -207,13 +212,15 @@ class AMCOperations:
         offsets = self._draw_offsets(rows, rng)
 
         if self.config.use_mna:
+            # MNA routing always solves the netlist at float64.
             raw = self._mvm_mna(array, v_in, offsets)
         else:
+            bk = self.config.resolve_backend()
             raw = mvm_raw(
-                array.effective_matrix(self.config.parasitics),
-                array.load_row_sums(),
-                v_in,
-                offsets,
+                bk.cast(array.effective_matrix(self.config.parasitics)),
+                bk.cast(array.load_row_sums()),
+                bk.cast(v_in),
+                bk.cast(offsets),
                 self.config.opamp.open_loop_gain,
             )
 
@@ -311,13 +318,15 @@ class AMCOperations:
         offsets = self._draw_offsets(rows, rng)
         effective = array.effective_matrix(self.config.parasitics)
         if self.config.use_mna:
+            # MNA routing always solves the netlist at float64.
             raw = self._inv_mna(array, v_in, input_scale, offsets)
         else:
+            bk = self.config.resolve_backend()
             raw = inv_raw(
-                effective,
-                array.load_row_sums(),
-                v_in,
-                offsets,
+                bk.cast(effective),
+                bk.cast(array.load_row_sums()),
+                bk.cast(v_in),
+                bk.cast(offsets),
                 input_scale,
                 self.config.opamp.open_loop_gain,
             )

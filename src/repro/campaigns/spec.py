@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.amc.config import HardwareConfig
+from repro.core.backend import get_backend
 from repro.devices.models import PAPER_G0_SIEMENS
 from repro.devices.variations import (
     GaussianVariation,
@@ -50,7 +51,7 @@ from repro.devices.variations import (
     NoVariation,
     RelativeGaussianVariation,
 )
-from repro.errors import CampaignError
+from repro.errors import BackendError, CampaignError
 
 __all__ = [
     "BASE_HARDWARE",
@@ -184,6 +185,12 @@ class CampaignSpec:
     variants:
         Hardware grid points. An empty tuple means one unlabeled
         variant with no overrides.
+    backend:
+        Array backend / precision tier applied to every resolved
+        hardware config (see :mod:`repro.core.backend`). The default
+        ``"numpy"`` (float64) is omitted from :meth:`to_dict`, so
+        pre-backend campaign digests — and their resumable stores —
+        are unchanged.
     """
 
     name: str
@@ -196,6 +203,7 @@ class CampaignSpec:
     seed: int = 0
     hardware: str = "variation"
     variants: tuple = ()
+    backend: str = "numpy"
 
     def __post_init__(self):
         from repro.serve.cache import SOLVER_KINDS
@@ -222,6 +230,10 @@ class CampaignSpec:
                 )
         if self.trials < 1:
             raise CampaignError(f"trials must be >= 1, got {self.trials}")
+        try:
+            get_backend(self.backend)
+        except BackendError as exc:
+            raise CampaignError(str(exc)) from None
         variants = tuple(
             v if isinstance(v, HardwareVariant) else HardwareVariant(**v)
             for v in (self.variants or (HardwareVariant("base"),))
@@ -238,8 +250,12 @@ class CampaignSpec:
     # serialization and content addressing
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        """JSON-serializable form (round-trips through :meth:`from_dict`)."""
-        return {
+        """JSON-serializable form (round-trips through :meth:`from_dict`).
+
+        ``backend`` is included only off its default, so the digests of
+        pre-backend specs (and the stores keyed by them) are stable.
+        """
+        payload = {
             "name": self.name,
             "title": self.title,
             "mode": self.mode,
@@ -254,6 +270,9 @@ class CampaignSpec:
                 for v in self.variants
             ],
         }
+        if self.backend != "numpy":
+            payload["backend"] = self.backend
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "CampaignSpec":
@@ -278,8 +297,15 @@ class CampaignSpec:
         return hashlib.sha256(_canonical_json(self.to_dict()).encode()).hexdigest()
 
     def resolve_hardware(self, variant_index: int) -> HardwareConfig:
-        """Concrete :class:`HardwareConfig` of one grid point."""
-        return self.variants[variant_index].resolve(self.hardware)
+        """Concrete :class:`HardwareConfig` of one grid point.
+
+        The spec's ``backend`` applies last, after variant overrides
+        (when off its default), so the whole grid runs at one tier.
+        """
+        config = self.variants[variant_index].resolve(self.hardware)
+        if self.backend != "numpy":
+            config = config.with_(backend=self.backend)
+        return config
 
 
 @dataclass(frozen=True)

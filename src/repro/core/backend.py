@@ -1,0 +1,322 @@
+"""Array backends: the precision/namespace seam under the analog kernel.
+
+Every solver layer funnels its dense math through the shape-generic
+kernel in :mod:`repro.core.common` (PR 3/5), which makes one seam cheap:
+an :class:`ArrayBackend` names the array namespace (``xp``), the
+canonical dtype the kernel computes in, the dtype-matched LAPACK
+handles (``getrf``/``getrs``), and a :class:`ToleranceContract` stating
+how results at this tier may differ from the float64 reference.
+
+Contracts per registered backend:
+
+- ``numpy`` (default, aliases ``numpy-f64``/``f64``/``float64``) —
+  float64 on NumPy, **byte-identical** to the pre-seam engine: its
+  :meth:`ArrayBackend.cast` is a no-copy pass-through for float64
+  arrays and its LAPACK pair resolves the exact ``dgetrf``/``dgetrs``
+  the kernel always used, so goldens pass under ``GOLDEN_STRICT=1``.
+- ``numpy-f32`` (aliases ``f32``/``float32``) — the same kernel at
+  float32. Converter quantization (code flips at LSB boundaries) makes
+  bit-identity meaningless here; instead the tier promises the
+  relative-L1 contract in :data:`F32_TOLERANCE`, enforced on the full
+  config x matrix-family grid by ``tests/test_kernel_equivalence.py``.
+- ``torch`` — registers behind the same seam but constructs only when
+  PyTorch is importable (:class:`repro.errors.BackendError` otherwise;
+  the CI leg auto-skips). Kernel solves stay on the bitwise-stable
+  SciPy LAPACK primitive; the backend's job is tensor interop at the
+  boundary (``cast`` accepts tensors, :meth:`TorchArrayBackend.tensor`
+  returns them).
+
+The kernel never branches on dtype: consumers call ``backend.cast``
+unconditionally on every array entering the analog physics, and the
+default backend's cast is the identity on float64 input — which is how
+the float64 path stays byte-identical without a parallel code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+from scipy.linalg import get_lapack_funcs
+
+from repro.errors import BackendError
+
+__all__ = [
+    "ArrayBackend",
+    "DEFAULT_BACKEND",
+    "F32_TOLERANCE",
+    "ToleranceContract",
+    "TorchArrayBackend",
+    "available_backends",
+    "canonical_dtype",
+    "get_backend",
+    "lapack_solvers",
+    "register_backend",
+]
+
+_F32 = np.dtype(np.float32)
+_F64 = np.dtype(np.float64)
+
+#: Name resolved by :func:`get_backend` when no backend is requested.
+DEFAULT_BACKEND = "numpy"
+
+
+def canonical_dtype(dtype) -> np.dtype:
+    """The kernel dtype for ``dtype``: float32 stays, all else is float64.
+
+    The analog engine supports exactly two precision tiers; integer or
+    float16 inputs promote to the float64 tier rather than silently
+    computing at a precision the tolerance contracts don't cover.
+    """
+    return _F32 if np.dtype(dtype) == _F32 else _F64
+
+
+#: canonical dtype -> ``(getrf, getrs)``, resolved once per process.
+_LAPACK: dict[np.dtype, tuple] = {}
+
+
+def lapack_solvers(dtype) -> tuple:
+    """Memoized ``(getrf, getrs)`` LAPACK pair for ``dtype``'s tier.
+
+    For float64 this resolves the identical ``dgetrf``/``dgetrs``
+    bindings the kernel has always used (preserving byte-identity);
+    float32 resolves ``sgetrf``/``sgetrs``. One resolution per dtype per
+    process — :class:`repro.core.common.FactoredSystem` calls this on
+    every construction.
+    """
+    dt = canonical_dtype(dtype)
+    pair = _LAPACK.get(dt)
+    if pair is None:
+        pair = get_lapack_funcs(("getrf", "getrs"), (np.empty((1, 1), dtype=dt),))
+        _LAPACK[dt] = pair
+    return pair
+
+
+@dataclass(frozen=True)
+class ToleranceContract:
+    """What a backend promises relative to the float64 reference tier.
+
+    ``rtol`` bounds the relative-L1 deviation (the paper's Eq. 6 error
+    metric): ``sum|actual - reference| / sum|reference|``. ``atol`` is
+    an absolute element-wise escape hatch for near-zero references.
+    Both zero (the default) means **bit-identical** — checked with
+    ``np.array_equal``, not a tolerance.
+    """
+
+    rtol: float = 0.0
+    atol: float = 0.0
+
+    @property
+    def bit_identical(self) -> bool:
+        return self.rtol == 0.0 and self.atol == 0.0
+
+    def deviation(self, actual, reference) -> float:
+        """Relative-L1 deviation of ``actual`` from ``reference``."""
+        act = np.asarray(actual, dtype=np.float64)
+        ref = np.asarray(reference, dtype=np.float64)
+        num = float(np.sum(np.abs(act - ref)))
+        denom = float(np.sum(np.abs(ref)))
+        if denom == 0.0:
+            return 0.0 if num == 0.0 else float("inf")
+        return num / denom
+
+    def admits(self, actual, reference) -> bool:
+        """Whether ``actual`` satisfies this contract against ``reference``."""
+        act = np.asarray(actual, dtype=np.float64)
+        ref = np.asarray(reference, dtype=np.float64)
+        if act.shape != ref.shape:
+            return False
+        if self.bit_identical:
+            return bool(np.array_equal(act, ref))
+        if self.deviation(act, ref) <= self.rtol:
+            return True
+        return bool(np.max(np.abs(act - ref), initial=0.0) <= self.atol)
+
+
+#: The float32 tier's documented contract. The dominant deviation source
+#: is not float32 rounding (~1e-7 relative) but converter code flips: a
+#: voltage landing within half a float32 ulp of a 12-bit quantization
+#: boundary can take the adjacent code, a ~2.4e-4-of-full-scale step
+#: that gain ranging then propagates. The grid in
+#: ``tests/test_kernel_equivalence.py`` measures well under this bound;
+#: the margin absorbs boundary flips on unseen seeds.
+F32_TOLERANCE = ToleranceContract(rtol=5e-3, atol=5e-4)
+
+
+class ArrayBackend:
+    """One precision/namespace tier of the analog kernel.
+
+    Instances are stateless and shared (``get_backend`` memoizes); the
+    kernel consumes exactly four things: ``xp`` (the array namespace),
+    ``dtype`` (canonical), ``lapack()`` (dtype-matched solver pair), and
+    ``cast`` — the universal entry coercion, a no-op on arrays already
+    at the backend dtype.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        dtype,
+        tolerance: ToleranceContract,
+        description: str = "",
+    ):
+        self.name = name
+        self.dtype = canonical_dtype(dtype)
+        self.tolerance = tolerance
+        self.description = description or f"{self.dtype.name} on NumPy"
+
+    @property
+    def xp(self):
+        """The array namespace kernel math runs in."""
+        return np
+
+    @property
+    def itemsize(self) -> int:
+        return self.dtype.itemsize
+
+    def cast(self, value):
+        """``value`` at the backend dtype (``None`` passes through).
+
+        For the default float64 backend on float64 input this returns
+        the *same object* — no copy, no bit changes — which is what
+        keeps the default path byte-identical while letting consumers
+        cast unconditionally.
+        """
+        if value is None:
+            return None
+        return np.asarray(value, dtype=self.dtype)
+
+    def to_numpy(self, value) -> np.ndarray:
+        """``value`` as a NumPy array (dtype preserved)."""
+        return np.asarray(value)
+
+    def lapack(self) -> tuple:
+        """``(getrf, getrs)`` matching :attr:`dtype` (memoized)."""
+        return lapack_solvers(self.dtype)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(name={self.name!r}, "
+            f"dtype={self.dtype.name!r}, tolerance={self.tolerance!r})"
+        )
+
+
+class TorchArrayBackend(ArrayBackend):
+    """Torch-interop tier behind the same seam (requires PyTorch).
+
+    Dense solves still run through the bitwise-stable SciPy LAPACK
+    primitive — torch's batched ``linalg`` would break the kernel's
+    per-column operation-order contract — so this backend's value is at
+    the boundary: ``cast`` accepts tensors (detached to CPU NumPy at
+    the backend dtype) and :meth:`tensor` hands results back as torch
+    tensors for callers embedding the crossbar physics in tensor
+    pipelines.
+    """
+
+    def __init__(self, name: str = "torch", dtype=np.float32):
+        try:
+            import torch
+        except ImportError as exc:
+            raise BackendError(
+                "torch backend unavailable: PyTorch is not installed "
+                "(use 'numpy' or 'numpy-f32')"
+            ) from exc
+        # Everything past the import runs only with torch installed;
+        # the torch-absent contract (BackendError above) is what the
+        # coverage floor guards.
+        tolerance = (  # pragma: no cover - requires torch
+            ToleranceContract() if canonical_dtype(dtype) == _F64 else F32_TOLERANCE
+        )
+        super().__init__(  # pragma: no cover - requires torch
+            name, dtype, tolerance, f"{canonical_dtype(dtype).name} with torch interop"
+        )
+        self._torch = torch  # pragma: no cover - requires torch
+
+    @property
+    def xp(self):  # pragma: no cover - requires torch
+        return self._torch
+
+    def cast(self, value):  # pragma: no cover - requires torch
+        if value is None:
+            return None
+        if isinstance(value, self._torch.Tensor):
+            value = value.detach().cpu().numpy()
+        return np.asarray(value, dtype=self.dtype)
+
+    def to_numpy(self, value) -> np.ndarray:  # pragma: no cover - requires torch
+        if isinstance(value, self._torch.Tensor):
+            return value.detach().cpu().numpy()
+        return np.asarray(value)
+
+    def tensor(self, value):  # pragma: no cover - requires torch
+        """``value`` as a torch tensor at the backend dtype."""
+        return self._torch.as_tensor(self.cast(value))
+
+
+_FACTORIES: dict[str, Callable[[], ArrayBackend]] = {}
+_ALIASES: dict[str, str] = {}
+_INSTANCES: dict[str, ArrayBackend] = {}
+
+
+def register_backend(
+    name: str, factory: Callable[[], ArrayBackend], aliases: Sequence[str] = ()
+) -> None:
+    """Register (or replace) a backend factory under ``name`` + aliases.
+
+    The factory runs lazily on first :func:`get_backend` and may raise
+    :class:`~repro.errors.BackendError` when the environment lacks a
+    dependency (how the torch tier degrades without torch installed).
+    """
+    _FACTORIES[name] = factory
+    _INSTANCES.pop(name, None)
+    for alias in aliases:
+        _ALIASES[alias] = name
+
+
+def get_backend(name: str | ArrayBackend | None = None) -> ArrayBackend:
+    """Resolve a backend by name/alias (``None`` -> the default tier).
+
+    Instances pass through, so APIs can accept either form. Unknown
+    names and unconstructible backends raise
+    :class:`~repro.errors.BackendError`.
+    """
+    if name is None:
+        name = DEFAULT_BACKEND
+    if isinstance(name, ArrayBackend):
+        return name
+    key = _ALIASES.get(name, name)
+    backend = _INSTANCES.get(key)
+    if backend is None:
+        factory = _FACTORIES.get(key)
+        if factory is None:
+            known = ", ".join(sorted(set(_FACTORIES) | set(_ALIASES)))
+            raise BackendError(f"unknown array backend {name!r} (known: {known})")
+        backend = factory()
+        _INSTANCES[key] = backend
+    return backend
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names constructible in this environment."""
+    names = []
+    for key in sorted(_FACTORIES):
+        try:
+            get_backend(key)
+        except BackendError:
+            continue
+        names.append(key)
+    return tuple(names)
+
+
+register_backend(
+    "numpy",
+    lambda: ArrayBackend("numpy", np.float64, ToleranceContract()),
+    aliases=("numpy-f64", "f64", "float64"),
+)
+register_backend(
+    "numpy-f32",
+    lambda: ArrayBackend("numpy-f32", np.float32, F32_TOLERANCE),
+    aliases=("f32", "float32"),
+)
+register_backend("torch", lambda: TorchArrayBackend(), aliases=("torch-f32",))

@@ -195,9 +195,17 @@ class _ArrayBatch:
             # scalar engine (positive array first, like CrossbarArray).
             eff_pos = exact_effective_matrix_batch(g_pos, parasitics.r_wire)
             eff_neg = exact_effective_matrix_batch(g_neg, parasitics.r_wire)
-        self.effective = (eff_pos - eff_neg) / g_unit  # (T, r, c)
+        # Backend cast (identity on the default float64 tier): the
+        # programming/parasitics pipeline above always computes float64;
+        # only the assembled analog operands drop to the tier dtype.
+        bk = config.resolve_backend()
+        # Settling analysis stays on the float64 effectives (like the
+        # scalar ops, which analyze before casting) so timing metadata
+        # is tier-independent.
+        self._settle_effective = (eff_pos - eff_neg) / g_unit  # (T, r, c)
+        self.effective = bk.cast(self._settle_effective)
         g_total = g_pos + g_neg
-        self.load_row_sums = g_total.sum(axis=2) / g_unit  # (T, r)
+        self.load_row_sums = bk.cast(g_total.sum(axis=2) / g_unit)  # (T, r)
         self.max_row_total = g_total.sum(axis=2).max(axis=1)  # (T,)
         self.rows = blocks.shape[1]
         self.cols = blocks.shape[2]
@@ -213,7 +221,7 @@ class _ArrayBatch:
     def inv_settle(self) -> np.ndarray:
         """Batched INV settling times (one stacked ``eigvals`` call)."""
         gbwp = self.config.opamp.gbwp_hz
-        margins = np.min(np.linalg.eigvals(self.effective).real, axis=1)
+        margins = np.min(np.linalg.eigvals(self._settle_effective).real, axis=1)
         with np.errstate(divide="ignore"):
             tau = (1.0 + 1.0 / margins) / (2.0 * np.pi * gbwp)
         return np.where(margins <= 0.0, np.inf, np.log(1.0 / DEFAULT_EPSILON) * tau)
@@ -249,10 +257,15 @@ class _NoiseDraws:
         return out
 
     def output(self, indices, raw: np.ndarray) -> np.ndarray:
-        """Add per-operation output noise (scalar ``_add_output_noise``)."""
+        """Add per-operation output noise (scalar ``_add_output_noise``).
+
+        Draws stay float64 (identical streams across precision tiers);
+        the sum is cast back to the operating dtype (no-op on float64).
+        """
         if self.output_sigma == 0.0:
             return raw
-        return raw + self._rows(indices, self.output_sigma, raw.shape[1])
+        noisy = raw + self._rows(indices, self.output_sigma, raw.shape[1])
+        return noisy.astype(raw.dtype, copy=False)
 
     def snh_pair(self, indices, voltages: np.ndarray) -> np.ndarray:
         """Two S&H transfers (output bank then input bank), with noise.
@@ -267,7 +280,7 @@ class _NoiseDraws:
         held = held * self.snh_gain
         if self.snh_sigma > 0.0:
             held = held + self._rows(indices, self.snh_sigma, held.shape[1])
-        return held
+        return held.astype(voltages.dtype, copy=False)
 
 
 class _LazyOffsets:
@@ -362,18 +375,19 @@ class _BatchedOriginalAMC:
         v_sat = config.opamp.v_sat
         acc = _OpAccumulator(trials, v_sat)
         a0 = config.opamp.open_loop_gain
+        cast = config.resolve_backend().cast
 
         def run_subset(k, indices):
             acc.begin(indices)
             sub = _ArrayView(array, indices)
-            v_in = _quantize_batch(k[:, None] * bs[indices], conv.dac_bits, v_fs)
+            v_in = cast(_quantize_batch(k[:, None] * bs[indices], conv.dac_bits, v_fs))
             raw = noise.output(
                 indices,
                 inv_raw(
                     sub.effective,
                     sub.load_row_sums,
                     v_in,
-                    offsets.take(n, indices),
+                    cast(offsets.take(n, indices)),
                     1.0,
                     a0,
                 ),
@@ -385,7 +399,7 @@ class _BatchedOriginalAMC:
         k0 = input_voltage_scale_many(bs, v_fs, self.input_fraction)
         final, k = auto_range_many(run_subset, k0, v_fs)
 
-        x = -_quantize_batch(final["out"], conv.adc_bits, v_fs) / (k * scale)[:, None]
+        x = -_quantize_batch(final["out"], conv.adc_bits, v_fs) / cast(k * scale)[:, None]
         errors = _relative_errors(matrices, bs, x)
         return [
             TrialOutcome(float(errors[t]), bool(acc.saturated[t]), float(acc.settle[t]))
@@ -446,13 +460,14 @@ class _BatchedBlockAMC:
         v_sat = config.opamp.v_sat
         acc = _OpAccumulator(trials, v_sat)
         a0 = config.opamp.open_loop_gain
+        cast = config.resolve_backend().cast
 
         def run_subset(k, indices):
             acc.begin(indices)
             f = k[:, None] * bs[indices, :split]
             g = k[:, None] * bs[indices, split:]
-            v_f = _quantize_batch(f, conv.dac_bits, v_fs)
-            v_g = _quantize_batch(g, conv.dac_bits, v_fs)
+            v_f = cast(_quantize_batch(f, conv.dac_bits, v_fs))
+            v_g = cast(_quantize_batch(g, conv.dac_bits, v_fs))
 
             def view(arr):
                 return _ArrayView(arr, indices)
@@ -460,7 +475,7 @@ class _BatchedBlockAMC:
             a1, a2, a3, a4s = view(arr1), view(arr2), view(arr3), view(arr4s)
             # Stream order per trial matches the scalar schedule exactly:
             # offsets(k), noise1, S&H x2, offsets(m), noise2, S&H x2, ...
-            off_k = offsets.take(k_size, indices)
+            off_k = cast(offsets.take(k_size, indices))
             s1 = acc.add_for(
                 indices,
                 noise.output(
@@ -470,7 +485,7 @@ class _BatchedBlockAMC:
                 settle1[indices],
             )
             h1 = noise.snh_pair(indices, s1)
-            off_m = offsets.take(m_size, indices)
+            off_m = cast(offsets.take(m_size, indices))
             s2 = acc.add_for(
                 indices,
                 noise.output(
@@ -523,7 +538,7 @@ class _BatchedBlockAMC:
         k0 = input_voltage_scale_many(bs, v_fs, self.input_fraction)
         final, k = auto_range_many(run_subset, k0, v_fs)
 
-        x = final["x"] / (k * scale)[:, None]
+        x = final["x"] / cast(k * scale)[:, None]
         errors = _relative_errors(matrices, bs, x)
         return [
             TrialOutcome(float(errors[t]), bool(acc.saturated[t]), float(acc.settle[t]))

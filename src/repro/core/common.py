@@ -58,8 +58,8 @@ from __future__ import annotations
 import math
 
 import numpy as np
-from scipy.linalg import get_lapack_funcs
 
+from repro.core.backend import canonical_dtype, lapack_solvers
 from repro.errors import SolverError, ValidationError
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_in_range, check_vector
@@ -155,13 +155,6 @@ def draw_offsets_batch(sigma: float, sizes, rngs) -> dict[int, np.ndarray | None
 # ----------------------------------------------------------------------
 
 
-#: The two LAPACK routines behind every dense solve of the analog
-#: engine, resolved once for float64 (the engine's only dtype).
-_GETRF, _GETRS = get_lapack_funcs(
-    ("getrf", "getrs"), (np.empty((1, 1), dtype=np.float64),)
-)
-
-
 def contract(matrix: np.ndarray, v_in: np.ndarray) -> np.ndarray:
     """Matrix-vector contraction ``(..., r, c) x (..., c) -> (..., r)``.
 
@@ -187,24 +180,33 @@ class FactoredSystem:
     trial-batched paths use it too, because mixing it with
     ``np.linalg.solve`` would mix two differently-built OpenBLAS
     libraries (NumPy's and SciPy's) whose results differ in low bits.
+
+    The primitive is dtype-generic over the backend seam
+    (:mod:`repro.core.backend`): a float32 matrix factors and solves
+    through ``sgetrf``/``sgetrs``, anything else through the float64
+    pair the engine always used, and right-hand sides are coerced to
+    the matrix dtype — so the float64 path is byte-identical to the
+    pre-seam kernel.
     """
 
     def __init__(self, matrix: np.ndarray, what: str = "effective block matrix"):
-        matrix = np.asarray(matrix, dtype=float)
-        lu, piv, info = _GETRF(matrix)
+        matrix = np.asarray(matrix, dtype=canonical_dtype(np.asarray(matrix).dtype))
+        getrf, getrs = lapack_solvers(matrix.dtype)
+        lu, piv, info = getrf(matrix)
         if info > 0:
             raise SolverError(f"{what} is singular: zero pivot at position {info - 1}")
         if info < 0:  # pragma: no cover - defensive (bad LAPACK argument)
             raise SolverError(f"{what} factorization failed (LAPACK info={info})")
         self.matrix = matrix
+        self._getrs = getrs
         self._lu = lu
         self._piv = piv
         self._what = what
 
     def solve(self, rhs: np.ndarray) -> np.ndarray:
         """Solve for ``(n,)`` or row-stacked ``(rhs, n)`` right-hand sides."""
-        getrs, lu, piv = _GETRS, self._lu, self._piv
-        rhs = np.ascontiguousarray(rhs, dtype=float)
+        getrs, lu, piv = self._getrs, self._lu, self._piv
+        rhs = np.ascontiguousarray(rhs, dtype=self.matrix.dtype)
         if rhs.ndim == 1:
             x, info = getrs(lu, piv, rhs)
             if info != 0:  # pragma: no cover - defensive (bad LAPACK argument)
@@ -284,9 +286,14 @@ def inv_loading(load_row_sums: np.ndarray, input_scale) -> np.ndarray:
     """Total conductance loading each INV summing node: ``s + L_i``.
 
     ``input_scale`` is a float (scalar / multi-RHS shapes) or a
-    per-trial ``(trials,)`` array (trial-batched shape).
+    per-trial ``(trials,)`` array (trial-batched shape). Pinned to the
+    loading dtype so a float32-tier loading stays float32 (a bare 0-d
+    ``np.asarray`` is NEP-50 "strong" and would upcast); for float64
+    loadings this is bit-identical to the unpinned arithmetic.
     """
-    return np.asarray(input_scale)[..., None] + load_row_sums
+    load_row_sums = np.asarray(load_row_sums)
+    scale = np.asarray(input_scale, dtype=load_row_sums.dtype)
+    return scale[..., None] + load_row_sums
 
 
 def inv_system(
@@ -307,8 +314,14 @@ def inv_rhs(
     offsets: np.ndarray | None,
     input_scale,
 ) -> np.ndarray:
-    """INV right-hand side ``-s * v_in + (s + L) * vos``."""
-    rhs = -np.asarray(input_scale)[..., None] * v_in
+    """INV right-hand side ``-s * v_in + (s + L) * vos``.
+
+    ``input_scale`` is pinned to the ``v_in`` dtype (same NEP-50
+    rationale as :func:`inv_loading`; bit-identical for float64).
+    """
+    v_in = np.asarray(v_in)
+    scale = np.asarray(input_scale, dtype=v_in.dtype)
+    rhs = -scale[..., None] * v_in
     if offsets is not None:
         rhs = rhs + loading * offsets
     return rhs
@@ -452,6 +465,11 @@ def auto_range_many(run, k0: np.ndarray, v_fs: float):
     final_k = k0.copy()
     for attempt in range(MAX_RANGING_ATTEMPTS):
         peaks, payload = run(k[active], active)
+        # Rescale arithmetic always runs in float64, exactly like the
+        # scalar loop whose ``peak`` is a Python float: a float32 tier's
+        # peaks convert exactly, and the per-column scales stay full
+        # precision. Same-object no-op for float64 peaks.
+        peaks = np.asarray(peaks, dtype=np.float64)
         if attempt == MAX_RANGING_ATTEMPTS - 1:
             accept = np.ones_like(peaks, dtype=bool)
         else:

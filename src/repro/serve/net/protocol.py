@@ -9,10 +9,16 @@ One frame carries one message::
 
 The JSON header holds the typed fields (message ``type``, request
 ``id``, status, error payload, telemetry); large numeric arrays — the
-matrix, the right-hand side, solution blocks — travel as raw float64
-C-order bytes in the binary section, so a round-trip is **bit-exact**:
-no decimal formatting, no JSON float parsing, no pickling. ``blobs`` in
-the header lists the byte length of each binary block in order.
+matrix, the right-hand side, solution blocks — travel as raw C-order
+bytes in the binary section, so a round-trip is **bit-exact**: no
+decimal formatting, no JSON float parsing, no pickling. ``blobs`` in
+the header lists the byte length of each binary block in order, and an
+optional ``dtypes`` list names each block's element dtype
+(``"float64"`` or ``"float32"``). A missing/short ``dtypes`` list means
+float64 for the unnamed blocks — exactly the historical wire form, so
+new peers interoperate with old ones in both directions. (The codec
+used to hard-code float64, silently upcasting float32 payloads in
+transit and breaking the precision-tier contract end to end.)
 
 Message vocabulary (requests → responses):
 
@@ -43,6 +49,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.core.backend import canonical_dtype
 from repro.errors import WireProtocolError
 
 __all__ = [
@@ -57,6 +64,7 @@ __all__ = [
     "STATUS_SHARD_FAILED",
     "STATUS_SHED",
     "STATUS_UNKNOWN_DIGEST",
+    "array_dtype_name",
     "array_from_bytes",
     "array_to_bytes",
     "decode_frame",
@@ -86,20 +94,57 @@ STATUS_CLOSED = "closed"
 STATUS_FAILED = "failed"
 
 
+#: Element dtypes a binary block may declare. The wire speaks canonical
+#: tiers only: float32 travels as-is, everything else as float64.
+_WIRE_DTYPES: dict[str, np.dtype] = {
+    "float64": np.dtype(np.float64),
+    "float32": np.dtype(np.float32),
+}
+
+
+def array_dtype_name(array: np.ndarray) -> str:
+    """The wire dtype name :func:`array_to_bytes` will encode ``array`` at.
+
+    This is what belongs in the header's ``dtypes`` list for the
+    corresponding blob.
+    """
+    return canonical_dtype(np.asarray(array).dtype).name
+
+
 def array_to_bytes(array: np.ndarray) -> bytes:
-    """Raw float64 C-order bytes of an array (the bit-exact wire form)."""
-    return np.ascontiguousarray(array, dtype=float).tobytes()
+    """Raw C-order bytes of an array (the bit-exact wire form).
+
+    float32 arrays stay float32; every other dtype coerces to float64
+    (matching :func:`repro.core.backend.canonical_dtype`, so the wire
+    can never smuggle a dtype the engines don't speak).
+    """
+    array = np.asarray(array)
+    return np.ascontiguousarray(
+        array, dtype=canonical_dtype(array.dtype)
+    ).tobytes()
 
 
-def array_from_bytes(blob, shape: tuple[int, ...]) -> np.ndarray:
-    """Inverse of :func:`array_to_bytes`; validates the byte count."""
-    expected = int(np.prod(shape)) * 8
+def array_from_bytes(blob, shape: tuple[int, ...], dtype: str = "float64") -> np.ndarray:
+    """Inverse of :func:`array_to_bytes`; validates dtype and byte count.
+
+    ``dtype`` is the wire name from the header's ``dtypes`` list
+    (callers pass ``"float64"`` when the peer omitted it — the
+    old-protocol default). Raises :class:`WireProtocolError` for an
+    unknown dtype name or a blob whose size disagrees with
+    ``shape`` x itemsize.
+    """
+    dt = _WIRE_DTYPES.get(dtype)
+    if dt is None:
+        raise WireProtocolError(
+            f"unknown wire dtype {dtype!r} (known: {sorted(_WIRE_DTYPES)})"
+        )
+    expected = int(np.prod(shape)) * dt.itemsize
     if len(blob) != expected:
         raise WireProtocolError(
             f"binary block holds {len(blob)} bytes, expected {expected} "
-            f"for float64 shape {shape}"
+            f"for {dt.name} shape {shape}"
         )
-    return np.frombuffer(bytes(blob), dtype=float).reshape(shape)
+    return np.frombuffer(bytes(blob), dtype=dt).reshape(shape)
 
 
 def encode_frame(header: dict, blobs: Sequence[bytes] = ()) -> bytes:

@@ -1,18 +1,25 @@
 """Shared-memory result transport between service workers and the front-end.
 
-A process worker answers a coalesced batch with a ``(2, batch, n)``
-float64 block — solution rows stacked over digital-reference rows. At
-production sizes that block is megabytes per batch; round-tripping it
-through a ``multiprocessing.Queue`` would pickle-copy it twice (worker →
-pipe → parent). Instead the worker publishes the block **once** into a
+A process worker answers a coalesced batch with two ``(batch, n)``
+blocks — solution rows and digital-reference rows, laid out
+back-to-back in one segment. At production sizes that block is
+megabytes per batch; round-tripping it through a
+``multiprocessing.Queue`` would pickle-copy it twice (worker → pipe →
+parent). Instead the worker publishes the block **once** into a
 :class:`multiprocessing.shared_memory.SharedMemory` segment and ships a
-tiny :class:`BlockRef` descriptor (name + shape) over the queue; the
-front-end maps the same physical pages and copies each row straight
-into its response frame.
+tiny :class:`BlockRef` descriptor (name + shape + per-region dtypes)
+over the queue; the front-end maps the same physical pages and copies
+each row straight into its response frame.
 
 Bit-identity is preserved by construction: the segment holds the
-worker's raw float64 bytes — no serialization, rounding, or re-encoding
-touches them between ``execute_batch`` and the wire (see DESIGN.md).
+worker's raw bytes at the worker's dtypes — no serialization, rounding,
+or re-encoding touches them between ``execute_batch`` and the wire (see
+DESIGN.md). The regions carry independent dtypes because they genuinely
+differ under precision tiers: a float32-tier solution rides next to its
+always-float64 digital reference. (The transport used to hardwire
+``dtype=float`` on both ends, silently upcasting float32 solutions —
+and worse, a dtype disagreement between publisher and consumer was an
+undetected reinterpretation of raw bytes.)
 
 Lifecycle: the **consumer owns the segment**. :func:`publish_block`
 unregisters the segment from the worker's resource tracker and closes
@@ -30,14 +37,21 @@ slower); ``ref.inline`` tells which path was taken.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from multiprocessing import resource_tracker, shared_memory
 
 import numpy as np
 
+from repro.core.backend import canonical_dtype
 from repro.errors import ServeError
 
 __all__ = ["AttachedBlock", "BlockRef", "publish_block"]
+
+#: Region dtypes a descriptor may declare (the canonical wire tiers).
+_REGION_DTYPES: dict[str, np.dtype] = {
+    "float64": np.dtype(np.float64),
+    "float32": np.dtype(np.float32),
+}
 
 
 @dataclass(frozen=True)
@@ -48,10 +62,14 @@ class BlockRef:
     name: str | None
     #: Rows in the block (requests of the batch).
     batch: int
-    #: System size: each row region is ``(2, n)`` — solution, reference.
+    #: System size: each region holds ``batch`` rows of ``n`` values.
     n: int
     #: Inline payload when shared memory was unavailable.
     payload: bytes | None = None
+    #: Element dtype of the solution region.
+    dtype_x: str = "float64"
+    #: Element dtype of the reference region.
+    dtype_ref: str = "float64"
 
     @property
     def inline(self) -> bool:
@@ -59,31 +77,52 @@ class BlockRef:
         return self.name is None
 
 
+def _region_dtype(name: str) -> np.dtype:
+    dt = _REGION_DTYPES.get(name)
+    if dt is None:
+        raise ServeError(
+            f"unknown block dtype {name!r} (known: {sorted(_REGION_DTYPES)})"
+        )
+    return dt
+
+
 def publish_block(xs: np.ndarray, references: np.ndarray) -> BlockRef:
     """Publish one batch's solution/reference rows; returns the descriptor.
 
-    ``xs`` and ``references`` are ``(batch, n)`` float64 arrays (a lone
-    ``(n,)`` pair is treated as a batch of one). Called in the worker
-    process; the returned :class:`BlockRef` is what crosses the queue.
+    ``xs`` and ``references`` are ``(batch, n)`` arrays (a lone ``(n,)``
+    pair is treated as a batch of one); each keeps its own canonical
+    dtype — float32 stays float32, everything else lands at float64 —
+    and the two may differ. Called in the worker process; the returned
+    :class:`BlockRef` is what crosses the queue.
     """
-    xs = np.atleast_2d(np.asarray(xs, dtype=float))
-    references = np.atleast_2d(np.asarray(references, dtype=float))
+    xs = np.asarray(xs)
+    xs = np.ascontiguousarray(np.atleast_2d(xs), dtype=canonical_dtype(xs.dtype))
+    references = np.asarray(references)
+    references = np.ascontiguousarray(
+        np.atleast_2d(references), dtype=canonical_dtype(references.dtype)
+    )
     if xs.shape != references.shape:
         raise ServeError(
             f"solution block {xs.shape} and reference block "
             f"{references.shape} disagree"
         )
-    block = np.stack([xs, references])  # (2, batch, n), C-contiguous
+    ref = BlockRef(
+        name=None,
+        batch=xs.shape[0],
+        n=xs.shape[1],
+        dtype_x=xs.dtype.name,
+        dtype_ref=references.dtype.name,
+    )
+    # Layout: the solution region's raw bytes, then the reference
+    # region's, back to back (np.stack would promote mixed dtypes).
+    nbytes = xs.nbytes + references.nbytes
     try:
-        shm = shared_memory.SharedMemory(create=True, size=max(1, block.nbytes))
+        shm = shared_memory.SharedMemory(create=True, size=max(1, nbytes))
     except OSError:
-        return BlockRef(
-            name=None, batch=xs.shape[0], n=xs.shape[1], payload=block.tobytes()
-        )
+        return replace(ref, payload=xs.tobytes() + references.tobytes())
     try:
-        view = np.ndarray(block.shape, dtype=float, buffer=shm.buf)
-        view[:] = block
-        del view
+        shm.buf[: xs.nbytes] = xs.tobytes()
+        shm.buf[xs.nbytes : nbytes] = references.tobytes()
     except BaseException:
         shm.close()
         shm.unlink()
@@ -95,8 +134,9 @@ def publish_block(xs: np.ndarray, references: np.ndarray) -> BlockRef:
         resource_tracker.unregister(shm._name, "shared_memory")
     except Exception:
         pass
+    name = shm.name
     shm.close()
-    return BlockRef(name=shm.name, batch=xs.shape[0], n=xs.shape[1])
+    return replace(ref, name=name)
 
 
 class AttachedBlock:
@@ -111,32 +151,57 @@ class AttachedBlock:
     def __init__(self, ref: BlockRef):
         self.ref = ref
         self._remaining = ref.batch
+        dt_x = _region_dtype(ref.dtype_x)
+        dt_ref = _region_dtype(ref.dtype_ref)
+        count = ref.batch * ref.n
+        x_nbytes = count * dt_x.itemsize
+        needed = x_nbytes + count * dt_ref.itemsize
         if ref.inline:
             self._shm = None
-            self._block = np.frombuffer(ref.payload, dtype=float).reshape(
-                2, ref.batch, ref.n
-            )
+            buf = ref.payload
+            if len(buf) != needed:
+                raise ServeError(
+                    f"result block holds {len(buf)} bytes, expected {needed} "
+                    f"for batch={ref.batch} n={ref.n} "
+                    f"dtypes=({ref.dtype_x}, {ref.dtype_ref})"
+                )
         else:
             self._shm = shared_memory.SharedMemory(name=ref.name)
-            self._block = np.ndarray(
-                (2, ref.batch, ref.n), dtype=float, buffer=self._shm.buf
-            )
+            buf = self._shm.buf
+            # Segment sizes are page-rounded upward, so undersized — the
+            # signature of a publisher/consumer dtype disagreement — is
+            # the detectable corruption.
+            held = len(buf)
+            if held < needed:
+                self._shm.close()
+                self._shm = None
+                raise ServeError(
+                    f"shared segment {ref.name!r} holds {held} bytes, "
+                    f"needs {needed} for batch={ref.batch} n={ref.n} "
+                    f"dtypes=({ref.dtype_x}, {ref.dtype_ref})"
+                )
+        self._xs = np.frombuffer(buf, dtype=dt_x, count=count).reshape(
+            ref.batch, ref.n
+        )
+        self._refs = np.frombuffer(
+            buf, dtype=dt_ref, count=count, offset=x_nbytes
+        ).reshape(ref.batch, ref.n)
 
     @property
     def released(self) -> bool:
         """True once the segment has been unmapped and unlinked."""
-        return self._block is None
+        return self._xs is None
 
     def row(self, index: int) -> tuple[np.ndarray, np.ndarray]:
-        """Copy out row ``index`` and consume one reference count."""
-        if self._block is None:
+        """Copy out row ``index`` (at its published dtype) and consume one count."""
+        if self._xs is None:
             raise ServeError("result block already released")
         if not 0 <= index < self.ref.batch:
             raise ServeError(
                 f"row {index} out of range for batch of {self.ref.batch}"
             )
-        x = np.array(self._block[0, index], dtype=float)
-        reference = np.array(self._block[1, index], dtype=float)
+        x = np.array(self._xs[index])
+        reference = np.array(self._refs[index])
         self._remaining -= 1
         if self._remaining <= 0:
             self.release()
@@ -144,9 +209,10 @@ class AttachedBlock:
 
     def release(self) -> None:
         """Unmap and unlink the segment (idempotent; also the crash path)."""
-        if self._block is None:
+        if self._xs is None:
             return
-        self._block = None
+        self._xs = None
+        self._refs = None
         if self._shm is not None:
             self._shm.close()
             try:

@@ -576,12 +576,21 @@ def _publish(state, finished: list, response_q, per_request_s: float) -> None:
     counters = state.drain_counters()
     counters["service_per_request_s"] = per_request_s
     cache = state.cache_snapshot()
-    if successes:
-        block = publish_block(
-            np.stack([result.x for _, result, _ in successes]),
-            np.stack([result.reference for _, result, _ in successes]),
+    # Group by solution dtype before stacking: a float32-tier batch may
+    # carry a float64 degraded-fallback row, and np.stack across the mix
+    # would silently upcast the analog rows. One group (one block) in
+    # the common case.
+    groups: dict[str, list] = {}
+    for job, result, status in successes:
+        groups.setdefault(np.asarray(result.x).dtype.name, []).append(
+            (job, result, status)
         )
-        for row, (job, result, status) in enumerate(successes):
+    for group in groups.values():
+        block = publish_block(
+            np.stack([result.x for _, result, _ in group]),
+            np.stack([result.reference for _, result, _ in group]),
+        )
+        for row, (job, result, status) in enumerate(group):
             job.span.end(status="ok" if status == STATUS_OK else "degraded")
             response_q.put(
                 WorkDone(

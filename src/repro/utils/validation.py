@@ -14,7 +14,22 @@ import numpy as np
 from repro.errors import ValidationError
 
 
-def check_matrix(value, name: str = "matrix") -> np.ndarray:
+def _coerce_dtype(value, preserve_dtype: bool) -> np.ndarray:
+    """Float coercion shared by the array checkers.
+
+    Default: everything becomes float64 (the historical behaviour).
+    With ``preserve_dtype=True`` a float32 input stays float32 — the
+    opt-in used by dtype-aware entry points (the serve layer's
+    :class:`~repro.serve.requests.SolveRequest`) so precision tiers
+    survive validation; every other dtype still coerces to float64.
+    """
+    arr = np.asarray(value)
+    if preserve_dtype and arr.dtype == np.float32:
+        return arr
+    return np.asarray(arr, dtype=float)
+
+
+def check_matrix(value, name: str = "matrix", *, preserve_dtype: bool = False) -> np.ndarray:
     """Coerce ``value`` to a finite 2-D float array.
 
     Parameters
@@ -23,13 +38,16 @@ def check_matrix(value, name: str = "matrix") -> np.ndarray:
         Anything ``numpy.asarray`` accepts.
     name:
         Argument name used in error messages.
+    preserve_dtype:
+        Keep float32 input at float32 instead of upcasting (all other
+        dtypes still coerce to float64).
 
     Returns
     -------
     numpy.ndarray
-        A float64 2-D array (a copy only if coercion required one).
+        A float 2-D array (a copy only if coercion required one).
     """
-    arr = np.asarray(value, dtype=float)
+    arr = _coerce_dtype(value, preserve_dtype)
     if arr.ndim != 2:
         raise ValidationError(f"{name} must be 2-D, got ndim={arr.ndim}")
     if arr.size == 0:
@@ -39,18 +57,26 @@ def check_matrix(value, name: str = "matrix") -> np.ndarray:
     return arr
 
 
-def check_square_matrix(value, name: str = "matrix") -> np.ndarray:
+def check_square_matrix(
+    value, name: str = "matrix", *, preserve_dtype: bool = False
+) -> np.ndarray:
     """Like :func:`check_matrix` but additionally requires a square shape."""
-    arr = check_matrix(value, name)
+    arr = check_matrix(value, name, preserve_dtype=preserve_dtype)
     rows, cols = arr.shape
     if rows != cols:
         raise ValidationError(f"{name} must be square, got shape {arr.shape}")
     return arr
 
 
-def check_vector(value, name: str = "vector", size: int | None = None) -> np.ndarray:
+def check_vector(
+    value,
+    name: str = "vector",
+    size: int | None = None,
+    *,
+    preserve_dtype: bool = False,
+) -> np.ndarray:
     """Coerce ``value`` to a finite 1-D float array, optionally of length ``size``."""
-    arr = np.asarray(value, dtype=float)
+    arr = _coerce_dtype(value, preserve_dtype)
     if arr.ndim == 2 and 1 in arr.shape:
         arr = arr.ravel()
     if arr.ndim != 1:

@@ -498,3 +498,152 @@ class TestNetChaos:
             assert np.array_equal(outcome.x, ref.x)
         assert metrics.shard_crashes >= 1
         assert plan.injected("kill") >= 1
+
+
+# ----------------------------------------------------------------------
+# precision tiers on the wire and in shared memory
+# ----------------------------------------------------------------------
+
+
+class TestWireDtypes:
+    """Regression: the codec carried raw bytes but decoded every blob as
+    float64 — a float32 solution either crashed reshape (half the bytes)
+    or, when sizes collided, silently reinterpreted bit patterns."""
+
+    def test_f32_round_trip_preserves_dtype_and_bits(self):
+        from repro.serve.net.protocol import array_dtype_name
+
+        x = np.random.default_rng(0).standard_normal(9).astype(np.float32)
+        blob = array_to_bytes(x)
+        assert len(blob) == 9 * 4
+        assert array_dtype_name(x) == "float32"
+        decoded = array_from_bytes(blob, (9,), "float32")
+        assert decoded.dtype == np.float32
+        assert np.array_equal(decoded, x)
+
+    def test_missing_dtype_defaults_to_float64(self):
+        # old-peer interop: pre-tier peers never send the dtypes list
+        x = np.random.default_rng(1).standard_normal(5)
+        assert np.array_equal(array_from_bytes(array_to_bytes(x), (5,)), x)
+
+    def test_unknown_dtype_name_is_typed(self):
+        with pytest.raises(WireProtocolError, match="unknown wire dtype"):
+            array_from_bytes(b"\x00" * 8, (2,), "float16")
+
+    def test_size_mismatch_is_typed_per_dtype(self):
+        blob = np.zeros(4, dtype=np.float32).tobytes()
+        # correct under f32, a typed refusal under the f64 default
+        assert array_from_bytes(blob, (4,), "float32").dtype == np.float32
+        with pytest.raises(WireProtocolError, match="expected"):
+            array_from_bytes(blob, (4,))
+
+    def test_exotic_dtypes_canonicalize_to_f64_on_the_wire(self):
+        from repro.serve.net.protocol import array_dtype_name
+
+        ints = np.arange(4)
+        assert array_dtype_name(ints) == "float64"
+        decoded = array_from_bytes(array_to_bytes(ints), (4,))
+        assert decoded.dtype == np.float64 and np.array_equal(decoded, ints)
+
+
+class TestSharedMemoryDtypes:
+    """Regression: the transport hardwired ``dtype=float`` on both ends;
+    float32 blocks were silently upcast on publish, and a publisher /
+    consumer dtype disagreement reinterpreted raw bytes undetected."""
+
+    def test_f32_block_round_trips_at_f32(self):
+        rng = np.random.default_rng(3)
+        xs = rng.standard_normal((2, 5)).astype(np.float32)
+        refs = rng.standard_normal((2, 5)).astype(np.float32)
+        ref = publish_block(xs, refs)
+        assert ref.dtype_x == "float32" and ref.dtype_ref == "float32"
+        block = AttachedBlock(ref)
+        for i in range(2):
+            x, reference = block.row(i)
+            assert x.dtype == np.float32 and reference.dtype == np.float32
+            assert np.array_equal(x, xs[i])
+            assert np.array_equal(reference, refs[i])
+
+    def test_mixed_dtype_regions_do_not_promote(self):
+        # the service's real shape: float32-tier solutions next to the
+        # always-float64 digital references
+        rng = np.random.default_rng(4)
+        xs = rng.standard_normal((3, 4)).astype(np.float32)
+        refs = rng.standard_normal((3, 4))
+        ref = publish_block(xs, refs)
+        assert ref.dtype_x == "float32" and ref.dtype_ref == "float64"
+        block = AttachedBlock(ref)
+        x, reference = block.row(1)
+        assert x.dtype == np.float32 and np.array_equal(x, xs[1])
+        assert reference.dtype == np.float64 and np.array_equal(reference, refs[1])
+        block.release()
+
+    def test_dtype_disagreement_detected_not_reinterpreted(self):
+        from dataclasses import replace
+
+        ref = publish_block(np.ones((3, 5)), np.zeros((3, 5)))
+        # a consumer that believes the regions are wider than published
+        lying = replace(ref, n=8)
+        with pytest.raises(ServeError, match="bytes"):
+            AttachedBlock(lying)
+        # the refusal closed its mapping without unlinking: the honest
+        # descriptor still attaches, then releases the segment
+        AttachedBlock(ref).release()
+
+    def test_inline_payload_size_checked_exactly(self):
+        from dataclasses import replace
+
+        ref = publish_block(np.ones((2, 3), dtype=np.float32), np.ones((2, 3)))
+        if not ref.inline:
+            block = AttachedBlock(ref)
+            block.release()
+        bad = BlockRef(
+            name=None, batch=2, n=3, payload=b"\x00" * 10,
+            dtype_x="float32", dtype_ref="float64",
+        )
+        with pytest.raises(ServeError, match="expected"):
+            AttachedBlock(bad)
+
+    def test_unknown_region_dtype_is_typed(self):
+        bad = BlockRef(name=None, batch=1, n=2, payload=b"\x00" * 16, dtype_x="float16")
+        with pytest.raises(ServeError, match="unknown block dtype"):
+            AttachedBlock(bad)
+
+    def test_old_descriptor_defaults_to_float64(self):
+        stacked = np.stack([np.ones((2, 4)), np.zeros((2, 4))])
+        ref = BlockRef(name=None, batch=2, n=4, payload=stacked.tobytes())
+        assert ref.dtype_x == "float64" and ref.dtype_ref == "float64"
+        x, reference = AttachedBlock(ref).row(0)
+        assert np.array_equal(x, np.ones(4)) and np.array_equal(reference, np.zeros(4))
+
+
+class TestNetServingPrecisionTiers:
+    def test_f32_tier_round_trips_over_real_sockets(self):
+        from repro.core.backend import F32_TOLERANCE
+
+        requests = _requests(n=8, unique=2, sizes=(12,), seed=2)
+        f64_config = _server_config(workers=2)
+        f32_service = ServiceConfig(workers=2, max_batch_size=8, backend="numpy-f32")
+        reference, _ = run_sequential(requests, f64_config.service)
+        with NetServer(NetServerConfig(service=f32_service)) as server:
+            host, port = server.address
+            with NetClient(host, port) as client:
+                results = client.solve_all(requests, timeout=120.0)
+        for res, ref in zip(results, reference):
+            assert res.x.dtype == np.float32  # survived TCP at its tier
+            assert res.reference.dtype == np.float64
+            assert np.array_equal(res.reference, ref.reference)
+            assert F32_TOLERANCE.admits(res.x, ref.x)
+
+    def test_f64_tier_unchanged_headers_carry_dtypes(self):
+        # the default tier still answers float64, now with explicit
+        # dtype names in the result header
+        requests = _requests(n=4, unique=1, sizes=(12,), seed=5)
+        reference, _ = run_sequential(requests, ServiceConfig(workers=1))
+        with NetServer(_server_config(workers=1)) as server:
+            host, port = server.address
+            with NetClient(host, port) as client:
+                results = client.solve_all(requests, timeout=120.0)
+        for res, ref in zip(results, reference):
+            assert res.x.dtype == np.float64
+            assert np.array_equal(res.x, ref.x)

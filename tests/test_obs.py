@@ -431,7 +431,9 @@ class TestZeroPerturbation:
 
 class TestNetTracing:
     def test_end_to_end_trace_stitches_processes(self, tmp_path):
-        requests = mixed_traffic(8, unique_matrices=2, sizes=(12, 16), seed=11)
+        # 4 unique matrices so the digest → shard routing provably hits
+        # both workers (2 digests can land on one shard).
+        requests = mixed_traffic(8, unique_matrices=4, sizes=(12, 16), seed=11)
         service = ServiceConfig(workers=2, max_batch_size=8, trace_dir=str(tmp_path))
         with NetServer(NetServerConfig(service=service)) as server:
             host, port = server.address
